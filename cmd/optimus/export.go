@@ -1,0 +1,56 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"optimus"
+)
+
+// cmdExport dumps a preset device in the external JSON format of §3.1, the
+// starting point for describing new hardware to the model.
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	device := fs.String("device", "a100", "device preset to export")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	d, err := optimus.DeviceByName(*device)
+	if err != nil {
+		return err
+	}
+	return optimus.WriteDeviceJSON(os.Stdout, d)
+}
+
+// loadDeviceFile reads a device description from a JSON file, used by the
+// -device-file flags.
+func loadDeviceFile(path string) (optimus.Device, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return optimus.Device{}, fmt.Errorf("device file: %w", err)
+	}
+	defer f.Close()
+	return optimus.ReadDeviceJSON(f)
+}
+
+// systemWithOverride builds a system from either a preset name or an
+// external JSON device description (§3.1).
+func systemWithOverride(preset, file string, n int, intra, inter string) (*optimus.System, error) {
+	if file == "" {
+		return optimus.NewSystem(preset, n, intra, inter)
+	}
+	dev, err := loadDeviceFile(file)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := optimus.NewSystem("a100", n, intra, inter)
+	if err != nil {
+		return nil, err
+	}
+	sys.Device = dev
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"optimus"
+	"optimus/internal/arch"
+	"optimus/internal/kernels"
+	"optimus/internal/roofline"
+	"optimus/internal/tech"
+)
+
+// cmdGraph emits the per-device forward task graph (Fig. 1) as DOT.
+func cmdGraph(args []string) error {
+	fs := flag.NewFlagSet("graph", flag.ExitOnError)
+	modelName := fs.String("model", "llama2-13b", "model preset")
+	device := fs.String("device", "a100", "device preset")
+	layers := fs.Int("layers", 1, "transformer layers to chain")
+	tp := fs.Int("tp", 1, "tensor-parallel degree")
+	seq := fs.Int("seq", 200, "sequence length")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := optimus.ModelByName(*modelName)
+	if err != nil {
+		return err
+	}
+	dev, err := arch.DeviceByName(*device)
+	if err != nil {
+		return err
+	}
+	g, err := optimus.BuildTaskGraph(optimus.TaskGraphSpec{
+		Model: cfg,
+		Exec: kernels.Exec{
+			Batch: 1, Seq: *seq, Context: *seq, TP: *tp,
+			Precision: tech.FP16, Phase: kernels.Prefill,
+		},
+		Layers: *layers,
+		Engine: roofline.New(dev),
+		Link:   arch.IntraLink(tech.NVLink3),
+	})
+	if err != nil {
+		return err
+	}
+	cp, _ := g.CriticalPath()
+	fmt.Printf("// %s on %s: %d nodes, critical path %.2f ms, parallelism %.2f\n",
+		cfg.Name, dev.Name, g.Len(), cp*1e3, g.Parallelism())
+	fmt.Print(g.DOT(cfg.Name))
+	return nil
+}

@@ -1,0 +1,77 @@
+// DSE-nodes runs the paper's §5.3 technology exploration with the public
+// API: at each logic node from N12 to N1, search the area/power allocation
+// for the design that minimizes GPT-7B training time on 1024 derived
+// accelerators, and watch the bottleneck migrate from compute to memory to
+// network.
+//
+// Run with: go run ./examples/dse-nodes
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optimus"
+	"optimus/internal/tech"
+	"optimus/internal/uarch"
+)
+
+func main() {
+	gpt, err := optimus.ModelByName("gpt-7b")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	objective := func(d optimus.Design) (float64, error) {
+		sys, err := optimus.DeriveSystem(d, 1024, 4)
+		if err != nil {
+			return 0, err
+		}
+		res, err := optimus.PredictTraining(optimus.TrainSpec{
+			Model:  gpt,
+			System: sys,
+			Map: optimus.Mapping{
+				DP: 64, TP: 4, PP: 4, SP: true,
+				Microbatch: 1, Schedule: optimus.OneFOneB,
+			},
+			GlobalBatch: 512,
+			Seq:         2048,
+			Precision:   optimus.BF16,
+		})
+		if err != nil {
+			return 0, err
+		}
+		return res.Total, nil
+	}
+
+	fmt.Println("GPT-7B on 1024 derived GPUs (64-4-4-4), A100-class area/power budget")
+	fmt.Println("DSE-optimized allocation per logic node, HBM2e + 200 GB/s network:")
+	fmt.Printf("\n%-5s %12s %10s %12s %12s %14s\n",
+		"node", "s/iter", "gain", "area->core", "power->mem", "fp16 derived")
+
+	for _, node := range tech.Nodes {
+		base := optimus.Design{
+			Node:    node,
+			DRAM:    tech.HBM2E,
+			Network: tech.IBXDRx8,
+			Budget:  uarch.A100ClassBudget(),
+			Alloc:   uarch.DefaultAllocation(),
+		}
+		res, err := optimus.OptimizeDesign(base, objective, optimus.DSEOptions{MaxIters: 20, Starts: 3})
+		if err != nil {
+			log.Fatal(err)
+		}
+		dev, err := optimus.DeriveDevice(res.Design)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-5v %12.3f %9.1f%% %12.2f %12.2f %11.0f TF\n",
+			node, res.Cost, 100*(res.StartCost-res.Cost)/res.StartCost,
+			res.Design.Alloc.AreaCore, res.Design.Alloc.PowerMemIO,
+			dev.Compute[optimus.FP16]/1e12)
+	}
+
+	fmt.Println("\nThe iteration time collapses through N7 and then saturates: once logic")
+	fmt.Println("scaling outruns HBM bandwidth and the 200 GB/s network, extra transistors")
+	fmt.Println("stop helping — the §5.3 conclusion, regenerated from scratch.")
+}

@@ -1,0 +1,80 @@
+// Inference-latency reproduces the paper's §4.3/§6 inference analysis with
+// the public API: strong scaling of Llama-2 models from 1 to 8 GPUs on
+// A100 and H100, the per-GEMM bound table, and why decode scaling stalls.
+//
+// Run with: go run ./examples/inference-latency
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optimus"
+)
+
+func main() {
+	for _, modelName := range []string{"llama2-7b", "llama2-13b", "llama2-70b"} {
+		cfg, err := optimus.ModelByName(modelName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s (B=1, 200 prompt + 200 generated tokens)\n", cfg)
+		fmt.Printf("  %-6s %6s %14s %14s %12s %12s\n",
+			"device", "GPUs", "latency (ms)", "per-token", "memory (ms)", "comm (ms)")
+		for _, dev := range []struct {
+			name  string
+			intra string
+		}{{"a100", "nvlink3"}, {"h100", "nvlink4"}} {
+			for _, gpus := range []int{1, 2, 4, 8} {
+				sys, err := optimus.NewSystem(dev.name, gpus, dev.intra, "ndr")
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := optimus.PredictInference(optimus.InferSpec{
+					Model: cfg, System: sys, TP: gpus, Batch: 1,
+					PromptTokens: 200, GenTokens: 200, Precision: optimus.FP16,
+				})
+				if err != nil {
+					log.Fatal(err)
+				}
+				if !res.Fits {
+					fmt.Printf("  %-6s %6d   does not fit (%0.f GB of weights per device)\n",
+						dev.name, gpus, res.Footprint.Weights/1e9)
+					continue
+				}
+				fmt.Printf("  %-6s %6d %14.0f %11.2fms %12.0f %12.0f\n",
+					dev.name, gpus, res.Total*1e3, res.PerToken*1e3,
+					res.MemoryTime*1e3, res.CommTime*1e3)
+			}
+		}
+		fmt.Println()
+	}
+
+	// The per-GEMM view explains the scaling: decode kernels stream the
+	// weights (memory-bound), and the per-layer all-reduces are latency-
+	// bound, so more GPUs trade memory time for communication time.
+	cfg, _ := optimus.ModelByName("llama2-13b")
+	for _, dev := range []struct {
+		name  string
+		intra string
+	}{{"a100", "nvlink3"}, {"h100", "nvlink4"}} {
+		sys, err := optimus.NewSystem(dev.name, 1, dev.intra, "ndr")
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := optimus.PrefillGEMMTable(optimus.InferSpec{
+			Model: cfg, System: sys, TP: 1, Batch: 1,
+			PromptTokens: 200, GenTokens: 1, Precision: optimus.FP16,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("Llama2-13B prefill GEMMs on %s (Table 4):\n", sys.Device.Name)
+		for _, r := range rows {
+			fmt.Printf("  %-30s %8.1f µs  %s\n", r.Function, r.Time*1e6, r.Bound)
+		}
+		fmt.Println()
+	}
+	fmt.Println("On A100 the projection/MLP GEMMs are compute-bound; on H100 every")
+	fmt.Println("large GEMM flips to memory-bound — compute grew 3.2x, DRAM only 1.7x (§6.1).")
+}

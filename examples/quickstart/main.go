@@ -1,0 +1,71 @@
+// Quickstart: predict one training iteration and one inference request
+// with the Optimus-Go analytical model, and check both against the
+// published measurements the paper validates with.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optimus"
+)
+
+func main() {
+	// --- Training: GPT-175B on 64 A100s, the paper's Table 1 row. ---
+	gpt, err := optimus.ModelByName("gpt-175b")
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := optimus.NewSystem("a100", 64, "nvlink3", "hdr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainRes, err := optimus.PredictTraining(optimus.TrainSpec{
+		Model:  gpt,
+		System: cluster,
+		Map: optimus.Mapping{
+			DP: 1, TP: 8, PP: 8,
+			Microbatch: 1,
+			Schedule:   optimus.OneFOneB,
+		},
+		GlobalBatch: 64,
+		Seq:         2048,
+		Precision:   optimus.BF16,
+		Recompute:   optimus.FullRecompute,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("GPT-175B training on 64 A100s (TP=8, PP=8, full recompute)\n")
+	fmt.Printf("  predicted %.1f s/batch — Megatron-LM measured 18.1 s\n", trainRes.Total)
+	fmt.Printf("  compute %.1f s, communication %.1f s, other %.1f s, MFU %.0f%%\n\n",
+		trainRes.Compute, trainRes.Communication, trainRes.Other, 100*trainRes.MFU)
+
+	// --- Inference: Llama2-13B on one A100, the paper's Table 2 row. ---
+	llama, err := optimus.ModelByName("llama2-13b")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpu, err := optimus.NewSystem("a100", 1, "nvlink3", "ndr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	inferRes, err := optimus.PredictInference(optimus.InferSpec{
+		Model:        llama,
+		System:       gpu,
+		TP:           1,
+		Batch:        1,
+		PromptTokens: 200,
+		GenTokens:    200,
+		Precision:    optimus.FP16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Llama2-13B inference on 1 A100 (B=1, 200+200 tokens)\n")
+	fmt.Printf("  predicted %.0f ms — NVIDIA measured 3884 ms\n", inferRes.Total*1e3)
+	fmt.Printf("  prefill %.0f ms, decode %.2f ms/token (memory-bound: weights stream at every step)\n",
+		inferRes.Prefill*1e3, inferRes.PerToken*1e3)
+}

@@ -1,0 +1,85 @@
+// Serving-planner sizes an inference deployment with the model: sweep the
+// §6.1 batch/latency frontier for a model across GPU counts, check
+// KV-cache fit, and price each option per million generated tokens using
+// the energy/TCO extension.
+//
+// Run with: go run ./examples/serving-planner [model]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"optimus"
+	"optimus/internal/infer"
+)
+
+func main() {
+	modelName := "llama2-13b"
+	if len(os.Args) > 1 {
+		modelName = os.Args[1]
+	}
+	cfg, err := optimus.ModelByName(modelName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prices := optimus.DefaultPrices()
+
+	fmt.Printf("serving plan for %s (200-token prompts, 200-token answers, H100)\n\n", cfg)
+	fmt.Printf("%4s %6s %12s %14s %14s %12s %14s\n",
+		"GPUs", "batch", "latency", "tok/s", "tok/s/GPU", "$/Mtok", "fits")
+
+	for _, gpus := range []int{1, 2, 4, 8} {
+		sys, err := optimus.NewSystem("h100", gpus, "nvlink4", "ndr")
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := optimus.InferSpec{
+			Model: cfg, System: sys, TP: gpus, Batch: 1,
+			PromptTokens: 200, GenTokens: 200, Precision: optimus.FP16,
+		}
+		if fp := base.Model.Params() * 2 / float64(gpus); fp > sys.Device.DRAMCapacity() {
+			fmt.Printf("%4d      —  model does not fit (%.0f GB weights per GPU)\n",
+				gpus, fp/1e9)
+			continue
+		}
+		pts, err := infer.ThroughputSweep(base, []int{1, 8, 32})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, pt := range pts {
+			spec := base
+			spec.Batch = pt.Batch
+			res, err := optimus.PredictInference(spec)
+			if err != nil {
+				log.Fatal(err)
+			}
+			// $ per million generated tokens: device-hours plus energy
+			// for the request, scaled by tokens served.
+			rep, err := optimus.InferenceEnergy(spec, res)
+			if err != nil {
+				log.Fatal(err)
+			}
+			cost := res.Total/3600*float64(gpus)*prices.GPUHourUSD +
+				rep.SystemJ/3.6e6*prices.PUE*prices.USDPerKWh
+			tokens := float64(pt.Batch * 200)
+			perM := cost / tokens * 1e6
+			fits := "yes"
+			if !pt.Fits {
+				fits = "NO (kv-cache)"
+			}
+			fmt.Printf("%4d %6d %10.0fms %14.0f %14.0f %11.2f %14s\n",
+				gpus, pt.Batch, pt.Latency*1e3, pt.TokensPerSec,
+				pt.TokensPerSec/float64(gpus), perM, fits)
+		}
+	}
+
+	fmt.Println("\nReading the table:")
+	fmt.Println("  * Throughput grows almost linearly with batch while latency creeps —")
+	fmt.Println("    decode streams the same weights regardless of batch size (§6.1).")
+	fmt.Println("  * Per-GPU efficiency drops with TP degree: the per-layer all-reduces")
+	fmt.Println("    are latency-bound and amortize over nothing (§6.2).")
+	fmt.Println("  * The cheapest $/Mtok sits at the largest batch that still fits the")
+	fmt.Println("    KV-cache and meets your latency target.")
+}

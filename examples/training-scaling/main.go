@@ -1,0 +1,84 @@
+// Training-scaling walks the paper's §5.2 study with the public API:
+// project GPT-175B training across GPU generations (A100 → H100 → H200 →
+// B200) and fabrics (HDR/NDR InfiniBand vs the NVLink Switch System),
+// showing where each generation's gain comes from.
+//
+// Run with: go run ./examples/training-scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optimus"
+)
+
+// platform is one projection target.
+type platform struct {
+	name      string
+	device    string
+	intra     string
+	inter     string
+	precision optimus.Precision
+	batch     int
+}
+
+func main() {
+	gpt, err := optimus.ModelByName("gpt-175b")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	platforms := []platform{
+		{"A100 + HDR IB", "a100", "nvlink3", "hdr", optimus.BF16, 1024},
+		{"H100 + NDR IB", "h100", "nvlink4", "ndr", optimus.FP8, 1024},
+		{"H100 + NVLink switch", "h100", "nvlink4", "nvs", optimus.FP8, 1024},
+		{"H200 + NVS, batch 4096", "h200", "nvlink4", "nvs", optimus.FP8, 4096},
+		{"B200 + NDR IB", "b200", "nvlink5", "ndr", optimus.FP4, 1024},
+		{"B200 + NVS", "b200", "nvlink5", "nvs-b", optimus.FP4, 1024},
+		{"B200 + NVS, batch 4096", "b200", "nvlink5", "nvs-b", optimus.FP4, 4096},
+	}
+
+	const gpus = 8192
+	fmt.Printf("GPT-175B training projection on %d GPUs (DP=128, TP=8, PP=8, SP, selective recompute)\n\n", gpus)
+	fmt.Printf("%-24s %9s %14s %10s %10s %8s %6s\n",
+		"platform", "batch", "s/batch", "compute", "comm", "other", "MFU")
+
+	var baseline float64
+	for i, p := range platforms {
+		sys, err := optimus.NewSystem(p.device, gpus, p.intra, p.inter)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := optimus.PredictTraining(optimus.TrainSpec{
+			Model:  gpt,
+			System: sys,
+			Map: optimus.Mapping{
+				DP: 128, TP: 8, PP: 8, SP: true,
+				Microbatch: 1, Schedule: optimus.OneFOneB,
+			},
+			GlobalBatch: p.batch,
+			Seq:         2048,
+			Precision:   p.precision,
+			Recompute:   optimus.SelectiveRecompute,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		perSample := res.Total / float64(p.batch)
+		if i == 0 {
+			baseline = perSample
+		}
+		fmt.Printf("%-24s %9d %10.2f (%4.1fx) %9.1f%% %9.1f%% %7.1f%% %5.0f%%\n",
+			p.name, p.batch, res.Total, baseline/perSample,
+			100*res.Compute/res.Total, 100*res.Communication/res.Total,
+			100*res.Other/res.Total, 100*res.MFU)
+	}
+
+	fmt.Println("\nReading the table:")
+	fmt.Println("  * Hopper's FP8 engine triples effective math throughput over A100 BF16;")
+	fmt.Println("    Blackwell's FP4 doubles it again (paper §5.2).")
+	fmt.Println("  * On InfiniBand, the data-parallel gradient all-reduce dominates communication;")
+	fmt.Println("    the NVLink Switch system collapses it.")
+	fmt.Println("  * Larger batches amortize the pipeline bubble and the optimizer step ('other').")
+}

@@ -1,0 +1,131 @@
+package arch
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"optimus/internal/tech"
+)
+
+const mi300xJSON = `{
+  "name": "MI300X-like",
+  "compute": {"fp16": 1.3e15, "fp8": 2.6e15, "fp32": 163e12},
+  "vectorCompute": 163e12,
+  "mem": [
+    {"name": "LDS", "capacity": 64e6, "bw": 45e12, "util": 0.9},
+    {"name": "Infinity", "capacity": 256e6, "bw": 17e12, "util": 0.85},
+    {"name": "HBM", "capacity": 192e9, "bw": 5.3e12, "util": 0.8}
+  ],
+  "dram": "hbm3",
+  "gemmEff": 0.65,
+  "kernelLaunch": 3e-6
+}`
+
+func TestReadDevice(t *testing.T) {
+	d, err := ReadDevice(strings.NewReader(mi300xJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "MI300X-like" {
+		t.Errorf("name = %q", d.Name)
+	}
+	if f, _ := d.PeakCompute(tech.FP8); f != 2.6e15 {
+		t.Errorf("fp8 = %g", f)
+	}
+	if d.DRAMLevel().BW != 5.3e12 || d.DRAMCapacity() != 192e9 {
+		t.Errorf("DRAM level wrong: %+v", d.DRAMLevel())
+	}
+	if d.DRAM != tech.HBM3 {
+		t.Errorf("dram tag = %v", d.DRAM)
+	}
+}
+
+func TestReadDeviceDefaults(t *testing.T) {
+	minimal := `{"name":"min","compute":{"fp16":1e12},
+		"mem":[{"name":"HBM","capacity":1e9,"bw":1e11}]}`
+	d, err := ReadDevice(strings.NewReader(minimal))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.GEMMEff != 0.70 || d.KernelLaunch != 3e-6 {
+		t.Errorf("defaults not applied: eff=%g launch=%g", d.GEMMEff, d.KernelLaunch)
+	}
+	if d.Mem[0].Util != 0.80 {
+		t.Errorf("default util = %g", d.Mem[0].Util)
+	}
+}
+
+func TestReadDeviceRejectsBadInput(t *testing.T) {
+	cases := []string{
+		`{`, // malformed
+		`{"name":"x","compute":{"fp128":1},"mem":[{"name":"m","capacity":1,"bw":1}]}`, // bad precision
+		`{"name":"x","compute":{"fp16":1e12},"mem":[],"gemmEff":0.5}`,                 // no memory
+		`{"name":"x","compute":{"fp16":1e12},"mem":[{"name":"m","capacity":1,"bw":1}],"dram":"ddr2"}`,
+		`{"name":"x","unknown":1}`, // unknown field
+	}
+	for i, c := range cases {
+		if _, err := ReadDevice(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestReadSystem(t *testing.T) {
+	cfg := `{
+	  "device": ` + mi300xJSON + `,
+	  "devicesPerNode": 8,
+	  "numNodes": 4,
+	  "intra": {"bw": 400e9, "latency": 7e-6, "util": 0.8},
+	  "inter": {"tech": "ndr"}
+	}`
+	s, err := ReadSystem(strings.NewReader(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumDevices() != 32 {
+		t.Errorf("devices = %d", s.NumDevices())
+	}
+	if s.Intra.BW != 400e9 || s.Intra.Latency != 7e-6 {
+		t.Errorf("intra link = %+v", s.Intra)
+	}
+	// Named tech: NDR 400 GB/s per node split across 8 GPUs.
+	if s.Inter.BW != 50e9 {
+		t.Errorf("inter per-GPU BW = %g, want 50e9", s.Inter.BW)
+	}
+}
+
+func TestReadSystemRejectsBadLinks(t *testing.T) {
+	cfg := `{
+	  "device": ` + mi300xJSON + `,
+	  "devicesPerNode": 8, "numNodes": 4,
+	  "intra": {"tech": "token-ring"},
+	  "inter": {"tech": "ndr"}
+	}`
+	if _, err := ReadSystem(strings.NewReader(cfg)); err == nil {
+		t.Error("unknown link tech should fail")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteDevice(&buf, H100()); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDevice(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := H100()
+	if back.Name != orig.Name || back.GEMMEff != orig.GEMMEff {
+		t.Errorf("round trip changed scalars: %+v", back)
+	}
+	for p, f := range orig.Compute {
+		if back.Compute[p] != f {
+			t.Errorf("round trip changed %v compute", p)
+		}
+	}
+	if len(back.Mem) != len(orig.Mem) || back.DRAMLevel().BW != orig.DRAMLevel().BW {
+		t.Error("round trip changed memory hierarchy")
+	}
+}

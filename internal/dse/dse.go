@@ -1,0 +1,225 @@
+// Package dse is the design-space-exploration framework of §3.6: a
+// constrained optimization over the µarch resource allocation (area and
+// power fractions for cores, SRAM, memory and network interfaces) that
+// minimizes a workload's predicted execution time under a fixed budget.
+// As in the paper, a (projected, numerical) gradient-descent search walks
+// the allocation simplex, with multi-start to escape poor basins.
+package dse
+
+import (
+	"fmt"
+	"math"
+
+	"optimus/internal/uarch"
+)
+
+// Objective evaluates one derived design, returning its execution time (or
+// any other cost) in seconds. It is typically a closure over a training or
+// inference prediction.
+type Objective func(uarch.Design) (float64, error)
+
+// Options tune the search.
+type Options struct {
+	// MaxIters bounds the gradient steps per start (default 60).
+	MaxIters int
+	// Step is the initial step size on the fraction simplex (default 0.05).
+	Step float64
+	// Eps is the finite-difference probe (default 0.01).
+	Eps float64
+	// Starts is the number of multi-start seeds (default 4, including the
+	// default floorplan).
+	Starts int
+	// Tol stops a descent when the relative improvement falls below it
+	// (default 1e-4).
+	Tol float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 60
+	}
+	if o.Step <= 0 {
+		o.Step = 0.05
+	}
+	if o.Eps <= 0 {
+		o.Eps = 0.01
+	}
+	if o.Starts <= 0 {
+		o.Starts = 4
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-4
+	}
+	return o
+}
+
+// Result is the best design point found.
+type Result struct {
+	Design uarch.Design
+	// Cost is the objective at the optimum.
+	Cost float64
+	// Evals counts objective evaluations (for benchmarks).
+	Evals int
+	// StartCost is the objective at the initial allocation, for reporting
+	// the DSE gain.
+	StartCost float64
+}
+
+// project clips the allocation vector into [lo, 1] and rescales each
+// 4-fraction group (area, power) onto the simplex when oversubscribed,
+// keeping a small floor so no component starves completely.
+func project(v []float64) {
+	const lo = 0.01
+	for i := range v {
+		if v[i] < lo {
+			v[i] = lo
+		}
+		if v[i] > 0.97 {
+			v[i] = 0.97
+		}
+	}
+	normalize := func(group []float64, cap float64) {
+		var s float64
+		for _, f := range group {
+			s += f
+		}
+		if s > cap {
+			for i := range group {
+				group[i] *= cap / s
+			}
+		}
+	}
+	normalize(v[0:4], 1.0)
+	normalize(v[4:8], 1.0)
+}
+
+// evalVec derives and scores one allocation vector.
+func evalVec(base uarch.Design, obj Objective, v []float64) (float64, error) {
+	alloc, err := uarch.AllocationFromVector(v)
+	if err != nil {
+		return math.Inf(1), err
+	}
+	d := base
+	d.Alloc = alloc
+	cost, err := obj(d)
+	if err != nil {
+		// Infeasible points are fenced with +Inf rather than aborting the
+		// search: the simplex boundary is full of them.
+		return math.Inf(1), nil
+	}
+	if math.IsNaN(cost) || cost <= 0 {
+		return math.Inf(1), nil
+	}
+	return cost, nil
+}
+
+// descend runs one projected-gradient descent from v0.
+func descend(base uarch.Design, obj Objective, v0 []float64, o Options, evals *int) ([]float64, float64) {
+	v := append([]float64(nil), v0...)
+	project(v)
+	best, _ := evalVec(base, obj, v)
+	*evals++
+	step := o.Step
+
+	for iter := 0; iter < o.MaxIters; iter++ {
+		// Numerical gradient on the 8 fractions.
+		grad := make([]float64, len(v))
+		for i := range v {
+			probe := append([]float64(nil), v...)
+			probe[i] += o.Eps
+			project(probe)
+			c, _ := evalVec(base, obj, probe)
+			*evals++
+			if math.IsInf(c, 1) || math.IsInf(best, 1) {
+				grad[i] = 0
+				continue
+			}
+			grad[i] = (c - best) / o.Eps
+		}
+		norm := 0.0
+		for _, g := range grad {
+			norm += g * g
+		}
+		norm = math.Sqrt(norm)
+		if norm == 0 {
+			break
+		}
+
+		// Backtracking line search along -grad.
+		improved := false
+		for trial := step; trial > step/16; trial /= 2 {
+			cand := append([]float64(nil), v...)
+			for i := range cand {
+				cand[i] -= trial * grad[i] / norm
+			}
+			project(cand)
+			c, _ := evalVec(base, obj, cand)
+			*evals++
+			if c < best {
+				rel := (best - c) / best
+				v, best = cand, c
+				improved = true
+				if rel < o.Tol {
+					return v, best
+				}
+				break
+			}
+		}
+		if !improved {
+			step /= 2
+			if step < 1e-3 {
+				break
+			}
+		}
+	}
+	return v, best
+}
+
+// starts returns the multi-start seed allocations: the design's own, the
+// default floorplan, a compute-heavy and a memory-heavy corner.
+func starts(base uarch.Design, n int) [][]float64 {
+	seeds := [][]float64{
+		base.Alloc.Vector(),
+		uarch.DefaultAllocation().Vector(),
+		{0.60, 0.05, 0.10, 0.04, 0.70, 0.05, 0.15, 0.05}, // compute-heavy
+		{0.25, 0.20, 0.25, 0.04, 0.40, 0.15, 0.35, 0.05}, // memory-heavy
+	}
+	if n < len(seeds) {
+		seeds = seeds[:n]
+	}
+	return seeds
+}
+
+// Optimize searches the allocation space of the base design for the
+// minimum-cost point.
+func Optimize(base uarch.Design, obj Objective, o Options) (Result, error) {
+	if obj == nil {
+		return Result{}, fmt.Errorf("dse: nil objective")
+	}
+	o = o.withDefaults()
+
+	evals := 0
+	startCost, err := evalVec(base, obj, base.Alloc.Vector())
+	if err != nil {
+		return Result{}, err
+	}
+
+	bestV := base.Alloc.Vector()
+	bestC := math.Inf(1)
+	for _, seed := range starts(base, o.Starts) {
+		v, c := descend(base, obj, seed, o, &evals)
+		if c < bestC {
+			bestV, bestC = v, c
+		}
+	}
+	if math.IsInf(bestC, 1) {
+		return Result{}, fmt.Errorf("dse: no feasible design point found")
+	}
+	alloc, err := uarch.AllocationFromVector(bestV)
+	if err != nil {
+		return Result{}, err
+	}
+	out := base
+	out.Alloc = alloc
+	return Result{Design: out, Cost: bestC, Evals: evals, StartCost: startCost}, nil
+}

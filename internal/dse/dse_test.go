@@ -1,0 +1,142 @@
+package dse
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"optimus/internal/model"
+	"optimus/internal/parallel"
+	"optimus/internal/tech"
+	"optimus/internal/train"
+	"optimus/internal/uarch"
+)
+
+func baseDesign() uarch.Design {
+	return uarch.Design{
+		Node:    tech.N5,
+		DRAM:    tech.HBM2E,
+		Network: tech.IBXDRx8,
+		Budget:  uarch.A100ClassBudget(),
+		Alloc:   uarch.DefaultAllocation(),
+	}
+}
+
+// trainObjective predicts GPT-7B iteration time on a small derived system —
+// the Fig. 6 objective at reduced scale for test speed.
+func trainObjective(d uarch.Design) (float64, error) {
+	sys, err := uarch.SystemFrom(d, 64, 4)
+	if err != nil {
+		return 0, err
+	}
+	res, err := train.Predict(train.Spec{
+		Model:  model.GPT7B(),
+		System: sys,
+		Map: parallel.Mapping{
+			DP: 4, TP: 4, PP: 4, SP: true,
+			Microbatch: 1, Schedule: parallel.OneFOneB,
+		},
+		GlobalBatch: 32,
+		Seq:         2048,
+		Precision:   tech.BF16,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return res.Total, nil
+}
+
+func TestOptimizeImprovesOnSeed(t *testing.T) {
+	// Start from a deliberately bad floorplan; the search must find
+	// something at least as good as the default one.
+	base := baseDesign()
+	base.Alloc = uarch.Allocation{
+		AreaCore: 0.05, AreaSRAM: 0.40, AreaMemIO: 0.05, AreaNetIO: 0.02,
+		PowerCore: 0.10, PowerSRAM: 0.40, PowerMemIO: 0.05, PowerNetIO: 0.02,
+	}
+	res, err := Optimize(base, trainObjective, Options{MaxIters: 25, Starts: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cost >= res.StartCost {
+		t.Errorf("DSE did not improve: %g -> %g", res.StartCost, res.Cost)
+	}
+	if res.Cost <= 0 || math.IsInf(res.Cost, 0) {
+		t.Errorf("bad optimum cost %g", res.Cost)
+	}
+	if err := res.Design.Alloc.Validate(); err != nil {
+		t.Errorf("optimum allocation invalid: %v", err)
+	}
+	if res.Evals == 0 {
+		t.Error("no objective evaluations recorded")
+	}
+}
+
+func TestOptimizeQuadraticBowl(t *testing.T) {
+	// A synthetic objective with a known optimum: cost is minimized when
+	// AreaCore == 0.5. The search must land near it.
+	obj := func(d uarch.Design) (float64, error) {
+		x := d.Alloc.AreaCore
+		return 1 + (x-0.5)*(x-0.5), nil
+	}
+	res, err := Optimize(baseDesign(), obj, Options{MaxIters: 80, Starts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Design.Alloc.AreaCore-0.5) > 0.05 {
+		t.Errorf("optimum AreaCore = %g, want ≈ 0.5", res.Design.Alloc.AreaCore)
+	}
+}
+
+func TestOptimizeHandlesInfeasibleRegions(t *testing.T) {
+	// An objective that rejects most of the space must not break the
+	// search as long as some region is feasible.
+	obj := func(d uarch.Design) (float64, error) {
+		if d.Alloc.AreaCore < 0.3 {
+			return 0, fmt.Errorf("infeasible")
+		}
+		return 2 - d.Alloc.AreaCore, nil
+	}
+	res, err := Optimize(baseDesign(), obj, Options{MaxIters: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Design.Alloc.AreaCore < 0.3 {
+		t.Errorf("optimum in infeasible region: %g", res.Design.Alloc.AreaCore)
+	}
+}
+
+func TestOptimizeAllInfeasibleFails(t *testing.T) {
+	obj := func(uarch.Design) (float64, error) { return 0, fmt.Errorf("nope") }
+	if _, err := Optimize(baseDesign(), obj, Options{MaxIters: 5, Starts: 2}); err == nil {
+		t.Error("fully infeasible space should error")
+	}
+}
+
+func TestOptimizeNilObjective(t *testing.T) {
+	if _, err := Optimize(baseDesign(), nil, Options{}); err == nil {
+		t.Error("nil objective should error")
+	}
+}
+
+func TestProjectKeepsSimplex(t *testing.T) {
+	v := []float64{0.9, 0.9, 0.9, 0.9, -1, 2, 0.5, 0.5}
+	project(v)
+	sumA := v[0] + v[1] + v[2] + v[3]
+	sumP := v[4] + v[5] + v[6] + v[7]
+	if sumA > 1+1e-9 || sumP > 1+1e-9 {
+		t.Errorf("projection violated simplex: area=%g power=%g", sumA, sumP)
+	}
+	for i, f := range v {
+		if f < 0.005 || f > 0.98 {
+			t.Errorf("component %d outside bounds: %g", i, f)
+		}
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxIters == 0 || o.Step == 0 || o.Eps == 0 || o.Starts == 0 || o.Tol == 0 {
+		t.Errorf("defaults not applied: %+v", o)
+	}
+}

@@ -1,0 +1,106 @@
+package infer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"optimus/internal/arch"
+	"optimus/internal/model"
+	"optimus/internal/tech"
+)
+
+// Property: latency is monotone in both prompt and generation length.
+func TestLatencyMonotoneInTokensProperty(t *testing.T) {
+	sys, err := arch.SystemOf(arch.A100(), 1, 8, tech.NVLink3, tech.IBNDR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := spec0(sys)
+	f := func(p8, g8 uint8) bool {
+		prompt := int(p8)%512 + 16
+		gen := int(g8) % 256
+		a := cfg
+		a.PromptTokens, a.GenTokens = prompt, gen
+		ra, err := Predict(a)
+		if err != nil {
+			return false
+		}
+		b := a
+		b.PromptTokens += 64
+		rb, err := Predict(b)
+		if err != nil {
+			return false
+		}
+		c := a
+		c.GenTokens += 64
+		rc, err := Predict(c)
+		if err != nil {
+			return false
+		}
+		return rb.Total >= ra.Total && rc.Total >= ra.Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the prediction is always finite, positive, and decomposes.
+func TestPredictionWellFormedProperty(t *testing.T) {
+	sys, err := arch.SystemOf(arch.H100(), 2, 8, tech.NVLink4, tech.IBNDR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := spec0(sys)
+	base.TP = 2
+	f := func(b4 uint8, flash bool) bool {
+		s := base
+		s.Batch = int(b4)%8 + 1
+		s.Flash = flash
+		r, err := Predict(s)
+		if err != nil {
+			return false
+		}
+		return r.Total > 0 &&
+			r.Total >= r.Prefill &&
+			r.Total >= r.Decode &&
+			r.DRAMBytes > 0 &&
+			r.CommTime >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: flash attention never slows inference.
+func TestFlashNeverSlowerProperty(t *testing.T) {
+	sys, err := arch.SystemOf(arch.A100(), 1, 8, tech.NVLink3, tech.IBNDR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := spec0(sys)
+	f := func(p8 uint8) bool {
+		s := base
+		s.PromptTokens = int(p8)%1024 + 64
+		std, err := Predict(s)
+		if err != nil {
+			return false
+		}
+		s.Flash = true
+		fl, err := Predict(s)
+		if err != nil {
+			return false
+		}
+		return fl.Total <= std.Total*1.001
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func spec0(sys *arch.System) Spec {
+	return Spec{
+		Model:  model.Llama2_13B(),
+		System: sys, TP: sys.NumDevices(), Batch: 1,
+		PromptTokens: 200, GenTokens: 100, Precision: tech.FP16,
+	}
+}

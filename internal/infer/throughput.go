@@ -1,0 +1,61 @@
+package infer
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ThroughputPoint is one batch size's latency/throughput trade-off
+// (paper §6.1: "Larger batch sizes, thus, improve inference throughput but
+// at the cost of latency. However, the growth of latency with B is rather
+// modest").
+type ThroughputPoint struct {
+	// Batch is the concurrent sequence count.
+	Batch int
+	// Latency is the end-to-end request latency.
+	Latency float64
+	// TokensPerSec is the aggregate generation throughput
+	// (batch × generated tokens / latency).
+	TokensPerSec float64
+	// PerTokenMs is the decode step latency in milliseconds.
+	PerTokenMs float64
+	// Fits reports whether weights+KV fit device memory at this batch.
+	Fits bool
+}
+
+// ThroughputSweep evaluates the latency/throughput frontier over the given
+// batch sizes (defaults to powers of two up to 64).
+func ThroughputSweep(base Spec, batches []int) ([]ThroughputPoint, error) {
+	if err := base.Validate(); err != nil {
+		return nil, err
+	}
+	if base.GenTokens <= 0 {
+		return nil, fmt.Errorf("infer: throughput sweep needs generated tokens")
+	}
+	if len(batches) == 0 {
+		batches = []int{1, 2, 4, 8, 16, 32, 64}
+	}
+	sorted := append([]int(nil), batches...)
+	sort.Ints(sorted)
+
+	out := make([]ThroughputPoint, 0, len(sorted))
+	for _, b := range sorted {
+		if b <= 0 {
+			return nil, fmt.Errorf("infer: non-positive batch %d in sweep", b)
+		}
+		spec := base
+		spec.Batch = b
+		res, err := Predict(spec)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ThroughputPoint{
+			Batch:        b,
+			Latency:      res.Total,
+			TokensPerSec: float64(b*spec.GenTokens) / res.Total,
+			PerTokenMs:   res.PerToken * 1e3,
+			Fits:         res.Fits,
+		})
+	}
+	return out, nil
+}

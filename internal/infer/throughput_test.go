@@ -1,0 +1,98 @@
+package infer
+
+import (
+	"testing"
+
+	"optimus/internal/arch"
+	"optimus/internal/tech"
+)
+
+func TestThroughputSweepPaperClaim(t *testing.T) {
+	// §6.1: larger batches improve throughput at a modest latency cost —
+	// decode is weight-streaming-bound, so the weight read amortizes
+	// across the batch.
+	sys := sysFor(t, arch.A100(), 1, tech.NVLink3)
+	base := table2Spec(t, "Llama2-13B", sys, 1)
+	pts, err := ThroughputSweep(base, []int{1, 2, 4, 8, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("want 5 points, got %d", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TokensPerSec <= pts[i-1].TokensPerSec {
+			t.Errorf("throughput should grow with batch: B=%d %.0f vs B=%d %.0f tok/s",
+				pts[i].Batch, pts[i].TokensPerSec, pts[i-1].Batch, pts[i-1].TokensPerSec)
+		}
+		if pts[i].Latency < pts[i-1].Latency {
+			t.Errorf("latency should not shrink with batch")
+		}
+	}
+	// "The growth of latency with B is rather modest": 16x batch costs
+	// far less than 16x latency.
+	growth := pts[4].Latency / pts[0].Latency
+	if growth > 4 {
+		t.Errorf("B=16 latency growth %.1fx should be modest (≪ 16x)", growth)
+	}
+	if gain := pts[4].TokensPerSec / pts[0].TokensPerSec; gain < 4 {
+		t.Errorf("B=16 throughput gain %.1fx too small", gain)
+	}
+}
+
+func TestThroughputSweepFitsFlag(t *testing.T) {
+	// Llama2-70B on 2 A100s: weights take 70 GB of the 160 GB; huge
+	// batches overflow on KV cache.
+	sys := sysFor(t, arch.A100(), 2, tech.NVLink3)
+	base := table2Spec(t, "Llama2-70B", sys, 2)
+	base.GenTokens = 2000
+	base.PromptTokens = 2000
+	pts, err := ThroughputSweep(base, []int{1, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pts[0].Fits {
+		t.Error("B=1 should fit")
+	}
+	if pts[1].Fits {
+		t.Error("B=256 with 4k context should overflow")
+	}
+}
+
+func TestThroughputSweepErrors(t *testing.T) {
+	sys := sysFor(t, arch.A100(), 1, tech.NVLink3)
+	base := table2Spec(t, "Llama2-13B", sys, 1)
+	base.GenTokens = 0
+	if _, err := ThroughputSweep(base, nil); err == nil {
+		t.Error("zero generation should error")
+	}
+	base = table2Spec(t, "Llama2-13B", sys, 1)
+	if _, err := ThroughputSweep(base, []int{0}); err == nil {
+		t.Error("zero batch should error")
+	}
+	bad := base
+	bad.TP = 9
+	if _, err := ThroughputSweep(bad, nil); err == nil {
+		t.Error("invalid base spec should error")
+	}
+}
+
+func TestThroughputSweepDefaultsAndOrder(t *testing.T) {
+	sys := sysFor(t, arch.A100(), 1, tech.NVLink3)
+	base := table2Spec(t, "Llama2-7B", sys, 1)
+	pts, err := ThroughputSweep(base, []int{8, 1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Results come back sorted by batch regardless of input order.
+	if pts[0].Batch != 1 || pts[1].Batch != 4 || pts[2].Batch != 8 {
+		t.Errorf("points not sorted: %+v", pts)
+	}
+	def, err := ThroughputSweep(base, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def) != 7 {
+		t.Errorf("default sweep has %d points, want 7", len(def))
+	}
+}

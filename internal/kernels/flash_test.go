@@ -1,0 +1,94 @@
+package kernels
+
+import (
+	"math"
+	"testing"
+
+	"optimus/internal/model"
+	"optimus/internal/tech"
+)
+
+func flashExec(flash bool, seq int) Exec {
+	return Exec{Batch: 1, Seq: seq, Context: seq, TP: 1, Flash: flash,
+		Precision: tech.BF16, Phase: TrainForward}
+}
+
+func TestFlashReplacesAttentionCore(t *testing.T) {
+	cfg := model.GPT22B()
+	ops := LayerForward(cfg, flashExec(true, 2048))
+	var fused, scores, softmax int
+	for _, op := range ops {
+		switch op.Name {
+		case "flash-attention":
+			fused++
+		case "scores":
+			scores++
+		case "softmax", "attn-dropout":
+			softmax++
+		}
+	}
+	if fused != 1 || scores != 0 || softmax != 0 {
+		t.Errorf("flash layer: fused=%d scores=%d softmax-ish=%d, want 1/0/0",
+			fused, scores, softmax)
+	}
+}
+
+func TestFlashSameFLOPsLessTraffic(t *testing.T) {
+	// §1.1: FlashAttention addresses "the memory access to and from DRAM
+	// at the cost of FLOPs" — the tensor-contraction FLOPs are unchanged
+	// (the recompute cost lands in the backward pass), while the s×s
+	// score tensor's DRAM traffic disappears.
+	cfg := model.GPT22B()
+	std := Summarize(LayerForward(cfg, flashExec(false, 4096)))
+	fl := Summarize(LayerForward(cfg, flashExec(true, 4096)))
+
+	if math.Abs(std.GEMMFLOPs-fl.GEMMFLOPs)/std.GEMMFLOPs > 1e-9 {
+		t.Errorf("forward FLOPs should match: %g vs %g", std.GEMMFLOPs, fl.GEMMFLOPs)
+	}
+	stdTraffic := std.GEMMBytes + std.EWBytes
+	flTraffic := fl.GEMMBytes + fl.EWBytes
+	if flTraffic >= stdTraffic {
+		t.Errorf("flash should reduce traffic: %g vs %g", flTraffic, stdTraffic)
+	}
+	// At 4k context the quadratic tensors dominate: expect > 2x saving.
+	if stdTraffic/flTraffic < 2 {
+		t.Errorf("long-context traffic saving only %.1fx", stdTraffic/flTraffic)
+	}
+}
+
+func TestFlashSavingGrowsWithContext(t *testing.T) {
+	cfg := model.GPT22B()
+	saving := func(seq int) float64 {
+		std := Summarize(LayerForward(cfg, flashExec(false, seq)))
+		fl := Summarize(LayerForward(cfg, flashExec(true, seq)))
+		return (std.GEMMBytes + std.EWBytes) / (fl.GEMMBytes + fl.EWBytes)
+	}
+	if s2k, s8k := saving(2048), saving(8192); s8k <= s2k {
+		t.Errorf("flash saving should grow with context: %.2fx at 2k vs %.2fx at 8k", s2k, s8k)
+	}
+}
+
+func TestFlashWorksForDecode(t *testing.T) {
+	cfg := model.Llama2_13B()
+	e := Exec{Batch: 1, Seq: 1, Context: 300, TP: 1, Flash: true,
+		Precision: tech.FP16, Phase: Decode}
+	ops := LayerForward(cfg, e)
+	for _, op := range ops {
+		if op.Name == "flash-attention" {
+			// The KV read must still be charged: 2·ctx·h·2 bytes.
+			wantKV := 2.0 * 300 * 5120 * 2
+			if op.Fused.DRAMBytes < wantKV {
+				t.Errorf("flash decode DRAM bytes %g below the KV read %g",
+					op.Fused.DRAMBytes, wantKV)
+			}
+			return
+		}
+	}
+	t.Fatal("no flash-attention op in decode layer")
+}
+
+func TestFusedKindString(t *testing.T) {
+	if KindFused.String() != "fused" {
+		t.Errorf("KindFused = %q", KindFused.String())
+	}
+}

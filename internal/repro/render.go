@@ -1,0 +1,78 @@
+package repro
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// CSV renders the table as RFC-4180 CSV with the header as the first
+// record and notes as trailing comment lines.
+func (t Table) CSV() (string, error) {
+	var b strings.Builder
+	w := csv.NewWriter(&b)
+	if err := w.Write(t.Header); err != nil {
+		return "", fmt.Errorf("repro: csv render: %w", err)
+	}
+	for _, row := range t.Rows {
+		if err := w.Write(row); err != nil {
+			return "", fmt.Errorf("repro: csv render: %w", err)
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		return "", fmt.Errorf("repro: csv render: %w", err)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "# %s\n", n)
+	}
+	return b.String(), nil
+}
+
+// jsonTable is the marshaling shape: rows become column-keyed objects so
+// downstream plotting scripts need no positional knowledge.
+type jsonTable struct {
+	ID    string              `json:"id"`
+	Title string              `json:"title"`
+	Rows  []map[string]string `json:"rows"`
+	Notes []string            `json:"notes,omitempty"`
+}
+
+// JSON renders the table as an indented JSON document.
+func (t Table) JSON() ([]byte, error) {
+	out := jsonTable{ID: t.ID, Title: t.Title, Notes: t.Notes}
+	for _, row := range t.Rows {
+		m := make(map[string]string, len(t.Header))
+		for i, h := range t.Header {
+			if i < len(row) {
+				m[h] = row[i]
+			}
+		}
+		out.Rows = append(out.Rows, m)
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("repro: json render: %w", err)
+	}
+	return data, nil
+}
+
+// Render formats the table in the named format: "text" (default), "csv"
+// or "json".
+func (t Table) Render(format string) (string, error) {
+	switch format {
+	case "", "text":
+		return t.String(), nil
+	case "csv":
+		return t.CSV()
+	case "json":
+		data, err := t.JSON()
+		if err != nil {
+			return "", err
+		}
+		return string(data) + "\n", nil
+	default:
+		return "", fmt.Errorf("repro: unknown format %q (text|csv|json)", format)
+	}
+}

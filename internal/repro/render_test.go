@@ -1,0 +1,86 @@
+package repro
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sample() Table {
+	return Table{
+		ID:     "t",
+		Title:  "sample",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "x,y"}, {"2", "z"}},
+		Notes:  []string{"a note"},
+	}
+}
+
+func TestCSVRoundTrips(t *testing.T) {
+	out, err := sample().CSV()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The quoted comma must survive a CSV parse.
+	r := csv.NewReader(strings.NewReader(out))
+	r.Comment = '#'
+	records, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("records = %d, want 3", len(records))
+	}
+	if records[1][1] != "x,y" {
+		t.Errorf("comma cell mangled: %q", records[1][1])
+	}
+	if !strings.Contains(out, "# a note") {
+		t.Error("notes missing from CSV")
+	}
+}
+
+func TestJSONShape(t *testing.T) {
+	data, err := sample().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		ID   string              `json:"id"`
+		Rows []map[string]string `json:"rows"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.ID != "t" || len(decoded.Rows) != 2 {
+		t.Errorf("decoded = %+v", decoded)
+	}
+	if decoded.Rows[0]["b"] != "x,y" {
+		t.Errorf("column keying broken: %+v", decoded.Rows[0])
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	tb := sample()
+	for _, f := range []string{"", "text", "csv", "json"} {
+		out, err := tb.Render(f)
+		if err != nil || out == "" {
+			t.Errorf("Render(%q): %v", f, err)
+		}
+	}
+	if _, err := tb.Render("xml"); err == nil {
+		t.Error("unknown format should error")
+	}
+}
+
+func TestRealTablesRenderEverywhere(t *testing.T) {
+	tb, err := Run("table4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"text", "csv", "json"} {
+		if _, err := tb.Render(f); err != nil {
+			t.Errorf("table4 as %s: %v", f, err)
+		}
+	}
+}

@@ -1,0 +1,388 @@
+// Package roofline implements the hierarchical roofline model at the heart
+// of the Optimus performance predictor (paper §3.1, after DeepFlow). A
+// kernel's execution time on one device is the maximum of its compute time
+// and its data-movement time at every level of the memory hierarchy, with
+// memory-subsystem-aware tiling deciding how much traffic crosses each
+// level and utilization factors derating peak bandwidths (§4.1).
+//
+// The engine classifies every kernel as compute-bound or memory-bound at a
+// specific level — the classification driving the paper's Table 4, Fig. 7
+// and Fig. 8 — and models the fixed kernel-launch software overhead that
+// dominates tiny autoregressive-generation kernels.
+package roofline
+
+import (
+	"fmt"
+	"math"
+
+	"optimus/internal/arch"
+	"optimus/internal/tech"
+)
+
+// Bound says which resource limits a kernel.
+type Bound int
+
+// Bound kinds. BoundMemory is qualified by the level name in Estimate.
+const (
+	BoundCompute Bound = iota
+	BoundMemory
+	BoundLaunch
+)
+
+// String renders the bound kind as in the paper's tables.
+func (b Bound) String() string {
+	switch b {
+	case BoundCompute:
+		return "compute"
+	case BoundMemory:
+		return "memory"
+	case BoundLaunch:
+		return "launch"
+	default:
+		return fmt.Sprintf("Bound(%d)", int(b))
+	}
+}
+
+// GEMM describes a (possibly batched) matrix multiply C[M×N] = A[M×K] ×
+// B[K×N] executed Batch times with independent operands (attention heads).
+type GEMM struct {
+	M, N, K int
+	// Batch is the number of independent instances fused in one kernel
+	// launch; zero means 1.
+	Batch int
+	// Precision of the operands (accumulate is modeled at no extra cost,
+	// matching tensor-core behaviour).
+	Precision tech.Precision
+}
+
+// Instances returns the batch count, at least 1.
+func (g GEMM) Instances() int {
+	if g.Batch < 1 {
+		return 1
+	}
+	return g.Batch
+}
+
+// FLOPs returns the multiply-add operation count (2·M·N·K per instance).
+func (g GEMM) FLOPs() float64 {
+	return 2 * float64(g.M) * float64(g.N) * float64(g.K) * float64(g.Instances())
+}
+
+// CompulsoryBytes returns the minimum off-chip traffic: each operand read
+// once and the result written once.
+func (g GEMM) CompulsoryBytes() float64 {
+	eb := g.Precision.Bytes()
+	per := (float64(g.M)*float64(g.K) + float64(g.K)*float64(g.N) + float64(g.M)*float64(g.N)) * eb
+	return per * float64(g.Instances())
+}
+
+// IsGEMV reports whether the kernel is effectively a matrix-vector product
+// (the skinny shapes of autoregressive generation, paper §4.1).
+func (g GEMM) IsGEMV() bool {
+	return g.M <= 8 || g.N <= 8
+}
+
+// ArithmeticIntensity returns FLOPs per compulsory byte.
+func (g GEMM) ArithmeticIntensity() float64 {
+	b := g.CompulsoryBytes()
+	if b == 0 {
+		return 0
+	}
+	return g.FLOPs() / b
+}
+
+// LevelTime is the data-movement time attributed to one memory level.
+type LevelTime struct {
+	Level string
+	// Bytes crossing the boundary between this level and the next-inner one.
+	Bytes float64
+	// Time = Bytes / effective bandwidth of this level.
+	Time float64
+}
+
+// Estimate is the roofline prediction for one kernel.
+type Estimate struct {
+	// Time is the predicted execution time in seconds, including launch
+	// overhead.
+	Time float64
+	// ComputeTime is FLOPs over effective compute throughput.
+	ComputeTime float64
+	// Levels holds per-memory-level traffic and times, innermost first.
+	Levels []LevelTime
+	// Launch is the fixed software overhead included in Time.
+	Launch float64
+	// Bound classifies the kernel by its largest component.
+	Bound Bound
+	// BoundLevel names the limiting memory level when Bound == BoundMemory.
+	BoundLevel string
+	// FLOPs is the operation count.
+	FLOPs float64
+	// DRAMBytes is the off-chip traffic.
+	DRAMBytes float64
+}
+
+// MemoryTime returns the slowest memory-level time.
+func (e Estimate) MemoryTime() float64 {
+	var m float64
+	for _, l := range e.Levels {
+		if l.Time > m {
+			m = l.Time
+		}
+	}
+	return m
+}
+
+// Engine evaluates kernels against one device.
+type Engine struct {
+	dev arch.Device
+
+	// GEMVDRAMUtil is the extra DRAM bandwidth derating applied to
+	// GEMV-class kernels on top of the level's streaming utilization — the
+	// paper's "constant DRAM utilization factor" (§4.1). A per-kernel
+	// clustered factor can be supplied via GEMVUtilFn.
+	GEMVDRAMUtil float64
+
+	// GEMVUtilFn, when non-nil, returns a kernel-specific DRAM utilization
+	// factor for GEMV shapes (the clustered calibration of §4.1),
+	// overriding GEMVDRAMUtil.
+	GEMVUtilFn func(g GEMM) float64
+
+	// tile edge lengths used for compute-efficiency quantization.
+	tileM, tileN, tileK int
+}
+
+// New builds an Engine for a device with the default calibration.
+func New(dev arch.Device) *Engine {
+	return &Engine{
+		dev:          dev,
+		GEMVDRAMUtil: 0.88,
+		tileM:        64,
+		tileN:        64,
+		tileK:        32,
+	}
+}
+
+// Device returns the engine's device.
+func (e *Engine) Device() arch.Device { return e.dev }
+
+// quantization derates compute throughput for shapes that do not fill whole
+// hardware tiles (tile- and wave-quantization of real GEMM kernels).
+func (e *Engine) quantization(g GEMM) float64 {
+	q := func(dim, tile int) float64 {
+		if dim <= 0 {
+			return 1
+		}
+		t := float64(tile)
+		d := float64(dim)
+		return d / (math.Ceil(d/t) * t)
+	}
+	return q(g.M, e.tileM) * q(g.N, e.tileN) * q(g.K, e.tileK)
+}
+
+// computeThroughput resolves the effective FLOP/s for a GEMM: peak at the
+// best supported precision, derated by the device fat-GEMM efficiency and
+// the shape quantization. GEMV shapes skip the tile quantization — their
+// kernels do not tile onto tensor-core fragments, so a one-row operand is
+// not a 1/64-utilized tile.
+func (e *Engine) computeThroughput(g GEMM) float64 {
+	_, peak := e.dev.BestCompute(g.Precision)
+	if peak == 0 {
+		return 0
+	}
+	if g.IsGEMV() {
+		return peak * e.dev.GEMMEff
+	}
+	return peak * e.dev.GEMMEff * e.quantization(g)
+}
+
+// tileEdge returns the largest square tile edge such that three operand
+// tiles of the kernel's element size fit in capacity.
+func tileEdge(capacity, elemBytes float64) float64 {
+	if capacity <= 0 || elemBytes <= 0 {
+		return 1
+	}
+	t := math.Floor(math.Sqrt(capacity / (3 * elemBytes)))
+	if t < 1 {
+		return 1
+	}
+	return t
+}
+
+// trafficThrough returns the bytes crossing into the level inside the one
+// with the given capacity: a tiled GEMM re-reads the A and B panels once
+// per output tile, writes C once, and can never move less than the
+// compulsory traffic.
+func trafficThrough(g GEMM, capacity float64) float64 {
+	eb := g.Precision.Bytes()
+	m, n, k := float64(g.M), float64(g.N), float64(g.K)
+	t := tileEdge(capacity, eb)
+	perInstance := 2*m*n*k*eb/t + m*n*eb
+	compulsory := (m*k + k*n + m*n) * eb
+	if perInstance < compulsory {
+		perInstance = compulsory
+	}
+	return perInstance * float64(g.Instances())
+}
+
+// dramUtil returns the DRAM utilization multiplier for the kernel: 1 for
+// fat GEMMs (the level's streaming Util already applies), the calibrated
+// constant for GEMV shapes, or the clustered per-kernel factor if set.
+func (e *Engine) dramUtil(g GEMM) float64 {
+	if !g.IsGEMV() {
+		return 1
+	}
+	if e.GEMVUtilFn != nil {
+		return e.GEMVUtilFn(g)
+	}
+	return e.GEMVDRAMUtil
+}
+
+// EstimateGEMM predicts the execution time of one (batched) GEMM.
+//
+// The hierarchical roofline evaluates, per memory level, the traffic that
+// tiling at the next-inner level forces across this level's boundary; the
+// kernel time is the max of compute time and every level's traffic time,
+// plus the fixed launch overhead.
+func (e *Engine) EstimateGEMM(g GEMM) Estimate {
+	est := Estimate{FLOPs: g.FLOPs(), Launch: e.dev.KernelLaunch}
+
+	if thru := e.computeThroughput(g); thru > 0 {
+		est.ComputeTime = est.FLOPs / thru
+	} else {
+		est.ComputeTime = math.Inf(1)
+	}
+
+	levels := e.dev.Mem
+	est.Levels = make([]LevelTime, len(levels))
+	for i, lvl := range levels {
+		var bytes float64
+		if i == 0 {
+			// Traffic into the innermost level is governed by the
+			// register-file tile; model it as the level-0 tile of 1/8 the
+			// L1 capacity (operands staged through shared memory).
+			bytes = trafficThrough(g, lvl.Capacity/8)
+		} else {
+			bytes = trafficThrough(g, levels[i-1].Capacity)
+		}
+		bw := lvl.EffBW()
+		if i == len(levels)-1 {
+			bw *= e.dramUtil(g)
+		}
+		est.Levels[i] = LevelTime{Level: lvl.Name, Bytes: bytes, Time: bytes / bw}
+	}
+	est.DRAMBytes = est.Levels[len(est.Levels)-1].Bytes
+
+	est.Time = est.ComputeTime
+	est.Bound = BoundCompute
+	for _, l := range est.Levels {
+		if l.Time > est.Time {
+			est.Time = l.Time
+			est.Bound = BoundMemory
+			est.BoundLevel = l.Level
+		}
+	}
+	if e.dev.KernelLaunch > est.Time {
+		est.Bound = BoundLaunch
+	}
+	est.Time += e.dev.KernelLaunch
+	return est
+}
+
+// Fused describes a tensor-core kernel whose data movement is decoupled
+// from its FLOP count — the FlashAttention pattern of §1.1, which "focuses
+// on the memory access to and from DRAM at the cost of FLOPs": the
+// attention score matrix never leaves on-chip memory, so off-chip traffic
+// is just the Q/K/V inputs and the output.
+type Fused struct {
+	Name string
+	// FLOPs is the arithmetic work executed on the tensor cores.
+	FLOPs float64
+	// DRAMBytes is the off-chip traffic.
+	DRAMBytes float64
+	// OnChipBytes is the traffic through the innermost level (the tiled
+	// working set); zero derives it as 2x the DRAM traffic.
+	OnChipBytes float64
+	// Precision selects the tensor-engine format.
+	Precision tech.Precision
+}
+
+// EstimateFused predicts a fused tensor-core kernel: compute at the
+// device's fat-GEMM efficiency versus its explicit DRAM stream.
+func (e *Engine) EstimateFused(f Fused) Estimate {
+	est := Estimate{FLOPs: f.FLOPs, Launch: e.dev.KernelLaunch, DRAMBytes: f.DRAMBytes}
+	_, peak := e.dev.BestCompute(f.Precision)
+	if peak > 0 {
+		est.ComputeTime = f.FLOPs / (peak * e.dev.GEMMEff)
+	} else {
+		est.ComputeTime = math.Inf(1)
+	}
+	onChip := f.OnChipBytes
+	if onChip <= 0 {
+		onChip = 2 * f.DRAMBytes
+	}
+	inner := e.dev.Mem[0]
+	dram := e.dev.DRAMLevel()
+	est.Levels = []LevelTime{
+		{Level: inner.Name, Bytes: onChip, Time: onChip / inner.EffBW()},
+		{Level: dram.Name, Bytes: f.DRAMBytes, Time: f.DRAMBytes / dram.EffBW()},
+	}
+	est.Time = est.ComputeTime
+	est.Bound = BoundCompute
+	for _, l := range est.Levels {
+		if l.Time > est.Time {
+			est.Time = l.Time
+			est.Bound = BoundMemory
+			est.BoundLevel = l.Level
+		}
+	}
+	if e.dev.KernelLaunch > est.Time {
+		est.Bound = BoundLaunch
+	}
+	est.Time += e.dev.KernelLaunch
+	return est
+}
+
+// Elementwise describes a streaming non-GEMM kernel (softmax, layer-norm,
+// dropout, activation, residual add, embedding gather): Elements values
+// each touched BytesPerElem bytes of traffic with FLOPsPerElem operations.
+type Elementwise struct {
+	Name         string
+	Elements     float64
+	BytesPerElem float64
+	FLOPsPerElem float64
+}
+
+// EstimateElementwise predicts a streaming kernel's time: the max of its
+// DRAM streaming time and its vector-compute time, plus launch overhead.
+// Fused kernels should be expressed as a single Elementwise with combined
+// traffic (kernel fusion improves arithmetic intensity, paper §1.2).
+func (e *Engine) EstimateElementwise(w Elementwise) Estimate {
+	bytes := w.Elements * w.BytesPerElem
+	flops := w.Elements * w.FLOPsPerElem
+	dram := e.dev.DRAMLevel()
+	memTime := bytes / dram.EffBW()
+	var compTime float64
+	if e.dev.VectorCompute > 0 {
+		compTime = flops / e.dev.VectorCompute
+	}
+	est := Estimate{
+		ComputeTime: compTime,
+		Levels:      []LevelTime{{Level: dram.Name, Bytes: bytes, Time: memTime}},
+		Launch:      e.dev.KernelLaunch,
+		FLOPs:       flops,
+		DRAMBytes:   bytes,
+	}
+	if memTime >= compTime {
+		est.Time = memTime
+		est.Bound = BoundMemory
+		est.BoundLevel = dram.Name
+	} else {
+		est.Time = compTime
+		est.Bound = BoundCompute
+	}
+	if e.dev.KernelLaunch > est.Time {
+		est.Bound = BoundLaunch
+	}
+	est.Time += e.dev.KernelLaunch
+	return est
+}

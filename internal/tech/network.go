@@ -1,0 +1,86 @@
+package tech
+
+import "fmt"
+
+// NetworkTech identifies an interconnect generation, either intra-node
+// (NVLink family) or inter-node (InfiniBand family / NVLink Switch System).
+type NetworkTech int
+
+// Modeled interconnect generations. Bandwidths follow the paper:
+// HDR IB 200 GB/s and NDR IB 400 GB/s per node (§5.2); the §5.3 sweep uses
+// NDR-x8 (100 GB/s), XDR-x8 (200 GB/s), GDR-x8 (400 GB/s); NVLink3/4/5 are
+// the per-GPU intra-node fabrics of A100/H100/B200; NVS extends NVLink
+// bandwidth across nodes (§5.2).
+const (
+	IBHDR NetworkTech = iota
+	IBNDR
+	IBNDRx8
+	IBXDRx8
+	IBGDRx8
+	NVLink3
+	NVLink4
+	NVLink5
+	NVSwitchH // NVLink Switch System at Hopper generation
+	NVSwitchB // NVLink Switch System at Blackwell generation
+)
+
+// NetworkSpec is one interconnect generation's headline numbers.
+type NetworkSpec struct {
+	Tech NetworkTech
+	Name string
+
+	// BW is the unidirectional bandwidth in B/s. For NVLink it is per-GPU
+	// aggregate; for InfiniBand it is per-node aggregate (the paper quotes
+	// node-level IB numbers).
+	BW float64
+
+	// Latency is the per-hop transfer latency in seconds, the `l` of the
+	// paper's Eq. (3)/(4). It folds wire, switch and software launch costs
+	// visible to a collective step.
+	Latency float64
+
+	// PerNode reports whether BW is a node-level aggregate (InfiniBand)
+	// rather than per-GPU (NVLink).
+	PerNode bool
+}
+
+var netSpecs = map[NetworkTech]NetworkSpec{
+	IBHDR:     {IBHDR, "HDR-IB", 200e9, 5e-6, true},
+	IBNDR:     {IBNDR, "NDR-IB", 400e9, 5e-6, true},
+	IBNDRx8:   {IBNDRx8, "NDR-x8", 100e9, 5e-6, true},
+	IBXDRx8:   {IBXDRx8, "XDR-x8", 200e9, 5e-6, true},
+	IBGDRx8:   {IBGDRx8, "GDR-x8", 400e9, 5e-6, true},
+	NVLink3:   {NVLink3, "NVLink3", 300e9, 1.75e-6, false},
+	NVLink4:   {NVLink4, "NVLink4", 450e9, 1.6e-6, false},
+	NVLink5:   {NVLink5, "NVLink5", 900e9, 1.5e-6, false},
+	NVSwitchH: {NVSwitchH, "NVS(H)", 450e9, 1.8e-6, false},
+	NVSwitchB: {NVSwitchB, "NVS(B)", 900e9, 1.7e-6, false},
+}
+
+// Spec returns the generation's headline numbers.
+func (n NetworkTech) Spec() NetworkSpec { return netSpecs[n] }
+
+// String returns the conventional generation name, e.g. "NDR-IB".
+func (n NetworkTech) String() string {
+	if s, ok := netSpecs[n]; ok {
+		return s.Name
+	}
+	return fmt.Sprintf("NetworkTech(%d)", int(n))
+}
+
+// ParseNetwork converts a generation name into a NetworkTech.
+func ParseNetwork(s string) (NetworkTech, error) {
+	aliases := map[string]NetworkTech{
+		"hdr": IBHDR, "hdr-ib": IBHDR,
+		"ndr": IBNDR, "ndr-ib": IBNDR,
+		"ndr-x8": IBNDRx8, "xdr-x8": IBXDRx8, "gdr-x8": IBGDRx8,
+		"nvlink3": NVLink3, "nv3": NVLink3,
+		"nvlink4": NVLink4, "nv4": NVLink4,
+		"nvlink5": NVLink5, "nv5": NVLink5,
+		"nvs-h": NVSwitchH, "nvs": NVSwitchH, "nvs-b": NVSwitchB,
+	}
+	if t, ok := aliases[lower(s)]; ok {
+		return t, nil
+	}
+	return IBHDR, fmt.Errorf("tech: unknown network technology %q", s)
+}

@@ -1,0 +1,125 @@
+package tech
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node identifies a logic process technology generation. The paper's §5.3
+// case study sweeps seven generations, N12 down to N1.
+type Node int
+
+// Logic nodes studied in the paper, ordered oldest (largest feature) first.
+const (
+	N12 Node = iota
+	N10
+	N7
+	N5
+	N3
+	N2
+	N1
+)
+
+// Nodes lists all modeled logic nodes in scaling order.
+var Nodes = []Node{N12, N10, N7, N5, N3, N2, N1}
+
+var nodeNames = map[Node]string{
+	N12: "N12", N10: "N10", N7: "N7", N5: "N5", N3: "N3", N2: "N2", N1: "N1",
+}
+
+// String returns the node's conventional short name, e.g. "N7".
+func (n Node) String() string {
+	if s, ok := nodeNames[n]; ok {
+		return s
+	}
+	return fmt.Sprintf("Node(%d)", int(n))
+}
+
+// ParseNode converts a short name ("N7", "n7", "7") into a Node.
+func ParseNode(s string) (Node, error) {
+	for n, name := range nodeNames {
+		if name == s || name[1:] == s || "n"+name[1:] == s {
+			return n, nil
+		}
+	}
+	return N12, fmt.Errorf("tech: unknown logic node %q", s)
+}
+
+// Iso-performance scaling factors between consecutive nodes, following the
+// paper's §5.3 assumption (after Stillmaker & Baas): the same logic shrinks
+// by 1.8x in area and 1.3x in power per generation at constant performance.
+const (
+	AreaScalePerStep  = 1.8
+	PowerScalePerStep = 1.3
+)
+
+// Steps returns the number of scaling generations separating n from the N12
+// baseline (N12 → 0, N10 → 1, ... N1 → 6).
+func (n Node) Steps() int { return int(n) }
+
+// AreaScale returns the cumulative logic-density improvement of node n
+// relative to N12: identical logic occupies area/AreaScale(n).
+func (n Node) AreaScale() float64 {
+	return math.Pow(AreaScalePerStep, float64(n.Steps()))
+}
+
+// PowerScale returns the cumulative power-efficiency improvement of node n
+// relative to N12: identical logic at identical performance consumes
+// power/PowerScale(n).
+func (n Node) PowerScale() float64 {
+	return math.Pow(PowerScalePerStep, float64(n.Steps()))
+}
+
+// LogicParams holds the per-node quantities the µarch engine needs. The
+// absolute N12 anchors are chosen so that the derived device at N7 with an
+// A100-class area/power budget lands on A100-class throughput; only the
+// ratios between nodes matter for the paper's scaling study.
+type LogicParams struct {
+	Node Node
+
+	// CoreAreaMM2 is the silicon area of one tensor-math core (an SM-class
+	// block) at this node, in mm².
+	CoreAreaMM2 float64
+
+	// CorePowerW is the power drawn by one such core running at ClockGHz.
+	CorePowerW float64
+
+	// ClockGHz is the nominal clock at this node (held ~constant across
+	// nodes under iso-performance scaling; frequency gains are folded into
+	// density/power by the scaling rule).
+	ClockGHz float64
+
+	// FLOPsPerCyclePerCore is the FP16 tensor throughput of one core per
+	// clock cycle. Lower precisions double it per halving step.
+	FLOPsPerCyclePerCore float64
+
+	// SRAMBytesPerMM2 is on-chip SRAM density at this node.
+	SRAMBytesPerMM2 float64
+
+	// SRAMBWPerBankGBs is last-level-cache slice bandwidth per memory bank.
+	SRAMBWPerBankGBs float64
+}
+
+// n12Anchor is calibrated so that LogicAt(N7) with an A100-class budget
+// (826 mm², 400 W, ~108 cores' worth of compute area) reproduces A100-class
+// FP16 tensor throughput (~312 TFLOPS) and L2 SRAM (~40 MB).
+var n12Anchor = LogicParams{
+	Node:                 N12,
+	CoreAreaMM2:          9.7,    // → ~3.0 mm² at N7 (two 1.8x shrinks)
+	CorePowerW:           4.7,    // → ~2.8 W at N7
+	ClockGHz:             1.41,   // A100-class boost clock
+	FLOPsPerCyclePerCore: 2048,   // 4 tensor cores x 256 FMA x 2 per SM-class core
+	SRAMBytesPerMM2:      0.21e6, // → ~0.68 MB/mm² at N7 (A100 L2 density)
+	SRAMBWPerBankGBs:     110,
+}
+
+// LogicAt returns the logic parameters for node n by applying the cumulative
+// iso-performance scaling factors to the N12 anchor.
+func LogicAt(n Node) LogicParams {
+	p := n12Anchor
+	p.Node = n
+	p.CoreAreaMM2 /= n.AreaScale()
+	p.CorePowerW /= n.PowerScale()
+	p.SRAMBytesPerMM2 *= n.AreaScale()
+	return p
+}

@@ -1,0 +1,67 @@
+// Package tech is the technology layer of the Optimus model: numeric
+// precision formats, logic process nodes with published scaling factors,
+// DRAM (off-chip memory) generations, and interconnect generations. The
+// µarch engine and the architecture abstraction layer consume these tables
+// to derive the coarse quantities — compute throughput, bandwidths,
+// capacities — that drive the performance prediction engine (paper §3.1,
+// §3.6, §5.3, §6.2).
+package tech
+
+import "fmt"
+
+// Precision is a numeric datatype used for tensor math and storage.
+type Precision int
+
+// Supported precisions. Mixed-precision training in the paper stores model
+// state in FP16/BF16 (2 bytes) and performs GEMMs in the densest tensor-core
+// format the device supports (FP8 on Hopper, FP4 on Blackwell).
+const (
+	FP32 Precision = iota
+	TF32
+	BF16
+	FP16
+	FP8
+	FP4
+	INT8
+)
+
+var precisionNames = map[Precision]string{
+	FP32: "fp32", TF32: "tf32", BF16: "bf16", FP16: "fp16",
+	FP8: "fp8", FP4: "fp4", INT8: "int8",
+}
+
+// String returns the lower-case conventional name of the format.
+func (p Precision) String() string {
+	if s, ok := precisionNames[p]; ok {
+		return s
+	}
+	return fmt.Sprintf("precision(%d)", int(p))
+}
+
+// Bytes returns the storage size of one element in this format. FP4 occupies
+// half a byte; the model works in float64 so fractional bytes are exact.
+func (p Precision) Bytes() float64 {
+	switch p {
+	case FP32, TF32:
+		return 4
+	case BF16, FP16:
+		return 2
+	case FP8, INT8:
+		return 1
+	case FP4:
+		return 0.5
+	default:
+		return 4
+	}
+}
+
+// ParsePrecision converts a conventional name (case-sensitive, lower-case)
+// into a Precision.
+func ParsePrecision(s string) (Precision, error) {
+	for p, name := range precisionNames {
+		if name == s {
+			return p, nil
+		}
+	}
+	return FP32, fmt.Errorf("tech: unknown precision %q", s)
+}

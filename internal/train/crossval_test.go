@@ -1,0 +1,94 @@
+package train
+
+import (
+	"math"
+	"testing"
+
+	"optimus/internal/pipesim"
+	"optimus/internal/valdata"
+)
+
+// The closed-form pipeline model inside Predict must agree with the
+// discrete-event schedule simulator: same per-slot times, same bubble.
+func TestClosedFormMatchesScheduleSimulator(t *testing.T) {
+	for _, c := range []int{1, 3} { // 175B (PP=8) and 1008B (PP=64) rows
+		spec := specFor(t, valdata.Table1()[c])
+		res, err := Predict(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nMicro := spec.Map.Microbatches(spec.GlobalBatch)
+
+		// Reconstruct the per-microbatch slot times the closed form used:
+		// compute+TP-comm per slot, split 1:2(+recompute) fwd:bwd.
+		slot := (res.Compute + res.TPComm) / float64(nMicro)
+		fwd := slot / 3 // fwd : bwd+recompute ≈ 1 : 2 within a slot
+		bwd := slot - fwd
+
+		sim, err := pipesim.Simulate(pipesim.Config{
+			Stages:       spec.Map.PP,
+			Microbatches: nMicro,
+			Chunks:       1,
+			FwdTime:      fwd,
+			BwdTime:      bwd,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed := res.Compute + res.TPComm + res.Bubble
+		if diff := math.Abs(sim.Total-closed) / closed; diff > 0.02 {
+			t.Errorf("row %d: simulator %.1fs vs closed form %.1fs (%.1f%% apart)",
+				c, sim.Total, closed, 100*diff)
+		}
+		// The simulated bubble fraction must match the mapping's formula.
+		want := spec.Map.BubbleFraction(nMicro)
+		if math.Abs(sim.BubbleFraction-want) > 0.02 {
+			t.Errorf("row %d: simulated bubble %.3f vs formula %.3f",
+				c, sim.BubbleFraction, want)
+		}
+	}
+}
+
+// Attention's quadratic term: at fixed token count, longer sequences cost
+// more (the §1.1 scaling challenge).
+func TestLongContextQuadraticCost(t *testing.T) {
+	spec := specFor(t, valdata.Table1()[1]) // GPT-175B
+	spec.Recompute = 0                      // no recompute: pure fwd/bwd
+
+	// 64 sequences of 2048 tokens vs 16 sequences of 8192: same total
+	// tokens, but the attention score matrices are 16x larger per
+	// sequence in the long-context case.
+	short, err := Predict(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := spec
+	long.Seq = 8192
+	long.GlobalBatch = 16
+	longRes, err := Predict(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if longRes.Total <= short.Total {
+		t.Errorf("long context should cost more at equal tokens: %.1fs vs %.1fs",
+			longRes.Total, short.Total)
+	}
+	// But far less than quadratically overall: the linear GEMMs dominate
+	// at s/h = 8192/12288 < 1.
+	if longRes.Total > 2.5*short.Total {
+		t.Errorf("long-context overhead %.1fx implausibly large", longRes.Total/short.Total)
+	}
+}
+
+// TP degrees above the head count must still produce a valid (clamped)
+// prediction rather than a zero-width GEMM.
+func TestTPBeyondHeadsClamps(t *testing.T) {
+	spec := specFor(t, valdata.Table1()[0]) // GPT-22B on 8 GPUs
+	res, err := Predict(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total <= 0 || math.IsNaN(res.Total) || math.IsInf(res.Total, 0) {
+		t.Errorf("prediction degenerate: %g", res.Total)
+	}
+}

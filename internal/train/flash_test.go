@@ -1,0 +1,65 @@
+package train
+
+import (
+	"testing"
+
+	"optimus/internal/memfoot"
+	"optimus/internal/valdata"
+)
+
+// FlashAttention's payoff grows with sequence length: at the paper's 2k
+// context it is a modest win; at 8k+ it becomes substantial (§1.1's
+// motivation for IO-aware attention).
+func TestFlashAttentionSpeedsLongContexts(t *testing.T) {
+	base := specFor(t, valdata.Table1()[1]) // GPT-175B
+	base.Recompute = memfoot.Selective
+
+	speedup := func(seq, batch int) float64 {
+		std := base
+		std.Seq = seq
+		std.GlobalBatch = batch
+		s, err := Predict(std)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fl := std
+		fl.Flash = true
+		f, err := Predict(fl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Total / f.Total
+	}
+
+	at2k := speedup(2048, 64)
+	at8k := speedup(8192, 16)
+	if at2k < 1.0 {
+		t.Errorf("flash should never slow training: %.3fx at 2k", at2k)
+	}
+	if at8k <= at2k {
+		t.Errorf("flash gain should grow with context: %.3fx at 2k vs %.3fx at 8k", at2k, at8k)
+	}
+	if at8k < 1.03 {
+		t.Errorf("flash gain at 8k only %.3fx; the quadratic traffic should matter", at8k)
+	}
+	t.Logf("flash-attention speedup: %.3fx at 2k, %.3fx at 8k", at2k, at8k)
+}
+
+// With flash attention the layer has no separate softmax traffic, so the
+// element-wise bucket shrinks.
+func TestFlashShrinksElementwiseBucket(t *testing.T) {
+	base := specFor(t, valdata.Table1()[1])
+	std, err := Predict(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := base
+	fl.Flash = true
+	f, err := Predict(fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.EWTime >= std.EWTime {
+		t.Errorf("flash should remove softmax/dropout streams: %g vs %g", f.EWTime, std.EWTime)
+	}
+}

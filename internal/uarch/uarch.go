@@ -1,0 +1,303 @@
+// Package uarch is the microarchitecture engine of the Optimus model
+// (paper §3.1, §3.6): it turns technology parameters plus an
+// area/power/perimeter budget and a resource allocation into the
+// coarse-grained quantities — compute throughput, cache capacity and
+// bandwidth, DRAM bandwidth, network bandwidth — that populate the
+// architecture abstraction layer. The DSE framework (internal/dse) searches
+// over the allocation fractions against a fixed budget.
+package uarch
+
+import (
+	"fmt"
+	"math"
+
+	"optimus/internal/arch"
+	"optimus/internal/tech"
+)
+
+// Budget is the hardware resource envelope of one device (§3.6: "a given
+// budget and allocation of hardware resources (i.e., area, power, and chip
+// perimeter)").
+type Budget struct {
+	// AreaMM2 is the die area in mm².
+	AreaMM2 float64
+	// PowerW is the device power envelope in watts.
+	PowerW float64
+	// PerimeterMM is the die perimeter available to off-chip PHYs in mm.
+	PerimeterMM float64
+}
+
+// A100ClassBudget is an Ampere-class envelope (826 mm², 400 W).
+func A100ClassBudget() Budget {
+	return Budget{AreaMM2: 826, PowerW: 400, PerimeterMM: 115}
+}
+
+// Allocation divides the budget between the four µarch components:
+// compute cores, on-chip SRAM (last-level cache), memory interface, and
+// network interface. Fractions are of the *usable* budget; each group must
+// sum to at most 1.
+type Allocation struct {
+	AreaCore, AreaSRAM, AreaMemIO, AreaNetIO     float64
+	PowerCore, PowerSRAM, PowerMemIO, PowerNetIO float64
+}
+
+// DefaultAllocation mirrors an A100-class floorplan: roughly half the die
+// in SM logic, a tenth in L2 SRAM, and the rest split between PHYs, IO and
+// non-core overhead.
+func DefaultAllocation() Allocation {
+	return Allocation{
+		AreaCore: 0.40, AreaSRAM: 0.09, AreaMemIO: 0.12, AreaNetIO: 0.05,
+		PowerCore: 0.62, PowerSRAM: 0.08, PowerMemIO: 0.20, PowerNetIO: 0.06,
+	}
+}
+
+// Validate checks the allocation's feasibility.
+func (a Allocation) Validate() error {
+	for _, f := range []float64{
+		a.AreaCore, a.AreaSRAM, a.AreaMemIO, a.AreaNetIO,
+		a.PowerCore, a.PowerSRAM, a.PowerMemIO, a.PowerNetIO,
+	} {
+		if f < 0 || f > 1 {
+			return fmt.Errorf("uarch: allocation fraction %g outside [0,1]", f)
+		}
+	}
+	if s := a.AreaCore + a.AreaSRAM + a.AreaMemIO + a.AreaNetIO; s > 1+1e-9 {
+		return fmt.Errorf("uarch: area fractions sum to %g > 1", s)
+	}
+	if s := a.PowerCore + a.PowerSRAM + a.PowerMemIO + a.PowerNetIO; s > 1+1e-9 {
+		return fmt.Errorf("uarch: power fractions sum to %g > 1", s)
+	}
+	return nil
+}
+
+// Vector flattens the allocation for the DSE optimizer.
+func (a Allocation) Vector() []float64 {
+	return []float64{
+		a.AreaCore, a.AreaSRAM, a.AreaMemIO, a.AreaNetIO,
+		a.PowerCore, a.PowerSRAM, a.PowerMemIO, a.PowerNetIO,
+	}
+}
+
+// AllocationFromVector rebuilds an Allocation from an 8-vector.
+func AllocationFromVector(v []float64) (Allocation, error) {
+	if len(v) != 8 {
+		return Allocation{}, fmt.Errorf("uarch: allocation vector needs 8 entries, got %d", len(v))
+	}
+	return Allocation{
+		AreaCore: v[0], AreaSRAM: v[1], AreaMemIO: v[2], AreaNetIO: v[3],
+		PowerCore: v[4], PowerSRAM: v[5], PowerMemIO: v[6], PowerNetIO: v[7],
+	}, nil
+}
+
+// Design is a complete µarch specification: technology choices plus the
+// budget and its allocation.
+type Design struct {
+	Name    string
+	Node    tech.Node
+	DRAM    tech.DRAMTech
+	Network tech.NetworkTech
+	Budget  Budget
+	Alloc   Allocation
+}
+
+// Derived µarch constants, anchored so that an A100-class budget with the
+// default allocation at N7 reproduces an A100-class device (see the
+// package tests). Only ratios across nodes matter for the scaling studies.
+const (
+	// sramBWPerMM2N12 is last-level-cache bandwidth density at N12; it
+	// scales with logic density (more banks per mm²).
+	sramBWPerMM2N12 = 5.2e10
+	// sramPowerPerBW is SRAM access power per unit bandwidth (W per B/s).
+	sramPowerPerBW = 6.0e-12
+	// l1BytesPerCore and l1BWPerCore size the per-core scratchpad level.
+	l1BytesPerCore = 192e3
+	l1BWPerCore    = 1.8e11
+	// hbmPHYAreaMM2 and hbmPHYPerimeterMM are the per-stack interface
+	// costs; hbmStacksNominal is the stack count the tech table's
+	// device-level bandwidth corresponds to.
+	hbmPHYAreaMM2     = 16.0
+	hbmPHYPerimeterMM = 11.0
+	hbmStacksNominal  = 5.0
+	hbmEnergyWPerGBps = 0.028 // 3.5 pJ/bit ≈ 0.028 W per GB/s
+	// netPHYAreaMM2 is the area consumed by the network interface.
+	netPHYAreaMM2 = 30.0
+	// netEnergyWPerGBps is SerDes power per unit bandwidth.
+	netEnergyWPerGBps = 0.25
+)
+
+// Result carries the derived device plus diagnostics about which resource
+// limited each component.
+type Result struct {
+	Device arch.Device
+	// Cores is the derived compute-core count.
+	Cores int
+	// CoreLimit names the binding constraint for the core count
+	// ("area" or "power").
+	CoreLimit string
+	// DRAMLimit names the binding constraint for memory bandwidth
+	// ("phy-area", "perimeter", "power", or "tech").
+	DRAMLimit string
+	// NetBW is the derived per-device network bandwidth.
+	NetBW float64
+}
+
+// Derive turns a Design into an abstract device (the paper's "µArch engine
+// → architecture abstraction layer" arrow in Fig. 1).
+func Derive(d Design) (Result, error) {
+	if err := d.Alloc.Validate(); err != nil {
+		return Result{}, err
+	}
+	if d.Budget.AreaMM2 <= 0 || d.Budget.PowerW <= 0 || d.Budget.PerimeterMM <= 0 {
+		return Result{}, fmt.Errorf("uarch: non-positive budget %+v", d.Budget)
+	}
+	logic := tech.LogicAt(d.Node)
+
+	// Compute cores: bounded by allocated area and allocated power.
+	byArea := d.Alloc.AreaCore * d.Budget.AreaMM2 / logic.CoreAreaMM2
+	byPower := d.Alloc.PowerCore * d.Budget.PowerW / logic.CorePowerW
+	cores := int(math.Floor(math.Min(byArea, byPower)))
+	if cores < 1 {
+		cores = 1
+	}
+	coreLimit := "area"
+	if byPower < byArea {
+		coreLimit = "power"
+	}
+	fp16 := float64(cores) * logic.FLOPsPerCyclePerCore * logic.ClockGHz * 1e9
+
+	// Last-level SRAM: capacity from area, bandwidth from area density,
+	// derated if the power allocation cannot feed it.
+	sramArea := d.Alloc.AreaSRAM * d.Budget.AreaMM2
+	sramCap := sramArea * logic.SRAMBytesPerMM2
+	sramBW := sramArea * sramBWPerMM2N12 * d.Node.AreaScale()
+	if maxBW := d.Alloc.PowerSRAM * d.Budget.PowerW / sramPowerPerBW; sramBW > maxBW {
+		sramBW = maxBW
+	}
+	if sramCap < 1e6 {
+		sramCap = 1e6
+	}
+	if sramBW < 1e11 {
+		sramBW = 1e11
+	}
+
+	// DRAM: stack count bounded by PHY area and perimeter; bandwidth
+	// bounded by stacks and by interface power.
+	spec := d.DRAM.Spec()
+	stacksByArea := d.Alloc.AreaMemIO * d.Budget.AreaMM2 / hbmPHYAreaMM2
+	stacksByPerim := d.Budget.PerimeterMM * 0.55 / hbmPHYPerimeterMM
+	stacks := math.Floor(math.Min(stacksByArea, stacksByPerim))
+	dramLimit := "phy-area"
+	if stacksByPerim < stacksByArea {
+		dramLimit = "perimeter"
+	}
+	if stacks < 1 {
+		stacks = 1
+	}
+	if stacks > hbmStacksNominal {
+		// The tech table's device bandwidth already assumes the nominal
+		// stack count; extra PHYs buy capacity, not modeled here.
+		stacks = hbmStacksNominal
+		dramLimit = "tech"
+	}
+	dramBW := spec.PeakBW * stacks / hbmStacksNominal
+	if maxBW := d.Alloc.PowerMemIO * d.Budget.PowerW / hbmEnergyWPerGBps * 1e9; dramBW > maxBW {
+		dramBW = maxBW
+		dramLimit = "power"
+	}
+	dramCap := spec.StackCapacity * stacks
+
+	// Network: the chosen technology's bandwidth, feasibility-checked
+	// against the NetIO allocation.
+	netSpec := d.Network.Spec()
+	netBW := netSpec.BW
+	if d.Alloc.AreaNetIO*d.Budget.AreaMM2 < netPHYAreaMM2 ||
+		d.Alloc.PowerNetIO*d.Budget.PowerW < netBW/1e9*netEnergyWPerGBps {
+		// Undersized interface: clamp to what the power allocation feeds.
+		byPower := d.Alloc.PowerNetIO * d.Budget.PowerW / netEnergyWPerGBps * 1e9
+		if byPower < netBW {
+			netBW = byPower
+		}
+	}
+	if netBW < 1e9 {
+		netBW = 1e9
+	}
+
+	name := d.Name
+	if name == "" {
+		name = fmt.Sprintf("custom-%v-%v", d.Node, d.DRAM)
+	}
+	dev := arch.Device{
+		Name: name,
+		Compute: map[tech.Precision]float64{
+			tech.FP16: fp16,
+			tech.BF16: fp16,
+			tech.FP32: fp16 / 16,
+		},
+		VectorCompute: fp16 / 16,
+		Mem: []arch.MemLevel{
+			{Name: "L1", Capacity: float64(cores) * l1BytesPerCore, BW: float64(cores) * l1BWPerCore, Util: 0.90},
+			{Name: "L2", Capacity: sramCap, BW: sramBW, Util: 0.85},
+			{Name: "HBM", Capacity: dramCap, BW: dramBW, Util: 0.80},
+		},
+		DRAM:         d.DRAM,
+		GEMMEff:      0.75,
+		KernelLaunch: 2.8e-6,
+	}
+	// The hierarchy must stay ordered; clamp pathological allocations
+	// (e.g. all SRAM area, no cores) instead of failing the search.
+	if dev.Mem[1].BW > dev.Mem[0].BW {
+		dev.Mem[1].BW = dev.Mem[0].BW
+	}
+	if dev.Mem[2].BW > dev.Mem[1].BW {
+		dev.Mem[2].BW = dev.Mem[1].BW
+	}
+	if dev.Mem[1].Capacity < dev.Mem[0].Capacity {
+		dev.Mem[1].Capacity = dev.Mem[0].Capacity
+	}
+	if dev.Mem[2].Capacity < dev.Mem[1].Capacity {
+		dev.Mem[2].Capacity = dev.Mem[1].Capacity
+	}
+	if err := dev.Validate(); err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Device:    dev,
+		Cores:     cores,
+		CoreLimit: coreLimit,
+		DRAMLimit: dramLimit,
+		NetBW:     netBW,
+	}, nil
+}
+
+// SystemFrom assembles a homogeneous system of n derived devices in nodes
+// of devicesPerNode, with NVLink3-class intra-node links and the design's
+// network technology between nodes.
+func SystemFrom(d Design, n, devicesPerNode int) (*arch.System, error) {
+	res, err := Derive(d)
+	if err != nil {
+		return nil, err
+	}
+	intra := arch.IntraLink(tech.NVLink3)
+	inter := arch.InterLink(d.Network, devicesPerNode)
+	// The derived interface may not sustain the full tech-table rate.
+	if perDev := res.NetBW / float64(devicesPerNode); d.Network.Spec().PerNode && inter.BW > perDev {
+		inter.BW = perDev
+	}
+	if n < devicesPerNode {
+		devicesPerNode = n
+	}
+	if n%devicesPerNode != 0 {
+		return nil, fmt.Errorf("uarch: %d devices not divisible into nodes of %d", n, devicesPerNode)
+	}
+	sys := &arch.System{
+		Device:         res.Device,
+		DevicesPerNode: devicesPerNode,
+		NumNodes:       n / devicesPerNode,
+		Intra:          intra,
+		Inter:          inter,
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	return sys, nil
+}

