@@ -1,0 +1,27 @@
+# Tier-1 gate (referenced from ROADMAP.md): everything `make check` runs
+# must stay green in every PR.
+
+GO ?= go
+
+.PHONY: check vet build test race bench sweep-bench
+
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+# The plan-sweep speedup trajectory: parallel must stay ≥3× serial.
+sweep-bench:
+	$(GO) test -run xxx -bench 'BenchmarkSweep' -benchmem .

@@ -7,6 +7,7 @@
 package optimus
 
 import (
+	"context"
 	"testing"
 
 	"optimus/internal/arch"
@@ -17,6 +18,7 @@ import (
 	"optimus/internal/parallel"
 	"optimus/internal/repro"
 	"optimus/internal/roofline"
+	"optimus/internal/sweep"
 	"optimus/internal/tech"
 	"optimus/internal/train"
 	"optimus/internal/units"
@@ -305,6 +307,80 @@ func BenchmarkMemoryFootprint(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		if _, err := memfoot.Train(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sweepBenchSpec is a ~500-candidate plan-sweep grid: GPT-175B on 64
+// A100s at two global batch sizes. It is memory-tight — most candidates
+// overflow the device — so it exercises both the engine's feasibility
+// pruning and the full costing path.
+func sweepBenchSpec(b *testing.B) sweep.Spec {
+	b.Helper()
+	sys, err := arch.DGXA100(64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return sweep.Spec{
+		Models:        []model.Config{model.GPT175B()},
+		Systems:       []*arch.System{sys},
+		GlobalBatches: []int{64, 128},
+		Constraints:   sweep.Constraints{TopK: 10},
+	}
+}
+
+// BenchmarkSweepSerial is the golden reference path: every candidate is
+// costed with the full training predictor, one at a time.
+func BenchmarkSweepSerial(b *testing.B) {
+	spec := sweepBenchSpec(b)
+	var res sweep.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = sweep.Serial(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Stats.Enumerated), "candidates")
+	b.ReportMetric(float64(res.Stats.Evaluated), "costed")
+}
+
+// BenchmarkSweepParallel is the concurrent engine on the same grid:
+// bounded worker pool plus memory-feasibility pruning before costing. Its
+// ranking is byte-identical to the serial path's (asserted by the
+// internal/sweep equivalence tests); the speedup is the headline number
+// later PRs must not regress.
+func BenchmarkSweepParallel(b *testing.B) {
+	spec := sweepBenchSpec(b)
+	ctx := context.Background()
+	var res sweep.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		// A fresh engine per iteration: the speedup measured here is
+		// pruning + the pool, not cache reuse.
+		res, err = sweep.Run(ctx, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Stats.Enumerated), "candidates")
+	b.ReportMetric(float64(res.Stats.Pruned), "pruned")
+}
+
+// BenchmarkSweepWarmCache re-runs the grid on one engine whose memo
+// already holds every evaluation — the steady state of a long planning
+// session, and the target the cross-run result cache must hold.
+func BenchmarkSweepWarmCache(b *testing.B) {
+	spec := sweepBenchSpec(b)
+	ctx := context.Background()
+	e := sweep.New(0)
+	if _, err := e.Run(ctx, spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(ctx, spec); err != nil {
 			b.Fatal(err)
 		}
 	}

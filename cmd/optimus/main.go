@@ -11,6 +11,7 @@
 //	optimus gemmtable -model llama2-13b -device a100
 //	optimus dse       -node n5 -dram hbm2e -net xdr-x8
 //	optimus plan      -model gpt-175b -gpus 64 -batch 64
+//	optimus sweep     -models gpt-175b,gpt-530b -devices a100,h100 -gpus 64,128 -format csv
 //	optimus cost      -model gpt-175b -gpus 1024 -batch 1024 -tokens 300e9
 //	optimus reproduce table1|table2|table4|fig3..fig9|all
 //	optimus validate
@@ -51,6 +52,8 @@ func main() {
 		err = cmdDSE(args)
 	case "plan":
 		err = cmdPlan(args)
+	case "sweep":
+		err = cmdSweep(args)
 	case "cost":
 		err = cmdCost(args)
 	case "graph":
@@ -86,6 +89,7 @@ commands:
   gemmtable  per-GEMM bound analysis of the prefill phase (Table 4)
   dse        design-space exploration at a technology node (§3.6)
   plan       search for the best parallelization strategy (§5.1)
+  sweep      rank a models × systems × settings grid concurrently (-format text|csv|json)
   cost       price a full training run: energy + TCO (§7 future work)
   graph      emit the per-device task graph as Graphviz DOT (Fig. 1)
   reproduce  regenerate a paper experiment (table1..fig9, or "all"; -format text|csv|json)

@@ -1,0 +1,285 @@
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"optimus"
+	"optimus/internal/tech"
+	"optimus/internal/units"
+)
+
+// cmdSweep evaluates a cross-product experiment grid with the concurrent
+// plan-sweep engine (§5.1 scaled out: models × systems × precisions ×
+// batches × mappings × schedules × recompute regimes).
+func cmdSweep(args []string) error {
+	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
+	workload := fs.String("workload", "train", "workload (train|infer)")
+	models := fs.String("models", "gpt-175b", "comma-separated model presets")
+	devices := fs.String("devices", "a100", "comma-separated device presets")
+	gpus := fs.String("gpus", "64", "comma-separated device counts")
+	intra := fs.String("intra", "nvlink3", "intra-node fabric")
+	inter := fs.String("inter", "hdr", "inter-node fabric")
+	batches := fs.String("batches", "", "comma-separated global batch sizes (default 64; infer: 1)")
+	seqs := fs.String("seqs", "", "comma-separated sequence lengths (default 2048; infer: prompt 200)")
+	gens := fs.String("gen", "", "comma-separated generated-token counts (infer only, default 200)")
+	precs := fs.String("precisions", "", "comma-separated GEMM precisions (default bf16; infer fp16)")
+	micros := fs.String("microbatches", "", "comma-separated microbatch sizes (train only, default 1,2,4)")
+	recs := fs.String("recomputes", "", "comma-separated recompute regimes (train only, default none,selective,full)")
+	maxTP := fs.Int("max-tp", 0, "tensor-parallel cap (train only, 0 = node size)")
+	overflow := fs.Bool("allow-overflow", false, "also rank memory-overflowing candidates")
+	topK := fs.Int("top", 20, "rows to keep")
+	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	serial := fs.Bool("serial", false, "use the serial reference path instead of the engine")
+	format := fs.String("format", "text", "output format (text|csv|json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *format {
+	case "text", "csv", "json":
+	default:
+		// Checked before the sweep runs: a typo must not cost a full
+		// grid evaluation.
+		return fmt.Errorf("unknown format %q (text|csv|json)", *format)
+	}
+
+	spec := optimus.SweepSpec{
+		Constraints: optimus.PlanConstraints{
+			MaxTP: *maxTP, AllowOverflow: *overflow, TopK: *topK,
+		},
+		Workers: *workers,
+	}
+	switch *workload {
+	case "train", "training":
+		spec.Workload = optimus.TrainingSweep
+	case "infer", "inference":
+		spec.Workload = optimus.InferenceSweep
+		// Inference maps are fixed to TP = device count (§1.3), so the
+		// training-only axes would be silently ignored — reject instead.
+		if *maxTP != 0 || *micros != "" || *recs != "" {
+			return fmt.Errorf("-max-tp, -microbatches and -recomputes apply to training sweeps only")
+		}
+	default:
+		return fmt.Errorf("unknown workload %q (train|infer)", *workload)
+	}
+
+	for _, name := range splitList(*models) {
+		cfg, err := optimus.ModelByName(name)
+		if err != nil {
+			return err
+		}
+		spec.Models = append(spec.Models, cfg)
+	}
+	counts, err := splitInts(*gpus)
+	if err != nil {
+		return fmt.Errorf("-gpus: %w", err)
+	}
+	for _, dev := range splitList(*devices) {
+		for _, n := range counts {
+			sys, err := optimus.NewSystem(dev, n, *intra, *inter)
+			if err != nil {
+				return err
+			}
+			spec.Systems = append(spec.Systems, sys)
+		}
+	}
+	if spec.GlobalBatches, err = splitInts(*batches); err != nil {
+		return fmt.Errorf("-batches: %w", err)
+	}
+	if spec.Seqs, err = splitInts(*seqs); err != nil {
+		return fmt.Errorf("-seqs: %w", err)
+	}
+	if spec.GenTokens, err = splitInts(*gens); err != nil {
+		return fmt.Errorf("-gen: %w", err)
+	}
+	if spec.Constraints.Microbatches, err = splitInts(*micros); err != nil {
+		return fmt.Errorf("-microbatches: %w", err)
+	}
+	for _, p := range splitList(*precs) {
+		prec, err := tech.ParsePrecision(p)
+		if err != nil {
+			return err
+		}
+		spec.Precisions = append(spec.Precisions, prec)
+	}
+	for _, r := range splitList(*recs) {
+		rec, err := parseRecompute(r)
+		if err != nil {
+			return err
+		}
+		spec.Constraints.Recomputes = append(spec.Constraints.Recomputes, rec)
+	}
+
+	var res optimus.SweepResult
+	if *serial {
+		res, err = optimus.SweepSerial(spec)
+	} else {
+		res, err = optimus.Sweep(context.Background(), spec)
+	}
+	if err != nil {
+		return err
+	}
+	return writeSweep(os.Stdout, res, spec.Workload, *format)
+}
+
+// splitList parses a comma-separated flag, dropping empty elements.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// splitInts parses a comma-separated integer flag.
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitList(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// sweepRecord flattens one ranked row for the CSV and JSON encoders.
+type sweepRecord struct {
+	Rank       int     `json:"rank"`
+	Model      string  `json:"model"`
+	System     string  `json:"system"`
+	Mapping    string  `json:"mapping"`
+	Microbatch int     `json:"microbatch"`
+	Recompute  string  `json:"recompute"`
+	Precision  string  `json:"precision"`
+	Batch      int     `json:"batch"`
+	Seq        int     `json:"seq"`
+	Gen        int     `json:"gen_tokens,omitempty"`
+	Seconds    float64 `json:"seconds"`
+	MFU        float64 `json:"mfu"`
+	MemoryGB   float64 `json:"memory_gb"`
+	Fits       bool    `json:"fits"`
+}
+
+func sweepRecords(res optimus.SweepResult) []sweepRecord {
+	out := make([]sweepRecord, len(res.Rows))
+	for i, row := range res.Rows {
+		mem := row.Metrics.Memory.Total()
+		if row.Point.Workload == optimus.InferenceSweep {
+			mem = row.Metrics.Footprint.Total()
+		}
+		out[i] = sweepRecord{
+			Rank:       i + 1,
+			Model:      row.Point.Model.Name,
+			System:     row.Point.System.String(),
+			Mapping:    row.Point.Map.String(),
+			Microbatch: row.Point.Map.Microbatch,
+			Recompute:  row.Point.Recompute.String(),
+			Precision:  row.Point.Precision.String(),
+			Batch:      row.Point.GlobalBatch,
+			Seq:        row.Point.Seq,
+			Gen:        row.Point.GenTokens,
+			Seconds:    row.Metrics.Time,
+			MFU:        row.Metrics.MFU,
+			MemoryGB:   mem / 1e9,
+			Fits:       row.Metrics.Fits,
+		}
+	}
+	return out
+}
+
+// sweepJSON is the -format json document shape.
+type sweepJSON struct {
+	Stats sweepStatsJSON `json:"stats"`
+	Rows  []sweepRecord  `json:"rows"`
+}
+
+type sweepStatsJSON struct {
+	Enumerated int   `json:"enumerated"`
+	Pruned     int   `json:"pruned"`
+	Evaluated  int   `json:"evaluated"`
+	MemoHits   int   `json:"memo_hits"`
+	Errors     int   `json:"errors"`
+	Workers    int   `json:"workers"`
+	ElapsedMS  int64 `json:"elapsed_ms"`
+}
+
+// writeSweep renders a ranked sweep in the chosen format.
+func writeSweep(w io.Writer, res optimus.SweepResult, workload optimus.SweepWorkload, format string) error {
+	recs := sweepRecords(res)
+	switch format {
+	case "text":
+		fmt.Fprintf(w, "sweep: %s\n", res.Stats)
+		if len(recs) == 0 {
+			hint := "check batch divisibility and device counts, or try -allow-overflow"
+			if workload == optimus.InferenceSweep {
+				hint = "inference uses TP = device count, so the model's head count must be divisible by -gpus"
+			}
+			fmt.Fprintf(w, "  no feasible candidates — %s\n", hint)
+			return nil
+		}
+		fmt.Fprintf(w, "  %4s %-12s %-34s %-28s %3s %-10s %-5s %6s %9s %10s %6s %8s %5s\n",
+			"rank", "model", "system", "mapping", "mb", "recompute", "prec", "batch", "seq+gen", "s", "MFU", "mem", "fits")
+		for _, r := range recs {
+			fits := "yes"
+			if !r.Fits {
+				fits = "NO"
+			}
+			tokens := strconv.Itoa(r.Seq)
+			if r.Gen > 0 {
+				tokens += "+" + strconv.Itoa(r.Gen)
+			}
+			fmt.Fprintf(w, "  %4d %-12s %-34s %-28s %3d %-10s %-5s %6d %9s %10s %5.0f%% %7.1fG %5s\n",
+				r.Rank, r.Model, r.System, r.Mapping, r.Microbatch, r.Recompute, r.Precision,
+				r.Batch, tokens, units.FormatSeconds(r.Seconds), 100*r.MFU, r.MemoryGB, fits)
+		}
+		return nil
+	case "csv":
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"rank", "model", "system", "mapping", "microbatch",
+			"recompute", "precision", "batch", "seq", "gen", "seconds", "mfu", "memory_gb", "fits"}); err != nil {
+			return err
+		}
+		for _, r := range recs {
+			if err := cw.Write([]string{
+				strconv.Itoa(r.Rank), r.Model, r.System, r.Mapping, strconv.Itoa(r.Microbatch),
+				r.Recompute, r.Precision, strconv.Itoa(r.Batch), strconv.Itoa(r.Seq), strconv.Itoa(r.Gen),
+				strconv.FormatFloat(r.Seconds, 'g', -1, 64),
+				strconv.FormatFloat(r.MFU, 'g', -1, 64),
+				strconv.FormatFloat(r.MemoryGB, 'g', -1, 64),
+				strconv.FormatBool(r.Fits),
+			}); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(sweepJSON{
+			Stats: sweepStatsJSON{
+				Enumerated: res.Stats.Enumerated,
+				Pruned:     res.Stats.Pruned,
+				Evaluated:  res.Stats.Evaluated,
+				MemoHits:   res.Stats.MemoHits,
+				Errors:     res.Stats.Errors,
+				Workers:    res.Stats.Workers,
+				ElapsedMS:  res.Stats.Elapsed.Milliseconds(),
+			},
+			Rows: recs,
+		})
+	default:
+		return fmt.Errorf("unknown format %q (text|csv|json)", format)
+	}
+}

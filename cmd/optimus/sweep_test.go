@@ -1,0 +1,105 @@
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"optimus"
+)
+
+func TestCmdSweep(t *testing.T) {
+	if err := cmdSweep([]string{"-models", "gpt-22b", "-gpus", "8", "-batches", "8", "-top", "3"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSweep([]string{"-models", "gpt-22b", "-gpus", "8", "-batches", "8", "-serial", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSweep([]string{"-workload", "infer", "-models", "llama2-13b", "-devices", "h100",
+		"-intra", "nvlink4", "-gpus", "1,2", "-batches", "1", "-format", "json"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]string{
+		{"-models", "no-such-model"},
+		{"-devices", "warp-core"},
+		{"-gpus", "eight"},
+		{"-batches", "64;128"},
+		{"-workload", "pretraining"},
+		{"-precisions", "fp128"},
+		{"-recomputes", "maybe"},
+		{"-models", "gpt-22b", "-gpus", "8", "-batches", "8", "-format", "yaml"},
+		{"-workload", "infer", "-models", "llama2-13b", "-gpus", "2", "-gen", "-5"},
+		{"-workload", "infer", "-models", "llama2-13b", "-gpus", "2", "-max-tp", "2"},
+		{"-workload", "infer", "-models", "llama2-13b", "-gpus", "2", "-recomputes", "full"},
+	} {
+		if err := cmdSweep(bad); err == nil {
+			t.Errorf("args %v should fail", bad)
+		}
+	}
+}
+
+// sweepResult builds a small ranked result for the encoder tests.
+func sweepResult(t *testing.T) optimus.SweepResult {
+	t.Helper()
+	cfg, err := optimus.ModelByName("gpt-22b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := optimus.NewSystem("a100", 8, "nvlink3", "hdr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := optimus.Sweep(context.Background(), optimus.SweepSpec{
+		Models: []optimus.Model{cfg}, Systems: []*optimus.System{sys},
+		GlobalBatches: []int{8},
+		Constraints:   optimus.PlanConstraints{TopK: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("empty sweep")
+	}
+	return res
+}
+
+func TestWriteSweepCSV(t *testing.T) {
+	res := sweepResult(t)
+	var b strings.Builder
+	if err := writeSweep(&b, res, optimus.TrainingSweep, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != len(res.Rows)+1 {
+		t.Fatalf("CSV has %d records, want %d rows + header", len(recs), len(res.Rows))
+	}
+	if recs[0][0] != "rank" || recs[1][0] != "1" {
+		t.Errorf("unexpected CSV leader: %v / %v", recs[0], recs[1])
+	}
+}
+
+func TestWriteSweepJSON(t *testing.T) {
+	res := sweepResult(t)
+	var b strings.Builder
+	if err := writeSweep(&b, res, optimus.TrainingSweep, "json"); err != nil {
+		t.Fatal(err)
+	}
+	var doc sweepJSON
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rows) != len(res.Rows) {
+		t.Fatalf("JSON has %d rows, want %d", len(doc.Rows), len(res.Rows))
+	}
+	if doc.Stats.Enumerated != res.Stats.Enumerated {
+		t.Errorf("JSON stats enumerated %d, want %d", doc.Stats.Enumerated, res.Stats.Enumerated)
+	}
+	if doc.Rows[0].Rank != 1 || doc.Rows[0].Seconds <= 0 {
+		t.Errorf("unexpected first JSON row: %+v", doc.Rows[0])
+	}
+}

@@ -1,0 +1,91 @@
+// Plan sweep: rank a whole experiment grid — two models, two cluster
+// generations, two global batch sizes — with the concurrent sweep engine,
+// then answer a serving question with an inference sweep over the same
+// API. This is the paper's §5.1 planning capability scaled from one
+// (model, system) pair to a cross product.
+//
+// Run with: go run ./examples/plan-sweep
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"optimus"
+)
+
+func main() {
+	gpt175b, err := optimus.ModelByName("gpt-175b")
+	if err != nil {
+		log.Fatal(err)
+	}
+	gpt530b, err := optimus.ModelByName("gpt-530b")
+	if err != nil {
+		log.Fatal(err)
+	}
+	a100s, err := optimus.NewSystem("a100", 128, "nvlink3", "hdr")
+	if err != nil {
+		log.Fatal(err)
+	}
+	h100s, err := optimus.NewSystem("h100", 128, "nvlink4", "ndr")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Training: which (cluster, strategy) trains each model fastest? ---
+	res, err := optimus.Sweep(context.Background(), optimus.SweepSpec{
+		Models:        []optimus.Model{gpt175b, gpt530b},
+		Systems:       []*optimus.System{a100s, h100s},
+		GlobalBatches: []int{128, 256},
+		Precisions:    []optimus.Precision{optimus.BF16},
+		Constraints:   optimus.PlanConstraints{TopK: 8},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training sweep — %s\n", res.Stats)
+	for i, row := range res.Rows {
+		fmt.Printf("  %d. %-9s on %-10s batch %3d  %s mb%d %-9v  %6.1f s/batch  MFU %2.0f%%\n",
+			i+1, row.Point.Model.Name, row.Point.System.Device.Name,
+			row.Point.GlobalBatch, row.Point.Map, row.Point.Map.Microbatch,
+			row.Point.Recompute, row.Metrics.Time, 100*row.Metrics.MFU)
+	}
+
+	// --- Inference: how do serving latencies compare across node sizes? ---
+	llama, err := optimus.ModelByName("llama2-70b")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var servers []*optimus.System
+	for _, gpus := range []int{2, 4, 8} {
+		sys, err := optimus.NewSystem("h100", gpus, "nvlink4", "ndr")
+		if err != nil {
+			log.Fatal(err)
+		}
+		servers = append(servers, sys)
+	}
+	inf, err := optimus.Sweep(context.Background(), optimus.SweepSpec{
+		Workload:      optimus.InferenceSweep,
+		Models:        []optimus.Model{llama},
+		Systems:       servers,
+		GlobalBatches: []int{1, 8},
+		Seqs:          []int{200},
+		GenTokens:     []int{200},
+		Constraints:   optimus.PlanConstraints{TopK: 6, AllowOverflow: true},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ninference sweep — %s\n", inf.Stats)
+	for i, row := range inf.Rows {
+		fits := "fits"
+		if !row.Metrics.Fits {
+			fits = "OVERFLOWS"
+		}
+		fmt.Printf("  %d. %s x%d  B=%d  %6.2f s/request  (%s, %.0f GB)\n",
+			i+1, row.Point.System.Device.Name, row.Point.Map.TP,
+			row.Point.GlobalBatch, row.Metrics.Time, fits,
+			row.Metrics.Footprint.Total()/1e9)
+	}
+}

@@ -1,0 +1,3 @@
+module optimus
+
+go 1.24

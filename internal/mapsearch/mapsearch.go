@@ -5,58 +5,25 @@
 // system"). It enumerates the feasible (DP, TP, PP, SP, microbatch,
 // schedule, recomputation) space, rejects mappings that overflow device
 // memory, predicts the iteration time of the rest, and ranks them.
+//
+// The enumeration and costing are shared with internal/sweep: Search is a
+// single-cell sweep run through sweep.Serial, the deliberately serial
+// golden-reference path that the concurrent sweep engine is tested against.
 package mapsearch
 
 import (
 	"fmt"
-	"sort"
 
 	"optimus/internal/arch"
 	"optimus/internal/memfoot"
 	"optimus/internal/model"
 	"optimus/internal/parallel"
+	"optimus/internal/sweep"
 	"optimus/internal/tech"
-	"optimus/internal/train"
 )
 
 // Constraints bound the search space.
-type Constraints struct {
-	// MaxTP caps the tensor-parallel degree; zero means the node size
-	// (TP and SP stay inside a node, §4.2).
-	MaxTP int
-	// Microbatches are the candidate per-device microbatch sizes;
-	// nil means {1, 2, 4}.
-	Microbatches []int
-	// Recomputes are the regimes to consider; nil means all three.
-	Recomputes []memfoot.Recompute
-	// Schedules are the pipeline schedules to consider; nil means 1F1B
-	// and interleaved (v=2).
-	Schedules []parallel.Schedule
-	// AllowOverflow keeps memory-overflowing candidates in the ranking
-	// (flagged, after all fitting ones).
-	AllowOverflow bool
-	// TopK bounds the returned candidates; zero means 10.
-	TopK int
-}
-
-func (c Constraints) withDefaults(sys *arch.System) Constraints {
-	if c.MaxTP <= 0 {
-		c.MaxTP = sys.DevicesPerNode
-	}
-	if len(c.Microbatches) == 0 {
-		c.Microbatches = []int{1, 2, 4}
-	}
-	if len(c.Recomputes) == 0 {
-		c.Recomputes = []memfoot.Recompute{memfoot.NoRecompute, memfoot.Selective, memfoot.Full}
-	}
-	if len(c.Schedules) == 0 {
-		c.Schedules = []parallel.Schedule{parallel.OneFOneB, parallel.Interleaved1F1B}
-	}
-	if c.TopK <= 0 {
-		c.TopK = 10
-	}
-	return c
-}
+type Constraints = sweep.Constraints
 
 // Candidate is one evaluated strategy.
 type Candidate struct {
@@ -82,19 +49,22 @@ type Request struct {
 	Constraints Constraints
 }
 
-// divisors returns the divisors of n in ascending order.
-func divisors(n int) []int {
-	var out []int
-	for d := 1; d <= n; d++ {
-		if n%d == 0 {
-			out = append(out, d)
-		}
+// spec expands the request into a single-cell sweep grid.
+func (r Request) spec() sweep.Spec {
+	return sweep.Spec{
+		Workload:      sweep.Training,
+		Models:        []model.Config{r.Model},
+		Systems:       []*arch.System{r.System},
+		Precisions:    []tech.Precision{r.Precision},
+		GlobalBatches: []int{r.GlobalBatch},
+		Seqs:          []int{r.Seq},
+		Constraints:   r.Constraints,
 	}
-	return out
 }
 
-// Search enumerates and ranks parallelization strategies. Results are
-// ordered fitting-first, then by predicted time.
+// Search enumerates and ranks parallelization strategies through the
+// sweep package's serial reference path. Results are ordered
+// fitting-first, then by predicted time.
 func Search(r Request) ([]Candidate, error) {
 	if r.System == nil {
 		return nil, fmt.Errorf("mapsearch: no system")
@@ -105,93 +75,31 @@ func Search(r Request) ([]Candidate, error) {
 	if r.GlobalBatch <= 0 || r.Seq <= 0 {
 		return nil, fmt.Errorf("mapsearch: non-positive batch %d or seq %d", r.GlobalBatch, r.Seq)
 	}
-	c := r.Constraints.withDefaults(r.System)
-	devices := r.System.NumDevices()
-	capacity := r.System.Device.DRAMCapacity()
-
-	var out []Candidate
-	seen := make(map[string]bool)
-	for _, tp := range divisors(devices) {
-		if tp > c.MaxTP || r.Model.Heads%tp != 0 {
-			continue
-		}
-		for _, pp := range divisors(devices / tp) {
-			dp := devices / (tp * pp)
-			for _, mb := range c.Microbatches {
-				if r.GlobalBatch%(dp*mb) != 0 {
-					continue
-				}
-				for _, sched := range c.Schedules {
-					m := parallel.Mapping{
-						DP: dp, TP: tp, PP: pp, SP: tp > 1,
-						Microbatch: mb, Schedule: sched,
-					}
-					if sched == parallel.Interleaved1F1B {
-						if pp < 2 || r.Model.Layers%(pp*2) != 0 {
-							continue
-						}
-						m.VirtualStages = 2
-					}
-					if m.Validate(r.Model.Layers, r.GlobalBatch) != nil {
-						continue
-					}
-					for _, rec := range c.Recomputes {
-						key := fmt.Sprintf("%s|%v", m, rec)
-						if seen[key] {
-							continue
-						}
-						seen[key] = true
-						cand, ok := evaluate(r, m, rec, capacity)
-						if !ok {
-							continue
-						}
-						if !cand.Fits && !c.AllowOverflow {
-							continue
-						}
-						out = append(out, cand)
-					}
-				}
-			}
-		}
+	res, err := sweep.Serial(r.spec())
+	if err != nil {
+		return nil, err
 	}
-	if len(out) == 0 {
+	if len(res.Rows) == 0 {
 		return nil, fmt.Errorf("mapsearch: no feasible strategy for %s on %d devices (batch %d)",
-			r.Model.Name, devices, r.GlobalBatch)
+			r.Model.Name, r.System.NumDevices(), r.GlobalBatch)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Fits != out[j].Fits {
-			return out[i].Fits
-		}
-		return out[i].Time < out[j].Time
-	})
-	if len(out) > c.TopK {
-		out = out[:c.TopK]
-	}
-	return out, nil
+	return Candidates(res.Rows), nil
 }
 
-// evaluate predicts one strategy.
-func evaluate(r Request, m parallel.Mapping, rec memfoot.Recompute, capacity float64) (Candidate, bool) {
-	res, err := train.Predict(train.Spec{
-		Model:       r.Model,
-		System:      r.System,
-		Map:         m,
-		GlobalBatch: r.GlobalBatch,
-		Seq:         r.Seq,
-		Precision:   r.Precision,
-		Recompute:   rec,
-	})
-	if err != nil {
-		return Candidate{}, false
+// Candidates converts ranked sweep rows to the planner's result type.
+func Candidates(rows []sweep.Row) []Candidate {
+	out := make([]Candidate, len(rows))
+	for i, row := range rows {
+		out[i] = Candidate{
+			Map:       row.Point.Map,
+			Recompute: row.Point.Recompute,
+			Time:      row.Metrics.Time,
+			MFU:       row.Metrics.MFU,
+			Memory:    row.Metrics.Memory,
+			Fits:      row.Metrics.Fits,
+		}
 	}
-	return Candidate{
-		Map:       m,
-		Recompute: rec,
-		Time:      res.Total,
-		MFU:       res.MFU,
-		Memory:    res.MemoryPerDevice,
-		Fits:      memfoot.FitsDevice(res.MemoryPerDevice, capacity),
-	}, true
+	return out
 }
 
 // Best returns the single best strategy.

@@ -144,16 +144,3 @@ func TestSearchErrors(t *testing.T) {
 		t.Error("infeasible batch should error")
 	}
 }
-
-func TestDivisors(t *testing.T) {
-	got := divisors(12)
-	want := []int{1, 2, 3, 4, 6, 12}
-	if len(got) != len(want) {
-		t.Fatalf("divisors(12) = %v", got)
-	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("divisors(12) = %v", got)
-		}
-	}
-}

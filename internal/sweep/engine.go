@@ -1,0 +1,201 @@
+package sweep
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// memoEntry is one cached evaluation. The claiming worker closes done
+// after filling m/err; other workers block on done instead of recomputing.
+type memoEntry struct {
+	done chan struct{}
+	m    Metrics
+	err  error
+}
+
+// Engine evaluates sweeps over a bounded worker pool with a memoization
+// cache that persists across Run calls, so repeated (model, system,
+// mapping, …) evaluations — within one grid or across successive sweeps —
+// are costed once.
+type Engine struct {
+	workers int
+
+	mu   sync.Mutex
+	memo map[string]*memoEntry
+}
+
+// New returns an engine with the given pool size; workers <= 0 means
+// GOMAXPROCS.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, memo: make(map[string]*memoEntry)}
+}
+
+// CacheSize reports how many evaluations the memo holds.
+func (e *Engine) CacheSize() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.memo)
+}
+
+// counters aggregates per-run statistics across workers.
+type counters struct {
+	pruned    atomic.Int64
+	evaluated atomic.Int64
+	memoHits  atomic.Int64
+	errors    atomic.Int64
+}
+
+// slot is one candidate's outcome, written by exactly one worker.
+type slot struct {
+	m  Metrics
+	ok bool // costed successfully (pruned and errored slots stay false)
+}
+
+// Run evaluates the grid concurrently and returns the same ranking Serial
+// would produce. On cancellation it returns ctx.Err() alongside the
+// statistics accumulated so far.
+func (e *Engine) Run(ctx context.Context, s Spec) (Result, error) {
+	start := time.Now()
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	// Bail before enumeration: large grids spend real time just being
+	// expanded, which a cancelled caller should not pay for.
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	points := Enumerate(s)
+	c := s.Constraints.WithDefaults(firstSystem(s))
+	// Overflowing candidates must still be costed when they are kept in
+	// the ranking, so pruning is only sound when they would be dropped.
+	prune := !c.AllowOverflow
+
+	workers := e.workers
+	if s.Workers > 0 {
+		workers = s.Workers
+	}
+	if workers > len(points) {
+		workers = len(points)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	slots := make([]slot, len(points))
+	var ct counters
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				m, ok := e.eval(ctx, points[i], prune, &ct)
+				slots[i] = slot{m: m, ok: ok}
+			}
+		}()
+	}
+feed:
+	for i := range points {
+		// Checked before the send: when both select cases are ready Go
+		// picks randomly, which would let a cancelled context still feed
+		// (and cost) candidates.
+		if ctx.Err() != nil {
+			break feed
+		}
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+
+	stats := Stats{
+		Enumerated: len(points),
+		Pruned:     int(ct.pruned.Load()),
+		Evaluated:  int(ct.evaluated.Load()),
+		MemoHits:   int(ct.memoHits.Load()),
+		Errors:     int(ct.errors.Load()),
+		Workers:    workers,
+		Elapsed:    time.Since(start),
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{Stats: stats}, err
+	}
+	rows := make([]Row, 0, len(points))
+	for i, sl := range slots {
+		if sl.ok {
+			rows = append(rows, Row{Point: points[i], Metrics: sl.m, order: i})
+		}
+	}
+	stats.Elapsed = time.Since(start)
+	return Result{Rows: rank(rows, c), Stats: stats}, nil
+}
+
+// eval costs one point: feasibility pre-check (when pruning is sound),
+// then a memoized full evaluation. Only full evaluations enter the memo —
+// a pruned point costs nothing and decides nothing beyond its own run.
+func (e *Engine) eval(ctx context.Context, p Point, prune bool, ct *counters) (Metrics, bool) {
+	key := p.cachedKey()
+	e.mu.Lock()
+	ent := e.memo[key]
+	e.mu.Unlock()
+	if ent == nil && prune {
+		fit, err := Feasible(p)
+		if err != nil {
+			ct.errors.Add(1)
+			return Metrics{}, false
+		}
+		if !fit {
+			ct.pruned.Add(1)
+			return Metrics{}, false
+		}
+		// The prune check ran unclaimed, so another worker may have
+		// memoized the evaluation meanwhile; re-check below.
+	}
+	if ent == nil {
+		e.mu.Lock()
+		ent = e.memo[key]
+		if ent == nil {
+			ent = &memoEntry{done: make(chan struct{})}
+			e.memo[key] = ent
+			e.mu.Unlock()
+			ent.m, ent.err = Evaluate(p)
+			close(ent.done)
+			if ent.err != nil {
+				ct.errors.Add(1)
+				return Metrics{}, false
+			}
+			ct.evaluated.Add(1)
+			return ent.m, true
+		}
+		e.mu.Unlock()
+	}
+	select {
+	case <-ent.done:
+	case <-ctx.Done():
+		return Metrics{}, false
+	}
+	// An errored cache entry counts as an error, not a hit, so the stats
+	// components stay disjoint (their sum never exceeds Enumerated).
+	if ent.err != nil {
+		ct.errors.Add(1)
+		return Metrics{}, false
+	}
+	ct.memoHits.Add(1)
+	return ent.m, true
+}
+
+// Run evaluates the grid on a fresh engine — the package-level convenience
+// used by the public optimus.Sweep API.
+func Run(ctx context.Context, s Spec) (Result, error) {
+	return New(s.Workers).Run(ctx, s)
+}

@@ -1,0 +1,599 @@
+// Package sweep evaluates large cross-product experiment grids — models ×
+// systems × precisions × batch sizes × sequence lengths × parallelization
+// mappings × schedules × recomputation regimes, for both training and
+// inference — the plan-space exploration the paper builds on its validated
+// models (§5.1: "determine the best parallelism mapping or training
+// settings for an LLM model on a certain hardware system").
+//
+// The package has two execution paths over the same candidate enumeration:
+//
+//   - Serial is the golden reference: it costs every candidate one at a
+//     time, in enumeration order, with no shortcuts. internal/mapsearch
+//     builds its single-cell planner on it.
+//   - Engine.Run is the production path: a bounded worker pool with
+//     memory-feasibility pruning before costing, memoization of repeated
+//     evaluations, and context cancellation. Its rankings are
+//     byte-identical to Serial's at any worker count.
+package sweep
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+	"time"
+
+	"optimus/internal/arch"
+	"optimus/internal/infer"
+	"optimus/internal/memfoot"
+	"optimus/internal/model"
+	"optimus/internal/parallel"
+	"optimus/internal/tech"
+	"optimus/internal/train"
+)
+
+// Workload selects which predictor a sweep exercises.
+type Workload int
+
+const (
+	// Training sweeps rank strategies by predicted seconds per batch.
+	Training Workload = iota
+	// Inference sweeps rank configurations by end-to-end request latency.
+	Inference
+)
+
+// String names the workload.
+func (w Workload) String() string {
+	switch w {
+	case Training:
+		return "training"
+	case Inference:
+		return "inference"
+	default:
+		return fmt.Sprintf("Workload(%d)", int(w))
+	}
+}
+
+// Constraints bound the mapping enumeration of one grid cell.
+type Constraints struct {
+	// MaxTP caps the tensor-parallel degree; zero means the node size
+	// (TP and SP stay inside a node, §4.2).
+	MaxTP int
+	// Microbatches are the candidate per-device microbatch sizes;
+	// nil means {1, 2, 4}.
+	Microbatches []int
+	// Recomputes are the regimes to consider; nil means all three.
+	Recomputes []memfoot.Recompute
+	// Schedules are the pipeline schedules to consider; nil means 1F1B
+	// and interleaved (v=2).
+	Schedules []parallel.Schedule
+	// AllowOverflow keeps memory-overflowing candidates in the ranking
+	// (flagged, after all fitting ones). It also disables the engine's
+	// feasibility pruning, since overflowing candidates must be costed.
+	AllowOverflow bool
+	// TopK bounds the returned rows; zero means 10.
+	TopK int
+}
+
+// WithDefaults fills the zero-value fields for a search over sys.
+func (c Constraints) WithDefaults(sys *arch.System) Constraints {
+	if c.MaxTP <= 0 {
+		c.MaxTP = sys.DevicesPerNode
+	}
+	if len(c.Microbatches) == 0 {
+		c.Microbatches = []int{1, 2, 4}
+	}
+	if len(c.Recomputes) == 0 {
+		c.Recomputes = []memfoot.Recompute{memfoot.NoRecompute, memfoot.Selective, memfoot.Full}
+	}
+	if len(c.Schedules) == 0 {
+		c.Schedules = []parallel.Schedule{parallel.OneFOneB, parallel.Interleaved1F1B}
+	}
+	if c.TopK <= 0 {
+		c.TopK = 10
+	}
+	return c
+}
+
+// Spec describes one experiment grid: the cross product of every axis,
+// with the mapping space of each (model, system) cell enumerated under
+// Constraints.
+type Spec struct {
+	// Workload selects training or inference; the zero value is training.
+	Workload Workload
+	// Models and Systems are the required grid axes.
+	Models  []model.Config
+	Systems []*arch.System
+	// Precisions defaults to {BF16} for training and {FP16} for inference.
+	Precisions []tech.Precision
+	// GlobalBatches are global batch sizes (training) or concurrent
+	// sequences (inference); nil means {64} and {1} respectively.
+	GlobalBatches []int
+	// Seqs are sequence lengths (training) or prompt lengths (inference);
+	// nil means {2048} and {200}.
+	Seqs []int
+	// GenTokens are generation lengths, inference only; nil means {200}.
+	GenTokens []int
+	// Constraints bound the per-cell mapping enumeration.
+	Constraints Constraints
+	// Workers bounds the engine's pool; zero means GOMAXPROCS. Serial
+	// ignores it.
+	Workers int
+}
+
+func (s Spec) withDefaults() Spec {
+	if len(s.Precisions) == 0 {
+		if s.Workload == Inference {
+			s.Precisions = []tech.Precision{tech.FP16}
+		} else {
+			s.Precisions = []tech.Precision{tech.BF16}
+		}
+	}
+	if len(s.GlobalBatches) == 0 {
+		if s.Workload == Inference {
+			s.GlobalBatches = []int{1}
+		} else {
+			s.GlobalBatches = []int{64}
+		}
+	}
+	if len(s.Seqs) == 0 {
+		if s.Workload == Inference {
+			s.Seqs = []int{200}
+		} else {
+			s.Seqs = []int{2048}
+		}
+	}
+	if len(s.GenTokens) == 0 {
+		s.GenTokens = []int{200}
+	}
+	return s
+}
+
+// Validate checks the grid shape.
+func (s Spec) Validate() error {
+	switch s.Workload {
+	case Training:
+		if len(s.GenTokens) > 0 {
+			return fmt.Errorf("sweep: GenTokens applies to inference sweeps only")
+		}
+		for _, mb := range s.Constraints.Microbatches {
+			if mb <= 0 {
+				return fmt.Errorf("sweep: non-positive microbatch %d", mb)
+			}
+		}
+	case Inference:
+		// Inference maps are fixed to TP = device count (§1.3); reject
+		// the training-only axes rather than silently ignoring them.
+		c := s.Constraints
+		if c.MaxTP != 0 || len(c.Microbatches) > 0 || len(c.Recomputes) > 0 || len(c.Schedules) > 0 {
+			return fmt.Errorf("sweep: MaxTP/Microbatches/Recomputes/Schedules apply to training sweeps only")
+		}
+	default:
+		return fmt.Errorf("sweep: unknown workload %v", s.Workload)
+	}
+	if len(s.Models) == 0 {
+		return fmt.Errorf("sweep: no models")
+	}
+	if len(s.Systems) == 0 {
+		return fmt.Errorf("sweep: no systems")
+	}
+	for _, m := range s.Models {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, sys := range s.Systems {
+		if sys == nil {
+			return fmt.Errorf("sweep: nil system")
+		}
+		if err := sys.Validate(); err != nil {
+			return err
+		}
+	}
+	for _, b := range s.GlobalBatches {
+		if b <= 0 {
+			return fmt.Errorf("sweep: non-positive batch %d", b)
+		}
+	}
+	for _, q := range s.Seqs {
+		if q <= 0 {
+			return fmt.Errorf("sweep: non-positive sequence length %d", q)
+		}
+	}
+	for _, g := range s.GenTokens {
+		if g < 0 {
+			return fmt.Errorf("sweep: negative generation length %d", g)
+		}
+	}
+	return nil
+}
+
+// Point is one fully instantiated candidate experiment.
+type Point struct {
+	Workload  Workload
+	Model     model.Config
+	System    *arch.System
+	Map       parallel.Mapping
+	Recompute memfoot.Recompute
+	Precision tech.Precision
+	// GlobalBatch is the global batch (training) or concurrent sequences
+	// (inference).
+	GlobalBatch int
+	// Seq is the sequence length (training) or prompt length (inference).
+	Seq int
+	// GenTokens is the generation length; inference only.
+	GenTokens int
+
+	// key is the precomputed canonical identity; enumeration fills it so
+	// the engine's hot path never formats strings.
+	key string
+}
+
+// Key canonically identifies everything the evaluation depends on — the
+// memoization and deduplication key. It is always computed from the
+// current field values, so mutated Point copies never alias a stale
+// identity; the engine uses the enumeration-time cache internally.
+func (p Point) Key() string {
+	return p.buildKey(modelToken(p.Model), systemToken(p.System))
+}
+
+// cachedKey returns the enumeration-time key without re-formatting; hot
+// paths use it on points the enumerators built.
+func (p Point) cachedKey() string {
+	if p.key != "" {
+		return p.key
+	}
+	return p.Key()
+}
+
+// modelToken identifies a model configuration: names alone are not enough,
+// since external descriptions can be edited and reloaded under the same
+// name (§3.1), and a collision would silently serve the wrong memoized
+// metrics.
+func modelToken(cfg model.Config) string {
+	return cfg.Name + "#" + fingerprint(cfg)
+}
+
+// systemToken identifies a full system configuration, same rationale.
+func systemToken(sys *arch.System) string {
+	return sys.String() + "#" + fingerprint(*sys)
+}
+
+// fingerprint collapses a configuration struct into a short stable token
+// (fmt renders map fields with sorted keys, so the rendering — and the
+// hash — is deterministic).
+func fingerprint(v any) string {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", v)
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// buildKey assembles the canonical key without fmt: key construction runs
+// once per enumerated candidate and dominated sweep time when it used
+// reflection-based formatting. The model and system tokens are computed
+// once per grid cell by the enumerators.
+func (p Point) buildKey(modelStr, sysStr string) string {
+	sp := 0
+	if p.Map.SP {
+		sp = 1
+	}
+	buf := make([]byte, 0, len(modelStr)+len(sysStr)+64)
+	buf = append(buf, modelStr...)
+	buf = append(buf, '|')
+	buf = append(buf, sysStr...)
+	for _, v := range [...]int{
+		int(p.Workload), p.Map.DP, p.Map.TP, p.Map.PP, sp,
+		p.Map.Microbatch, int(p.Map.Schedule), p.Map.VirtualStages,
+		int(p.Recompute), int(p.Precision), p.GlobalBatch, p.Seq, p.GenTokens,
+	} {
+		buf = append(buf, '|')
+		buf = strconv.AppendInt(buf, int64(v), 10)
+	}
+	return string(buf)
+}
+
+// Metrics is the outcome of costing one point.
+type Metrics struct {
+	// Time is seconds per training batch or end-to-end inference latency.
+	Time float64
+	// MFU is the model-FLOPs utilization; training only.
+	MFU float64
+	// Memory is the per-device training footprint.
+	Memory memfoot.Breakdown
+	// Footprint is the per-device inference footprint.
+	Footprint memfoot.InferenceBreakdown
+	// Fits reports whether the footprint fits device memory.
+	Fits bool
+}
+
+// Row is one ranked result.
+type Row struct {
+	Point   Point
+	Metrics Metrics
+	// order is the enumeration index, the deterministic tie-breaker.
+	order int
+}
+
+// Stats summarizes how the sweep executed.
+type Stats struct {
+	// Enumerated is the candidate count after grid deduplication.
+	Enumerated int
+	// Pruned counts candidates rejected by the memory-feasibility check
+	// before any costing.
+	Pruned int
+	// Evaluated counts full predictor evaluations.
+	Evaluated int
+	// MemoHits counts successful evaluations answered from the
+	// memoization cache (errored cache entries count under Errors).
+	MemoHits int
+	// Errors counts candidates dropped because the predictor rejected
+	// them.
+	Errors int
+	// Workers is the pool size used (1 for Serial).
+	Workers int
+	// Elapsed is the wall-clock sweep time.
+	Elapsed time.Duration
+}
+
+// String renders a one-line execution summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d candidates: %d pruned, %d evaluated, %d memoized, %d errored (%d workers, %s)",
+		s.Enumerated, s.Pruned, s.Evaluated, s.MemoHits, s.Errors, s.Workers,
+		s.Elapsed.Round(time.Millisecond))
+}
+
+// Result is a ranked sweep outcome.
+type Result struct {
+	// Rows are the surviving candidates: fitting first, then by time,
+	// ties broken by enumeration order. Bounded by Constraints.TopK.
+	Rows  []Row
+	Stats Stats
+}
+
+// divisors returns the divisors of n in ascending order.
+func divisors(n int) []int {
+	var out []int
+	for d := 1; d <= n; d++ {
+		if n%d == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// EnumerateTraining lists the candidate training points of one (model,
+// system, batch, seq, precision) grid cell: the feasible (DP, TP, PP, SP,
+// microbatch, schedule, recompute) space under c, in deterministic order.
+func EnumerateTraining(cfg model.Config, sys *arch.System, batch, seq int, prec tech.Precision, c Constraints) []Point {
+	c = c.WithDefaults(sys)
+	devices := sys.NumDevices()
+	modelStr, sysStr := modelToken(cfg), systemToken(sys)
+	var out []Point
+	for _, tp := range divisors(devices) {
+		if tp > c.MaxTP || cfg.Heads%tp != 0 {
+			continue
+		}
+		for _, pp := range divisors(devices / tp) {
+			dp := devices / (tp * pp)
+			for _, mb := range c.Microbatches {
+				if batch%(dp*mb) != 0 {
+					continue
+				}
+				// The schedule is meaningless at PP=1 (no bubble, one
+				// microbatch in flight): keep only the first valid one.
+				pp1Done := false
+				for _, sched := range c.Schedules {
+					if pp == 1 && pp1Done {
+						continue
+					}
+					m := parallel.Mapping{
+						DP: dp, TP: tp, PP: pp, SP: tp > 1,
+						Microbatch: mb, Schedule: sched,
+					}
+					if sched == parallel.Interleaved1F1B {
+						if pp < 2 || cfg.Layers%(pp*2) != 0 {
+							continue
+						}
+						m.VirtualStages = 2
+					}
+					if m.Validate(cfg.Layers, batch) != nil {
+						continue
+					}
+					pp1Done = true
+					for _, rec := range c.Recomputes {
+						p := Point{
+							Workload: Training, Model: cfg, System: sys,
+							Map: m, Recompute: rec, Precision: prec,
+							GlobalBatch: batch, Seq: seq,
+						}
+						p.key = p.buildKey(modelStr, sysStr)
+						out = append(out, p)
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// EnumerateInference lists the candidate inference points of one grid
+// cell. Inference involves only TP across the devices of the system
+// (§1.3), so each cell yields at most one mapping.
+func EnumerateInference(cfg model.Config, sys *arch.System, batch, prompt, gen int, prec tech.Precision) []Point {
+	tp := sys.NumDevices()
+	if cfg.Heads%tp != 0 {
+		return nil
+	}
+	p := Point{
+		Workload: Inference, Model: cfg, System: sys,
+		Map:       parallel.Mapping{DP: 1, TP: tp, PP: 1, SP: tp > 1, Microbatch: 1},
+		Precision: prec, GlobalBatch: batch, Seq: prompt, GenTokens: gen,
+	}
+	p.key = p.buildKey(modelToken(cfg), systemToken(sys))
+	return []Point{p}
+}
+
+// Enumerate expands the full grid into its deduplicated candidate list,
+// in deterministic order.
+func Enumerate(s Spec) []Point {
+	s = s.withDefaults()
+	var out []Point
+	seen := make(map[string]bool)
+	add := func(points []Point) {
+		for _, p := range points {
+			k := p.cachedKey()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			out = append(out, p)
+		}
+	}
+	for _, cfg := range s.Models {
+		for _, sys := range s.Systems {
+			for _, prec := range s.Precisions {
+				for _, batch := range s.GlobalBatches {
+					for _, seq := range s.Seqs {
+						if s.Workload == Inference {
+							for _, gen := range s.GenTokens {
+								add(EnumerateInference(cfg, sys, batch, seq, gen, prec))
+							}
+						} else {
+							add(EnumerateTraining(cfg, sys, batch, seq, prec, s.Constraints))
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Evaluate runs the full cost model on one point.
+func Evaluate(p Point) (Metrics, error) {
+	if p.Workload == Inference {
+		return evaluateInference(p)
+	}
+	return evaluateTraining(p)
+}
+
+func evaluateTraining(p Point) (Metrics, error) {
+	res, err := train.Predict(train.Spec{
+		Model:       p.Model,
+		System:      p.System,
+		Map:         p.Map,
+		GlobalBatch: p.GlobalBatch,
+		Seq:         p.Seq,
+		Precision:   p.Precision,
+		Recompute:   p.Recompute,
+	})
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Metrics{
+		Time:   res.Total,
+		MFU:    res.MFU,
+		Memory: res.MemoryPerDevice,
+		Fits:   memfoot.FitsDevice(res.MemoryPerDevice, p.System.Device.DRAMCapacity()),
+	}, nil
+}
+
+func evaluateInference(p Point) (Metrics, error) {
+	res, err := infer.Predict(infer.Spec{
+		Model:        p.Model,
+		System:       p.System,
+		TP:           p.Map.TP,
+		Batch:        p.GlobalBatch,
+		PromptTokens: p.Seq,
+		GenTokens:    p.GenTokens,
+		Precision:    p.Precision,
+	})
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Metrics{
+		Time:      res.Total,
+		Footprint: res.Footprint,
+		Fits:      res.Fits,
+	}, nil
+}
+
+// Feasible reports whether p fits device memory, using only the footprint
+// model — orders of magnitude cheaper than the full predictor, so the
+// engine runs it before costing and skips candidates it rejects. The
+// verdict matches the Fits field Evaluate would return.
+func Feasible(p Point) (bool, error) {
+	capacity := p.System.Device.DRAMCapacity()
+	if p.Workload == Inference {
+		fp := memfoot.Inference(p.Model, p.Map.TP, p.GlobalBatch, p.Seq+p.GenTokens, p.Precision.Bytes())
+		return fp.Total() <= capacity, nil
+	}
+	bd, err := memfoot.Train(memfoot.TrainSpec{
+		Model: p.Model, Map: p.Map, Seq: p.Seq, GlobalBatch: p.GlobalBatch,
+		Recompute: p.Recompute,
+	})
+	if err != nil {
+		return false, err
+	}
+	return memfoot.FitsDevice(bd, capacity), nil
+}
+
+// rank filters and orders rows: fitting candidates first, then by
+// predicted time, ties broken by enumeration order — fully deterministic
+// regardless of how the rows were produced.
+func rank(rows []Row, c Constraints) []Row {
+	if !c.AllowOverflow {
+		kept := rows[:0]
+		for _, r := range rows {
+			if r.Metrics.Fits {
+				kept = append(kept, r)
+			}
+		}
+		rows = kept
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		if rows[i].Metrics.Fits != rows[j].Metrics.Fits {
+			return rows[i].Metrics.Fits
+		}
+		if rows[i].Metrics.Time != rows[j].Metrics.Time {
+			return rows[i].Metrics.Time < rows[j].Metrics.Time
+		}
+		return rows[i].order < rows[j].order
+	})
+	if c.TopK > 0 && len(rows) > c.TopK {
+		rows = rows[:c.TopK]
+	}
+	return rows
+}
+
+// Serial evaluates the grid one candidate at a time in enumeration order,
+// with no pruning, memoization, or concurrency — the golden reference the
+// concurrent engine must reproduce byte for byte.
+func Serial(s Spec) (Result, error) {
+	start := time.Now()
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	points := Enumerate(s)
+	c := s.Constraints.WithDefaults(firstSystem(s))
+	rows := make([]Row, 0, len(points))
+	stats := Stats{Enumerated: len(points), Workers: 1}
+	for i, p := range points {
+		m, err := Evaluate(p)
+		if err != nil {
+			stats.Errors++
+			continue
+		}
+		stats.Evaluated++
+		rows = append(rows, Row{Point: p, Metrics: m, order: i})
+	}
+	stats.Elapsed = time.Since(start)
+	return Result{Rows: rank(rows, c), Stats: stats}, nil
+}
+
+func firstSystem(s Spec) *arch.System {
+	if len(s.Systems) > 0 {
+		return s.Systems[0]
+	}
+	return nil
+}

@@ -18,12 +18,39 @@
 //	})
 //	fmt.Println(res.Total) // ≈ 19 s per batch (Megatron-LM measured 18.1 s)
 //
+// # Plan sweeps
+//
+// Beyond single predictions, Sweep evaluates whole experiment grids —
+// models × systems × precisions × batch sizes × mappings × schedules ×
+// recomputation regimes — over a bounded worker pool with
+// memory-feasibility pruning and memoization, returning a deterministic
+// ranking (identical at any worker count):
+//
+//	sysA, _ := optimus.NewSystem("a100", 64, "nvlink3", "hdr")
+//	sysH, _ := optimus.NewSystem("h100", 64, "nvlink4", "ndr")
+//	gpt175b, _ := optimus.ModelByName("gpt-175b")
+//	res, _ := optimus.Sweep(context.Background(), optimus.SweepSpec{
+//	    Models:        []optimus.Model{gpt175b},
+//	    Systems:       []*optimus.System{sysA, sysH},
+//	    GlobalBatches: []int{64, 128},
+//	    Constraints:   optimus.PlanConstraints{TopK: 5},
+//	})
+//	for _, row := range res.Rows {
+//	    fmt.Printf("%s %s: %.1f s/batch\n", row.Point.System, row.Point.Map, row.Metrics.Time)
+//	}
+//	fmt.Println(res.Stats) // candidates enumerated / pruned / evaluated
+//
+// Cancel the context to stop a large sweep early; set SweepSpec.Workers
+// to bound the pool (0 means GOMAXPROCS); set Workload to InferenceSweep
+// to rank serving configurations by end-to-end latency instead.
+//
 // The subpackages under internal/ hold the substrates (technology tables,
 // µarch engine, hierarchical roofline, collectives, schedules, footprint
 // model, DSE); this package re-exports the surface a downstream user needs.
 package optimus
 
 import (
+	"context"
 	"io"
 
 	"optimus/internal/arch"
@@ -34,6 +61,7 @@ import (
 	"optimus/internal/model"
 	"optimus/internal/parallel"
 	"optimus/internal/repro"
+	"optimus/internal/sweep"
 	"optimus/internal/tech"
 	"optimus/internal/train"
 	"optimus/internal/uarch"
@@ -83,6 +111,31 @@ type (
 	Schedule = parallel.Schedule
 	// Table is a rendered reproduction of one paper experiment.
 	Table = repro.Table
+
+	// SweepSpec describes a cross-product experiment grid.
+	SweepSpec = sweep.Spec
+	// SweepResult is a ranked grid evaluation with execution statistics.
+	SweepResult = sweep.Result
+	// SweepRow is one ranked sweep candidate.
+	SweepRow = sweep.Row
+	// SweepPoint is one fully instantiated candidate experiment.
+	SweepPoint = sweep.Point
+	// SweepStats summarizes how a sweep executed (enumerated / pruned /
+	// evaluated / memoized counts, workers, wall clock).
+	SweepStats = sweep.Stats
+	// SweepEngine is a reusable sweep evaluator whose memoization cache
+	// persists across runs.
+	SweepEngine = sweep.Engine
+	// SweepWorkload selects the predictor a sweep exercises.
+	SweepWorkload = sweep.Workload
+)
+
+// Sweep workloads.
+const (
+	// TrainingSweep ranks strategies by predicted seconds per batch.
+	TrainingSweep = sweep.Training
+	// InferenceSweep ranks configurations by end-to-end request latency.
+	InferenceSweep = sweep.Inference
 )
 
 // Precisions.
@@ -194,6 +247,23 @@ func ReadSystemJSON(r io.Reader) (*System, error) { return arch.ReadSystem(r) }
 // WriteDeviceJSON exports a device in the external JSON format, so presets
 // can be dumped, edited and reloaded.
 func WriteDeviceJSON(w io.Writer, d Device) error { return arch.WriteDevice(w, d) }
+
+// Sweep evaluates a cross-product experiment grid concurrently: candidates
+// are enumerated deterministically, pruned by the memory-feasibility model
+// before costing, deduplicated and memoized, and ranked fitting-first then
+// by predicted time — the same ranking at any worker count. Cancel ctx to
+// stop a large grid early.
+func Sweep(ctx context.Context, s SweepSpec) (SweepResult, error) { return sweep.Run(ctx, s) }
+
+// SweepSerial evaluates the grid one candidate at a time — the golden
+// reference path the concurrent engine is tested against, and the baseline
+// for its speedup benchmarks.
+func SweepSerial(s SweepSpec) (SweepResult, error) { return sweep.Serial(s) }
+
+// NewSweepEngine returns a reusable sweep evaluator with the given worker
+// count (0 means GOMAXPROCS); successive Run calls share its memoization
+// cache, so overlapping grids are costed once.
+func NewSweepEngine(workers int) *SweepEngine { return sweep.New(workers) }
 
 // Reproduce regenerates one of the paper's experiments ("table1",
 // "table2", "table4", "fig3".."fig9") and returns its rendered table.
