@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench sweep-bench
+.PHONY: check vet build test race bench sweep-bench serve-bench
 
 check: vet build race
 
@@ -25,3 +25,7 @@ bench:
 # The plan-sweep speedup trajectory: parallel must stay ≥3× serial.
 sweep-bench:
 	$(GO) test -run xxx -bench 'BenchmarkSweep' -benchmem .
+
+# Serving-simulator throughput: simulated requests per wall-clock second.
+serve-bench:
+	$(GO) test -run xxx -bench 'BenchmarkServe' -benchmem .

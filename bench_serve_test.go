@@ -1,0 +1,70 @@
+package optimus
+
+import (
+	"testing"
+
+	"optimus/internal/arch"
+	"optimus/internal/model"
+	"optimus/internal/serve"
+	"optimus/internal/tech"
+)
+
+// serveBenchSpec is the serve-bench workload: Llama2-13B on 2 H100s under
+// saturating Poisson load, so every iteration batches several sequences.
+func serveBenchSpec(b *testing.B, requests int) serve.Spec {
+	b.Helper()
+	sys, err := arch.SystemOf(arch.H100(), 2, 8, tech.NVLink4, tech.IBNDR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg, err := model.ByName("Llama2-13B")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return serve.Spec{
+		Model: cfg, System: sys, TP: 2, Precision: tech.FP16,
+		PromptTokens: 200, GenTokens: 200,
+		Arrival: serve.Poisson, Rate: 4, Requests: requests, Seed: 1,
+	}
+}
+
+// BenchmarkServeSimulator reports how many requests the continuous-batching
+// simulator can simulate per wall-clock second — the `make serve-bench`
+// throughput gate alongside the sweep-bench speedup trajectory.
+func BenchmarkServeSimulator(b *testing.B) {
+	const requests = 256
+	spec := serveBenchSpec(b, requests)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last serve.Result
+	for i := 0; i < b.N; i++ {
+		res, err := serve.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(requests*b.N)/b.Elapsed().Seconds(), "sim-req/s")
+	b.ReportMetric(float64(last.Iterations), "iters/run")
+	b.ReportMetric(last.E2E.P95*1e3, "p95-e2e-ms")
+}
+
+// BenchmarkServeSimulatorClosedLoop exercises the closed-loop arrival path
+// (completion-driven arrivals, engine never idle).
+func BenchmarkServeSimulatorClosedLoop(b *testing.B) {
+	const requests = 256
+	spec := serveBenchSpec(b, requests)
+	spec.Arrival = serve.ClosedLoop
+	spec.Rate = 0
+	spec.Clients = 16
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := serve.Run(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(requests*b.N)/b.Elapsed().Seconds(), "sim-req/s")
+}

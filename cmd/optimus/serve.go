@@ -1,0 +1,142 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"optimus"
+	"optimus/internal/tech"
+	"optimus/internal/units"
+)
+
+// cmdServe runs the continuous-batching serving simulator: seeded
+// deterministic arrivals over the step-cost engine, reporting TTFT/TPOT/
+// E2E SLO percentiles (text), per-request timelines (csv), or both (json).
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	modelName := fs.String("model", "llama2-13b", "model preset")
+	device := fs.String("device", "h100", "device preset")
+	deviceFile := fs.String("device-file", "", "JSON device description (overrides -device)")
+	intra := fs.String("intra", "nvlink4", "intra-node fabric")
+	gpus := fs.Int("gpus", 1, "GPU count (= tensor-parallel degree)")
+	prompt := fs.Int("prompt", 200, "prompt tokens per request")
+	gen := fs.Int("gen", 200, "generated tokens per request")
+	prec := fs.String("precision", "fp16", "precision")
+	arrival := fs.String("arrival", "poisson", "arrival process (poisson|closed)")
+	rate := fs.Float64("rate", 1, "Poisson arrival rate in requests/sec")
+	clients := fs.Int("clients", 0, "closed-loop concurrency")
+	requests := fs.Int("requests", 256, "requests to simulate")
+	seed := fs.Int64("seed", 1, "arrival-process seed")
+	maxBatch := fs.Int("max-batch", 0, "iteration batch cap (0 = derive from KV budget)")
+	format := fs.String("format", "text", "output format (text|csv|json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *format {
+	case "text", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (text|csv|json)", *format)
+	}
+
+	cfg, err := optimus.ModelByName(*modelName)
+	if err != nil {
+		return err
+	}
+	sys, err := systemWithOverride(*device, *deviceFile, *gpus, *intra, "ndr")
+	if err != nil {
+		return err
+	}
+	p, err := tech.ParsePrecision(*prec)
+	if err != nil {
+		return err
+	}
+	spec := optimus.ServeSpec{
+		Model: cfg, System: sys, TP: *gpus, Precision: p,
+		PromptTokens: *prompt, GenTokens: *gen,
+		Rate: *rate, Clients: *clients,
+		Requests: *requests, Seed: *seed, MaxBatch: *maxBatch,
+	}
+	// Reject flags the chosen arrival process would silently ignore — a
+	// user who sets them believes they shaped the simulated load.
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	switch *arrival {
+	case "poisson", "open":
+		spec.Arrival = optimus.PoissonArrivals
+		if set["clients"] {
+			return fmt.Errorf("-clients applies to closed-loop arrivals only (-arrival closed)")
+		}
+	case "closed", "closed-loop":
+		spec.Arrival = optimus.ClosedLoopArrivals
+		if set["rate"] {
+			return fmt.Errorf("-rate applies to Poisson arrivals only (-arrival poisson)")
+		}
+	default:
+		return fmt.Errorf("unknown arrival process %q (poisson|closed)", *arrival)
+	}
+
+	res, err := optimus.Serve(spec)
+	if err != nil {
+		return err
+	}
+	return writeServe(os.Stdout, spec, res, *format)
+}
+
+// writeServe renders a serving simulation in the chosen format.
+func writeServe(w io.Writer, spec optimus.ServeSpec, res optimus.ServeResult, format string) error {
+	switch format {
+	case "text":
+		fmt.Fprintf(w, "%s on %d x %s, %s arrivals, %d requests of %d+%d tokens (seed %d)\n",
+			spec.Model.Name, spec.TP, spec.System.Device.Name, spec.Arrival,
+			res.Requests, spec.PromptTokens, spec.GenTokens, spec.Seed)
+		fmt.Fprintf(w, "  makespan           %s over %d iterations\n",
+			units.FormatSeconds(res.SimTime), res.Iterations)
+		fmt.Fprintf(w, "  throughput         %.2f req/s, %.0f tok/s\n",
+			res.ThroughputRPS, res.TokensPerSec)
+		fmt.Fprintf(w, "  batching           mean %.1f, peak %d (cap %d)\n",
+			res.MeanBatch, res.PeakBatch, res.MaxBatch)
+		fmt.Fprintf(w, "  kv-cache           peak %s of %s budget\n",
+			units.FormatBytes(res.PeakKVBytes), units.FormatBytes(res.KVCapacity))
+		fmt.Fprintf(w, "  %-8s %10s %10s %10s %10s %10s\n", "SLO", "p50", "p95", "p99", "mean", "max")
+		for _, row := range []struct {
+			name string
+			p    optimus.ServePercentiles
+		}{
+			{"ttft", res.TTFT}, {"tpot", res.TPOT}, {"e2e", res.E2E}, {"queue", res.Queue},
+		} {
+			fmt.Fprintf(w, "  %-8s %10s %10s %10s %10s %10s\n", row.name,
+				units.FormatSeconds(row.p.P50), units.FormatSeconds(row.p.P95),
+				units.FormatSeconds(row.p.P99), units.FormatSeconds(row.p.Mean),
+				units.FormatSeconds(row.p.Max))
+		}
+		return nil
+	case "csv":
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"id", "arrival_s", "admitted_s", "first_token_s",
+			"done_s", "queue_s", "ttft_s", "tpot_s", "e2e_s"}); err != nil {
+			return err
+		}
+		g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+		for _, m := range res.PerRequest {
+			if err := cw.Write([]string{
+				strconv.Itoa(m.ID), g(m.Arrival), g(m.Admitted), g(m.FirstToken),
+				g(m.Done), g(m.Queue), g(m.TTFT), g(m.TPOT), g(m.E2E),
+			}); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	default:
+		return fmt.Errorf("unknown format %q (text|csv|json)", format)
+	}
+}

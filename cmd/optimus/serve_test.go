@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"optimus"
+)
+
+func TestCmdServe(t *testing.T) {
+	if err := cmdServe([]string{"-model", "llama2-13b", "-gpus", "2", "-rate", "2", "-requests", "32"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdServe([]string{"-arrival", "closed", "-clients", "4", "-requests", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]string{
+		{"-model", "no-such-model"},
+		{"-device", "warp-core"},
+		{"-precision", "fp128"},
+		{"-arrival", "chaotic"},
+		{"-format", "yaml"},
+		{"-rate", "0"},
+		{"-arrival", "closed", "-clients", "0"},
+		{"-arrival", "closed", "-clients", "4", "-rate", "5"},
+		{"-arrival", "poisson", "-rate", "1", "-clients", "8"},
+		{"-model", "llama2-70b", "-device", "a100", "-intra", "nvlink3", "-gpus", "1"},
+	} {
+		if err := cmdServe(bad); err == nil {
+			t.Errorf("args %v should fail", bad)
+		}
+	}
+}
+
+// serveResult runs a small simulation for the encoder tests.
+func serveResult(t *testing.T) (optimus.ServeSpec, optimus.ServeResult) {
+	t.Helper()
+	sys, err := optimus.NewSystem("h100", 1, "nvlink4", "ndr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := optimus.ModelByName("llama2-13b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := optimus.ServeSpec{
+		Model: cfg, System: sys, TP: 1, Precision: optimus.FP16,
+		PromptTokens: 200, GenTokens: 200,
+		Arrival: optimus.PoissonArrivals, Rate: 1, Requests: 24, Seed: 1,
+	}
+	res, err := optimus.Serve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, res
+}
+
+func TestWriteServeCSV(t *testing.T) {
+	spec, res := serveResult(t)
+	var b strings.Builder
+	if err := writeServe(&b, spec, res, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != res.Requests+1 {
+		t.Fatalf("CSV has %d records, want %d requests + header", len(recs), res.Requests)
+	}
+	if recs[0][0] != "id" || recs[1][0] != "0" {
+		t.Errorf("unexpected CSV leader: %v / %v", recs[0], recs[1])
+	}
+}
+
+func TestWriteServeJSON(t *testing.T) {
+	spec, res := serveResult(t)
+	var b strings.Builder
+	if err := writeServe(&b, spec, res, "json"); err != nil {
+		t.Fatal(err)
+	}
+	var doc optimus.ServeResult
+	if err := json.Unmarshal([]byte(b.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Requests != res.Requests || len(doc.PerRequest) != len(res.PerRequest) {
+		t.Errorf("JSON round trip lost requests: %d/%d", doc.Requests, len(doc.PerRequest))
+	}
+	if doc.E2E.P95 != res.E2E.P95 {
+		t.Errorf("JSON round trip changed p95 E2E: %v vs %v", doc.E2E.P95, res.E2E.P95)
+	}
+}

@@ -21,7 +21,7 @@ import (
 // batches × mappings × schedules × recompute regimes).
 func cmdSweep(args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ExitOnError)
-	workload := fs.String("workload", "train", "workload (train|infer)")
+	workload := fs.String("workload", "train", "workload (train|infer|serve)")
 	models := fs.String("models", "gpt-175b", "comma-separated model presets")
 	devices := fs.String("devices", "a100", "comma-separated device presets")
 	gpus := fs.String("gpus", "64", "comma-separated device counts")
@@ -29,7 +29,11 @@ func cmdSweep(args []string) error {
 	inter := fs.String("inter", "hdr", "inter-node fabric")
 	batches := fs.String("batches", "", "comma-separated global batch sizes (default 64; infer: 1)")
 	seqs := fs.String("seqs", "", "comma-separated sequence lengths (default 2048; infer: prompt 200)")
-	gens := fs.String("gen", "", "comma-separated generated-token counts (infer only, default 200)")
+	gens := fs.String("gen", "", "comma-separated generated-token counts (infer/serve, default 200)")
+	rates := fs.String("rates", "", "comma-separated Poisson arrival rates in req/s (serve only, default 1)")
+	caps := fs.String("batch-caps", "", "comma-separated iteration batch caps (serve only, default 0 = derive)")
+	serveReqs := fs.Int("serve-requests", 0, "simulated requests per serving candidate (serve only, default 128)")
+	serveSeed := fs.Int64("serve-seed", 0, "arrival seed per serving candidate (serve only, default 1)")
 	precs := fs.String("precisions", "", "comma-separated GEMM precisions (default bf16; infer fp16)")
 	micros := fs.String("microbatches", "", "comma-separated microbatch sizes (train only, default 1,2,4)")
 	recs := fs.String("recomputes", "", "comma-separated recompute regimes (train only, default none,selective,full)")
@@ -38,6 +42,7 @@ func cmdSweep(args []string) error {
 	topK := fs.Int("top", 20, "rows to keep")
 	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	serial := fs.Bool("serial", false, "use the serial reference path instead of the engine")
+	cache := fs.String("cache", "", "persist the memoization cache to this JSON file (load on start, save on exit)")
 	format := fs.String("format", "text", "output format (text|csv|json)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,13 +66,25 @@ func cmdSweep(args []string) error {
 		spec.Workload = optimus.TrainingSweep
 	case "infer", "inference":
 		spec.Workload = optimus.InferenceSweep
-		// Inference maps are fixed to TP = device count (§1.3), so the
-		// training-only axes would be silently ignored — reject instead.
+	case "serve", "serving":
+		spec.Workload = optimus.ServingSweep
+	default:
+		return fmt.Errorf("unknown workload %q (train|infer|serve)", *workload)
+	}
+	if spec.Workload != optimus.TrainingSweep {
+		// Inference and serving maps are fixed to TP = device count
+		// (§1.3), so the training-only axes would be silently ignored —
+		// reject instead.
 		if *maxTP != 0 || *micros != "" || *recs != "" {
 			return fmt.Errorf("-max-tp, -microbatches and -recomputes apply to training sweeps only")
 		}
-	default:
-		return fmt.Errorf("unknown workload %q (train|infer)", *workload)
+	}
+	if spec.Workload != optimus.ServingSweep {
+		if *rates != "" || *caps != "" || *serveReqs != 0 || *serveSeed != 0 {
+			return fmt.Errorf("-rates, -batch-caps, -serve-requests and -serve-seed apply to serving sweeps only")
+		}
+	} else if *batches != "" {
+		return fmt.Errorf("-batches does not apply to serving sweeps (use -batch-caps)")
 	}
 
 	for _, name := range splitList(*models) {
@@ -99,6 +116,14 @@ func cmdSweep(args []string) error {
 	if spec.GenTokens, err = splitInts(*gens); err != nil {
 		return fmt.Errorf("-gen: %w", err)
 	}
+	if spec.Rates, err = splitFloats(*rates); err != nil {
+		return fmt.Errorf("-rates: %w", err)
+	}
+	if spec.BatchCaps, err = splitInts(*caps); err != nil {
+		return fmt.Errorf("-batch-caps: %w", err)
+	}
+	spec.ServeRequests = *serveReqs
+	spec.ServeSeed = *serveSeed
 	if spec.Constraints.Microbatches, err = splitInts(*micros); err != nil {
 		return fmt.Errorf("-microbatches: %w", err)
 	}
@@ -119,14 +144,39 @@ func cmdSweep(args []string) error {
 
 	var res optimus.SweepResult
 	if *serial {
+		if *cache != "" {
+			return fmt.Errorf("-cache needs the engine path (drop -serial)")
+		}
 		res, err = optimus.SweepSerial(spec)
 	} else {
-		res, err = optimus.Sweep(context.Background(), spec)
+		eng := optimus.NewSweepEngine(*workers)
+		if *cache != "" {
+			if err := eng.LoadCacheFile(*cache); err != nil {
+				return err
+			}
+		}
+		res, err = eng.Run(context.Background(), spec)
+		if err == nil && *cache != "" {
+			err = eng.SaveCacheFile(*cache)
+		}
 	}
 	if err != nil {
 		return err
 	}
 	return writeSweep(os.Stdout, res, spec.Workload, *format)
+}
+
+// splitFloats parses a comma-separated float flag.
+func splitFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range splitList(s) {
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 // splitList parses a comma-separated flag, dropping empty elements.
@@ -169,16 +219,22 @@ type sweepRecord struct {
 	MFU        float64 `json:"mfu"`
 	MemoryGB   float64 `json:"memory_gb"`
 	Fits       bool    `json:"fits"`
+
+	// Serving-only SLO columns (zero elsewhere).
+	Rate         float64 `json:"rate_per_sec,omitempty"`
+	TTFTP95      float64 `json:"ttft_p95_s,omitempty"`
+	TPOTP95      float64 `json:"tpot_p95_s,omitempty"`
+	TokensPerSec float64 `json:"tokens_per_sec,omitempty"`
 }
 
 func sweepRecords(res optimus.SweepResult) []sweepRecord {
 	out := make([]sweepRecord, len(res.Rows))
 	for i, row := range res.Rows {
 		mem := row.Metrics.Memory.Total()
-		if row.Point.Workload == optimus.InferenceSweep {
+		if row.Point.Workload != optimus.TrainingSweep {
 			mem = row.Metrics.Footprint.Total()
 		}
-		out[i] = sweepRecord{
+		rec := sweepRecord{
 			Rank:       i + 1,
 			Model:      row.Point.Model.Name,
 			System:     row.Point.System.String(),
@@ -194,8 +250,28 @@ func sweepRecords(res optimus.SweepResult) []sweepRecord {
 			MemoryGB:   mem / 1e9,
 			Fits:       row.Metrics.Fits,
 		}
+		if row.Point.Workload == optimus.ServingSweep {
+			// The serving "mapping" token carries the whole admission
+			// policy; its commas are why the CSV writer must quote.
+			rec.Mapping = servingMappingToken(row.Point)
+			rec.Rate = row.Point.Rate
+			rec.TTFTP95 = row.Metrics.TTFTP95
+			rec.TPOTP95 = row.Metrics.TPOTP95
+			rec.TokensPerSec = row.Metrics.TokensPerSec
+		}
+		out[i] = rec
 	}
 	return out
+}
+
+// servingMappingToken renders a serving candidate's policy — TP degree,
+// arrival rate and batch cap — as one comma-separated token.
+func servingMappingToken(p optimus.SweepPoint) string {
+	cap := "auto"
+	if p.BatchCap > 0 {
+		cap = strconv.Itoa(p.BatchCap)
+	}
+	return fmt.Sprintf("tp=%d,rate=%g/s,cap=%s", p.Map.TP, p.Rate, cap)
 }
 
 // sweepJSON is the -format json document shape.
@@ -222,10 +298,22 @@ func writeSweep(w io.Writer, res optimus.SweepResult, workload optimus.SweepWork
 		fmt.Fprintf(w, "sweep: %s\n", res.Stats)
 		if len(recs) == 0 {
 			hint := "check batch divisibility and device counts, or try -allow-overflow"
-			if workload == optimus.InferenceSweep {
-				hint = "inference uses TP = device count, so the model's head count must be divisible by -gpus"
+			if workload != optimus.TrainingSweep {
+				hint = "inference and serving use TP = device count, so the model's head count must be divisible by -gpus"
 			}
 			fmt.Fprintf(w, "  no feasible candidates — %s\n", hint)
+			return nil
+		}
+		if workload == optimus.ServingSweep {
+			fmt.Fprintf(w, "  %4s %-12s %-34s %-24s %-5s %9s %10s %10s %10s %10s\n",
+				"rank", "model", "system", "policy", "prec", "seq+gen", "e2e-p95", "ttft-p95", "tpot-p95", "tok/s")
+			for _, r := range recs {
+				fmt.Fprintf(w, "  %4d %-12s %-34s %-24s %-5s %9s %10s %10s %10s %10.0f\n",
+					r.Rank, r.Model, r.System, r.Mapping, r.Precision,
+					strconv.Itoa(r.Seq)+"+"+strconv.Itoa(r.Gen),
+					units.FormatSeconds(r.Seconds), units.FormatSeconds(r.TTFTP95),
+					units.FormatSeconds(r.TPOTP95), r.TokensPerSec)
+			}
 			return nil
 		}
 		fmt.Fprintf(w, "  %4s %-12s %-34s %-28s %3s %-10s %-5s %6s %9s %10s %6s %8s %5s\n",
@@ -245,19 +333,23 @@ func writeSweep(w io.Writer, res optimus.SweepResult, workload optimus.SweepWork
 		}
 		return nil
 	case "csv":
+		// encoding/csv quotes fields containing commas (RFC 4180), which
+		// the serving mapping tokens ("tp=8,rate=2/s,cap=auto") rely on;
+		// TestWriteSweepCSVQuotesServingTokens pins that behavior.
 		cw := csv.NewWriter(w)
 		if err := cw.Write([]string{"rank", "model", "system", "mapping", "microbatch",
-			"recompute", "precision", "batch", "seq", "gen", "seconds", "mfu", "memory_gb", "fits"}); err != nil {
+			"recompute", "precision", "batch", "seq", "gen", "seconds", "mfu", "memory_gb", "fits",
+			"rate_per_sec", "ttft_p95_s", "tpot_p95_s", "tokens_per_sec"}); err != nil {
 			return err
 		}
+		g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 		for _, r := range recs {
 			if err := cw.Write([]string{
 				strconv.Itoa(r.Rank), r.Model, r.System, r.Mapping, strconv.Itoa(r.Microbatch),
 				r.Recompute, r.Precision, strconv.Itoa(r.Batch), strconv.Itoa(r.Seq), strconv.Itoa(r.Gen),
-				strconv.FormatFloat(r.Seconds, 'g', -1, 64),
-				strconv.FormatFloat(r.MFU, 'g', -1, 64),
-				strconv.FormatFloat(r.MemoryGB, 'g', -1, 64),
+				g(r.Seconds), g(r.MFU), g(r.MemoryGB),
 				strconv.FormatBool(r.Fits),
+				g(r.Rate), g(r.TTFTP95), g(r.TPOTP95), g(r.TokensPerSec),
 			}); err != nil {
 				return err
 			}

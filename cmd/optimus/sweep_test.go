@@ -4,6 +4,8 @@ import (
 	"context"
 	"encoding/csv"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -21,6 +23,11 @@ func TestCmdSweep(t *testing.T) {
 		"-intra", "nvlink4", "-gpus", "1,2", "-batches", "1", "-format", "json"}); err != nil {
 		t.Fatal(err)
 	}
+	if err := cmdSweep([]string{"-workload", "serve", "-models", "llama2-13b", "-devices", "h100",
+		"-intra", "nvlink4", "-gpus", "1,2", "-rates", "0.5,2", "-batch-caps", "8",
+		"-serve-requests", "32", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
 	for _, bad := range [][]string{
 		{"-models", "no-such-model"},
 		{"-devices", "warp-core"},
@@ -33,10 +40,42 @@ func TestCmdSweep(t *testing.T) {
 		{"-workload", "infer", "-models", "llama2-13b", "-gpus", "2", "-gen", "-5"},
 		{"-workload", "infer", "-models", "llama2-13b", "-gpus", "2", "-max-tp", "2"},
 		{"-workload", "infer", "-models", "llama2-13b", "-gpus", "2", "-recomputes", "full"},
+		{"-workload", "train", "-models", "gpt-22b", "-gpus", "8", "-rates", "1"},
+		{"-workload", "infer", "-models", "llama2-13b", "-gpus", "2", "-serve-requests", "8"},
+		{"-workload", "serve", "-models", "llama2-13b", "-gpus", "2", "-batches", "4"},
+		{"-workload", "serve", "-models", "llama2-13b", "-gpus", "2", "-rates", "zero"},
+		{"-workload", "serve", "-models", "llama2-13b", "-gpus", "2", "-batch-caps", "four"},
+		{"-workload", "serve", "-models", "llama2-13b", "-gpus", "2", "-serial", "-cache", "x.json"},
 	} {
 		if err := cmdSweep(bad); err == nil {
 			t.Errorf("args %v should fail", bad)
 		}
+	}
+}
+
+// TestCmdSweepCachePersistence: the -cache flag must write a snapshot on
+// exit and serve the next invocation from it.
+func TestCmdSweepCachePersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.json")
+	args := []string{"-models", "gpt-22b", "-gpus", "8", "-batches", "8", "-top", "3", "-cache", path}
+	if err := cmdSweep(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("cache file not written: %v", err)
+	}
+	eng := optimus.NewSweepEngine(1)
+	if err := eng.LoadCache(strings.NewReader(string(data))); err != nil {
+		t.Fatalf("cache file not loadable: %v", err)
+	}
+	if eng.CacheSize() == 0 {
+		t.Error("cache file holds no entries")
+	}
+	// Second run loads the same file; it must not error and must rewrite
+	// the snapshot.
+	if err := cmdSweep(args); err != nil {
+		t.Fatal(err)
 	}
 }
 
@@ -80,6 +119,64 @@ func TestWriteSweepCSV(t *testing.T) {
 	}
 	if recs[0][0] != "rank" || recs[1][0] != "1" {
 		t.Errorf("unexpected CSV leader: %v / %v", recs[0], recs[1])
+	}
+}
+
+// servingSweepResult builds a small serving ranking for the encoder tests.
+func servingSweepResult(t *testing.T) optimus.SweepResult {
+	t.Helper()
+	cfg, err := optimus.ModelByName("llama2-13b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := optimus.NewSystem("h100", 2, "nvlink4", "ndr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := optimus.Sweep(context.Background(), optimus.SweepSpec{
+		Workload: optimus.ServingSweep,
+		Models:   []optimus.Model{cfg}, Systems: []*optimus.System{sys},
+		Rates: []float64{1.5}, BatchCaps: []int{8}, ServeRequests: 24,
+		Constraints: optimus.PlanConstraints{TopK: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("empty serving sweep")
+	}
+	return res
+}
+
+// TestWriteSweepCSVQuotesServingTokens: the serving "mapping" token is
+// comma-separated ("tp=2,rate=1.5/s,cap=8"), so the CSV writer must quote
+// it — a naive comma join would shear the row. The parse-back must return
+// the token intact and keep every record at header width.
+func TestWriteSweepCSVQuotesServingTokens(t *testing.T) {
+	res := servingSweepResult(t)
+	var b strings.Builder
+	if err := writeSweep(&b, res, optimus.ServingSweep, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"tp=2,rate=1.5/s,cap=8"`) {
+		t.Errorf("serving mapping token must be quoted in CSV output:\n%s", out)
+	}
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV with serving tokens must stay parseable: %v", err)
+	}
+	width := len(recs[0])
+	for i, rec := range recs {
+		if len(rec) != width {
+			t.Fatalf("record %d has %d fields, header has %d — comma leaked", i, len(rec), width)
+		}
+	}
+	if got := recs[1][3]; got != "tp=2,rate=1.5/s,cap=8" {
+		t.Errorf("mapping token did not round-trip: %q", got)
+	}
+	if recs[1][14] == "0" || recs[1][15] == "0" {
+		t.Errorf("serving SLO columns missing: %v", recs[1])
 	}
 }
 

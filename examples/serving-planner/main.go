@@ -1,7 +1,9 @@
-// Serving-planner sizes an inference deployment with the model: sweep the
-// §6.1 batch/latency frontier for a model across GPU counts, check
-// KV-cache fit, and price each option per million generated tokens using
-// the energy/TCO extension.
+// Serving-planner sizes an inference deployment with the step-cost
+// engine: decompose a request into its prefill pass and per-token decode
+// steps (optimus.PrefillCost / optimus.DecodeStepCost — the one decode-cost
+// path everything shares), sweep the §6.1 batch/latency frontier across GPU
+// counts, check KV-cache fit, and price each option per million generated
+// tokens using the energy/TCO extension.
 //
 // Run with: go run ./examples/serving-planner [model]
 package main
@@ -44,6 +46,25 @@ func main() {
 				gpus, fp/1e9)
 			continue
 		}
+
+		// The per-step anatomy at batch 1: the prefill pass that emits the
+		// first token, and the first/last decode steps whose spread is the
+		// KV-cache growth tax.
+		pre, err := optimus.PrefillCost(base)
+		if err != nil {
+			log.Fatal(err)
+		}
+		first, err := optimus.DecodeStepCost(base, base.PromptTokens+1, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		last, err := optimus.DecodeStepCost(base, base.PromptTokens+base.GenTokens, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%4d   steps: prefill %.1fms (%.1fms comm), decode %.2f→%.2fms/token\n",
+			gpus, pre.Time()*1e3, pre.Comm*1e3, first.Time()*1e3, last.Time()*1e3)
+
 		pts, err := infer.ThroughputSweep(base, []int{1, 8, 32})
 		if err != nil {
 			log.Fatal(err)
@@ -82,4 +103,6 @@ func main() {
 	fmt.Println("    are latency-bound and amortize over nothing (§6.2).")
 	fmt.Println("  * The cheapest $/Mtok sits at the largest batch that still fits the")
 	fmt.Println("    KV-cache and meets your latency target.")
+	fmt.Println("  * For SLO percentiles under live traffic, run the continuous-batching")
+	fmt.Println("    simulator on the same step costs: examples/serving-capacity.")
 }

@@ -164,62 +164,29 @@ func passCost(s Spec, eng *roofline.Engine, exec kernels.Exec) phaseCost {
 }
 
 // Predict estimates the end-to-end latency of one inference request batch.
+// It is a thin composition over the step-cost engine: one PrefillCost pass
+// plus the trapezoid-integrated sum of GenTokens DecodeStepCost steps
+// (exact, since the per-step cost is linear in the KV length).
 func Predict(s Spec) (Result, error) {
-	if err := s.Validate(); err != nil {
+	coster, err := NewStepCoster(s)
+	if err != nil {
 		return Result{}, err
 	}
-	eng := roofline.New(s.System.Device)
-
-	// Prefill over the prompt.
-	prefillExec := kernels.Exec{
-		Batch:     s.Batch,
-		Seq:       s.PromptTokens,
-		Context:   s.PromptTokens,
-		TP:        s.TP,
-		Flash:     s.Flash,
-		Precision: s.Precision,
-		Phase:     kernels.Prefill,
-	}
-	pre := passCost(s, eng, prefillExec)
-
-	// Decode: evaluate the first, middle and last steps and integrate by
-	// the trapezoid rule — the KV-cache read grows linearly with context,
-	// so three samples reproduce the exact sum.
-	var dec phaseCost
-	if s.GenTokens > 0 {
-		sample := func(ctx int) phaseCost {
-			e := kernels.Exec{
-				Batch:     s.Batch,
-				Seq:       1,
-				Context:   ctx,
-				TP:        s.TP,
-				Flash:     s.Flash,
-				Precision: s.Precision,
-				Phase:     kernels.Decode,
-			}
-			return passCost(s, eng, e)
-		}
-		first := sample(s.PromptTokens + 1)
-		last := sample(s.PromptTokens + s.GenTokens)
-		n := float64(s.GenTokens)
-		dec.device = (first.device + last.device) / 2 * n
-		dec.comm = (first.comm + last.comm) / 2 * n
-		dec.dramBytes = (first.dramBytes + last.dramBytes) / 2 * n
-		dec.wireBytes = (first.wireBytes + last.wireBytes) / 2 * n
-	}
+	pre := coster.Prefill(s.Batch)
+	dec := coster.decodePhase()
 
 	fp := memfoot.Inference(s.Model, s.TP, s.Batch, s.PromptTokens+s.GenTokens, s.Precision.Bytes())
 
 	res := Result{
-		Prefill:        pre.device + pre.comm,
-		Decode:         dec.device + dec.comm,
-		MemoryTime:     dec.device,
-		CommTime:       pre.comm + dec.comm,
-		PrefillCompute: pre.device,
+		Prefill:        pre.Device + pre.Comm,
+		Decode:         dec.Device + dec.Comm,
+		MemoryTime:     dec.Device,
+		CommTime:       pre.Comm + dec.Comm,
+		PrefillCompute: pre.Device,
 		Footprint:      fp,
 		Fits:           fp.Total() <= s.System.Device.DRAMCapacity(),
-		DRAMBytes:      pre.dramBytes + dec.dramBytes,
-		WireBytes:      pre.wireBytes + dec.wireBytes,
+		DRAMBytes:      pre.DRAMBytes + dec.DRAMBytes,
+		WireBytes:      pre.WireBytes + dec.WireBytes,
 	}
 	res.Total = res.Prefill + res.Decode
 	if s.GenTokens > 0 {

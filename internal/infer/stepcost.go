@@ -1,0 +1,142 @@
+package infer
+
+import (
+	"fmt"
+
+	"optimus/internal/kernels"
+	"optimus/internal/roofline"
+)
+
+// StepCost decomposes one inference pass — a prefill over the prompt or a
+// single autoregressive decode step — into the per-phase terms of the
+// paper's Fig. 9: device-side kernel time (compute for prefill,
+// memory-bound streaming for decode, §6.1) and tensor-parallel collective
+// time (Eq. 4), plus the traffic totals the energy model consumes. Keeping
+// the collective term separate per step, rather than amortized over the
+// whole request, follows the communication characterization of
+// arXiv:2507.14392 and is what lets a serving simulator price iterations
+// whose batch composition changes step to step.
+type StepCost struct {
+	// Device is the on-device kernel time: GEMMs, element-wise kernels and
+	// fused attention, summed over the full network pass.
+	Device float64
+	// Comm is the TP collective time of the pass.
+	Comm float64
+	// DRAMBytes is the off-chip traffic per device.
+	DRAMBytes float64
+	// WireBytes is the per-device network traffic.
+	WireBytes float64
+}
+
+// Time is the wall-clock cost of the pass: device plus collective time.
+func (c StepCost) Time() float64 { return c.Device + c.Comm }
+
+// fromPhase converts the internal pass aggregate.
+func fromPhase(p phaseCost) StepCost {
+	return StepCost{Device: p.device, Comm: p.comm, DRAMBytes: p.dramBytes, WireBytes: p.wireBytes}
+}
+
+// StepCoster prices prefill passes and decode steps for one model/system/
+// precision configuration, reusing one roofline engine across calls — the
+// step-cost engine Predict, ThroughputSweep and the serving simulator all
+// compose over. The batch arguments override Spec.Batch, so one coster
+// serves every batch composition a continuous-batching iteration can take.
+type StepCoster struct {
+	spec Spec
+	eng  *roofline.Engine
+}
+
+// NewStepCoster validates the configuration and builds a coster for it.
+func NewStepCoster(s Spec) (*StepCoster, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &StepCoster{spec: s, eng: roofline.New(s.System.Device)}, nil
+}
+
+// Prefill prices one summarization pass over Spec.PromptTokens prompt
+// tokens for a batch of sequences (batch <= 0 means Spec.Batch).
+func (c *StepCoster) Prefill(batch int) StepCost {
+	if batch <= 0 {
+		batch = c.spec.Batch
+	}
+	return fromPhase(passCost(c.spec, c.eng, kernels.Exec{
+		Batch:     batch,
+		Seq:       c.spec.PromptTokens,
+		Context:   c.spec.PromptTokens,
+		TP:        c.spec.TP,
+		Flash:     c.spec.Flash,
+		Precision: c.spec.Precision,
+		Phase:     kernels.Prefill,
+	}))
+}
+
+// DecodeStep prices one autoregressive generation step for a batch of
+// sequences whose attention span — prompt plus tokens generated so far,
+// including the one this step produces — is kvLen (batch <= 0 means
+// Spec.Batch). The cost grows linearly with kvLen through the KV-cache
+// read, so callers may integrate, interpolate, or average over kvLen
+// exactly.
+func (c *StepCoster) DecodeStep(kvLen, batch int) StepCost {
+	if batch <= 0 {
+		batch = c.spec.Batch
+	}
+	return fromPhase(passCost(c.spec, c.eng, kernels.Exec{
+		Batch:     batch,
+		Seq:       1,
+		Context:   kvLen,
+		TP:        c.spec.TP,
+		Flash:     c.spec.Flash,
+		Precision: c.spec.Precision,
+		Phase:     kernels.Decode,
+	}))
+}
+
+// PrefillCost prices the summarization pass of one request batch: the
+// compute/memory/comm decomposition of processing Spec.PromptTokens prompt
+// tokens at Spec.Batch concurrent sequences.
+func PrefillCost(s Spec) (StepCost, error) {
+	c, err := NewStepCoster(s)
+	if err != nil {
+		return StepCost{}, err
+	}
+	return c.Prefill(s.Batch), nil
+}
+
+// DecodeStepCost prices one autoregressive decode step at KV length kvLen
+// for a batch of concurrent sequences. Summing it over
+// kvLen = PromptTokens+1 .. PromptTokens+GenTokens reproduces Predict's
+// decode time (the step cost is linear in kvLen, so the trapezoid closed
+// form Predict uses equals the explicit sum).
+func DecodeStepCost(s Spec, kvLen, batch int) (StepCost, error) {
+	c, err := NewStepCoster(s)
+	if err != nil {
+		return StepCost{}, err
+	}
+	if kvLen <= 0 {
+		return StepCost{}, fmt.Errorf("infer: non-positive KV length %d", kvLen)
+	}
+	if batch <= 0 {
+		return StepCost{}, fmt.Errorf("infer: non-positive decode batch %d", batch)
+	}
+	return c.DecodeStep(kvLen, batch), nil
+}
+
+// decodePhase integrates GenTokens decode steps with the trapezoid rule:
+// the per-step cost is linear in the KV length, so sampling the first and
+// last steps reproduces the exact sum.
+func (c *StepCoster) decodePhase() StepCost {
+	s := c.spec
+	if s.GenTokens <= 0 {
+		return StepCost{}
+	}
+	first := c.DecodeStep(s.PromptTokens+1, s.Batch)
+	last := c.DecodeStep(s.PromptTokens+s.GenTokens, s.Batch)
+	n := float64(s.GenTokens)
+	return StepCost{
+		Device:    (first.Device + last.Device) / 2 * n,
+		Comm:      (first.Comm + last.Comm) / 2 * n,
+		DRAMBytes: (first.DRAMBytes + last.DRAMBytes) / 2 * n,
+		WireBytes: (first.WireBytes + last.WireBytes) / 2 * n,
+	}
+}

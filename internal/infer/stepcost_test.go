@@ -1,0 +1,212 @@
+package infer
+
+import (
+	"math"
+	"testing"
+
+	"optimus/internal/arch"
+	"optimus/internal/model"
+	"optimus/internal/tech"
+	"optimus/internal/valdata"
+)
+
+// table2Grid enumerates the full Table 2 validation grid (models × GPU
+// counts × A100/H100 platforms) as specs.
+func table2Grid(t *testing.T) map[string]Spec {
+	t.Helper()
+	out := make(map[string]Spec)
+	for _, c := range valdata.Table2() {
+		for _, plat := range []struct {
+			name string
+			dev  arch.Device
+			nv   tech.NetworkTech
+		}{
+			{"a100", arch.A100(), tech.NVLink3},
+			{"h100", arch.H100(), tech.NVLink4},
+		} {
+			sys, err := arch.SystemOf(plat.dev, c.GPUs, 8, plat.nv, tech.IBNDR)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg, err := model.ByName(c.Model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[c.Model+"/"+plat.name+"/"+string(rune('0'+c.GPUs))] = Spec{
+				Model: cfg, System: sys, TP: c.GPUs, Batch: 1,
+				PromptTokens: 200, GenTokens: 200, Precision: tech.FP16,
+			}
+		}
+	}
+	return out
+}
+
+// goldenTable2 pins the pre-refactor Predict outputs bit for bit (captured
+// from the monolithic predictor before it was split over the step-cost
+// engine). The refactor must reproduce them exactly.
+var goldenTable2 = []struct {
+	model              string
+	gpus               int
+	platform           string
+	total, pre, decode uint64 // math.Float64bits of the prediction
+}{
+	{"Llama2-70B", 8, "a100", 0x401460cc3197732b, 0x3fa326d990942e58, 0x40143a7e7e764ace},
+	{"Llama2-70B", 8, "h100", 0x400c7f9b9bcd39cc, 0x3f95a7f2ed38d2e2, 0x400c544bb5f2c826},
+	{"Llama2-70B", 4, "a100", 0x401b8c0605cfc3ea, 0x3faad0cc64ec6748, 0x401b56646d05eb1b},
+	{"Llama2-70B", 4, "h100", 0x4011a9c6748002f9, 0x3f992a2d4596f22a, 0x4011909c473a6c07},
+	{"Llama2-70B", 2, "a100", 0x4026c00c9531d090, 0x3fb63925f6962264, 0x4026939a4944a44b},
+	{"Llama2-70B", 2, "h100", 0x401b56c46b6cfae3, 0x3fa1e7962def1dec, 0x401b32f53f111ca7},
+	{"Llama2-13B", 8, "a100", 0x3ffbf69965f041fb, 0x3f87f123b4ca0cb4, 0x3ffbc6b71e86ade2},
+	{"Llama2-13B", 8, "h100", 0x3ff52165cccfc122, 0x3f7fbbbe7281b1a4, 0x3ff501aa0e5d3f70},
+	{"Llama2-13B", 4, "a100", 0x3ffd887d628b7109, 0x3f8b399cd1683ef6, 0x3ffd520a28e8a08b},
+	{"Llama2-13B", 4, "h100", 0x3ff49b066f9daf87, 0x3f7e71aeebf87732, 0x3ff47c94c0b1b710},
+	{"Llama2-13B", 2, "a100", 0x4003f3c23d43271d, 0x3f9332eb0463a81f, 0x4003cd5c673a5fcd},
+	{"Llama2-13B", 2, "h100", 0x3ff9406108ade3ce, 0x3f818f5254fe0c4b, 0x3ff91d426403e7b5},
+	{"Llama2-13B", 1, "a100", 0x40108c4b07686464, 0x3fa011939f04a1a0, 0x40106c27e02a5b21},
+	{"Llama2-13B", 1, "h100", 0x40038eb623690ca8, 0x3f892591f98b1a8a, 0x40037590916f818d},
+	{"Llama2-7B", 8, "a100", 0x3ff42e1ae9effd4d, 0x3f807b5e442c99c9, 0x3ff40d242d67a419},
+	{"Llama2-7B", 8, "h100", 0x3fef493d6925e0be, 0x3f77186a9b2dbe37, 0x3fef1b0c93ef8542},
+	{"Llama2-7B", 4, "a100", 0x3ff34019df235912, 0x3f810dd8f1509406, 0x3ff31dfe2d40b7ea},
+	{"Llama2-7B", 4, "h100", 0x3febedcdc343ad4b, 0x3f74a4e9578724f1, 0x3febc483f0949f01},
+	{"Llama2-7B", 2, "a100", 0x3ff72d17155a764c, 0x3f85e23a4a1aac50, 0x3ff70152a0c640f3},
+	{"Llama2-7B", 2, "h100", 0x3fee53e3c9d30592, 0x3f758b910c4b9dcf, 0x3fee28cca7ba6e56},
+	{"Llama2-7B", 1, "a100", 0x4001bb5fbbc028c1, 0x3f912f1a7fa97656, 0x4001990186c0d5d4},
+	{"Llama2-7B", 1, "h100", 0x3ff5384cc1e24bcf, 0x3f7c0156b37d3db7, 0x3ff51c4b6b2ece91},
+}
+
+// TestPredictMatchesPreRefactorGolden proves the step-cost refactor
+// changed nothing: Predict reproduces the pre-refactor Table 2 predictions
+// bit for bit.
+func TestPredictMatchesPreRefactorGolden(t *testing.T) {
+	for _, g := range goldenTable2 {
+		dev, nv := arch.A100(), tech.NVLink3
+		if g.platform == "h100" {
+			dev, nv = arch.H100(), tech.NVLink4
+		}
+		sys, err := arch.SystemOf(dev, g.gpus, 8, nv, tech.IBNDR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg, err := model.ByName(g.model)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Predict(Spec{
+			Model: cfg, System: sys, TP: g.gpus, Batch: 1,
+			PromptTokens: 200, GenTokens: 200, Precision: tech.FP16,
+		})
+		if err != nil {
+			t.Fatalf("%s %d %s: %v", g.model, g.gpus, g.platform, err)
+		}
+		for _, f := range []struct {
+			name string
+			got  float64
+			want uint64
+		}{
+			{"total", res.Total, g.total},
+			{"prefill", res.Prefill, g.pre},
+			{"decode", res.Decode, g.decode},
+		} {
+			if math.Float64bits(f.got) != f.want {
+				t.Errorf("%s %d GPUs %s %s = %v (bits %016x), want bits %016x",
+					g.model, g.gpus, g.platform, f.name, f.got,
+					math.Float64bits(f.got), f.want)
+			}
+		}
+	}
+}
+
+// TestStepSumMatchesPredict: PrefillCost + Σ DecodeStepCost over
+// kvLen = P+1 .. P+G must match Predict's total to within 1e-9 relative
+// across the whole Table 2 grid — the golden-equivalence guarantee that
+// per-step pricing and the closed form are the same model.
+func TestStepSumMatchesPredict(t *testing.T) {
+	for name, s := range table2Grid(t) {
+		res, err := Predict(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		coster, err := NewStepCoster(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sum := coster.Prefill(s.Batch).Time()
+		var decodeSum float64
+		for kv := s.PromptTokens + 1; kv <= s.PromptTokens+s.GenTokens; kv++ {
+			decodeSum += coster.DecodeStep(kv, s.Batch).Time()
+		}
+		sum += decodeSum
+		if rel := math.Abs(sum-res.Total) / res.Total; rel > 1e-9 {
+			t.Errorf("%s: step sum %v vs Predict total %v (rel err %g > 1e-9)",
+				name, sum, res.Total, rel)
+		}
+		if rel := math.Abs(decodeSum-res.Decode) / res.Decode; rel > 1e-9 {
+			t.Errorf("%s: decode step sum %v vs Predict decode %v (rel err %g > 1e-9)",
+				name, decodeSum, res.Decode, rel)
+		}
+	}
+}
+
+// TestDecodeStepLinearInKV: the decode step cost must be linear in the KV
+// length over the serving range — the property both the trapezoid closed
+// form and the simulator's mean-KV batch pricing rely on.
+func TestDecodeStepLinearInKV(t *testing.T) {
+	sys, err := arch.SystemOf(arch.A100(), 2, 8, tech.NVLink3, tech.IBNDR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := model.ByName("Llama2-13B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Spec{Model: cfg, System: sys, TP: 2, Batch: 4,
+		PromptTokens: 200, GenTokens: 200, Precision: tech.FP16}
+	coster, err := NewStepCoster(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo := coster.DecodeStep(201, 4).Time()
+	mid := coster.DecodeStep(300, 4).Time()
+	hi := coster.DecodeStep(399, 4).Time()
+	if rel := math.Abs(mid-(lo+hi)/2) / mid; rel > 1e-9 {
+		t.Errorf("decode step not linear in kvLen: mid %v vs interpolated %v (rel %g)",
+			mid, (lo+hi)/2, rel)
+	}
+}
+
+// TestStepCostAPIValidates: the package-level step-cost entry points must
+// reject the same malformed specs Predict rejects, plus bad step shapes.
+func TestStepCostAPIValidates(t *testing.T) {
+	sys, err := arch.SystemOf(arch.A100(), 1, 8, tech.NVLink3, tech.IBNDR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := model.ByName("Llama2-13B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := Spec{Model: cfg, System: sys, TP: 1, Batch: 1,
+		PromptTokens: 200, GenTokens: 200, Precision: tech.FP16}
+
+	if _, err := PrefillCost(good); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+	bad := good
+	bad.TP = 3
+	if _, err := PrefillCost(bad); err == nil {
+		t.Error("TP/system mismatch should error")
+	}
+	if _, err := DecodeStepCost(good, 0, 1); err == nil {
+		t.Error("zero KV length should error")
+	}
+	if _, err := DecodeStepCost(good, 201, 0); err == nil {
+		t.Error("zero batch should error")
+	}
+	c, err := DecodeStepCost(good, 201, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Time() <= 0 || c.Time() != c.Device+c.Comm || c.DRAMBytes <= 0 {
+		t.Errorf("malformed step cost: %+v", c)
+	}
+}

@@ -3,6 +3,8 @@ package infer
 import (
 	"fmt"
 	"sort"
+
+	"optimus/internal/memfoot"
 )
 
 // ThroughputPoint is one batch size's latency/throughput trade-off
@@ -24,9 +26,12 @@ type ThroughputPoint struct {
 }
 
 // ThroughputSweep evaluates the latency/throughput frontier over the given
-// batch sizes (defaults to powers of two up to 64).
+// batch sizes (defaults to powers of two up to 64). All batches share one
+// step-cost engine: per batch, one prefill pass plus the trapezoid sum of
+// the decode steps — the same composition Predict uses.
 func ThroughputSweep(base Spec, batches []int) ([]ThroughputPoint, error) {
-	if err := base.Validate(); err != nil {
+	coster, err := NewStepCoster(base)
+	if err != nil {
 		return nil, err
 	}
 	if base.GenTokens <= 0 {
@@ -38,23 +43,26 @@ func ThroughputSweep(base Spec, batches []int) ([]ThroughputPoint, error) {
 	sorted := append([]int(nil), batches...)
 	sort.Ints(sorted)
 
+	capacity := base.System.Device.DRAMCapacity()
 	out := make([]ThroughputPoint, 0, len(sorted))
 	for _, b := range sorted {
 		if b <= 0 {
 			return nil, fmt.Errorf("infer: non-positive batch %d in sweep", b)
 		}
-		spec := base
-		spec.Batch = b
-		res, err := Predict(spec)
-		if err != nil {
-			return nil, err
-		}
+		c := *coster
+		c.spec.Batch = b
+		pre := c.Prefill(b)
+		dec := c.decodePhase()
+		decode := dec.Device + dec.Comm
+		total := (pre.Device + pre.Comm) + decode
+		n := float64(base.GenTokens)
+		fp := memfoot.Inference(base.Model, base.TP, b, base.PromptTokens+base.GenTokens, base.Precision.Bytes())
 		out = append(out, ThroughputPoint{
 			Batch:        b,
-			Latency:      res.Total,
-			TokensPerSec: float64(b*spec.GenTokens) / res.Total,
-			PerTokenMs:   res.PerToken * 1e3,
-			Fits:         res.Fits,
+			Latency:      total,
+			TokensPerSec: float64(b*base.GenTokens) / total,
+			PerTokenMs:   decode / n * 1e3,
+			Fits:         fp.Total() <= capacity,
 		})
 	}
 	return out, nil

@@ -1,0 +1,493 @@
+// Package serve simulates continuous-batching LLM serving on top of the
+// step-cost engine of internal/infer. It is a discrete-event simulator in
+// the style the paper's §7 sketches as future work and RAPID-LLM
+// (arXiv:2512.19606) builds at infrastructure scale: requests arrive by a
+// seeded deterministic process (open-loop Poisson or closed-loop clients),
+// queue for KV-cache capacity, and are batched at iteration granularity —
+// every engine step admits waiting requests up to the batch cap and KV
+// budget, prices the resulting mixed prefill/decode iteration with
+// infer.PrefillCost / infer.DecodeStepCost, and advances the clock by that
+// analytic cost. No wall-clock time, goroutines, or maps in the event path:
+// runs are byte-identical across repeated invocations at a fixed seed and
+// any GOMAXPROCS.
+//
+// The simulator reports per-request TTFT (time to first token — queueing
+// delay plus the prefill pass that emits it), TPOT (time per output token
+// over the decode steps), and E2E latency, with p50/p95/p99 percentiles —
+// the SLO surface capacity planning ranks on. KV-cache admission reserves
+// each request's full prompt+generation context up front (no paging;
+// paged/disaggregated variants are follow-ons the step-cost split makes
+// expressible).
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"optimus/internal/arch"
+	"optimus/internal/comm"
+	"optimus/internal/infer"
+	"optimus/internal/memfoot"
+	"optimus/internal/model"
+	"optimus/internal/tech"
+)
+
+// Arrival selects the request arrival process.
+type Arrival int
+
+const (
+	// Poisson is an open-loop process: exponential interarrivals at Rate
+	// requests/sec, independent of service progress.
+	Poisson Arrival = iota
+	// ClosedLoop models Clients concurrent users with zero think time:
+	// each issues its next request the moment the previous one completes.
+	ClosedLoop
+)
+
+// String names the arrival process.
+func (a Arrival) String() string {
+	switch a {
+	case Poisson:
+		return "poisson"
+	case ClosedLoop:
+		return "closed-loop"
+	default:
+		return fmt.Sprintf("Arrival(%d)", int(a))
+	}
+}
+
+// Spec fixes one serving-simulation experiment.
+type Spec struct {
+	// Model, System, TP, Precision, Algorithm and Flash configure the
+	// step-cost engine exactly as in infer.Spec.
+	Model     model.Config
+	System    *arch.System
+	TP        int
+	Precision tech.Precision
+	Algorithm comm.Algorithm
+	Flash     bool
+
+	// PromptTokens and GenTokens shape every request (the paper's Table 2
+	// uses 200/200).
+	PromptTokens int
+	GenTokens    int
+
+	// Arrival selects the request process; the zero value is Poisson.
+	Arrival Arrival
+	// Rate is the Poisson arrival rate in requests/sec.
+	Rate float64
+	// Clients is the closed-loop concurrency.
+	Clients int
+	// Requests is the number of requests to simulate; zero means 256.
+	Requests int
+	// Seed drives the arrival process; runs with equal seeds are
+	// byte-identical.
+	Seed int64
+
+	// MaxBatch caps concurrent sequences per iteration; zero derives the
+	// largest batch whose full-context KV fits the KV budget.
+	MaxBatch int
+	// KVCapacity overrides the per-device KV-cache budget in bytes; zero
+	// derives it as device DRAM minus the TP-sharded weights.
+	KVCapacity float64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Requests == 0 {
+		s.Requests = 256
+	}
+	return s
+}
+
+// inferSpec builds the step-cost configuration of one request.
+func (s Spec) inferSpec() infer.Spec {
+	return infer.Spec{
+		Model: s.Model, System: s.System, TP: s.TP, Batch: 1,
+		PromptTokens: s.PromptTokens, GenTokens: s.GenTokens,
+		Precision: s.Precision, Algorithm: s.Algorithm, Flash: s.Flash,
+	}
+}
+
+// kvBudget resolves the per-device KV-cache budget and the per-request
+// full-context reservation, both from the memfoot inference model so the
+// admission policy can never diverge from the footprint the predictors
+// check against.
+func (s Spec) kvBudget() (budget, perRequest float64) {
+	fp := memfoot.Inference(s.Model, s.TP, 1, s.PromptTokens+s.GenTokens, s.Precision.Bytes())
+	budget = s.KVCapacity
+	if budget <= 0 {
+		budget = s.System.Device.DRAMCapacity() - fp.Weights
+	}
+	return budget, fp.KVCache
+}
+
+// Validate checks the experiment, including that at least one request's
+// weights + full-context KV-cache fit the device (Feasible's verdict).
+func (s Spec) Validate() error {
+	s = s.withDefaults()
+	if err := s.inferSpec().Validate(); err != nil {
+		return err
+	}
+	switch s.Arrival {
+	case Poisson:
+		// Negated-positive form so NaN (which fails every comparison, and
+		// would stall the event loop with NaN arrival times) is rejected.
+		if !(s.Rate > 0) || math.IsInf(s.Rate, 0) {
+			return fmt.Errorf("serve: Poisson arrivals need a positive finite rate, got %g", s.Rate)
+		}
+	case ClosedLoop:
+		if s.Clients <= 0 {
+			return fmt.Errorf("serve: closed-loop arrivals need positive clients, got %d", s.Clients)
+		}
+	default:
+		return fmt.Errorf("serve: unknown arrival process %v", s.Arrival)
+	}
+	switch {
+	case s.Requests < 0:
+		return fmt.Errorf("serve: negative request count %d", s.Requests)
+	case s.GenTokens < 1:
+		return fmt.Errorf("serve: serving needs at least one generated token, got %d", s.GenTokens)
+	case s.MaxBatch < 0:
+		return fmt.Errorf("serve: negative batch cap %d", s.MaxBatch)
+	case s.KVCapacity < 0:
+		return fmt.Errorf("serve: negative KV capacity %g", s.KVCapacity)
+	}
+	if !Feasible(s) {
+		return fmt.Errorf("serve: one %d-token request does not fit the device (weights + KV-cache exceed %g bytes)",
+			s.PromptTokens+s.GenTokens, s.System.Device.DRAMCapacity())
+	}
+	return nil
+}
+
+// Feasible reports whether a single request can ever be admitted: the
+// TP-sharded weights plus one full-context KV reservation fit the KV
+// budget. The sweep engine uses it to prune hopeless grid cells before
+// simulating; its verdict matches whether Run would reject the spec.
+func Feasible(s Spec) bool {
+	budget, perRequest := s.kvBudget()
+	return budget > 0 && perRequest <= budget
+}
+
+// maxBatch resolves the iteration batch cap: the user's cap, bounded by
+// how many full-context reservations the KV budget holds.
+func (s Spec) maxBatch() int {
+	budget, perRequest := s.kvBudget()
+	fit := int(budget / perRequest)
+	if s.MaxBatch > 0 && s.MaxBatch < fit {
+		return s.MaxBatch
+	}
+	return fit
+}
+
+// RequestMetrics is one completed request's timeline.
+type RequestMetrics struct {
+	// ID is the arrival index (0-based).
+	ID int
+	// Arrival, Admitted, FirstToken and Done are simulation timestamps.
+	Arrival    float64
+	Admitted   float64
+	FirstToken float64
+	Done       float64
+	// Queue is the admission delay (Admitted - Arrival).
+	Queue float64
+	// TTFT is the time to first token (FirstToken - Arrival).
+	TTFT float64
+	// TPOT is the mean time per output token after the first.
+	TPOT float64
+	// E2E is the end-to-end latency (Done - Arrival).
+	E2E float64
+}
+
+// Percentiles summarizes one latency distribution.
+type Percentiles struct {
+	P50, P95, P99 float64
+	Mean, Max     float64
+}
+
+// percentiles computes nearest-rank percentiles over a sorted sample.
+func percentiles(sorted []float64) Percentiles {
+	if len(sorted) == 0 {
+		return Percentiles{}
+	}
+	rank := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	return Percentiles{
+		P50:  rank(0.50),
+		P95:  rank(0.95),
+		P99:  rank(0.99),
+		Mean: sum / float64(len(sorted)),
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// Result is the outcome of one serving simulation.
+type Result struct {
+	// Requests is the completed request count.
+	Requests int
+	// SimTime is the simulated makespan (time of the last completion).
+	SimTime float64
+	// Iterations is the number of priced batching iterations.
+	Iterations int
+	// ThroughputRPS is completed requests per simulated second.
+	ThroughputRPS float64
+	// TokensPerSec is aggregate generated tokens per simulated second.
+	TokensPerSec float64
+
+	// TTFT, TPOT, E2E and Queue are the SLO percentile summaries.
+	TTFT  Percentiles
+	TPOT  Percentiles
+	E2E   Percentiles
+	Queue Percentiles
+
+	// MeanBatch is the mean concurrent-sequence count over iterations;
+	// PeakBatch its maximum.
+	MeanBatch float64
+	PeakBatch int
+	// PeakKVBytes is the high-water per-device KV reservation.
+	PeakKVBytes float64
+	// MaxBatch and KVCapacity echo the resolved admission limits.
+	MaxBatch   int
+	KVCapacity float64
+
+	// PerRequest holds every completed request, ordered by arrival index.
+	PerRequest []RequestMetrics
+}
+
+// request is the in-flight simulator state of one sequence.
+type request struct {
+	id      int
+	arrival float64
+	// admitted and firstToken are timestamps filled as the request moves
+	// through the pipeline.
+	admitted   float64
+	firstToken float64
+	// produced counts generated tokens; 0 means the prefill pass is still
+	// pending.
+	produced int
+}
+
+// Run executes the simulation. It is fully deterministic: the only
+// randomness is the seeded arrival process, and the event loop is a single
+// goroutine over slices in arrival order.
+func Run(s Spec) (Result, error) {
+	s = s.withDefaults()
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	coster, err := infer.NewStepCoster(s.inferSpec())
+	if err != nil {
+		return Result{}, err
+	}
+	// The step cost is linear in the KV length at fixed batch
+	// (TestDecodeStepLinearInKV) and the prefill cost is fixed per batch,
+	// so each batch size needs at most three kernel-enumeration passes;
+	// every further iteration prices in O(1). Plain float math on cached
+	// samples, so determinism is untouched.
+	kv0, kv1 := s.PromptTokens+1, s.PromptTokens+s.GenTokens
+	prefillCache := make(map[int]float64)
+	prefill := func(batch int) float64 {
+		t, ok := prefillCache[batch]
+		if !ok {
+			t = coster.Prefill(batch).Time()
+			prefillCache[batch] = t
+		}
+		return t
+	}
+	type decodeLine struct{ base, slope float64 }
+	decodeCache := make(map[int]decodeLine)
+	// decode prices one step at a possibly fractional mean KV length — the
+	// linear model makes mean-of-batch pricing exact without rounding.
+	decode := func(kvMean float64, batch int) float64 {
+		ln, ok := decodeCache[batch]
+		if !ok {
+			ln.base = coster.DecodeStep(kv0, batch).Time()
+			if kv1 > kv0 {
+				ln.slope = (coster.DecodeStep(kv1, batch).Time() - ln.base) / float64(kv1-kv0)
+			}
+			decodeCache[batch] = ln
+		}
+		return ln.base + ln.slope*(kvMean-float64(kv0))
+	}
+
+	budget, perRequest := s.kvBudget()
+	batchCap := s.maxBatch()
+
+	// Open-loop arrivals are pre-generated; closed-loop ones are issued on
+	// completion.
+	var arrivals []float64
+	issued := 0
+	if s.Arrival == Poisson {
+		rng := rand.New(rand.NewSource(s.Seed))
+		t := 0.0
+		arrivals = make([]float64, s.Requests)
+		for i := range arrivals {
+			t += rng.ExpFloat64() / s.Rate
+			arrivals[i] = t
+		}
+		issued = s.Requests
+	}
+
+	var (
+		now        float64
+		queue      []*request // FIFO, arrival order
+		running    []*request // admission order
+		nextArr    int        // next pre-generated arrival index
+		done       []RequestMetrics
+		iterations int
+		batchSum   float64
+		peakBatch  int
+		peakKV     float64
+	)
+	done = make([]RequestMetrics, 0, s.Requests)
+
+	// enqueue issues request id at time t.
+	enqueue := func(id int, t float64) {
+		queue = append(queue, &request{id: id, arrival: t})
+	}
+	// admitArrived moves every pre-generated arrival with time <= now into
+	// the queue (iteration-level batching: requests landing mid-iteration
+	// wait for the next boundary).
+	admitArrived := func() {
+		for nextArr < len(arrivals) && arrivals[nextArr] <= now {
+			enqueue(nextArr, arrivals[nextArr])
+			nextArr++
+		}
+	}
+
+	if s.Arrival == ClosedLoop {
+		clients := s.Clients
+		if clients > s.Requests {
+			clients = s.Requests
+		}
+		for i := 0; i < clients; i++ {
+			enqueue(i, 0)
+		}
+		issued = clients
+	}
+
+	for len(done) < s.Requests {
+		admitArrived()
+		// Idle: jump to the next arrival.
+		if len(running) == 0 && len(queue) == 0 {
+			if nextArr >= len(arrivals) {
+				return Result{}, fmt.Errorf("serve: simulation stalled with %d/%d requests done", len(done), s.Requests)
+			}
+			now = arrivals[nextArr]
+			admitArrived()
+		}
+
+		// Admit waiting requests up to the batch cap and KV budget. Each
+		// admission reserves the full prompt+generation context.
+		kvUsed := perRequest * float64(len(running))
+		newbies := 0
+		for len(queue) > 0 && len(running) < batchCap && kvUsed+perRequest <= budget {
+			r := queue[0]
+			queue = queue[1:]
+			r.admitted = now
+			running = append(running, r)
+			kvUsed += perRequest
+			newbies++
+		}
+		if kvUsed > peakKV {
+			peakKV = kvUsed
+		}
+		if len(running) > peakBatch {
+			peakBatch = len(running)
+		}
+
+		// Price the iteration: one prefill pass over the newly admitted
+		// sequences plus one decode step over the established ones. The
+		// decode batch is priced at its mean KV length — exact under the
+		// step cost's linearity in kvLen (TestDecodeStepLinearInKV).
+		deciders := running[:len(running)-newbies]
+		var iterTime float64
+		if newbies > 0 {
+			iterTime += prefill(newbies)
+		}
+		if len(deciders) > 0 {
+			kvSum := 0
+			for _, r := range deciders {
+				// The step generating token produced+1 attends over the
+				// prompt plus every generated token including the new one.
+				kvSum += s.PromptTokens + r.produced + 1
+			}
+			iterTime += decode(float64(kvSum)/float64(len(deciders)), len(deciders))
+		}
+		iterations++
+		batchSum += float64(len(running))
+		now += iterTime
+
+		// Advance sequences: prefill emits the first token, decode steps
+		// one more each; completed requests leave and free their KV.
+		kept := running[:0]
+		for _, r := range running {
+			r.produced++
+			if r.produced == 1 {
+				r.firstToken = now
+			}
+			if r.produced < s.GenTokens {
+				kept = append(kept, r)
+				continue
+			}
+			m := RequestMetrics{
+				ID: r.id, Arrival: r.arrival, Admitted: r.admitted,
+				FirstToken: r.firstToken, Done: now,
+				Queue: r.admitted - r.arrival,
+				TTFT:  r.firstToken - r.arrival,
+				E2E:   now - r.arrival,
+			}
+			if s.GenTokens > 1 {
+				m.TPOT = (now - r.firstToken) / float64(s.GenTokens-1)
+			}
+			done = append(done, m)
+			if s.Arrival == ClosedLoop && issued < s.Requests {
+				enqueue(issued, now)
+				issued++
+			}
+		}
+		running = kept
+	}
+
+	sort.Slice(done, func(i, j int) bool { return done[i].ID < done[j].ID })
+	res := Result{
+		Requests:    len(done),
+		SimTime:     now,
+		Iterations:  iterations,
+		MeanBatch:   batchSum / float64(iterations),
+		PeakBatch:   peakBatch,
+		PeakKVBytes: peakKV,
+		MaxBatch:    batchCap,
+		KVCapacity:  budget,
+		PerRequest:  done,
+	}
+	if now > 0 {
+		res.ThroughputRPS = float64(len(done)) / now
+		res.TokensPerSec = float64(len(done)*s.GenTokens) / now
+	}
+	res.TTFT = metricPercentiles(done, func(m RequestMetrics) float64 { return m.TTFT })
+	res.TPOT = metricPercentiles(done, func(m RequestMetrics) float64 { return m.TPOT })
+	res.E2E = metricPercentiles(done, func(m RequestMetrics) float64 { return m.E2E })
+	res.Queue = metricPercentiles(done, func(m RequestMetrics) float64 { return m.Queue })
+	return res, nil
+}
+
+// metricPercentiles extracts and summarizes one per-request metric.
+func metricPercentiles(done []RequestMetrics, f func(RequestMetrics) float64) Percentiles {
+	vals := make([]float64, len(done))
+	for i, m := range done {
+		vals[i] = f(m)
+	}
+	sort.Float64s(vals)
+	return percentiles(vals)
+}

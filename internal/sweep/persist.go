@@ -1,0 +1,145 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// cacheFileVersion guards the on-disk format; bump it when Metrics or the
+// canonical Point.Key change incompatibly.
+const cacheFileVersion = 1
+
+// costModelVersion stamps the predictors behind the cached numbers. The
+// Point.Key fingerprints configurations, not the cost model itself, so a
+// snapshot written by a binary with different kernel/roofline/simulator
+// math would silently serve stale metrics (and break the engine==serial
+// guarantee) if it were accepted. Bump on ANY change that can alter a
+// predictor's output for an unchanged Point.
+const costModelVersion = "pr2-stepcost-serving"
+
+// cacheFile is the on-disk memoization snapshot: successful evaluations
+// keyed by the canonical Point.Key. Keys already fingerprint the full
+// model and system configuration, so stale entries for edited
+// configurations can never be served — they simply stop matching.
+type cacheFile struct {
+	Version   int                `json:"version"`
+	CostModel string             `json:"cost_model"`
+	Entries   map[string]Metrics `json:"entries"`
+}
+
+// SaveCache writes every completed, successful evaluation in the memo as
+// JSON. In-flight and errored entries are skipped: an error is cheap to
+// rediscover and may be transient across binary versions.
+func (e *Engine) SaveCache(w io.Writer) error {
+	e.mu.Lock()
+	snapshot := make([]*memoEntry, 0, len(e.memo))
+	keys := make([]string, 0, len(e.memo))
+	for k, ent := range e.memo {
+		snapshot = append(snapshot, ent)
+		keys = append(keys, k)
+	}
+	e.mu.Unlock()
+
+	out := cacheFile{
+		Version:   cacheFileVersion,
+		CostModel: costModelVersion,
+		Entries:   make(map[string]Metrics, len(keys)),
+	}
+	for i, ent := range snapshot {
+		select {
+		case <-ent.done:
+		default:
+			continue // still being evaluated
+		}
+		if ent.err != nil {
+			continue
+		}
+		out.Entries[keys[i]] = ent.m
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(out); err != nil {
+		return fmt.Errorf("sweep: save cache: %w", err)
+	}
+	return nil
+}
+
+// LoadCache merges a SaveCache snapshot into the memo. Entries already in
+// the memo win — they were computed by this process and are at least as
+// fresh. Unknown versions are rejected rather than misread.
+func (e *Engine) LoadCache(r io.Reader) error {
+	var in cacheFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return fmt.Errorf("sweep: load cache: %w", err)
+	}
+	if in.Version != cacheFileVersion {
+		return fmt.Errorf("sweep: cache version %d unsupported (want %d)", in.Version, cacheFileVersion)
+	}
+	if in.CostModel != costModelVersion {
+		return fmt.Errorf("sweep: cache written by cost model %q, this binary is %q — delete the cache file",
+			in.CostModel, costModelVersion)
+	}
+	closed := make(chan struct{})
+	close(closed)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for k, m := range in.Entries {
+		if _, ok := e.memo[k]; ok {
+			continue
+		}
+		e.memo[k] = &memoEntry{done: closed, m: m}
+	}
+	return nil
+}
+
+// LoadCacheFile loads a cache snapshot from disk; a missing file is not an
+// error (first run of a cached workflow).
+func (e *Engine) LoadCacheFile(path string) error {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("sweep: load cache: %w", err)
+	}
+	defer f.Close()
+	return e.LoadCache(f)
+}
+
+// SaveCacheFile atomically writes the cache snapshot to disk (temp file +
+// rename, so a crashed run never leaves a truncated cache).
+func (e *Engine) SaveCacheFile(path string) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".sweep-cache-*")
+	if err != nil {
+		return fmt.Errorf("sweep: save cache: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := e.SaveCache(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sweep: save cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("sweep: save cache: %w", err)
+	}
+	return nil
+}
+
+// dirOf returns the directory of path for CreateTemp. A separator-free
+// path must map to "." (the rename target's directory), not "" — CreateTemp
+// treats "" as os.TempDir(), which can sit on a different filesystem and
+// make the final rename fail with EXDEV (and non-atomic even when it
+// works).
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if os.IsPathSeparator(path[i]) {
+			return path[:i+1]
+		}
+	}
+	return "."
+}

@@ -1,0 +1,183 @@
+package sweep
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"optimus/internal/arch"
+	"optimus/internal/model"
+	"optimus/internal/tech"
+)
+
+// trainSpec0 is a small training grid for persistence tests.
+func trainSpec0(t *testing.T) Spec {
+	t.Helper()
+	cfg, err := model.ByName("gpt-22b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := arch.SystemOf(arch.A100(), 8, 8, tech.NVLink3, tech.IBHDR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Spec{
+		Models: []model.Config{cfg}, Systems: []*arch.System{sys},
+		GlobalBatches: []int{8},
+		Constraints:   Constraints{TopK: 10},
+	}
+}
+
+// TestCacheRoundTrip: a cold engine loading another engine's saved cache
+// must answer the whole grid from the memo and reproduce the ranking.
+func TestCacheRoundTrip(t *testing.T) {
+	spec := trainSpec0(t)
+	path := filepath.Join(t.TempDir(), "cache.json")
+
+	warm := New(2)
+	first, err := warm.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Stats.Evaluated == 0 {
+		t.Fatal("expected evaluations on a cold engine")
+	}
+	if err := warm.SaveCacheFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	cold := New(2)
+	if err := cold.LoadCacheFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheSize() != first.Stats.Evaluated {
+		t.Errorf("loaded %d entries, want %d", cold.CacheSize(), first.Stats.Evaluated)
+	}
+	second, err := cold.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.Evaluated != 0 {
+		t.Errorf("cached run re-evaluated %d candidates", second.Stats.Evaluated)
+	}
+	if second.Stats.MemoHits != first.Stats.Evaluated {
+		t.Errorf("cached run hit %d, want %d", second.Stats.MemoHits, first.Stats.Evaluated)
+	}
+	if !reflect.DeepEqual(first.Rows, second.Rows) {
+		t.Error("cached ranking must match the original")
+	}
+}
+
+// TestCacheRoundTripServing: serving metrics (SLO percentiles, simulated
+// throughput) must survive the disk round trip untouched.
+func TestCacheRoundTripServing(t *testing.T) {
+	spec := servingSpec0(t)
+	path := filepath.Join(t.TempDir(), "cache.json")
+
+	warm := New(2)
+	first, err := warm.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := warm.SaveCacheFile(path); err != nil {
+		t.Fatal(err)
+	}
+	cold := New(2)
+	if err := cold.LoadCacheFile(path); err != nil {
+		t.Fatal(err)
+	}
+	second, err := cold.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.Evaluated != 0 {
+		t.Errorf("cached serving run re-simulated %d candidates", second.Stats.Evaluated)
+	}
+	if !reflect.DeepEqual(first.Rows, second.Rows) {
+		t.Error("serving metrics must survive the disk round trip")
+	}
+}
+
+// TestLoadCacheMissingAndMalformed: a missing file is a clean start; a
+// malformed or wrong-version file is an explicit error.
+func TestLoadCacheMissingAndMalformed(t *testing.T) {
+	eng := New(1)
+	if err := eng.LoadCacheFile(filepath.Join(t.TempDir(), "nope.json")); err != nil {
+		t.Errorf("missing cache file should not error: %v", err)
+	}
+	if eng.CacheSize() != 0 {
+		t.Error("missing file should load nothing")
+	}
+	if err := eng.LoadCache(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed cache should error")
+	}
+	if err := eng.LoadCache(strings.NewReader(`{"version":99,"entries":{}}`)); err == nil {
+		t.Error("unknown version should error")
+	}
+	stale := `{"version":1,"cost_model":"pr1-monolith","entries":{}}`
+	if err := eng.LoadCache(strings.NewReader(stale)); err == nil {
+		t.Error("cache from a different cost model should error, not serve stale metrics")
+	}
+}
+
+// TestSaveCacheFileBareFilename: a separator-free -cache path must stage
+// its temp file next to the destination (cwd), not in os.TempDir(), or the
+// atomic rename can cross filesystems and fail with EXDEV.
+func TestSaveCacheFileBareFilename(t *testing.T) {
+	spec := trainSpec0(t)
+	eng := New(1)
+	if _, err := eng.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(t.TempDir())
+	if err := eng.SaveCacheFile("cache.json"); err != nil {
+		t.Fatalf("bare filename save failed: %v", err)
+	}
+	cold := New(1)
+	if err := cold.LoadCacheFile("cache.json"); err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheSize() != eng.CacheSize() {
+		t.Errorf("round trip lost entries: %d vs %d", cold.CacheSize(), eng.CacheSize())
+	}
+	// No temp droppings left behind in the destination directory.
+	ents, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "cache.json" {
+		t.Errorf("unexpected files after save: %v", ents)
+	}
+}
+
+// TestLoadCachePrefersLiveEntries: entries computed in-process must not be
+// overwritten by a loaded snapshot.
+func TestLoadCachePrefersLiveEntries(t *testing.T) {
+	spec := trainSpec0(t)
+	eng := New(1)
+	first, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := eng.CacheSize()
+
+	// A forged snapshot with one of the live keys and absurd metrics.
+	key := first.Rows[0].Point.Key()
+	forged := `{"version":1,"cost_model":"` + costModelVersion + `","entries":{"` + key + `":{"Time":123456}}}`
+	if err := eng.LoadCache(strings.NewReader(forged)); err != nil {
+		t.Fatal(err)
+	}
+	if eng.CacheSize() != size {
+		t.Errorf("forged load changed cache size %d -> %d", size, eng.CacheSize())
+	}
+	again, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Rows[0].Metrics.Time == 123456 {
+		t.Error("live memo entry was clobbered by the loaded snapshot")
+	}
+}

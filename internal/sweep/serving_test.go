@@ -1,0 +1,215 @@
+package sweep
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"optimus/internal/arch"
+	"optimus/internal/model"
+	"optimus/internal/tech"
+)
+
+// servingSpec0 is a small serving grid: one model, 1- and 2-GPU H100
+// systems, two arrival rates, two batch caps.
+func servingSpec0(t *testing.T) Spec {
+	t.Helper()
+	cfg, err := model.ByName("Llama2-13B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var systems []*arch.System
+	for _, n := range []int{1, 2} {
+		sys, err := arch.SystemOf(arch.H100(), n, 8, tech.NVLink4, tech.IBNDR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		systems = append(systems, sys)
+	}
+	return Spec{
+		Workload:      Serving,
+		Models:        []model.Config{cfg},
+		Systems:       systems,
+		Rates:         []float64{0.5, 2},
+		BatchCaps:     []int{4, 16},
+		ServeRequests: 48,
+		Constraints:   Constraints{TopK: 20},
+	}
+}
+
+func TestServingSweepRanksBySLO(t *testing.T) {
+	res, err := Serial(servingSpec0(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("2 systems x 2 rates x 2 caps should rank 8 rows, got %d", len(res.Rows))
+	}
+	for i, row := range res.Rows {
+		m := row.Metrics
+		if row.Point.Workload != Serving {
+			t.Fatalf("row %d workload %v", i, row.Point.Workload)
+		}
+		if m.Time <= 0 || m.TTFTP95 <= 0 || m.TPOTP95 <= 0 || m.TokensPerSec <= 0 {
+			t.Errorf("row %d missing serving metrics: %+v", i, m)
+		}
+		if !m.Fits {
+			t.Errorf("row %d should fit by construction", i)
+		}
+		if i > 0 && res.Rows[i-1].Metrics.Time > m.Time {
+			t.Errorf("rows not sorted by p95 E2E at %d", i)
+		}
+		if m.Footprint.Weights <= 0 || m.Footprint.KVCache <= 0 {
+			t.Errorf("row %d footprint not populated: %+v", i, m.Footprint)
+		}
+	}
+}
+
+// TestServingEngineMatchesSerial: the concurrent engine must reproduce the
+// serial serving ranking byte for byte at any worker count — the serving
+// simulator is deterministic, so memoization and concurrency change
+// nothing.
+func TestServingEngineMatchesSerial(t *testing.T) {
+	spec := servingSpec0(t)
+	want, err := Serial(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		spec.Workers = workers
+		got, err := Run(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got.Rows) != len(want.Rows) {
+			t.Fatalf("workers=%d: %d rows vs serial %d", workers, len(got.Rows), len(want.Rows))
+		}
+		for i := range got.Rows {
+			if got.Rows[i].Point.Key() != want.Rows[i].Point.Key() {
+				t.Errorf("workers=%d row %d: %s vs %s", workers, i,
+					got.Rows[i].Point.Key(), want.Rows[i].Point.Key())
+			}
+			if !reflect.DeepEqual(got.Rows[i].Metrics, want.Rows[i].Metrics) {
+				t.Errorf("workers=%d row %d metrics differ", workers, i)
+			}
+		}
+	}
+}
+
+// TestServingInfeasiblePruned: a model whose weights overflow the device
+// must be pruned (engine) or error out (serial) — either way, dropped.
+func TestServingInfeasiblePruned(t *testing.T) {
+	spec := servingSpec0(t)
+	cfg, err := model.ByName("Llama2-70B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := arch.SystemOf(arch.A100(), 1, 8, tech.NVLink3, tech.IBNDR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Models = []model.Config{cfg}
+	spec.Systems = []*arch.System{sys}
+	spec.Rates = []float64{1}
+	spec.BatchCaps = nil
+
+	serial, err := Serial(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Rows) != 0 {
+		t.Errorf("overflowing serving candidate should be dropped, got %d rows", len(serial.Rows))
+	}
+	eng, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.Rows) != 0 {
+		t.Errorf("engine should drop the overflowing candidate, got %d rows", len(eng.Rows))
+	}
+	if eng.Stats.Pruned != 1 {
+		t.Errorf("engine should prune the candidate before simulating, stats: %+v", eng.Stats)
+	}
+}
+
+// TestServingKeyCoversServingAxes: candidates differing only in rate,
+// batch cap, request count or seed must have distinct memo keys.
+func TestServingKeyCoversServingAxes(t *testing.T) {
+	base := servingSpec0(t)
+	pts := Enumerate(base)
+	if len(pts) != 8 {
+		t.Fatalf("expected 8 candidates, got %d", len(pts))
+	}
+	seen := make(map[string]bool)
+	for _, p := range pts {
+		if seen[p.Key()] {
+			t.Fatalf("duplicate key %s", p.Key())
+		}
+		seen[p.Key()] = true
+	}
+	p := pts[0]
+	for name, mutate := range map[string]func(*Point){
+		"rate":     func(q *Point) { q.Rate *= 2 },
+		"cap":      func(q *Point) { q.BatchCap++ },
+		"requests": func(q *Point) { q.ServeRequests++ },
+		"seed":     func(q *Point) { q.ServeSeed++ },
+	} {
+		q := p
+		mutate(&q)
+		if q.Key() == p.Key() {
+			t.Errorf("key must change with %s", name)
+		}
+	}
+}
+
+// TestServingValidation: serving-only axes are rejected elsewhere, and
+// serving rejects the axes it ignores.
+func TestServingValidation(t *testing.T) {
+	good := servingSpec0(t)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("baseline serving spec should validate: %v", err)
+	}
+	check := func(name string, mutate func(*Spec)) {
+		s := servingSpec0(t)
+		mutate(&s)
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s should fail validation", name)
+		}
+	}
+	check("rates on training sweep", func(s *Spec) { s.Workload = Training; s.GenTokens = nil })
+	check("serve seed on inference sweep", func(s *Spec) {
+		s.Workload = Inference
+		s.Rates, s.BatchCaps, s.ServeRequests = nil, nil, 0
+		s.ServeSeed = 7
+	})
+	check("global batches on serving sweep", func(s *Spec) { s.GlobalBatches = []int{4} })
+	check("non-positive rate", func(s *Spec) { s.Rates = []float64{0} })
+	check("NaN rate", func(s *Spec) { s.Rates = []float64{math.NaN()} })
+	check("infinite rate", func(s *Spec) { s.Rates = []float64{math.Inf(1)} })
+	check("negative batch cap", func(s *Spec) { s.BatchCaps = []int{-1} })
+	check("negative request count", func(s *Spec) { s.ServeRequests = -5 })
+	check("zero gen tokens", func(s *Spec) { s.GenTokens = []int{0} })
+	check("training axes on serving sweep", func(s *Spec) { s.Constraints.MaxTP = 4 })
+}
+
+// TestServingMemoizedAcrossRuns: a second engine run over the same grid
+// must answer every candidate from the memo without re-simulating.
+func TestServingMemoizedAcrossRuns(t *testing.T) {
+	spec := servingSpec0(t)
+	eng := New(2)
+	first, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := eng.Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Stats.Evaluated != 0 || second.Stats.MemoHits != first.Stats.Evaluated {
+		t.Errorf("warm run should be all memo hits: first %+v, second %+v", first.Stats, second.Stats)
+	}
+	if !reflect.DeepEqual(first.Rows, second.Rows) {
+		t.Error("warm run must reproduce the ranking")
+	}
+}

@@ -1,9 +1,10 @@
 // Package sweep evaluates large cross-product experiment grids — models ×
 // systems × precisions × batch sizes × sequence lengths × parallelization
-// mappings × schedules × recomputation regimes, for both training and
-// inference — the plan-space exploration the paper builds on its validated
-// models (§5.1: "determine the best parallelism mapping or training
-// settings for an LLM model on a certain hardware system").
+// mappings × schedules × recomputation regimes for training and inference,
+// plus arrival rates × batch caps for continuous-batching serving — the
+// plan-space exploration the paper builds on its validated models (§5.1:
+// "determine the best parallelism mapping or training settings for an LLM
+// model on a certain hardware system").
 //
 // The package has two execution paths over the same candidate enumeration:
 //
@@ -13,12 +14,15 @@
 //   - Engine.Run is the production path: a bounded worker pool with
 //     memory-feasibility pruning before costing, memoization of repeated
 //     evaluations, and context cancellation. Its rankings are
-//     byte-identical to Serial's at any worker count.
+//     byte-identical to Serial's at any worker count. The memo can be
+//     persisted across processes with SaveCache/LoadCache, so repeated
+//     CLI invocations and CI sweeps skip re-costing unchanged grid cells.
 package sweep
 
 import (
 	"fmt"
 	"hash/fnv"
+	"math"
 	"sort"
 	"strconv"
 	"time"
@@ -28,6 +32,7 @@ import (
 	"optimus/internal/memfoot"
 	"optimus/internal/model"
 	"optimus/internal/parallel"
+	"optimus/internal/serve"
 	"optimus/internal/tech"
 	"optimus/internal/train"
 )
@@ -40,6 +45,10 @@ const (
 	Training Workload = iota
 	// Inference sweeps rank configurations by end-to-end request latency.
 	Inference
+	// Serving sweeps run the continuous-batching simulator per candidate
+	// (arrival rates × batch caps × systems × precisions) and rank by p95
+	// end-to-end latency — SLO-centric capacity planning.
+	Serving
 )
 
 // String names the workload.
@@ -49,6 +58,8 @@ func (w Workload) String() string {
 		return "training"
 	case Inference:
 		return "inference"
+	case Serving:
+		return "serving"
 	default:
 		return fmt.Sprintf("Workload(%d)", int(w))
 	}
@@ -112,8 +123,21 @@ type Spec struct {
 	// Seqs are sequence lengths (training) or prompt lengths (inference);
 	// nil means {2048} and {200}.
 	Seqs []int
-	// GenTokens are generation lengths, inference only; nil means {200}.
+	// GenTokens are generation lengths, inference and serving only; nil
+	// means {200}.
 	GenTokens []int
+	// Rates are Poisson arrival rates in requests/sec, serving only; nil
+	// means {1}.
+	Rates []float64
+	// BatchCaps are iteration batch caps, serving only; 0 derives the
+	// largest KV-fitting batch. Nil means {0}.
+	BatchCaps []int
+	// ServeRequests is the simulated request count per serving candidate;
+	// zero means 128.
+	ServeRequests int
+	// ServeSeed seeds each serving candidate's arrival process; zero
+	// means 1.
+	ServeSeed int64
 	// Constraints bound the per-cell mapping enumeration.
 	Constraints Constraints
 	// Workers bounds the engine's pool; zero means GOMAXPROCS. Serial
@@ -123,50 +147,97 @@ type Spec struct {
 
 func (s Spec) withDefaults() Spec {
 	if len(s.Precisions) == 0 {
-		if s.Workload == Inference {
-			s.Precisions = []tech.Precision{tech.FP16}
-		} else {
+		if s.Workload == Training {
 			s.Precisions = []tech.Precision{tech.BF16}
+		} else {
+			s.Precisions = []tech.Precision{tech.FP16}
 		}
 	}
 	if len(s.GlobalBatches) == 0 {
-		if s.Workload == Inference {
-			s.GlobalBatches = []int{1}
-		} else {
+		switch s.Workload {
+		case Training:
 			s.GlobalBatches = []int{64}
+		default:
+			// Inference batch; serving ignores it (admission batches).
+			s.GlobalBatches = []int{1}
 		}
 	}
 	if len(s.Seqs) == 0 {
-		if s.Workload == Inference {
-			s.Seqs = []int{200}
-		} else {
+		if s.Workload == Training {
 			s.Seqs = []int{2048}
+		} else {
+			s.Seqs = []int{200}
 		}
 	}
 	if len(s.GenTokens) == 0 {
 		s.GenTokens = []int{200}
+	}
+	if len(s.Rates) == 0 {
+		s.Rates = []float64{1}
+	}
+	if len(s.BatchCaps) == 0 {
+		s.BatchCaps = []int{0}
+	}
+	if s.ServeRequests == 0 {
+		s.ServeRequests = 128
+	}
+	if s.ServeSeed == 0 {
+		s.ServeSeed = 1
 	}
 	return s
 }
 
 // Validate checks the grid shape.
 func (s Spec) Validate() error {
+	if s.Workload != Serving {
+		if len(s.Rates) > 0 || len(s.BatchCaps) > 0 || s.ServeRequests != 0 || s.ServeSeed != 0 {
+			return fmt.Errorf("sweep: Rates/BatchCaps/ServeRequests/ServeSeed apply to serving sweeps only")
+		}
+	}
 	switch s.Workload {
 	case Training:
 		if len(s.GenTokens) > 0 {
-			return fmt.Errorf("sweep: GenTokens applies to inference sweeps only")
+			return fmt.Errorf("sweep: GenTokens applies to inference and serving sweeps only")
 		}
 		for _, mb := range s.Constraints.Microbatches {
 			if mb <= 0 {
 				return fmt.Errorf("sweep: non-positive microbatch %d", mb)
 			}
 		}
-	case Inference:
-		// Inference maps are fixed to TP = device count (§1.3); reject
-		// the training-only axes rather than silently ignoring them.
+	case Inference, Serving:
+		// Inference and serving maps are fixed to TP = device count
+		// (§1.3); reject the training-only axes rather than silently
+		// ignoring them.
 		c := s.Constraints
 		if c.MaxTP != 0 || len(c.Microbatches) > 0 || len(c.Recomputes) > 0 || len(c.Schedules) > 0 {
 			return fmt.Errorf("sweep: MaxTP/Microbatches/Recomputes/Schedules apply to training sweeps only")
+		}
+		if s.Workload == Serving {
+			// The simulator's admission policy is the batch: a global
+			// batch axis would be silently ignored.
+			if len(s.GlobalBatches) > 0 {
+				return fmt.Errorf("sweep: GlobalBatches does not apply to serving sweeps (use BatchCaps)")
+			}
+			for _, r := range s.Rates {
+				// Negated-positive form rejects NaN, which would stall
+				// the serving simulator's event loop.
+				if !(r > 0) || math.IsInf(r, 0) {
+					return fmt.Errorf("sweep: arrival rate %g not positive and finite", r)
+				}
+			}
+			for _, c := range s.BatchCaps {
+				if c < 0 {
+					return fmt.Errorf("sweep: negative batch cap %d", c)
+				}
+			}
+			if s.ServeRequests < 0 {
+				return fmt.Errorf("sweep: negative serving request count %d", s.ServeRequests)
+			}
+			for _, g := range s.GenTokens {
+				if g < 1 {
+					return fmt.Errorf("sweep: serving needs at least one generated token, got %d", g)
+				}
+			}
 		}
 	default:
 		return fmt.Errorf("sweep: unknown workload %v", s.Workload)
@@ -219,10 +290,20 @@ type Point struct {
 	// GlobalBatch is the global batch (training) or concurrent sequences
 	// (inference).
 	GlobalBatch int
-	// Seq is the sequence length (training) or prompt length (inference).
+	// Seq is the sequence length (training) or prompt length (inference
+	// and serving).
 	Seq int
-	// GenTokens is the generation length; inference only.
+	// GenTokens is the generation length; inference and serving only.
 	GenTokens int
+	// Rate is the Poisson arrival rate in requests/sec; serving only.
+	Rate float64
+	// BatchCap is the iteration batch cap (0 = derive); serving only.
+	BatchCap int
+	// ServeRequests and ServeSeed fix the simulated request count and
+	// arrival seed; serving only. They shape the simulated distribution,
+	// so they are part of the candidate's identity.
+	ServeRequests int
+	ServeSeed     int64
 
 	// key is the precomputed canonical identity; enumeration fills it so
 	// the engine's hot path never formats strings.
@@ -285,25 +366,40 @@ func (p Point) buildKey(modelStr, sysStr string) string {
 		int(p.Workload), p.Map.DP, p.Map.TP, p.Map.PP, sp,
 		p.Map.Microbatch, int(p.Map.Schedule), p.Map.VirtualStages,
 		int(p.Recompute), int(p.Precision), p.GlobalBatch, p.Seq, p.GenTokens,
+		p.BatchCap, p.ServeRequests,
 	} {
 		buf = append(buf, '|')
 		buf = strconv.AppendInt(buf, int64(v), 10)
 	}
+	buf = append(buf, '|')
+	buf = strconv.AppendInt(buf, p.ServeSeed, 10)
+	buf = append(buf, '|')
+	buf = strconv.AppendFloat(buf, p.Rate, 'g', -1, 64)
 	return string(buf)
 }
 
 // Metrics is the outcome of costing one point.
 type Metrics struct {
-	// Time is seconds per training batch or end-to-end inference latency.
+	// Time is seconds per training batch, end-to-end inference latency,
+	// or p95 end-to-end serving latency — the ranking key for each
+	// workload.
 	Time float64
 	// MFU is the model-FLOPs utilization; training only.
 	MFU float64
 	// Memory is the per-device training footprint.
 	Memory memfoot.Breakdown
-	// Footprint is the per-device inference footprint.
+	// Footprint is the per-device inference/serving footprint (for
+	// serving: weights plus the peak KV reservation observed).
 	Footprint memfoot.InferenceBreakdown
 	// Fits reports whether the footprint fits device memory.
 	Fits bool
+
+	// TTFTP95 and TPOTP95 are the serving SLO percentiles in seconds;
+	// TokensPerSec is the aggregate simulated generation throughput.
+	// Serving only.
+	TTFTP95      float64
+	TPOTP95      float64
+	TokensPerSec float64
 }
 
 // Row is one ranked result.
@@ -433,6 +529,24 @@ func EnumerateInference(cfg model.Config, sys *arch.System, batch, prompt, gen i
 	return []Point{p}
 }
 
+// EnumerateServing lists the candidate serving points of one grid cell:
+// one continuous-batching simulation per (rate, batch cap), with the
+// mapping fixed to TP = device count as in inference.
+func EnumerateServing(cfg model.Config, sys *arch.System, rate float64, batchCap, prompt, gen int, prec tech.Precision, requests int, seed int64) []Point {
+	tp := sys.NumDevices()
+	if cfg.Heads%tp != 0 {
+		return nil
+	}
+	p := Point{
+		Workload: Serving, Model: cfg, System: sys,
+		Map:       parallel.Mapping{DP: 1, TP: tp, PP: 1, SP: tp > 1, Microbatch: 1},
+		Precision: prec, Seq: prompt, GenTokens: gen,
+		Rate: rate, BatchCap: batchCap, ServeRequests: requests, ServeSeed: seed,
+	}
+	p.key = p.buildKey(modelToken(cfg), systemToken(sys))
+	return []Point{p}
+}
+
 // Enumerate expands the full grid into its deduplicated candidate list,
 // in deterministic order.
 func Enumerate(s Spec) []Point {
@@ -452,13 +566,28 @@ func Enumerate(s Spec) []Point {
 	for _, cfg := range s.Models {
 		for _, sys := range s.Systems {
 			for _, prec := range s.Precisions {
-				for _, batch := range s.GlobalBatches {
-					for _, seq := range s.Seqs {
-						if s.Workload == Inference {
+				switch s.Workload {
+				case Serving:
+					for _, rate := range s.Rates {
+						for _, batchCap := range s.BatchCaps {
+							for _, seq := range s.Seqs {
+								for _, gen := range s.GenTokens {
+									add(EnumerateServing(cfg, sys, rate, batchCap, seq, gen, prec, s.ServeRequests, s.ServeSeed))
+								}
+							}
+						}
+					}
+				case Inference:
+					for _, batch := range s.GlobalBatches {
+						for _, seq := range s.Seqs {
 							for _, gen := range s.GenTokens {
 								add(EnumerateInference(cfg, sys, batch, seq, gen, prec))
 							}
-						} else {
+						}
+					}
+				default:
+					for _, batch := range s.GlobalBatches {
+						for _, seq := range s.Seqs {
 							add(EnumerateTraining(cfg, sys, batch, seq, prec, s.Constraints))
 						}
 					}
@@ -471,10 +600,14 @@ func Enumerate(s Spec) []Point {
 
 // Evaluate runs the full cost model on one point.
 func Evaluate(p Point) (Metrics, error) {
-	if p.Workload == Inference {
+	switch p.Workload {
+	case Inference:
 		return evaluateInference(p)
+	case Serving:
+		return evaluateServing(p)
+	default:
+		return evaluateTraining(p)
 	}
-	return evaluateTraining(p)
 }
 
 func evaluateTraining(p Point) (Metrics, error) {
@@ -518,12 +651,47 @@ func evaluateInference(p Point) (Metrics, error) {
 	}, nil
 }
 
+// servingSpec builds the simulator configuration of one serving point.
+func servingSpec(p Point) serve.Spec {
+	return serve.Spec{
+		Model: p.Model, System: p.System, TP: p.Map.TP, Precision: p.Precision,
+		PromptTokens: p.Seq, GenTokens: p.GenTokens,
+		Arrival: serve.Poisson, Rate: p.Rate,
+		Requests: p.ServeRequests, Seed: p.ServeSeed, MaxBatch: p.BatchCap,
+	}
+}
+
+func evaluateServing(p Point) (Metrics, error) {
+	res, err := serve.Run(servingSpec(p))
+	if err != nil {
+		return Metrics{}, err
+	}
+	return Metrics{
+		Time: res.E2E.P95,
+		Footprint: memfoot.InferenceBreakdown{
+			Weights: memfoot.Inference(p.Model, p.Map.TP, 1, p.Seq+p.GenTokens, p.Precision.Bytes()).Weights,
+			KVCache: res.PeakKVBytes,
+		},
+		// Admission never over-commits the device, so a completed
+		// simulation fits by construction.
+		Fits:         true,
+		TTFTP95:      res.TTFT.P95,
+		TPOTP95:      res.TPOT.P95,
+		TokensPerSec: res.TokensPerSec,
+	}, nil
+}
+
 // Feasible reports whether p fits device memory, using only the footprint
 // model — orders of magnitude cheaper than the full predictor, so the
 // engine runs it before costing and skips candidates it rejects. The
-// verdict matches the Fits field Evaluate would return.
+// verdict matches the Fits field Evaluate would return (for serving:
+// whether the simulator can ever admit a request, which is when Evaluate
+// succeeds).
 func Feasible(p Point) (bool, error) {
 	capacity := p.System.Device.DRAMCapacity()
+	if p.Workload == Serving {
+		return serve.Feasible(servingSpec(p)), nil
+	}
 	if p.Workload == Inference {
 		fp := memfoot.Inference(p.Model, p.Map.TP, p.GlobalBatch, p.Seq+p.GenTokens, p.Precision.Bytes())
 		return fp.Total() <= capacity, nil

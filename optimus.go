@@ -44,6 +44,26 @@
 // to bound the pool (0 means GOMAXPROCS); set Workload to InferenceSweep
 // to rank serving configurations by end-to-end latency instead.
 //
+// # Serving simulation
+//
+// Serve runs a deterministic discrete-event continuous-batching simulator
+// on top of the per-step inference costs (PrefillCost / DecodeStepCost):
+// seeded Poisson or closed-loop arrivals, iteration-level batching under a
+// KV-cache admission budget, and per-request TTFT/TPOT/E2E latencies with
+// p50/p95/p99 percentiles — the SLO surface capacity planning ranks on:
+//
+//	sys, _ := optimus.NewSystem("h100", 2, "nvlink4", "ndr")
+//	cfg, _ := optimus.ModelByName("llama2-13b")
+//	res, _ := optimus.Serve(optimus.ServeSpec{
+//	    Model: cfg, System: sys, TP: 2, Precision: optimus.FP16,
+//	    PromptTokens: 200, GenTokens: 200,
+//	    Arrival: optimus.PoissonArrivals, Rate: 2, Requests: 512, Seed: 1,
+//	})
+//	fmt.Println(res.TTFT.P99, res.E2E.P95, res.TokensPerSec)
+//
+// Set SweepSpec.Workload to ServingSweep to sweep arrival rates × batch
+// caps × systems × precisions and rank by p95 end-to-end latency.
+//
 // The subpackages under internal/ hold the substrates (technology tables,
 // µarch engine, hierarchical roofline, collectives, schedules, footprint
 // model, DSE); this package re-exports the surface a downstream user needs.
@@ -61,6 +81,7 @@ import (
 	"optimus/internal/model"
 	"optimus/internal/parallel"
 	"optimus/internal/repro"
+	"optimus/internal/serve"
 	"optimus/internal/sweep"
 	"optimus/internal/tech"
 	"optimus/internal/train"
@@ -89,6 +110,19 @@ type (
 	InferResult = infer.Result
 	// GEMMReport is one per-kernel row of the Table 4 analysis.
 	GEMMReport = infer.GEMMReport
+	// StepCost is one inference pass's compute/memory/comm decomposition
+	// — the unit the serving simulator prices iterations in.
+	StepCost = infer.StepCost
+	// ServeSpec describes one continuous-batching serving simulation.
+	ServeSpec = serve.Spec
+	// ServeResult is a serving simulation outcome with SLO percentiles.
+	ServeResult = serve.Result
+	// ServeArrival selects the request arrival process.
+	ServeArrival = serve.Arrival
+	// ServePercentiles summarizes one serving latency distribution.
+	ServePercentiles = serve.Percentiles
+	// ServeRequestMetrics is one simulated request's timeline.
+	ServeRequestMetrics = serve.RequestMetrics
 	// MemoryBreakdown is a per-device training footprint.
 	MemoryBreakdown = memfoot.Breakdown
 	// MemorySpec describes a training-footprint query.
@@ -136,6 +170,18 @@ const (
 	TrainingSweep = sweep.Training
 	// InferenceSweep ranks configurations by end-to-end request latency.
 	InferenceSweep = sweep.Inference
+	// ServingSweep simulates continuous batching per candidate and ranks
+	// by p95 end-to-end latency.
+	ServingSweep = sweep.Serving
+)
+
+// Serving arrival processes.
+const (
+	// PoissonArrivals is the open-loop process at ServeSpec.Rate req/s.
+	PoissonArrivals = serve.Poisson
+	// ClosedLoopArrivals models ServeSpec.Clients users with zero think
+	// time.
+	ClosedLoopArrivals = serve.ClosedLoop
 )
 
 // Precisions.
@@ -204,6 +250,23 @@ func PredictInference(s InferSpec) (InferResult, error) { return infer.Predict(s
 // PrefillGEMMTable analyzes the summarization-phase matrix multiplies of
 // one transformer layer (Table 4).
 func PrefillGEMMTable(s InferSpec) ([]GEMMReport, error) { return infer.PrefillGEMMTable(s) }
+
+// PrefillCost prices the summarization pass of one request batch — the
+// per-phase compute/memory/comm decomposition the serving simulator builds
+// on.
+func PrefillCost(s InferSpec) (StepCost, error) { return infer.PrefillCost(s) }
+
+// DecodeStepCost prices one autoregressive decode step at KV length kvLen
+// for a batch of concurrent sequences; summing steps over
+// kvLen = PromptTokens+1 .. PromptTokens+GenTokens reproduces
+// PredictInference's decode time.
+func DecodeStepCost(s InferSpec, kvLen, batch int) (StepCost, error) {
+	return infer.DecodeStepCost(s, kvLen, batch)
+}
+
+// Serve runs the discrete-event continuous-batching serving simulator;
+// results are byte-identical across repeated invocations at a fixed seed.
+func Serve(s ServeSpec) (ServeResult, error) { return serve.Run(s) }
 
 // TrainingMemory returns the per-device training footprint (§5.1).
 func TrainingMemory(s MemorySpec) (MemoryBreakdown, error) { return memfoot.Train(s) }
