@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"optimus/internal/arch"
+	"optimus/internal/memfoot"
 	"optimus/internal/model"
 	"optimus/internal/serve"
 	"optimus/internal/tech"
@@ -11,15 +12,15 @@ import (
 
 // serveBenchSpec is the serve-bench workload: Llama2-13B on 2 H100s under
 // saturating Poisson load, so every iteration batches several sequences.
-func serveBenchSpec(b *testing.B, requests int) serve.Spec {
-	b.Helper()
+func serveBenchSpec(tb testing.TB, requests int) serve.Spec {
+	tb.Helper()
 	sys, err := arch.SystemOf(arch.H100(), 2, 8, tech.NVLink4, tech.IBNDR)
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	cfg, err := model.ByName("Llama2-13B")
 	if err != nil {
-		b.Fatal(err)
+		tb.Fatal(err)
 	}
 	return serve.Spec{
 		Model: cfg, System: sys, TP: 2, Precision: tech.FP16,
@@ -48,6 +49,61 @@ func BenchmarkServeSimulator(b *testing.B) {
 	b.ReportMetric(float64(requests*b.N)/b.Elapsed().Seconds(), "sim-req/s")
 	b.ReportMetric(float64(last.Iterations), "iters/run")
 	b.ReportMetric(last.E2E.P95*1e3, "p95-e2e-ms")
+}
+
+// BenchmarkServeSimulatorPaged tracks the paged-admission hot path under
+// real page pressure: the KV budget is squeezed to a handful of full
+// contexts so block growth, LIFO preemption and recompute readmissions
+// all run every iteration.
+func BenchmarkServeSimulatorPaged(b *testing.B) {
+	const requests = 256
+	spec := serveBenchSpec(b, requests)
+	spec.Policy = serve.Paged
+	perRequest := memfoot.Inference(spec.Model, spec.TP, 1,
+		spec.PromptTokens+spec.GenTokens, spec.Precision.Bytes()).KVCache
+	spec.KVCapacity = 8 * perRequest
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last serve.Result
+	for i := 0; i < b.N; i++ {
+		res, err := serve.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	if last.Preemptions == 0 {
+		b.Fatal("paged bench must exercise preemption; tighten its KV budget")
+	}
+	b.ReportMetric(float64(requests*b.N)/b.Elapsed().Seconds(), "sim-req/s")
+	b.ReportMetric(float64(last.Preemptions), "preempts/run")
+	b.ReportMetric(last.MeanKVUtil*100, "kv-util-%")
+}
+
+// TestServeSimulatorAllocBudget pins the refactor's hot-path cost with a
+// machine-independent proxy: allocations per simulation. The admission
+// policies are allocation-free per iteration (beginStep/admit/release
+// touch only preallocated state), so the whole 256-request simulation
+// stays in the low thousands of allocations; a per-iteration allocation
+// regression — the way `make serve-bench` throughput would quietly decay —
+// blows straight through the budget. Wall-clock throughput itself stays a
+// benchmark (BenchmarkServeSimulator*), where it belongs.
+func TestServeSimulatorAllocBudget(t *testing.T) {
+	const budget = 2500 // measured ≈1590 for both policies at 256 requests
+	spec := serveBenchSpec(t, 256)
+	for _, policy := range []serve.Policy{serve.ReserveFull, serve.Paged} {
+		spec.Policy = policy
+		got := testing.AllocsPerRun(5, func() {
+			if _, err := serve.Run(spec); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if got > budget {
+			t.Errorf("%v: %v allocs per 256-request simulation, budget %d — a hot-path allocation crept in",
+				policy, got, budget)
+		}
+	}
 }
 
 // BenchmarkServeSimulatorClosedLoop exercises the closed-loop arrival path

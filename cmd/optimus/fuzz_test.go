@@ -1,0 +1,71 @@
+package main
+
+import (
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+
+	"optimus"
+)
+
+// FuzzServingTokenCSV is the satellite round-trip gate on the serving
+// policy token: whatever TP degree, admission policy, page size, rate and
+// batch cap a candidate carries, the comma-separated token the writers
+// render ("tp=2,paged/16,rate=1.5/s,cap=8") must survive encoding/csv
+// intact — RFC 4180 quoting, no sheared rows — and distinct tokens must
+// stay distinct field values. The f.Add corpus runs as a regression suite
+// under plain `go test`.
+func FuzzServingTokenCSV(f *testing.F) {
+	f.Add(2, int8(0), 0, 1.5, 8)
+	f.Add(2, int8(1), 16, 1.5, 8)
+	f.Add(8, int8(1), 400, 0.25, 0)
+	f.Add(1, int8(1), 1, 1e6, 1<<20)
+	f.Add(16, int8(0), 0, 0.0001, -3)
+	f.Fuzz(func(t *testing.T, tp int, pol int8, pageTokens int, rate float64, batchCap int) {
+		if math.IsNaN(rate) || math.IsInf(rate, 0) {
+			rate = 1 // rejected by validation long before a writer runs
+		}
+		p := optimus.SweepPoint{
+			Workload:   optimus.ServingSweep,
+			Map:        optimus.Mapping{DP: 1, TP: tp, PP: 1},
+			Rate:       rate,
+			BatchCap:   batchCap,
+			Policy:     optimus.ServePolicy(int(pol) % 2),
+			PageTokens: pageTokens,
+		}
+		token := servingMappingToken(p)
+		if token == "" || !strings.Contains(token, ",") {
+			t.Fatalf("token %q lost its comma-separated shape", token)
+		}
+
+		var b strings.Builder
+		cw := csv.NewWriter(&b)
+		if err := cw.Write([]string{"lead", token, "tail"}); err != nil {
+			t.Fatal(err)
+		}
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			t.Fatal(err)
+		}
+		recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+		if err != nil {
+			t.Fatalf("CSV with token %q unparseable: %v", token, err)
+		}
+		if len(recs) != 1 || len(recs[0]) != 3 {
+			t.Fatalf("token %q sheared the record: %v", token, recs)
+		}
+		if recs[0][1] != token {
+			t.Fatalf("token did not round-trip: wrote %q, read %q", token, recs[0][1])
+		}
+
+		// A policy flip must be visible in the token — the CSV is the
+		// capacity study's artifact, and an ambiguous policy column would
+		// make reserve-vs-paged comparisons unreadable.
+		q := p
+		q.Policy = optimus.ServePolicy((int(pol) + 1) % 2)
+		if servingMappingToken(q) == token {
+			t.Fatalf("policies %v and %v render the same token %q", p.Policy, q.Policy, token)
+		}
+	})
+}

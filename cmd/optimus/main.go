@@ -7,7 +7,7 @@
 //
 //	optimus train     -model gpt-175b -device a100 -dp 1 -tp 8 -pp 8 -sp -batch 64 -recompute full
 //	optimus infer     -model llama2-13b -device h100 -gpus 2 -prompt 200 -gen 200
-//	optimus serve     -model llama2-13b -device h100 -gpus 2 -rate 2 -requests 512
+//	optimus serve     -model llama2-13b -device h100 -gpus 2 -rate 2 -requests 512 -policy paged
 //	optimus memory    -model gpt-530b -tp 8 -pp 35 -batch 280 -recompute selective
 //	optimus gemmtable -model llama2-13b -device a100
 //	optimus dse       -node n5 -dram hbm2e -net xdr-x8
@@ -88,7 +88,9 @@ func usage() {
 commands:
   train      predict training time per batch with its breakdown
   infer      predict end-to-end inference latency
-  serve      simulate continuous-batching serving with SLO percentiles (§7 direction)
+  serve      simulate continuous-batching serving with SLO percentiles; -policy
+             picks KV admission (reserve = full-context, paged = vLLM-style blocks
+             with LIFO preemption and recompute readmission)
   memory     dissect the per-device training memory footprint
   gemmtable  per-GEMM bound analysis of the prefill phase (Table 4)
   dse        design-space exploration at a technology node (§3.6)

@@ -33,6 +33,9 @@ func cmdServe(args []string) error {
 	requests := fs.Int("requests", 256, "requests to simulate")
 	seed := fs.Int64("seed", 1, "arrival-process seed")
 	maxBatch := fs.Int("max-batch", 0, "iteration batch cap (0 = derive from KV budget)")
+	policy := fs.String("policy", "reserve", "KV admission policy (reserve = full-context reservation, paged = vLLM-style block allocation with LIFO preemption)")
+	pageTokens := fs.Int("page-tokens", 0, "paged policy block size in KV tokens (0 = default 16; paged only)")
+	noPreempt := fs.Bool("no-preempt", false, "disable preemption: paged admission reserves full-context pages (paged only)")
 	format := fs.String("format", "text", "output format (text|csv|json)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,11 +58,16 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	pol, err := optimus.ParseServePolicy(*policy)
+	if err != nil {
+		return err
+	}
 	spec := optimus.ServeSpec{
 		Model: cfg, System: sys, TP: *gpus, Precision: p,
 		PromptTokens: *prompt, GenTokens: *gen,
 		Rate: *rate, Clients: *clients,
 		Requests: *requests, Seed: *seed, MaxBatch: *maxBatch,
+		Policy: pol, PageTokens: *pageTokens, NoPreempt: *noPreempt,
 	}
 	// Reject flags the chosen arrival process would silently ignore — a
 	// user who sets them believes they shaped the simulated load.
@@ -100,8 +108,14 @@ func writeServe(w io.Writer, spec optimus.ServeSpec, res optimus.ServeResult, fo
 			res.ThroughputRPS, res.TokensPerSec)
 		fmt.Fprintf(w, "  batching           mean %.1f, peak %d (cap %d)\n",
 			res.MeanBatch, res.PeakBatch, res.MaxBatch)
-		fmt.Fprintf(w, "  kv-cache           peak %s of %s budget\n",
-			units.FormatBytes(res.PeakKVBytes), units.FormatBytes(res.KVCapacity))
+		fmt.Fprintf(w, "  kv-cache           peak %s of %s budget (mean util %.0f%%)\n",
+			units.FormatBytes(res.PeakKVBytes), units.FormatBytes(res.KVCapacity),
+			100*res.MeanKVUtil)
+		if res.Policy == optimus.PagedPolicy {
+			fmt.Fprintf(w, "  paging             %d-token pages, peak %d of %d, %d preemptions (%d tokens recomputed)\n",
+				res.PageTokens, res.PeakKVPages, res.KVPagesTotal,
+				res.Preemptions, res.RecomputedTokens)
+		}
 		fmt.Fprintf(w, "  %-8s %10s %10s %10s %10s %10s\n", "SLO", "p50", "p95", "p99", "mean", "max")
 		for _, row := range []struct {
 			name string
@@ -118,7 +132,7 @@ func writeServe(w io.Writer, spec optimus.ServeSpec, res optimus.ServeResult, fo
 	case "csv":
 		cw := csv.NewWriter(w)
 		if err := cw.Write([]string{"id", "arrival_s", "admitted_s", "first_token_s",
-			"done_s", "queue_s", "ttft_s", "tpot_s", "e2e_s"}); err != nil {
+			"done_s", "queue_s", "ttft_s", "tpot_s", "e2e_s", "preemptions"}); err != nil {
 			return err
 		}
 		g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -126,6 +140,7 @@ func writeServe(w io.Writer, spec optimus.ServeSpec, res optimus.ServeResult, fo
 			if err := cw.Write([]string{
 				strconv.Itoa(m.ID), g(m.Arrival), g(m.Admitted), g(m.FirstToken),
 				g(m.Done), g(m.Queue), g(m.TTFT), g(m.TPOT), g(m.E2E),
+				strconv.Itoa(m.Preemptions),
 			}); err != nil {
 				return err
 			}

@@ -16,7 +16,18 @@ func TestCmdServe(t *testing.T) {
 	if err := cmdServe([]string{"-arrival", "closed", "-clients", "4", "-requests", "16"}); err != nil {
 		t.Fatal(err)
 	}
+	if err := cmdServe([]string{"-model", "llama2-13b", "-gpus", "2", "-rate", "2", "-requests", "32",
+		"-policy", "paged", "-page-tokens", "32"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdServe([]string{"-policy", "paged", "-no-preempt", "-rate", "1", "-requests", "16"}); err != nil {
+		t.Fatal(err)
+	}
 	for _, bad := range [][]string{
+		{"-policy", "lru"},
+		{"-page-tokens", "16"},                     // paged-only knob under reserve
+		{"-no-preempt"},                            // paged-only knob under reserve
+		{"-policy", "paged", "-page-tokens", "-8"}, // negative block size
 		{"-model", "no-such-model"},
 		{"-device", "warp-core"},
 		{"-precision", "fp128"},
@@ -73,6 +84,9 @@ func TestWriteServeCSV(t *testing.T) {
 	if recs[0][0] != "id" || recs[1][0] != "0" {
 		t.Errorf("unexpected CSV leader: %v / %v", recs[0], recs[1])
 	}
+	if last := recs[0][len(recs[0])-1]; last != "preemptions" {
+		t.Errorf("per-request CSV should end with the preemptions column, got %q", last)
+	}
 }
 
 func TestWriteServeJSON(t *testing.T) {
@@ -90,5 +104,8 @@ func TestWriteServeJSON(t *testing.T) {
 	}
 	if doc.E2E.P95 != res.E2E.P95 {
 		t.Errorf("JSON round trip changed p95 E2E: %v vs %v", doc.E2E.P95, res.E2E.P95)
+	}
+	if !strings.Contains(b.String(), `"Policy": "reserve-full"`) || doc.Policy != res.Policy {
+		t.Error("JSON should render the admission policy by name and round-trip it")
 	}
 }

@@ -34,6 +34,8 @@ func cmdSweep(args []string) error {
 	caps := fs.String("batch-caps", "", "comma-separated iteration batch caps (serve only, default 0 = derive)")
 	serveReqs := fs.Int("serve-requests", 0, "simulated requests per serving candidate (serve only, default 128)")
 	serveSeed := fs.Int64("serve-seed", 0, "arrival seed per serving candidate (serve only, default 1)")
+	policies := fs.String("policies", "", "comma-separated KV admission policies to compare (reserve|paged; serve only, default reserve)")
+	pageTokens := fs.Int("page-tokens", 0, "paged-policy KV block size in tokens (serve only, default 16)")
 	precs := fs.String("precisions", "", "comma-separated GEMM precisions (default bf16; infer fp16)")
 	micros := fs.String("microbatches", "", "comma-separated microbatch sizes (train only, default 1,2,4)")
 	recs := fs.String("recomputes", "", "comma-separated recompute regimes (train only, default none,selective,full)")
@@ -83,9 +85,20 @@ func cmdSweep(args []string) error {
 		if *rates != "" || *caps != "" || *serveReqs != 0 || *serveSeed != 0 {
 			return fmt.Errorf("-rates, -batch-caps, -serve-requests and -serve-seed apply to serving sweeps only")
 		}
+		if *policies != "" || *pageTokens != 0 {
+			return fmt.Errorf("-policies and -page-tokens apply to serving sweeps only")
+		}
 	} else if *batches != "" {
 		return fmt.Errorf("-batches does not apply to serving sweeps (use -batch-caps)")
 	}
+	for _, name := range splitList(*policies) {
+		pol, err := optimus.ParseServePolicy(name)
+		if err != nil {
+			return err
+		}
+		spec.Policies = append(spec.Policies, pol)
+	}
+	spec.ServePageTokens = *pageTokens
 
 	for _, name := range splitList(*models) {
 		cfg, err := optimus.ModelByName(name)
@@ -225,6 +238,10 @@ type sweepRecord struct {
 	TTFTP95      float64 `json:"ttft_p95_s,omitempty"`
 	TPOTP95      float64 `json:"tpot_p95_s,omitempty"`
 	TokensPerSec float64 `json:"tokens_per_sec,omitempty"`
+	// Serving-only admission-pressure columns (zero elsewhere).
+	Preemptions      int     `json:"preemptions,omitempty"`
+	RecomputedTokens int     `json:"recomputed_tokens,omitempty"`
+	KVUtil           float64 `json:"kv_util,omitempty"`
 }
 
 func sweepRecords(res optimus.SweepResult) []sweepRecord {
@@ -258,6 +275,9 @@ func sweepRecords(res optimus.SweepResult) []sweepRecord {
 			rec.TTFTP95 = row.Metrics.TTFTP95
 			rec.TPOTP95 = row.Metrics.TPOTP95
 			rec.TokensPerSec = row.Metrics.TokensPerSec
+			rec.Preemptions = row.Metrics.Preemptions
+			rec.RecomputedTokens = row.Metrics.RecomputedTokens
+			rec.KVUtil = row.Metrics.KVUtil
 		}
 		out[i] = rec
 	}
@@ -265,13 +285,18 @@ func sweepRecords(res optimus.SweepResult) []sweepRecord {
 }
 
 // servingMappingToken renders a serving candidate's policy — TP degree,
-// arrival rate and batch cap — as one comma-separated token.
+// admission policy (with the paged block size), arrival rate and batch
+// cap — as one comma-separated token.
 func servingMappingToken(p optimus.SweepPoint) string {
 	cap := "auto"
 	if p.BatchCap > 0 {
 		cap = strconv.Itoa(p.BatchCap)
 	}
-	return fmt.Sprintf("tp=%d,rate=%g/s,cap=%s", p.Map.TP, p.Rate, cap)
+	pol := p.Policy.String()
+	if p.Policy == optimus.PagedPolicy {
+		pol = fmt.Sprintf("paged/%d", p.PageTokens)
+	}
+	return fmt.Sprintf("tp=%d,%s,rate=%g/s,cap=%s", p.Map.TP, pol, p.Rate, cap)
 }
 
 // sweepJSON is the -format json document shape.
@@ -305,14 +330,15 @@ func writeSweep(w io.Writer, res optimus.SweepResult, workload optimus.SweepWork
 			return nil
 		}
 		if workload == optimus.ServingSweep {
-			fmt.Fprintf(w, "  %4s %-12s %-34s %-24s %-5s %9s %10s %10s %10s %10s\n",
-				"rank", "model", "system", "policy", "prec", "seq+gen", "e2e-p95", "ttft-p95", "tpot-p95", "tok/s")
+			fmt.Fprintf(w, "  %4s %-12s %-34s %-32s %-5s %9s %10s %10s %10s %10s %8s %7s\n",
+				"rank", "model", "system", "policy", "prec", "seq+gen", "e2e-p95", "ttft-p95", "tpot-p95", "tok/s", "preempt", "kv-util")
 			for _, r := range recs {
-				fmt.Fprintf(w, "  %4d %-12s %-34s %-24s %-5s %9s %10s %10s %10s %10.0f\n",
+				fmt.Fprintf(w, "  %4d %-12s %-34s %-32s %-5s %9s %10s %10s %10s %10.0f %8d %6.0f%%\n",
 					r.Rank, r.Model, r.System, r.Mapping, r.Precision,
 					strconv.Itoa(r.Seq)+"+"+strconv.Itoa(r.Gen),
 					units.FormatSeconds(r.Seconds), units.FormatSeconds(r.TTFTP95),
-					units.FormatSeconds(r.TPOTP95), r.TokensPerSec)
+					units.FormatSeconds(r.TPOTP95), r.TokensPerSec,
+					r.Preemptions, 100*r.KVUtil)
 			}
 			return nil
 		}
@@ -339,7 +365,8 @@ func writeSweep(w io.Writer, res optimus.SweepResult, workload optimus.SweepWork
 		cw := csv.NewWriter(w)
 		if err := cw.Write([]string{"rank", "model", "system", "mapping", "microbatch",
 			"recompute", "precision", "batch", "seq", "gen", "seconds", "mfu", "memory_gb", "fits",
-			"rate_per_sec", "ttft_p95_s", "tpot_p95_s", "tokens_per_sec"}); err != nil {
+			"rate_per_sec", "ttft_p95_s", "tpot_p95_s", "tokens_per_sec",
+			"preemptions", "recomputed_tokens", "kv_util"}); err != nil {
 			return err
 		}
 		g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -350,6 +377,7 @@ func writeSweep(w io.Writer, res optimus.SweepResult, workload optimus.SweepWork
 				g(r.Seconds), g(r.MFU), g(r.MemoryGB),
 				strconv.FormatBool(r.Fits),
 				g(r.Rate), g(r.TTFTP95), g(r.TPOTP95), g(r.TokensPerSec),
+				strconv.Itoa(r.Preemptions), strconv.Itoa(r.RecomputedTokens), g(r.KVUtil),
 			}); err != nil {
 				return err
 			}

@@ -28,7 +28,17 @@ func TestCmdSweep(t *testing.T) {
 		"-serve-requests", "32", "-format", "csv"}); err != nil {
 		t.Fatal(err)
 	}
+	if err := cmdSweep([]string{"-workload", "serve", "-models", "llama2-13b", "-devices", "h100",
+		"-intra", "nvlink4", "-gpus", "2", "-rates", "2", "-batch-caps", "0,16",
+		"-policies", "reserve,paged", "-page-tokens", "32", "-serve-requests", "24"}); err != nil {
+		t.Fatal(err)
+	}
 	for _, bad := range [][]string{
+		{"-workload", "serve", "-models", "llama2-13b", "-gpus", "2", "-policies", "fifo"},
+		{"-workload", "train", "-models", "gpt-22b", "-gpus", "8", "-policies", "paged"},
+		{"-workload", "infer", "-models", "llama2-13b", "-gpus", "2", "-page-tokens", "16"},
+		{"-workload", "serve", "-models", "llama2-13b", "-gpus", "2", "-page-tokens", "-4"},
+		{"-workload", "serve", "-models", "llama2-13b", "-gpus", "2", "-policies", "reserve", "-page-tokens", "32"},
 		{"-models", "no-such-model"},
 		{"-devices", "warp-core"},
 		{"-gpus", "eight"},
@@ -159,7 +169,7 @@ func TestWriteSweepCSVQuotesServingTokens(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := b.String()
-	if !strings.Contains(out, `"tp=2,rate=1.5/s,cap=8"`) {
+	if !strings.Contains(out, `"tp=2,reserve-full,rate=1.5/s,cap=8"`) {
 		t.Errorf("serving mapping token must be quoted in CSV output:\n%s", out)
 	}
 	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
@@ -172,11 +182,64 @@ func TestWriteSweepCSVQuotesServingTokens(t *testing.T) {
 			t.Fatalf("record %d has %d fields, header has %d — comma leaked", i, len(rec), width)
 		}
 	}
-	if got := recs[1][3]; got != "tp=2,rate=1.5/s,cap=8" {
+	if got := recs[1][3]; got != "tp=2,reserve-full,rate=1.5/s,cap=8" {
 		t.Errorf("mapping token did not round-trip: %q", got)
 	}
 	if recs[1][14] == "0" || recs[1][15] == "0" {
 		t.Errorf("serving SLO columns missing: %v", recs[1])
+	}
+}
+
+// TestWriteSweepCSVPagedColumns: a paged serving sweep must render its
+// policy (with the block size) in the mapping token and populate the
+// admission-pressure columns.
+func TestWriteSweepCSVPagedColumns(t *testing.T) {
+	cfg, err := optimus.ModelByName("llama2-13b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := optimus.NewSystem("h100", 2, "nvlink4", "ndr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := optimus.Sweep(context.Background(), optimus.SweepSpec{
+		Workload: optimus.ServingSweep,
+		Models:   []optimus.Model{cfg}, Systems: []*optimus.System{sys},
+		Rates: []float64{2}, BatchCaps: []int{8}, ServeRequests: 24,
+		Policies:        []optimus.ServePolicy{optimus.PagedPolicy},
+		ServePageTokens: 32,
+		Constraints:     optimus.PlanConstraints{TopK: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := writeSweep(&b, res, optimus.ServingSweep, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "paged/32") {
+		t.Errorf("paged policy token missing from CSV:\n%s", out)
+	}
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := recs[0]
+	col := func(name string) int {
+		for i, h := range header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("column %q missing from header %v", name, header)
+		return -1
+	}
+	for _, name := range []string{"preemptions", "recomputed_tokens", "kv_util"} {
+		col(name)
+	}
+	if v := recs[1][col("kv_util")]; v == "0" || v == "" {
+		t.Errorf("paged row should report nonzero KV utilization, got %q", v)
 	}
 }
 

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"math"
+	"testing"
+
+	"optimus/internal/arch"
+	"optimus/internal/model"
+	"optimus/internal/tech"
+)
+
+// fuzzBase builds the fixed model/system the spec fuzzers mutate around.
+func fuzzBase(f *testing.F) Spec {
+	f.Helper()
+	sys, err := arch.SystemOf(arch.A100(), 1, 8, tech.NVLink3, tech.IBNDR)
+	if err != nil {
+		f.Fatal(err)
+	}
+	cfg, err := model.ByName("Llama2-13B")
+	if err != nil {
+		f.Fatal(err)
+	}
+	return Spec{
+		Model: cfg, System: sys, TP: 1, Precision: tech.FP16,
+		Arrival: Poisson,
+	}
+}
+
+// FuzzSpecValidate is the satellite fuzz gate on the new policy fields:
+// Validate must never panic on any field combination, and whenever it
+// accepts a spec, the policy must report a single request as feasible —
+// Run may never start a simulation whose lone request cannot fit. The
+// f.Add corpus doubles as a regression suite under plain `go test`.
+func FuzzSpecValidate(f *testing.F) {
+	base := fuzzBase(f)
+
+	// policy, pageTokens, noPreempt, rate, clients, requests, maxBatch,
+	// kvCapacity, prompt, gen, tp, arrival
+	f.Add(int8(0), 0, false, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0))     // baseline reserve
+	f.Add(int8(1), 0, false, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0))     // baseline paged
+	f.Add(int8(1), 16, true, 2.0, 0, 16, 4, 0.0, 200, 200, 1, int8(0))     // paged no-preempt
+	f.Add(int8(1), -3, false, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0))    // negative page size
+	f.Add(int8(1), 1<<30, false, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0)) // page beyond context
+	f.Add(int8(0), 16, false, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0))    // page size under reserve
+	f.Add(int8(0), 0, true, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0))      // no-preempt under reserve
+	f.Add(int8(2), 0, false, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0))     // unknown policy
+	f.Add(int8(1), 8, false, 1.0, 0, 16, 0, 1e6, 200, 200, 1, int8(0))     // budget below one request
+	f.Add(int8(1), 8, false, math.NaN(), 0, 16, 0, 0.0, 200, 200, 1, int8(0))
+	f.Add(int8(0), 0, false, 1.0, 0, 2, 0, 1e30, 200, 200, 1, int8(0)) // huge finite budget
+	f.Add(int8(0), 0, false, 1.0, 0, 2, 0, math.Inf(1), 200, 200, 1, int8(0))
+	f.Add(int8(1), 8, false, 0.0, 4, 16, 0, 0.0, 200, 200, 1, int8(1)) // closed loop
+	f.Add(int8(1), 8, false, 1.0, 0, -1, -1, -1.0, 0, 0, 4, int8(7))   // garbage everything
+
+	f.Fuzz(func(t *testing.T, policy int8, pageTokens int, noPreempt bool,
+		rate float64, clients, requests, maxBatch int, kvCapacity float64,
+		prompt, gen, tp int, arrival int8) {
+		s := base
+		s.Policy = Policy(policy)
+		s.PageTokens = pageTokens
+		s.NoPreempt = noPreempt
+		s.Rate = rate
+		s.Clients = clients
+		s.Requests = requests
+		s.MaxBatch = maxBatch
+		s.KVCapacity = kvCapacity
+		s.PromptTokens = prompt
+		s.GenTokens = gen
+		s.TP = tp
+		s.Arrival = Arrival(arrival)
+
+		err := s.Validate() // must not panic, whatever the fields
+		if err != nil {
+			return
+		}
+		if !Feasible(s) {
+			t.Fatalf("Validate accepted a spec whose single request cannot fit: %+v", s)
+		}
+		// An accepted spec must simulate: run a truncated simulation when
+		// it is cheap enough to finish instantly, and require that it
+		// never errors and completes every request.
+		if s.Requests > 0 && s.Requests <= 8 && s.GenTokens <= 64 && s.PromptTokens <= 4096 {
+			res, runErr := Run(s)
+			if runErr != nil {
+				t.Fatalf("validated spec failed to run: %v (%+v)", runErr, s)
+			}
+			if res.Requests != s.Requests {
+				t.Fatalf("run completed %d of %d requests (%+v)", res.Requests, s.Requests, s)
+			}
+		}
+	})
+}
+
+// FuzzPagedGeometry: whatever page size and budget a spec asks for, the
+// derived geometry must stay internally consistent — the page size never
+// exceeds the context, a feasible pool covers one full context, and the
+// derived batch cap respects the user's.
+func FuzzPagedGeometry(f *testing.F) {
+	base := fuzzBase(f)
+	f.Add(16, 0.0, 0, 200, 200)
+	f.Add(1, 1e9, 4, 50, 1)
+	f.Add(1<<30, 5e8, 1, 1, 1)
+	f.Add(7, 3.3e8, 100, 333, 77)
+	f.Fuzz(func(t *testing.T, pageTokens int, kvCapacity float64, maxBatch, prompt, gen int) {
+		s := base
+		s.Policy = Paged
+		s.PageTokens = pageTokens
+		s.KVCapacity = kvCapacity
+		s.MaxBatch = maxBatch
+		s.PromptTokens = prompt
+		s.GenTokens = gen
+		s.Rate = 1
+		if s.Validate() != nil {
+			return
+		}
+		pol := newPolicy(s.withDefaults())
+		pt, total := pol.PageGeometry()
+		if pt < 1 || pt > prompt+gen {
+			t.Fatalf("page size %d outside [1, %d]", pt, prompt+gen)
+		}
+		if total < 1 {
+			t.Fatalf("feasible paged spec has an empty page pool")
+		}
+		full := (prompt + gen + pt - 1) / pt
+		if full > total {
+			t.Fatalf("feasible spec: full context needs %d pages of a %d-page pool", full, total)
+		}
+		if cap := pol.BatchCap(); maxBatch > 0 && cap > maxBatch {
+			t.Fatalf("derived batch cap %d exceeds the user's %d", cap, maxBatch)
+		}
+	})
+}

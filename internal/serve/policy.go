@@ -1,0 +1,378 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Policy selects the KV-cache admission policy of a serving simulation.
+type Policy int
+
+const (
+	// ReserveFull reserves each request's full prompt+generation KV
+	// context at admission (the PR-2 behavior): nothing ever has to be
+	// evicted, at the cost of admitting far fewer concurrent sequences
+	// than a long-generation request actually needs early in its life.
+	ReserveFull Policy = iota
+	// Paged allocates KV in fixed-size token blocks (vLLM-style) that
+	// grow with a request as it decodes. Under pressure the policy
+	// preempts victims LIFO among the running sequences — the youngest
+	// admission loses its cache and is re-queued at the head of the wait
+	// queue. Readmission prices one prefill pass (the same PrefillCost
+	// step-cost API as any admission) that rebuilds the discarded KV:
+	// vLLM's recompute preemption, where already-generated tokens are
+	// recovered as context by the recompute prefill, and the sequence
+	// resumes decoding from where it was evicted.
+	Paged
+)
+
+// String names the policy with the token the CLI and sweep writers use.
+func (p Policy) String() string {
+	switch p {
+	case ReserveFull:
+		return "reserve-full"
+	case Paged:
+		return "paged"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// MarshalJSON renders the policy name, so JSON artifacts compared across
+// the policy axis say "paged", not a bare enum int.
+func (p Policy) MarshalJSON() ([]byte, error) {
+	return json.Marshal(p.String())
+}
+
+// UnmarshalJSON parses the rendered policy name back.
+func (p *Policy) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	v, err := ParsePolicy(s)
+	if err != nil {
+		return err
+	}
+	*p = v
+	return nil
+}
+
+// ParsePolicy resolves a CLI policy token.
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "reserve", "reserve-full", "reservation":
+		return ReserveFull, nil
+	case "paged", "page":
+		return Paged, nil
+	default:
+		return 0, fmt.Errorf("serve: unknown admission policy %q (reserve|paged)", s)
+	}
+}
+
+// DefaultPageTokens is the paged policy's block size when Spec.PageTokens
+// is zero — vLLM's default block size.
+const DefaultPageTokens = 16
+
+// CanonicalPageTokens resolves the effective paged block size for a
+// (policy, requested size, full context) triple: zero unless the policy
+// is Paged (or the context is empty), the default when unset, clamped to
+// the context. It is the single source of the rule — the simulator's
+// policy construction and the sweep's candidate enumeration both call it,
+// so memo keys canonicalize under exactly the block size the simulator
+// runs.
+func CanonicalPageTokens(pol Policy, pageTokens, context int) int {
+	if pol != Paged || context < 1 {
+		return 0
+	}
+	if pageTokens <= 0 {
+		pageTokens = DefaultPageTokens
+	}
+	if pageTokens > context {
+		pageTokens = context
+	}
+	return pageTokens
+}
+
+// AdmissionPolicy manages the KV-cache budget of one simulation: it
+// decides how many sequences may run concurrently, reserves capacity as
+// requests are admitted and decode, and selects preemption victims under
+// pressure. The interface is sealed (its stepping methods take the
+// simulator's unexported request type); newPolicy builds the
+// implementation Spec.Policy selects.
+type AdmissionPolicy interface {
+	// BatchCap resolves the concurrent-sequence bound: the user's
+	// Spec.MaxBatch, bounded by how many admissions the KV budget holds.
+	BatchCap() int
+	// Feasible reports whether a single request can ever be admitted.
+	Feasible() bool
+	// PageGeometry reports the resolved block size in tokens and the page
+	// count of the budget; both zero for ReserveFull.
+	PageGeometry() (pageTokens, totalPages int)
+
+	// beginStep re-derives per-iteration accounting from the running set
+	// (in admission order) and makes room for each sequence's next token,
+	// returning the sequences that keep running and the preemption
+	// victims, which the event loop re-queues.
+	beginStep(running []*request) (kept, victims []*request)
+	// admit reserves capacity for the request, or reports that it does
+	// not fit right now.
+	admit(r *request) bool
+	// release frees a completed request's capacity.
+	release(r *request)
+	// usedBytes is the KV capacity currently committed — unavailable to
+	// further admissions — in bytes.
+	usedBytes() float64
+	// usedPages is the committed page count (0 for ReserveFull).
+	usedPages() int
+	// budgetBytes is the resolved per-device KV budget.
+	budgetBytes() float64
+	// counters reports the cumulative preemptions and the generated
+	// tokens they discarded.
+	counters() (preemptions, recomputedTokens int)
+}
+
+// newPolicy resolves the spec's admission policy. It derives the KV
+// geometry exactly once (one memfoot.Inference evaluation), so the
+// simulator's hot path never recomputes the footprint model.
+func newPolicy(s Spec) AdmissionPolicy {
+	budget, perRequest := s.kvBudget()
+	if s.Policy == Paged {
+		return newPagedPolicy(s, budget, perRequest)
+	}
+	return &reservePolicy{budget: budget, perRequest: perRequest, userCap: s.MaxBatch}
+}
+
+// reservePolicy is the extracted PR-2 admission: every request reserves
+// its full prompt+generation KV context up front, so capacity never has
+// to be reclaimed and preemption never happens. Its arithmetic — the
+// order of float operations included — is exactly the pre-refactor
+// admission loop's, which the paged policy's degenerate-equivalence test
+// relies on.
+type reservePolicy struct {
+	budget, perRequest float64
+	userCap            int
+	kvUsed             float64
+}
+
+func (p *reservePolicy) BatchCap() int {
+	// Clamped like the paged pool (maxTotalPages): an unguarded float→int
+	// conversion on a huge budget/perRequest ratio overflows to a negative
+	// cap, which would stall the event loop at zero admissions.
+	fit := maxTotalPages
+	if f := p.budget / p.perRequest; f < maxTotalPages {
+		fit = int(f)
+	}
+	if p.userCap > 0 && p.userCap < fit {
+		return p.userCap
+	}
+	return fit
+}
+
+func (p *reservePolicy) Feasible() bool {
+	return p.budget > 0 && p.perRequest <= p.budget
+}
+
+func (p *reservePolicy) PageGeometry() (int, int) { return 0, 0 }
+
+func (p *reservePolicy) beginStep(running []*request) ([]*request, []*request) {
+	p.kvUsed = p.perRequest * float64(len(running))
+	return running, nil
+}
+
+func (p *reservePolicy) admit(r *request) bool {
+	if !(p.kvUsed+p.perRequest <= p.budget) {
+		return false
+	}
+	p.kvUsed += p.perRequest
+	return true
+}
+
+func (p *reservePolicy) release(*request)     {}
+func (p *reservePolicy) usedBytes() float64   { return p.kvUsed }
+func (p *reservePolicy) usedPages() int       { return 0 }
+func (p *reservePolicy) budgetBytes() float64 { return p.budget }
+func (p *reservePolicy) counters() (int, int) { return 0, 0 }
+
+// maxTotalPages caps the page budget so a garbage spec (tiny page bytes
+// against a huge budget) cannot overflow the float→int conversion. It
+// must fit a 32-bit int so the package keeps building on 32-bit targets.
+const maxTotalPages = 1<<31 - 1
+
+// pagedPolicy allocates KV in fixed-size token blocks. A request holds
+// ceil(kvTokens/pageTokens) pages for the tokens currently in its cache
+// and grows one page at a time as it decodes; admission only needs the
+// prompt's pages, so many more long-generation requests run concurrently
+// than under full-context reservation. When a sequence cannot grow, the
+// policy evicts victims LIFO (youngest admission first, itself last) —
+// recompute-style preemption: the victim's pages are freed and the event
+// loop re-queues it for a recompute prefill that rebuilds its cache, after
+// which it resumes decoding.
+//
+// With NoPreempt set, admission instead reserves the full-context page
+// count up front (reservation at page granularity), which guarantees
+// growth never fails — the degenerate configuration the equivalence tests
+// pin against ReserveFull.
+type pagedPolicy struct {
+	budget     float64
+	pageBytes  float64
+	pageTokens int
+	totalPages int
+	prompt     int
+	admitPages int // pages covering prompt+1 tokens — the admission need
+	fullPages  int // pages covering the full prompt+generation context
+	userCap    int
+	noPreempt  bool
+
+	used       int // pages currently held across the running set
+	reserved   int // NoPreempt: full-context pages reserved by admissions
+	preempts   int
+	recomputed int
+}
+
+func newPagedPolicy(s Spec, budget, perRequest float64) *pagedPolicy {
+	context := s.PromptTokens + s.GenTokens
+	pt := CanonicalPageTokens(Paged, s.PageTokens, context)
+	p := &pagedPolicy{
+		budget:     budget,
+		pageTokens: pt,
+		prompt:     s.PromptTokens,
+		userCap:    s.MaxBatch,
+		noPreempt:  s.NoPreempt,
+	}
+	if pt == 0 {
+		return p // context-free garbage spec; totalPages stays 0 → infeasible
+	}
+	if pt == context {
+		// One page holds a full context. Using the footprint's own bytes
+		// (not perRequest/context*pt, which rounds) keeps the degenerate
+		// configuration bit-identical to ReserveFull accounting.
+		p.pageBytes = perRequest
+	} else {
+		p.pageBytes = perRequest * float64(pt) / float64(context)
+	}
+	if budget > 0 && p.pageBytes > 0 {
+		if f := budget / p.pageBytes; f > maxTotalPages {
+			p.totalPages = maxTotalPages
+		} else {
+			p.totalPages = int(f)
+		}
+	}
+	p.admitPages = p.pagesFor(s.PromptTokens + 1)
+	p.fullPages = p.pagesFor(context)
+	return p
+}
+
+// pagesFor returns the page count covering tokens KV entries.
+func (p *pagedPolicy) pagesFor(tokens int) int {
+	return (tokens + p.pageTokens - 1) / p.pageTokens
+}
+
+func (p *pagedPolicy) BatchCap() int {
+	per := p.admitPages
+	if p.noPreempt {
+		per = p.fullPages
+	}
+	fit := 0
+	if per > 0 {
+		fit = p.totalPages / per
+	}
+	if p.userCap > 0 && p.userCap < fit {
+		return p.userCap
+	}
+	return fit
+}
+
+func (p *pagedPolicy) Feasible() bool {
+	return p.budget > 0 && p.fullPages > 0 && p.fullPages <= p.totalPages
+}
+
+func (p *pagedPolicy) PageGeometry() (int, int) { return p.pageTokens, p.totalPages }
+
+// beginStep grows every established sequence's allocation to cover the
+// token its next decode step produces. Sequences are grown oldest-first
+// (admission order); when the free pool runs dry, the youngest running
+// sequence is evicted — possibly the grower itself when it is the
+// youngest. The oldest sequence can always finish: a lone request's full
+// context fits the budget (Feasible), so eviction never empties the
+// running set, which is the simulator's progress guarantee.
+func (p *pagedPolicy) beginStep(running []*request) (kept, victims []*request) {
+	kept = running
+	for i := 0; i < len(kept); i++ {
+		r := kept[i]
+		need := p.pagesFor(p.prompt + r.produced + 1)
+		extra := need - r.pages
+		if extra <= 0 {
+			continue
+		}
+		self := false
+		for p.used+extra > p.totalPages {
+			v := kept[len(kept)-1]
+			kept = kept[:len(kept)-1]
+			p.evict(v)
+			victims = append(victims, v)
+			if v == r {
+				self = true
+				break
+			}
+		}
+		if self {
+			break // r was the youngest; the outer scan is past the end
+		}
+		p.used += extra
+		r.pages = need
+	}
+	return kept, victims
+}
+
+// evict frees a victim's pages and accounts the generated tokens whose
+// KV entries its readmission prefill will have to rebuild.
+func (p *pagedPolicy) evict(v *request) {
+	p.used -= v.pages
+	v.pages = 0
+	p.preempts++
+	p.recomputed += v.produced
+}
+
+// admit reserves the pages a request's next step touches: the prompt's
+// for a fresh sequence, the prompt's plus the already-generated tokens'
+// for a preemption victim resuming after its recompute prefill.
+func (p *pagedPolicy) admit(r *request) bool {
+	need := p.pagesFor(p.prompt + r.produced + 1)
+	if p.noPreempt {
+		if p.reserved+p.fullPages > p.totalPages {
+			return false
+		}
+		p.reserved += p.fullPages
+	} else if p.used+need > p.totalPages {
+		return false
+	}
+	r.pages = need
+	p.used += need
+	return true
+}
+
+func (p *pagedPolicy) release(r *request) {
+	p.used -= r.pages
+	r.pages = 0
+	if p.noPreempt {
+		p.reserved -= p.fullPages
+	}
+}
+
+// usedPages reports the pages *committed* — what admission sees as
+// unavailable — so the utilization surface stays comparable across the
+// policy axis: held blocks under preemption, reserved full contexts under
+// NoPreempt (whose admissions commit capacity they have not yet filled,
+// exactly as ReserveFull's do).
+func (p *pagedPolicy) usedPages() int {
+	if p.noPreempt {
+		return p.reserved
+	}
+	return p.used
+}
+func (p *pagedPolicy) usedBytes() float64   { return float64(p.usedPages()) * p.pageBytes }
+func (p *pagedPolicy) budgetBytes() float64 { return p.budget }
+func (p *pagedPolicy) counters() (int, int) {
+	return p.preempts, p.recomputed
+}

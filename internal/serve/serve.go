@@ -14,10 +14,22 @@
 // The simulator reports per-request TTFT (time to first token — queueing
 // delay plus the prefill pass that emits it), TPOT (time per output token
 // over the decode steps), and E2E latency, with p50/p95/p99 percentiles —
-// the SLO surface capacity planning ranks on. KV-cache admission reserves
-// each request's full prompt+generation context up front (no paging;
-// paged/disaggregated variants are follow-ons the step-cost split makes
-// expressible).
+// the SLO surface capacity planning ranks on.
+//
+// KV-cache admission is a pluggable AdmissionPolicy with two
+// implementations selected by Spec.Policy:
+//
+//   - ReserveFull (the default) reserves each request's full
+//     prompt+generation context up front — admission is pessimistic but
+//     nothing is ever evicted.
+//   - Paged allocates KV in fixed-size token blocks (Spec.PageTokens,
+//     vLLM-style) that grow as a request decodes, admitting on the
+//     prompt's pages alone. Under pressure the youngest running sequence
+//     is preempted (LIFO), its cache discarded, and it is re-queued for a
+//     fresh prefill — recompute-style preemption, priced through the same
+//     PrefillCost API as any admission. Result counts Preemptions, the
+//     RecomputedTokens they discarded, and page-pool utilization, making
+//     the SLO-versus-utilization trade directly observable.
 package serve
 
 import (
@@ -87,11 +99,43 @@ type Spec struct {
 	Seed int64
 
 	// MaxBatch caps concurrent sequences per iteration; zero derives the
-	// largest batch whose full-context KV fits the KV budget.
+	// largest batch the admission policy's KV budget holds.
 	MaxBatch int
 	// KVCapacity overrides the per-device KV-cache budget in bytes; zero
 	// derives it as device DRAM minus the TP-sharded weights.
 	KVCapacity float64
+
+	// Policy selects the KV admission policy; the zero value is
+	// ReserveFull, the PR-2 full-context reservation.
+	Policy Policy
+	// PageTokens is the paged policy's KV block size in tokens; zero
+	// means DefaultPageTokens. It is clamped to the full context, at
+	// which point the paged policy degenerates to block-granular
+	// reservation. Paged only.
+	PageTokens int
+	// NoPreempt disables victim preemption: paged admission then
+	// reserves the full-context page count up front, so growth can never
+	// fail. Paged only.
+	NoPreempt bool
+
+	// probe, when set by package tests, observes every iteration's KV
+	// accounting (the instrumentation hook the conservation property
+	// tests assert through).
+	probe func(probeState)
+}
+
+// probeState is the per-iteration KV accounting snapshot handed to the
+// test-only step probe, sampled after admission and before pricing.
+type probeState struct {
+	iteration       int
+	running, queued int
+	// usedPages/totalPages are the policy's committed-page accounting
+	// (zero for ReserveFull); runningPages re-sums the running set's held
+	// pages so the probe can assert conservation independently. Held and
+	// committed coincide except under NoPreempt, whose admissions reserve
+	// full contexts they have not yet filled.
+	usedPages, totalPages, runningPages int
+	usedBytes, budget                   float64
 }
 
 func (s Spec) withDefaults() Spec {
@@ -110,12 +154,19 @@ func (s Spec) inferSpec() infer.Spec {
 	}
 }
 
+// inferenceFootprint is the footprint model behind kvBudget; a package
+// variable so tests can count invocations and pin that Run derives the KV
+// geometry exactly once per simulation (not once per iteration or per
+// helper call).
+var inferenceFootprint = memfoot.Inference
+
 // kvBudget resolves the per-device KV-cache budget and the per-request
 // full-context reservation, both from the memfoot inference model so the
 // admission policy can never diverge from the footprint the predictors
-// check against.
+// check against. It is called exactly once per simulation, from
+// newPolicy — the footprint model is far too slow for the event loop.
 func (s Spec) kvBudget() (budget, perRequest float64) {
-	fp := memfoot.Inference(s.Model, s.TP, 1, s.PromptTokens+s.GenTokens, s.Precision.Bytes())
+	fp := inferenceFootprint(s.Model, s.TP, 1, s.PromptTokens+s.GenTokens, s.Precision.Bytes())
 	budget = s.KVCapacity
 	if budget <= 0 {
 		budget = s.System.Device.DRAMCapacity() - fp.Weights
@@ -127,6 +178,16 @@ func (s Spec) kvBudget() (budget, perRequest float64) {
 // weights + full-context KV-cache fit the device (Feasible's verdict).
 func (s Spec) Validate() error {
 	s = s.withDefaults()
+	if err := s.validateShape(); err != nil {
+		return err
+	}
+	return s.validateFit(newPolicy(s))
+}
+
+// validateShape checks everything that does not need the KV geometry —
+// run before newPolicy, since deriving the geometry dereferences the
+// system a garbage spec may not have.
+func (s Spec) validateShape() error {
 	if err := s.inferSpec().Validate(); err != nil {
 		return err
 	}
@@ -151,10 +212,34 @@ func (s Spec) Validate() error {
 		return fmt.Errorf("serve: serving needs at least one generated token, got %d", s.GenTokens)
 	case s.MaxBatch < 0:
 		return fmt.Errorf("serve: negative batch cap %d", s.MaxBatch)
-	case s.KVCapacity < 0:
-		return fmt.Errorf("serve: negative KV capacity %g", s.KVCapacity)
+	case s.KVCapacity < 0 || math.IsNaN(s.KVCapacity) || math.IsInf(s.KVCapacity, 0):
+		// Negative-or-non-finite form: a NaN budget fails every admission
+		// comparison and an infinite one overflows the batch-cap math.
+		return fmt.Errorf("serve: KV capacity %g not finite and non-negative", s.KVCapacity)
 	}
-	if !Feasible(s) {
+	switch s.Policy {
+	case ReserveFull:
+		// Reject paged-only knobs rather than silently ignoring them: a
+		// user who sets them believes they shaped the simulation.
+		if s.PageTokens != 0 {
+			return fmt.Errorf("serve: PageTokens applies to the paged policy only")
+		}
+		if s.NoPreempt {
+			return fmt.Errorf("serve: NoPreempt applies to the paged policy only")
+		}
+	case Paged:
+		if s.PageTokens < 0 {
+			return fmt.Errorf("serve: negative page size %d tokens", s.PageTokens)
+		}
+	default:
+		return fmt.Errorf("serve: unknown admission policy %v", s.Policy)
+	}
+	return nil
+}
+
+// validateFit checks the policy's feasibility verdict.
+func (s Spec) validateFit(pol AdmissionPolicy) error {
+	if !pol.Feasible() {
 		return fmt.Errorf("serve: one %d-token request does not fit the device (weights + KV-cache exceed %g bytes)",
 			s.PromptTokens+s.GenTokens, s.System.Device.DRAMCapacity())
 	}
@@ -162,23 +247,12 @@ func (s Spec) Validate() error {
 }
 
 // Feasible reports whether a single request can ever be admitted: the
-// TP-sharded weights plus one full-context KV reservation fit the KV
-// budget. The sweep engine uses it to prune hopeless grid cells before
-// simulating; its verdict matches whether Run would reject the spec.
+// TP-sharded weights plus one full-context KV allocation (reservation or
+// pages) fit the KV budget. The sweep engine uses it to prune hopeless
+// grid cells before simulating; its verdict matches whether Run would
+// reject the spec.
 func Feasible(s Spec) bool {
-	budget, perRequest := s.kvBudget()
-	return budget > 0 && perRequest <= budget
-}
-
-// maxBatch resolves the iteration batch cap: the user's cap, bounded by
-// how many full-context reservations the KV budget holds.
-func (s Spec) maxBatch() int {
-	budget, perRequest := s.kvBudget()
-	fit := int(budget / perRequest)
-	if s.MaxBatch > 0 && s.MaxBatch < fit {
-		return s.MaxBatch
-	}
-	return fit
+	return newPolicy(s.withDefaults()).Feasible()
 }
 
 // RequestMetrics is one completed request's timeline.
@@ -198,6 +272,12 @@ type RequestMetrics struct {
 	TPOT float64
 	// E2E is the end-to-end latency (Done - Arrival).
 	E2E float64
+	// Preemptions counts how many times this request was evicted and
+	// re-queued (paged policy only). Admitted and FirstToken keep their
+	// first-occurrence timestamps across preemptions, so TTFT reflects
+	// when the stream first started; Done (and hence TPOT and E2E) absorb
+	// the recompute stalls.
+	Preemptions int
 }
 
 // Percentiles summarizes one latency distribution.
@@ -254,11 +334,31 @@ type Result struct {
 	// PeakBatch its maximum.
 	MeanBatch float64
 	PeakBatch int
-	// PeakKVBytes is the high-water per-device KV reservation.
+	// PeakKVBytes is the high-water per-device KV commitment: held pages
+	// under paged preemption, reservations under ReserveFull and
+	// NoPreempt — always the capacity admission saw as unavailable, so
+	// the number is comparable across the policy axis.
 	PeakKVBytes float64
+	// MeanKVUtil is the mean fraction of the KV budget committed across
+	// iterations (sampled after admission) — the utilization side of the
+	// SLO-versus-utilization trade.
+	MeanKVUtil float64
 	// MaxBatch and KVCapacity echo the resolved admission limits.
 	MaxBatch   int
 	KVCapacity float64
+
+	// Policy echoes the admission policy; PageTokens and KVPagesTotal its
+	// resolved block geometry and PeakKVPages the page high-water (all
+	// zero under ReserveFull).
+	Policy       Policy
+	PageTokens   int
+	KVPagesTotal int
+	PeakKVPages  int
+	// Preemptions counts victim evictions; RecomputedTokens the generated
+	// tokens whose KV entries they discarded, which readmission prefills
+	// had to rebuild.
+	Preemptions      int
+	RecomputedTokens int
 
 	// PerRequest holds every completed request, ordered by arrival index.
 	PerRequest []RequestMetrics
@@ -269,12 +369,19 @@ type request struct {
 	id      int
 	arrival float64
 	// admitted and firstToken are timestamps filled as the request moves
-	// through the pipeline.
+	// through the pipeline; both keep their first occurrence across
+	// preemptions.
 	admitted   float64
 	firstToken float64
 	// produced counts generated tokens; 0 means the prefill pass is still
-	// pending.
+	// pending. Preemption keeps it — the readmission prefill rebuilds the
+	// discarded KV and decoding resumes from here.
 	produced int
+	// pages is the KV page count currently held (paged policy only).
+	pages int
+	// admissions and preempts count lifecycle events.
+	admissions int
+	preempts   int
 }
 
 // Run executes the simulation. It is fully deterministic: the only
@@ -282,7 +389,14 @@ type request struct {
 // goroutine over slices in arrival order.
 func Run(s Spec) (Result, error) {
 	s = s.withDefaults()
-	if err := s.Validate(); err != nil {
+	if err := s.validateShape(); err != nil {
+		return Result{}, err
+	}
+	// One policy per simulation: the KV geometry behind it is derived
+	// exactly once (one memfoot.Inference evaluation), never per
+	// iteration — TestRunDerivesKVGeometryOnce pins this.
+	pol := newPolicy(s)
+	if err := s.validateFit(pol); err != nil {
 		return Result{}, err
 	}
 	coster, err := infer.NewStepCoster(s.inferSpec())
@@ -320,8 +434,8 @@ func Run(s Spec) (Result, error) {
 		return ln.base + ln.slope*(kvMean-float64(kv0))
 	}
 
-	budget, perRequest := s.kvBudget()
-	batchCap := s.maxBatch()
+	budget := pol.budgetBytes()
+	batchCap := pol.BatchCap()
 
 	// Open-loop arrivals are pre-generated; closed-loop ones are issued on
 	// completion.
@@ -340,7 +454,7 @@ func Run(s Spec) (Result, error) {
 
 	var (
 		now        float64
-		queue      []*request // FIFO, arrival order
+		queue      []*request // FIFO; preemption re-queues victims at the head
 		running    []*request // admission order
 		nextArr    int        // next pre-generated arrival index
 		done       []RequestMetrics
@@ -348,6 +462,8 @@ func Run(s Spec) (Result, error) {
 		batchSum   float64
 		peakBatch  int
 		peakKV     float64
+		peakPages  int
+		utilSum    float64
 	)
 	done = make([]RequestMetrics, 0, s.Requests)
 
@@ -387,23 +503,71 @@ func Run(s Spec) (Result, error) {
 			admitArrived()
 		}
 
-		// Admit waiting requests up to the batch cap and KV budget. Each
-		// admission reserves the full prompt+generation context.
-		kvUsed := perRequest * float64(len(running))
-		newbies := 0
-		for len(queue) > 0 && len(running) < batchCap && kvUsed+perRequest <= budget {
-			r := queue[0]
-			queue = queue[1:]
-			r.admitted = now
-			running = append(running, r)
-			kvUsed += perRequest
-			newbies++
+		// Let the policy make room for every established sequence's next
+		// token; under the paged policy this is where victims are chosen
+		// (LIFO) and sent back to the head of the queue for a recompute
+		// readmission.
+		kept, victims := pol.beginStep(running)
+		running = kept
+		if len(victims) > 0 {
+			requeue := make([]*request, 0, len(victims)+len(queue))
+			// Victims were collected youngest-first; reverse so the queue
+			// head readmits the longest-running (most to rebuild) victim
+			// first. A victim keeps its produced count: readmission prices
+			// one prefill pass that rebuilds the discarded KV — vLLM's
+			// recompute preemption, where already-generated tokens are
+			// recovered as context by the recompute prefill, not decoded
+			// again — and the sequence resumes from where it was evicted.
+			for i := len(victims) - 1; i >= 0; i-- {
+				v := victims[i]
+				v.preempts++
+				requeue = append(requeue, v)
+			}
+			queue = append(requeue, queue...)
 		}
-		if kvUsed > peakKV {
-			peakKV = kvUsed
+
+		// Admit waiting requests up to the batch cap and the policy's KV
+		// capacity. An iteration that just preempted skips admission — the
+		// pool is under pressure, and admitting would thrash the victim
+		// straight back in.
+		newbies, resumedTokens := 0, 0
+		if len(victims) == 0 {
+			for len(queue) > 0 && len(running) < batchCap && pol.admit(queue[0]) {
+				r := queue[0]
+				queue = queue[1:]
+				if r.admissions == 0 {
+					r.admitted = now
+				}
+				r.admissions++
+				running = append(running, r)
+				newbies++
+				// A resumed victim's recompute prefill spans its generated
+				// tokens too, not just the prompt — bill them below.
+				resumedTokens += r.produced
+			}
 		}
+		kv := pol.usedBytes()
+		if kv > peakKV {
+			peakKV = kv
+		}
+		if up := pol.usedPages(); up > peakPages {
+			peakPages = up
+		}
+		utilSum += kv / budget
 		if len(running) > peakBatch {
 			peakBatch = len(running)
+		}
+		if s.probe != nil {
+			held := 0
+			for _, r := range running {
+				held += r.pages
+			}
+			_, totalPages := pol.PageGeometry()
+			s.probe(probeState{
+				iteration: iterations, running: len(running), queued: len(queue),
+				usedPages: pol.usedPages(), totalPages: totalPages, runningPages: held,
+				usedBytes: kv, budget: budget,
+			})
 		}
 
 		// Price the iteration: one prefill pass over the newly admitted
@@ -413,7 +577,17 @@ func Run(s Spec) (Result, error) {
 		deciders := running[:len(running)-newbies]
 		var iterTime float64
 		if newbies > 0 {
-			iterTime += prefill(newbies)
+			// PrefillCost prices newbies * PromptTokens tokens. Resumed
+			// preemption victims also rebuild their generated tokens' KV in
+			// this pass, so scale by the true token count — per-token
+			// linear, which slightly undercharges the quadratic attention
+			// share but keeps recompute far from free (and leaves fresh-only
+			// batches, the degenerate-equivalence path, untouched).
+			t := prefill(newbies)
+			if resumedTokens > 0 {
+				t *= float64(newbies*s.PromptTokens+resumedTokens) / float64(newbies*s.PromptTokens)
+			}
+			iterTime += t
 		}
 		if len(deciders) > 0 {
 			kvSum := 0
@@ -429,23 +603,27 @@ func Run(s Spec) (Result, error) {
 		now += iterTime
 
 		// Advance sequences: prefill emits the first token, decode steps
-		// one more each; completed requests leave and free their KV.
-		kept := running[:0]
+		// one more each; completed requests leave and free their KV. The
+		// firstToken guard keeps the first emission across preemptions
+		// (every iteration has positive duration, so 0 means unset).
+		alive := running[:0]
 		for _, r := range running {
 			r.produced++
-			if r.produced == 1 {
+			if r.produced == 1 && r.firstToken == 0 {
 				r.firstToken = now
 			}
 			if r.produced < s.GenTokens {
-				kept = append(kept, r)
+				alive = append(alive, r)
 				continue
 			}
+			pol.release(r)
 			m := RequestMetrics{
 				ID: r.id, Arrival: r.arrival, Admitted: r.admitted,
 				FirstToken: r.firstToken, Done: now,
-				Queue: r.admitted - r.arrival,
-				TTFT:  r.firstToken - r.arrival,
-				E2E:   now - r.arrival,
+				Queue:       r.admitted - r.arrival,
+				TTFT:        r.firstToken - r.arrival,
+				E2E:         now - r.arrival,
+				Preemptions: r.preempts,
 			}
 			if s.GenTokens > 1 {
 				m.TPOT = (now - r.firstToken) / float64(s.GenTokens-1)
@@ -456,20 +634,29 @@ func Run(s Spec) (Result, error) {
 				issued++
 			}
 		}
-		running = kept
+		running = alive
 	}
 
 	sort.Slice(done, func(i, j int) bool { return done[i].ID < done[j].ID })
+	pageTokens, totalPages := pol.PageGeometry()
+	preemptions, recomputed := pol.counters()
 	res := Result{
-		Requests:    len(done),
-		SimTime:     now,
-		Iterations:  iterations,
-		MeanBatch:   batchSum / float64(iterations),
-		PeakBatch:   peakBatch,
-		PeakKVBytes: peakKV,
-		MaxBatch:    batchCap,
-		KVCapacity:  budget,
-		PerRequest:  done,
+		Requests:         len(done),
+		SimTime:          now,
+		Iterations:       iterations,
+		MeanBatch:        batchSum / float64(iterations),
+		PeakBatch:        peakBatch,
+		PeakKVBytes:      peakKV,
+		MeanKVUtil:       utilSum / float64(iterations),
+		MaxBatch:         batchCap,
+		KVCapacity:       budget,
+		Policy:           s.Policy,
+		PageTokens:       pageTokens,
+		KVPagesTotal:     totalPages,
+		PeakKVPages:      peakPages,
+		Preemptions:      preemptions,
+		RecomputedTokens: recomputed,
+		PerRequest:       done,
 	}
 	if now > 0 {
 		res.ThroughputRPS = float64(len(done)) / now

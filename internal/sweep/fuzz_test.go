@@ -1,0 +1,86 @@
+package sweep
+
+import (
+	"math"
+	"testing"
+
+	"optimus/internal/arch"
+	"optimus/internal/model"
+	"optimus/internal/serve"
+	"optimus/internal/tech"
+)
+
+// fuzzCell builds the fixed (model, system, precision) cell the serving
+// key fuzzer enumerates within.
+func fuzzCell(f *testing.F) (model.Config, *arch.System) {
+	f.Helper()
+	cfg, err := model.ByName("Llama2-13B")
+	if err != nil {
+		f.Fatal(err)
+	}
+	sys, err := arch.SystemOf(arch.H100(), 2, 8, tech.NVLink4, tech.IBNDR)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return cfg, sys
+}
+
+// canonRate keeps the fuzzer inside the rates the sweep accepts (positive
+// and finite), where key equality must mirror value equality. Zero, NaN
+// and infinities are rejected by Spec.Validate long before a key is ever
+// memoized, so they are folded to a valid rate instead of exercised.
+func canonRate(r float64) float64 {
+	if !(r > 0) || math.IsInf(r, 0) {
+		return 1
+	}
+	return r
+}
+
+// FuzzServingPointKey is the satellite memo-key gate: for any pair of
+// serving candidates in one grid cell, Point.Key must collide exactly
+// when the candidates are behaviorally identical — equal canonicalized
+// policy axes give equal keys (cache hits), any differing axis gives
+// differing keys (no silent aliasing of metrics). The f.Add corpus runs
+// as a regression suite under plain `go test`.
+func FuzzServingPointKey(f *testing.F) {
+	cfg, sys := fuzzCell(f)
+
+	f.Add(1.0, 0, int8(0), 0, int64(1), 32, 1.0, 0, int8(1), 0, int64(1), 32)     // policy differs
+	f.Add(1.0, 0, int8(1), 16, int64(1), 32, 1.0, 0, int8(1), 0, int64(1), 32)    // page default canonicalizes
+	f.Add(1.0, 4, int8(1), 16, int64(1), 32, 1.0, 8, int8(1), 16, int64(1), 32)   // cap differs
+	f.Add(2.0, 4, int8(0), 0, int64(1), 32, 2.0, 4, int8(0), 0, int64(2), 32)     // seed differs
+	f.Add(2.0, 4, int8(0), 0, int64(1), 32, 2.0, 4, int8(0), 0, int64(1), 64)     // requests differ
+	f.Add(1.5, 4, int8(1), 32, int64(1), 32, 1.5, 4, int8(1), 32, int64(1), 32)   // identical
+	f.Add(1.0, 0, int8(1), 1<<30, int64(1), 8, 1.0, 0, int8(1), 400, int64(1), 8) // page clamp collides
+
+	f.Fuzz(func(t *testing.T,
+		rate1 float64, cap1 int, pol1 int8, page1 int, seed1 int64, reqs1 int,
+		rate2 float64, cap2 int, pol2 int8, page2 int, seed2 int64, reqs2 int) {
+		mk := func(rate float64, batchCap int, pol int8, page int, seed int64, reqs int) *Point {
+			pts := EnumerateServing(cfg, sys, canonRate(rate), batchCap, 200, 200, tech.FP16,
+				reqs, seed, serve.Policy(int(pol)%2), page)
+			if len(pts) != 1 {
+				t.Fatalf("expected one candidate, got %d", len(pts))
+			}
+			return &pts[0]
+		}
+		p1 := mk(rate1, cap1, pol1, page1, seed1, reqs1)
+		p2 := mk(rate2, cap2, pol2, page2, seed2, reqs2)
+
+		same := p1.Rate == p2.Rate && p1.BatchCap == p2.BatchCap &&
+			p1.Policy == p2.Policy && p1.PageTokens == p2.PageTokens &&
+			p1.ServeSeed == p2.ServeSeed && p1.ServeRequests == p2.ServeRequests
+		k1, k2 := p1.Key(), p2.Key()
+		if same && k1 != k2 {
+			t.Fatalf("identical candidates got distinct keys:\n%s\n%s", k1, k2)
+		}
+		if !same && k1 == k2 {
+			t.Fatalf("distinct candidates collide on key %s:\n%+v\n%+v", k1, p1, p2)
+		}
+		// The enumeration-time cached key must agree with the recomputed
+		// one — a stale cache would poison the memo.
+		if p1.cachedKey() != k1 || p2.cachedKey() != k2 {
+			t.Fatal("cached key diverges from recomputed key")
+		}
+	})
+}

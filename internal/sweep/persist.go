@@ -17,7 +17,7 @@ const cacheFileVersion = 1
 // math would silently serve stale metrics (and break the engine==serial
 // guarantee) if it were accepted. Bump on ANY change that can alter a
 // predictor's output for an unchanged Point.
-const costModelVersion = "pr2-stepcost-serving"
+const costModelVersion = "pr3-paged-kv"
 
 // cacheFile is the on-disk memoization snapshot: successful evaluations
 // keyed by the canonical Point.Key. Keys already fingerprint the full

@@ -8,6 +8,7 @@ import (
 
 	"optimus/internal/arch"
 	"optimus/internal/model"
+	"optimus/internal/serve"
 	"optimus/internal/tech"
 )
 
@@ -150,10 +151,12 @@ func TestServingKeyCoversServingAxes(t *testing.T) {
 	}
 	p := pts[0]
 	for name, mutate := range map[string]func(*Point){
-		"rate":     func(q *Point) { q.Rate *= 2 },
-		"cap":      func(q *Point) { q.BatchCap++ },
-		"requests": func(q *Point) { q.ServeRequests++ },
-		"seed":     func(q *Point) { q.ServeSeed++ },
+		"rate":        func(q *Point) { q.Rate *= 2 },
+		"cap":         func(q *Point) { q.BatchCap++ },
+		"requests":    func(q *Point) { q.ServeRequests++ },
+		"seed":        func(q *Point) { q.ServeSeed++ },
+		"policy":      func(q *Point) { q.Policy = serve.Paged; q.PageTokens = serve.DefaultPageTokens },
+		"page tokens": func(q *Point) { q.Policy = serve.Paged; q.PageTokens = 32 },
 	} {
 		q := p
 		mutate(&q)
@@ -178,6 +181,23 @@ func TestServingValidation(t *testing.T) {
 		}
 	}
 	check("rates on training sweep", func(s *Spec) { s.Workload = Training; s.GenTokens = nil })
+	check("policies on training sweep", func(s *Spec) {
+		s.Workload = Training
+		s.GenTokens, s.Rates, s.BatchCaps, s.ServeRequests = nil, nil, nil, 0
+		s.Policies = []serve.Policy{serve.Paged}
+	})
+	check("page tokens on inference sweep", func(s *Spec) {
+		s.Workload = Inference
+		s.Rates, s.BatchCaps, s.ServeRequests = nil, nil, 0
+		s.ServePageTokens = 16
+	})
+	check("unknown serving policy", func(s *Spec) { s.Policies = []serve.Policy{serve.Policy(9)} })
+	check("negative serving page size", func(s *Spec) { s.ServePageTokens = -16 })
+	check("page size without a paged policy", func(s *Spec) {
+		s.Policies = []serve.Policy{serve.ReserveFull}
+		s.ServePageTokens = 32
+	})
+	check("page size with defaulted reserve-only policies", func(s *Spec) { s.ServePageTokens = 32 })
 	check("serve seed on inference sweep", func(s *Spec) {
 		s.Workload = Inference
 		s.Rates, s.BatchCaps, s.ServeRequests = nil, nil, 0
@@ -191,6 +211,52 @@ func TestServingValidation(t *testing.T) {
 	check("negative request count", func(s *Spec) { s.ServeRequests = -5 })
 	check("zero gen tokens", func(s *Spec) { s.GenTokens = []int{0} })
 	check("training axes on serving sweep", func(s *Spec) { s.Constraints.MaxTP = 4 })
+}
+
+// TestServingPolicyAxis: with Policies as a grid axis, one sweep must
+// rank reservation against paged admission per rate × batch-cap point —
+// the capacity-study shape the paging work exists for — and the
+// concurrent engine must reproduce the serial ranking exactly.
+func TestServingPolicyAxis(t *testing.T) {
+	spec := servingSpec0(t)
+	spec.Policies = []serve.Policy{serve.ReserveFull, serve.Paged}
+	spec.ServePageTokens = 32
+
+	serial, err := Serial(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Rows) != 16 {
+		t.Fatalf("2 systems x 2 rates x 2 caps x 2 policies should rank 16 rows, got %d", len(serial.Rows))
+	}
+	count := map[serve.Policy]int{}
+	for _, row := range serial.Rows {
+		count[row.Point.Policy]++
+		switch row.Point.Policy {
+		case serve.ReserveFull:
+			if row.Point.PageTokens != 0 {
+				t.Errorf("reservation row carries page size %d", row.Point.PageTokens)
+			}
+		case serve.Paged:
+			if row.Point.PageTokens != 32 {
+				t.Errorf("paged row page size = %d, want 32", row.Point.PageTokens)
+			}
+		}
+		if row.Metrics.KVUtil <= 0 {
+			t.Errorf("serving row missing KV utilization: %+v", row.Metrics)
+		}
+	}
+	if count[serve.ReserveFull] != 8 || count[serve.Paged] != 8 {
+		t.Fatalf("expected 8 rows per policy, got %v", count)
+	}
+
+	eng, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(eng.Rows, serial.Rows) {
+		t.Error("engine ranking with the policy axis must match serial byte for byte")
+	}
 }
 
 // TestServingMemoizedAcrossRuns: a second engine run over the same grid

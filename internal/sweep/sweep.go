@@ -132,6 +132,15 @@ type Spec struct {
 	// BatchCaps are iteration batch caps, serving only; 0 derives the
 	// largest KV-fitting batch. Nil means {0}.
 	BatchCaps []int
+	// Policies are the KV admission policies to compare per grid cell
+	// (serve.ReserveFull vs serve.Paged), serving only; nil means
+	// {ReserveFull}. Making the policy a grid axis is what lets one sweep
+	// rank reservation against paged admission per rate × batch-cap
+	// point.
+	Policies []serve.Policy
+	// ServePageTokens is the paged policy's KV block size in tokens,
+	// serving only; zero means serve.DefaultPageTokens.
+	ServePageTokens int
 	// ServeRequests is the simulated request count per serving candidate;
 	// zero means 128.
 	ServeRequests int
@@ -178,6 +187,9 @@ func (s Spec) withDefaults() Spec {
 	if len(s.BatchCaps) == 0 {
 		s.BatchCaps = []int{0}
 	}
+	if len(s.Policies) == 0 {
+		s.Policies = []serve.Policy{serve.ReserveFull}
+	}
 	if s.ServeRequests == 0 {
 		s.ServeRequests = 128
 	}
@@ -192,6 +204,9 @@ func (s Spec) Validate() error {
 	if s.Workload != Serving {
 		if len(s.Rates) > 0 || len(s.BatchCaps) > 0 || s.ServeRequests != 0 || s.ServeSeed != 0 {
 			return fmt.Errorf("sweep: Rates/BatchCaps/ServeRequests/ServeSeed apply to serving sweeps only")
+		}
+		if len(s.Policies) > 0 || s.ServePageTokens != 0 {
+			return fmt.Errorf("sweep: Policies/ServePageTokens apply to serving sweeps only")
 		}
 	}
 	switch s.Workload {
@@ -232,6 +247,25 @@ func (s Spec) Validate() error {
 			}
 			if s.ServeRequests < 0 {
 				return fmt.Errorf("sweep: negative serving request count %d", s.ServeRequests)
+			}
+			hasPaged := false
+			for _, pol := range s.Policies {
+				switch pol {
+				case serve.Paged:
+					hasPaged = true
+				case serve.ReserveFull:
+				default:
+					return fmt.Errorf("sweep: unknown serving policy %v", pol)
+				}
+			}
+			if s.ServePageTokens < 0 {
+				return fmt.Errorf("sweep: negative serving page size %d tokens", s.ServePageTokens)
+			}
+			// Without a Paged entry the page size would be silently
+			// discarded at enumeration — reject, matching serve.Spec's
+			// strictness about knobs the chosen policy ignores.
+			if s.ServePageTokens != 0 && !hasPaged {
+				return fmt.Errorf("sweep: ServePageTokens needs a Paged entry in Policies")
 			}
 			for _, g := range s.GenTokens {
 				if g < 1 {
@@ -299,6 +333,10 @@ type Point struct {
 	Rate float64
 	// BatchCap is the iteration batch cap (0 = derive); serving only.
 	BatchCap int
+	// Policy is the KV admission policy and PageTokens the paged block
+	// size in tokens (0 under ReserveFull); serving only.
+	Policy     serve.Policy
+	PageTokens int
 	// ServeRequests and ServeSeed fix the simulated request count and
 	// arrival seed; serving only. They shape the simulated distribution,
 	// so they are part of the candidate's identity.
@@ -366,7 +404,7 @@ func (p Point) buildKey(modelStr, sysStr string) string {
 		int(p.Workload), p.Map.DP, p.Map.TP, p.Map.PP, sp,
 		p.Map.Microbatch, int(p.Map.Schedule), p.Map.VirtualStages,
 		int(p.Recompute), int(p.Precision), p.GlobalBatch, p.Seq, p.GenTokens,
-		p.BatchCap, p.ServeRequests,
+		p.BatchCap, p.ServeRequests, int(p.Policy), p.PageTokens,
 	} {
 		buf = append(buf, '|')
 		buf = strconv.AppendInt(buf, int64(v), 10)
@@ -400,6 +438,12 @@ type Metrics struct {
 	TTFTP95      float64
 	TPOTP95      float64
 	TokensPerSec float64
+	// Preemptions, RecomputedTokens and KVUtil surface the admission
+	// policy's pressure behavior (evictions, discarded generated tokens,
+	// mean fraction of the KV budget held). Serving only.
+	Preemptions      int
+	RecomputedTokens int
+	KVUtil           float64
 }
 
 // Row is one ranked result.
@@ -530,18 +574,24 @@ func EnumerateInference(cfg model.Config, sys *arch.System, batch, prompt, gen i
 }
 
 // EnumerateServing lists the candidate serving points of one grid cell:
-// one continuous-batching simulation per (rate, batch cap), with the
-// mapping fixed to TP = device count as in inference.
-func EnumerateServing(cfg model.Config, sys *arch.System, rate float64, batchCap, prompt, gen int, prec tech.Precision, requests int, seed int64) []Point {
+// one continuous-batching simulation per (rate, batch cap, admission
+// policy), with the mapping fixed to TP = device count as in inference.
+// pageTokens is canonicalized per point through serve.CanonicalPageTokens
+// — resolved to the serve default for paged candidates, zeroed for
+// reservation ones — so equal-behavior candidates always share one memo
+// key, under exactly the rule the simulator applies.
+func EnumerateServing(cfg model.Config, sys *arch.System, rate float64, batchCap, prompt, gen int, prec tech.Precision, requests int, seed int64, pol serve.Policy, pageTokens int) []Point {
 	tp := sys.NumDevices()
 	if cfg.Heads%tp != 0 {
 		return nil
 	}
+	pageTokens = serve.CanonicalPageTokens(pol, pageTokens, prompt+gen)
 	p := Point{
 		Workload: Serving, Model: cfg, System: sys,
 		Map:       parallel.Mapping{DP: 1, TP: tp, PP: 1, SP: tp > 1, Microbatch: 1},
 		Precision: prec, Seq: prompt, GenTokens: gen,
 		Rate: rate, BatchCap: batchCap, ServeRequests: requests, ServeSeed: seed,
+		Policy: pol, PageTokens: pageTokens,
 	}
 	p.key = p.buildKey(modelToken(cfg), systemToken(sys))
 	return []Point{p}
@@ -570,9 +620,11 @@ func Enumerate(s Spec) []Point {
 				case Serving:
 					for _, rate := range s.Rates {
 						for _, batchCap := range s.BatchCaps {
-							for _, seq := range s.Seqs {
-								for _, gen := range s.GenTokens {
-									add(EnumerateServing(cfg, sys, rate, batchCap, seq, gen, prec, s.ServeRequests, s.ServeSeed))
+							for _, pol := range s.Policies {
+								for _, seq := range s.Seqs {
+									for _, gen := range s.GenTokens {
+										add(EnumerateServing(cfg, sys, rate, batchCap, seq, gen, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens))
+									}
 								}
 							}
 						}
@@ -652,12 +704,15 @@ func evaluateInference(p Point) (Metrics, error) {
 }
 
 // servingSpec builds the simulator configuration of one serving point.
+// Enumeration already canonicalized PageTokens (zero unless paged), so
+// the fields pass straight through serve.Spec's strict validation.
 func servingSpec(p Point) serve.Spec {
 	return serve.Spec{
 		Model: p.Model, System: p.System, TP: p.Map.TP, Precision: p.Precision,
 		PromptTokens: p.Seq, GenTokens: p.GenTokens,
 		Arrival: serve.Poisson, Rate: p.Rate,
 		Requests: p.ServeRequests, Seed: p.ServeSeed, MaxBatch: p.BatchCap,
+		Policy: p.Policy, PageTokens: p.PageTokens,
 	}
 }
 
@@ -674,10 +729,13 @@ func evaluateServing(p Point) (Metrics, error) {
 		},
 		// Admission never over-commits the device, so a completed
 		// simulation fits by construction.
-		Fits:         true,
-		TTFTP95:      res.TTFT.P95,
-		TPOTP95:      res.TPOT.P95,
-		TokensPerSec: res.TokensPerSec,
+		Fits:             true,
+		TTFTP95:          res.TTFT.P95,
+		TPOTP95:          res.TPOT.P95,
+		TokensPerSec:     res.TokensPerSec,
+		Preemptions:      res.Preemptions,
+		RecomputedTokens: res.RecomputedTokens,
+		KVUtil:           res.MeanKVUtil,
 	}, nil
 }
 

@@ -61,8 +61,27 @@
 //	})
 //	fmt.Println(res.TTFT.P99, res.E2E.P95, res.TokensPerSec)
 //
+// KV-cache admission is a pluggable policy: the default ReserveFullPolicy
+// reserves each request's whole prompt+generation context up front, while
+// PagedPolicy allocates vLLM-style fixed-size token blocks
+// (ServeSpec.PageTokens) that grow as a request decodes, preempting the
+// youngest running sequence (recompute on readmission) under pressure —
+// ServeResult then reports Preemptions, RecomputedTokens and KV page
+// utilization alongside the SLO percentiles:
+//
+//	res, _ = optimus.Serve(optimus.ServeSpec{
+//	    Model: cfg, System: sys, TP: 2, Precision: optimus.FP16,
+//	    PromptTokens: 200, GenTokens: 800,
+//	    Arrival: optimus.PoissonArrivals, Rate: 2, Requests: 512, Seed: 1,
+//	    Policy: optimus.PagedPolicy, PageTokens: 16,
+//	})
+//	fmt.Println(res.Preemptions, res.RecomputedTokens, res.MeanKVUtil)
+//
 // Set SweepSpec.Workload to ServingSweep to sweep arrival rates × batch
-// caps × systems × precisions and rank by p95 end-to-end latency.
+// caps × admission policies × systems × precisions and rank by p95
+// end-to-end latency — SweepSpec.Policies makes the admission policy a
+// grid axis, so one sweep compares reservation against paged admission at
+// every rate × batch-cap point.
 //
 // The subpackages under internal/ hold the substrates (technology tables,
 // µarch engine, hierarchical roofline, collectives, schedules, footprint
@@ -119,6 +138,8 @@ type (
 	ServeResult = serve.Result
 	// ServeArrival selects the request arrival process.
 	ServeArrival = serve.Arrival
+	// ServePolicy selects the KV-cache admission policy.
+	ServePolicy = serve.Policy
 	// ServePercentiles summarizes one serving latency distribution.
 	ServePercentiles = serve.Percentiles
 	// ServeRequestMetrics is one simulated request's timeline.
@@ -182,6 +203,20 @@ const (
 	// ClosedLoopArrivals models ServeSpec.Clients users with zero think
 	// time.
 	ClosedLoopArrivals = serve.ClosedLoop
+)
+
+// Serving KV-cache admission policies.
+const (
+	// ReserveFullPolicy reserves each request's full prompt+generation
+	// KV context at admission (never preempts).
+	ReserveFullPolicy = serve.ReserveFull
+	// PagedPolicy allocates KV in ServeSpec.PageTokens-sized blocks that
+	// grow as a request decodes, preempting LIFO (recompute on
+	// readmission) under pressure.
+	PagedPolicy = serve.Paged
+	// DefaultPageTokens is PagedPolicy's block size when
+	// ServeSpec.PageTokens is zero.
+	DefaultPageTokens = serve.DefaultPageTokens
 )
 
 // Precisions.
@@ -267,6 +302,10 @@ func DecodeStepCost(s InferSpec, kvLen, batch int) (StepCost, error) {
 // Serve runs the discrete-event continuous-batching serving simulator;
 // results are byte-identical across repeated invocations at a fixed seed.
 func Serve(s ServeSpec) (ServeResult, error) { return serve.Run(s) }
+
+// ParseServePolicy resolves a CLI admission-policy token ("reserve",
+// "paged").
+func ParseServePolicy(s string) (ServePolicy, error) { return serve.ParsePolicy(s) }
 
 // TrainingMemory returns the per-device training footprint (§5.1).
 func TrainingMemory(s MemorySpec) (MemoryBreakdown, error) { return memfoot.Train(s) }
