@@ -14,9 +14,15 @@ import (
 	"optimus/internal/units"
 )
 
+// defaultClosedClients is the closed-loop concurrency when -arrival closed
+// is used without -clients: a sensible default instead of the raw internal
+// "positive clients" error the zero flag default used to trip.
+const defaultClosedClients = 8
+
 // cmdServe runs the continuous-batching serving simulator: seeded
 // deterministic arrivals over the step-cost engine, reporting TTFT/TPOT/
-// E2E SLO percentiles (text), per-request timelines (csv), or both (json).
+// E2E SLO percentiles with per-tenant breakdowns (text), per-request
+// timelines (csv), or both (json).
 func cmdServe(args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	modelName := fs.String("model", "llama2-13b", "model preset")
@@ -24,12 +30,14 @@ func cmdServe(args []string) error {
 	deviceFile := fs.String("device-file", "", "JSON device description (overrides -device)")
 	intra := fs.String("intra", "nvlink4", "intra-node fabric")
 	gpus := fs.Int("gpus", 1, "GPU count (= tensor-parallel degree)")
-	prompt := fs.Int("prompt", 200, "prompt tokens per request")
-	gen := fs.Int("gen", 200, "generated tokens per request")
+	prompt := fs.Int("prompt", 200, "prompt tokens per request (single-tenant; see -mix/-trace)")
+	gen := fs.Int("gen", 200, "generated tokens per request (single-tenant; see -mix/-trace)")
+	mix := fs.String("mix", "", "multi-tenant workload mix as tenant:share:prompt:gen[,...] (replaces -prompt/-gen)")
+	trace := fs.String("trace", "", "CSV trace file to replay (arrival,tenant,prompt,gen; replaces the arrival flags)")
 	prec := fs.String("precision", "fp16", "precision")
 	arrival := fs.String("arrival", "poisson", "arrival process (poisson|closed)")
 	rate := fs.Float64("rate", 1, "Poisson arrival rate in requests/sec")
-	clients := fs.Int("clients", 0, "closed-loop concurrency")
+	clients := fs.Int("clients", 0, "closed-loop concurrency (closed arrivals only; default 8)")
 	requests := fs.Int("requests", 256, "requests to simulate")
 	seed := fs.Int64("seed", 1, "arrival-process seed")
 	maxBatch := fs.Int("max-batch", 0, "iteration batch cap (0 = derive from KV budget)")
@@ -69,23 +77,56 @@ func cmdServe(args []string) error {
 		Requests: *requests, Seed: *seed, MaxBatch: *maxBatch,
 		Policy: pol, PageTokens: *pageTokens, NoPreempt: *noPreempt,
 	}
-	// Reject flags the chosen arrival process would silently ignore — a
-	// user who sets them believes they shaped the simulated load.
+	// Reject flags the chosen workload or arrival process would silently
+	// ignore — a user who sets them believes they shaped the simulated
+	// load.
 	set := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	switch *arrival {
-	case "poisson", "open":
-		spec.Arrival = optimus.PoissonArrivals
-		if set["clients"] {
-			return fmt.Errorf("-clients applies to closed-loop arrivals only (-arrival closed)")
+	if *mix != "" && *trace != "" {
+		return fmt.Errorf("-mix and -trace are mutually exclusive")
+	}
+	if *mix != "" || *trace != "" {
+		if set["prompt"] || set["gen"] {
+			return fmt.Errorf("-prompt and -gen describe the single-tenant workload (use the per-tenant lengths in -mix, or the trace's)")
 		}
-	case "closed", "closed-loop":
-		spec.Arrival = optimus.ClosedLoopArrivals
-		if set["rate"] {
-			return fmt.Errorf("-rate applies to Poisson arrivals only (-arrival poisson)")
+		spec.PromptTokens, spec.GenTokens = 0, 0
+	}
+	if *mix != "" {
+		if spec.Mix, err = optimus.ParseServeMix(*mix); err != nil {
+			return err
 		}
-	default:
-		return fmt.Errorf("unknown arrival process %q (poisson|closed)", *arrival)
+	}
+	if *trace != "" {
+		for _, f := range []string{"arrival", "rate", "clients", "requests", "seed"} {
+			if set[f] {
+				return fmt.Errorf("-%s does not apply when replaying a trace (-trace fixes the arrival process)", f)
+			}
+		}
+		if spec.Trace, err = loadTrace(*trace); err != nil {
+			return err
+		}
+		spec.Rate, spec.Clients, spec.Requests, spec.Seed = 0, 0, 0, 0
+	} else {
+		switch *arrival {
+		case "poisson", "open":
+			spec.Arrival = optimus.PoissonArrivals
+			if set["clients"] {
+				return fmt.Errorf("-clients applies to closed-loop arrivals only (-arrival closed)")
+			}
+		case "closed", "closed-loop":
+			spec.Arrival = optimus.ClosedLoopArrivals
+			if set["rate"] {
+				return fmt.Errorf("-rate applies to Poisson arrivals only (-arrival poisson)")
+			}
+			spec.Rate = 0
+			if !set["clients"] {
+				spec.Clients = defaultClosedClients
+			} else if *clients <= 0 {
+				return fmt.Errorf("-clients must be positive for closed-loop arrivals, got %d", *clients)
+			}
+		default:
+			return fmt.Errorf("unknown arrival process %q (poisson|closed)", *arrival)
+		}
 	}
 
 	res, err := optimus.Serve(spec)
@@ -95,13 +136,44 @@ func cmdServe(args []string) error {
 	return writeServe(os.Stdout, spec, res, *format)
 }
 
+// loadTrace reads and validates a -trace CSV file, shared by the serve
+// and sweep subcommands.
+func loadTrace(path string) ([]optimus.ServeTraceEvent, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	trace, err := optimus.ParseServeTrace(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return trace, nil
+}
+
+// serveWorkloadLabel names the simulated workload for the text header.
+func serveWorkloadLabel(spec optimus.ServeSpec) string {
+	switch {
+	case len(spec.Trace) > 0:
+		return fmt.Sprintf("%d-event trace", len(spec.Trace))
+	case len(spec.Mix) > 0:
+		return fmt.Sprintf("%d-tenant mix %s", len(spec.Mix), optimus.FormatServeMix(spec.Mix))
+	default:
+		return fmt.Sprintf("%d+%d tokens", spec.PromptTokens, spec.GenTokens)
+	}
+}
+
 // writeServe renders a serving simulation in the chosen format.
 func writeServe(w io.Writer, spec optimus.ServeSpec, res optimus.ServeResult, format string) error {
 	switch format {
 	case "text":
-		fmt.Fprintf(w, "%s on %d x %s, %s arrivals, %d requests of %d+%d tokens (seed %d)\n",
-			spec.Model.Name, spec.TP, spec.System.Device.Name, spec.Arrival,
-			res.Requests, spec.PromptTokens, spec.GenTokens, spec.Seed)
+		arrivals := spec.Arrival.String()
+		if len(spec.Trace) > 0 {
+			arrivals = "replayed"
+		}
+		fmt.Fprintf(w, "%s on %d x %s, %s arrivals, %d requests of %s (seed %d)\n",
+			spec.Model.Name, spec.TP, spec.System.Device.Name, arrivals,
+			res.Requests, serveWorkloadLabel(spec), spec.Seed)
 		fmt.Fprintf(w, "  makespan           %s over %d iterations\n",
 			units.FormatSeconds(res.SimTime), res.Iterations)
 		fmt.Fprintf(w, "  throughput         %.2f req/s, %.0f tok/s\n",
@@ -128,17 +200,32 @@ func writeServe(w io.Writer, spec optimus.ServeSpec, res optimus.ServeResult, fo
 				units.FormatSeconds(row.p.P99), units.FormatSeconds(row.p.Mean),
 				units.FormatSeconds(row.p.Max))
 		}
+		// The per-tenant breakdown matters exactly when there is more than
+		// one tenant; the degenerate single-tenant table would repeat the
+		// aggregate rows above.
+		if len(res.PerTenant) > 1 {
+			fmt.Fprintf(w, "  %-12s %8s %10s %10s %10s %10s\n",
+				"tenant", "requests", "ttft-p95", "tpot-p95", "e2e-p95", "queue-p95")
+			for _, tm := range res.PerTenant {
+				fmt.Fprintf(w, "  %-12s %8d %10s %10s %10s %10s\n", tm.Tenant, tm.Requests,
+					units.FormatSeconds(tm.TTFT.P95), units.FormatSeconds(tm.TPOT.P95),
+					units.FormatSeconds(tm.E2E.P95), units.FormatSeconds(tm.Queue.P95))
+			}
+		}
 		return nil
 	case "csv":
 		cw := csv.NewWriter(w)
-		if err := cw.Write([]string{"id", "arrival_s", "admitted_s", "first_token_s",
+		if err := cw.Write([]string{"id", "tenant", "prompt", "gen",
+			"arrival_s", "admitted_s", "first_token_s",
 			"done_s", "queue_s", "ttft_s", "tpot_s", "e2e_s", "preemptions"}); err != nil {
 			return err
 		}
 		g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 		for _, m := range res.PerRequest {
 			if err := cw.Write([]string{
-				strconv.Itoa(m.ID), g(m.Arrival), g(m.Admitted), g(m.FirstToken),
+				strconv.Itoa(m.ID), m.Tenant,
+				strconv.Itoa(m.PromptTokens), strconv.Itoa(m.GenTokens),
+				g(m.Arrival), g(m.Admitted), g(m.FirstToken),
 				g(m.Done), g(m.Queue), g(m.TTFT), g(m.TPOT), g(m.E2E),
 				strconv.Itoa(m.Preemptions),
 			}); err != nil {

@@ -32,6 +32,8 @@ func cmdSweep(args []string) error {
 	gens := fs.String("gen", "", "comma-separated generated-token counts (infer/serve, default 200)")
 	rates := fs.String("rates", "", "comma-separated Poisson arrival rates in req/s (serve only, default 1)")
 	caps := fs.String("batch-caps", "", "comma-separated iteration batch caps (serve only, default 0 = derive)")
+	mixes := fs.String("mix", "", "semicolon-separated multi-tenant mixes, each tenant:share:prompt:gen[,...] (serve only; replaces -seqs/-gen)")
+	trace := fs.String("trace", "", "CSV trace file to replay per candidate (serve only; replaces -rates/-seqs/-gen)")
 	serveReqs := fs.Int("serve-requests", 0, "simulated requests per serving candidate (serve only, default 128)")
 	serveSeed := fs.Int64("serve-seed", 0, "arrival seed per serving candidate (serve only, default 1)")
 	policies := fs.String("policies", "", "comma-separated KV admission policies to compare (reserve|paged; serve only, default reserve)")
@@ -88,8 +90,28 @@ func cmdSweep(args []string) error {
 		if *policies != "" || *pageTokens != 0 {
 			return fmt.Errorf("-policies and -page-tokens apply to serving sweeps only")
 		}
+		if *mixes != "" || *trace != "" {
+			return fmt.Errorf("-mix and -trace apply to serving sweeps only")
+		}
 	} else if *batches != "" {
 		return fmt.Errorf("-batches does not apply to serving sweeps (use -batch-caps)")
+	}
+	for _, m := range strings.Split(*mixes, ";") {
+		if m = strings.TrimSpace(m); m == "" {
+			continue
+		}
+		mix, err := optimus.ParseServeMix(m)
+		if err != nil {
+			return err
+		}
+		spec.Mixes = append(spec.Mixes, mix)
+	}
+	if *trace != "" {
+		tr, err := loadTrace(*trace)
+		if err != nil {
+			return err
+		}
+		spec.Trace = tr
 	}
 	for _, name := range splitList(*policies) {
 		pol, err := optimus.ParseServePolicy(name)
@@ -242,6 +264,10 @@ type sweepRecord struct {
 	Preemptions      int     `json:"preemptions,omitempty"`
 	RecomputedTokens int     `json:"recomputed_tokens,omitempty"`
 	KVUtil           float64 `json:"kv_util,omitempty"`
+	// Serving-only workload-shape columns: the candidate's mix (or trace
+	// label) and its per-tenant SLO breakdown.
+	Mix       string                   `json:"mix,omitempty"`
+	PerTenant []optimus.SweepTenantSLO `json:"per_tenant,omitempty"`
 }
 
 func sweepRecords(res optimus.SweepResult) []sweepRecord {
@@ -278,6 +304,8 @@ func sweepRecords(res optimus.SweepResult) []sweepRecord {
 			rec.Preemptions = row.Metrics.Preemptions
 			rec.RecomputedTokens = row.Metrics.RecomputedTokens
 			rec.KVUtil = row.Metrics.KVUtil
+			rec.Mix = servingWorkloadLabel(row.Point)
+			rec.PerTenant = row.Metrics.PerTenant
 		}
 		out[i] = rec
 	}
@@ -297,6 +325,34 @@ func servingMappingToken(p optimus.SweepPoint) string {
 		pol = fmt.Sprintf("paged/%d", p.PageTokens)
 	}
 	return fmt.Sprintf("tp=%d,%s,rate=%g/s,cap=%s", p.Map.TP, pol, p.Rate, cap)
+}
+
+// servingWorkloadLabel renders a serving candidate's request-shape
+// workload: its mix in ParseServeMix syntax, a trace label, or "" for
+// spec-wide shapes (which the seq/gen columns already carry).
+func servingWorkloadLabel(p optimus.SweepPoint) string {
+	switch {
+	case len(p.Trace) > 0:
+		return fmt.Sprintf("trace(%d)", len(p.Trace))
+	case len(p.Mix) > 0:
+		return optimus.FormatServeMix(p.Mix)
+	default:
+		return ""
+	}
+}
+
+// tenantSLOToken renders the per-tenant SLO breakdown as one CSV field:
+// semicolon-separated "tenant:req=N:e2e_p95=V" entries.
+func tenantSLOToken(slos []optimus.SweepTenantSLO) string {
+	if len(slos) == 0 {
+		return ""
+	}
+	parts := make([]string, len(slos))
+	for i, t := range slos {
+		parts[i] = fmt.Sprintf("%s:req=%d:e2e_p95=%s", t.Tenant, t.Requests,
+			strconv.FormatFloat(t.E2EP95, 'g', -1, 64))
+	}
+	return strings.Join(parts, ";")
 }
 
 // sweepJSON is the -format json document shape.
@@ -331,14 +387,27 @@ func writeSweep(w io.Writer, res optimus.SweepResult, workload optimus.SweepWork
 		}
 		if workload == optimus.ServingSweep {
 			fmt.Fprintf(w, "  %4s %-12s %-34s %-32s %-5s %9s %10s %10s %10s %10s %8s %7s\n",
-				"rank", "model", "system", "policy", "prec", "seq+gen", "e2e-p95", "ttft-p95", "tpot-p95", "tok/s", "preempt", "kv-util")
+				"rank", "model", "system", "policy", "prec", "workload", "e2e-p95", "ttft-p95", "tpot-p95", "tok/s", "preempt", "kv-util")
 			for _, r := range recs {
+				shape := strconv.Itoa(r.Seq) + "+" + strconv.Itoa(r.Gen)
+				if r.Mix != "" {
+					// Trace labels ("trace(N)") print as-is; a long mix
+					// rendering collapses to its tenant count — entries are
+					// comma-separated, so count+1 is the mix size regardless
+					// of which tenants happened to complete requests.
+					shape = r.Mix
+					if !strings.HasPrefix(shape, "trace(") && len(shape) > 12 {
+						shape = fmt.Sprintf("mix(%d)", strings.Count(r.Mix, ",")+1)
+					}
+				}
 				fmt.Fprintf(w, "  %4d %-12s %-34s %-32s %-5s %9s %10s %10s %10s %10.0f %8d %6.0f%%\n",
-					r.Rank, r.Model, r.System, r.Mapping, r.Precision,
-					strconv.Itoa(r.Seq)+"+"+strconv.Itoa(r.Gen),
+					r.Rank, r.Model, r.System, r.Mapping, r.Precision, shape,
 					units.FormatSeconds(r.Seconds), units.FormatSeconds(r.TTFTP95),
 					units.FormatSeconds(r.TPOTP95), r.TokensPerSec,
 					r.Preemptions, 100*r.KVUtil)
+			}
+			if len(recs) > 0 && len(recs[0].PerTenant) > 1 {
+				fmt.Fprintf(w, "  per-tenant e2e-p95 (rank 1): %s\n", tenantSLOToken(recs[0].PerTenant))
 			}
 			return nil
 		}
@@ -366,7 +435,7 @@ func writeSweep(w io.Writer, res optimus.SweepResult, workload optimus.SweepWork
 		if err := cw.Write([]string{"rank", "model", "system", "mapping", "microbatch",
 			"recompute", "precision", "batch", "seq", "gen", "seconds", "mfu", "memory_gb", "fits",
 			"rate_per_sec", "ttft_p95_s", "tpot_p95_s", "tokens_per_sec",
-			"preemptions", "recomputed_tokens", "kv_util"}); err != nil {
+			"preemptions", "recomputed_tokens", "kv_util", "mix", "tenant_slos"}); err != nil {
 			return err
 		}
 		g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -378,6 +447,7 @@ func writeSweep(w io.Writer, res optimus.SweepResult, workload optimus.SweepWork
 				strconv.FormatBool(r.Fits),
 				g(r.Rate), g(r.TTFTP95), g(r.TPOTP95), g(r.TokensPerSec),
 				strconv.Itoa(r.Preemptions), strconv.Itoa(r.RecomputedTokens), g(r.KVUtil),
+				r.Mix, tenantSLOToken(r.PerTenant),
 			}); err != nil {
 				return err
 			}

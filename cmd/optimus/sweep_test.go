@@ -33,8 +33,19 @@ func TestCmdSweep(t *testing.T) {
 		"-policies", "reserve,paged", "-page-tokens", "32", "-serve-requests", "24"}); err != nil {
 		t.Fatal(err)
 	}
+	if err := cmdSweep([]string{"-workload", "serve", "-models", "llama2-13b", "-devices", "h100",
+		"-intra", "nvlink4", "-gpus", "1", "-rates", "1,3",
+		"-mix", "chat:1:200:200;chat:0.7:200:200,batch:0.3:900:80",
+		"-serve-requests", "24", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
 	for _, bad := range [][]string{
 		{"-workload", "serve", "-models", "llama2-13b", "-gpus", "2", "-policies", "fifo"},
+		{"-workload", "train", "-models", "gpt-22b", "-gpus", "8", "-mix", "chat:1:200:200"},
+		{"-workload", "infer", "-models", "llama2-13b", "-gpus", "2", "-trace", "x.csv"},
+		{"-workload", "serve", "-models", "llama2-13b", "-gpus", "2", "-mix", "chat:0.7:200"},
+		{"-workload", "serve", "-models", "llama2-13b", "-gpus", "2", "-mix", "chat:1:200:200", "-seqs", "100"},
+		{"-workload", "serve", "-models", "llama2-13b", "-gpus", "2", "-trace", "/does/not/exist.csv"},
 		{"-workload", "train", "-models", "gpt-22b", "-gpus", "8", "-policies", "paged"},
 		{"-workload", "infer", "-models", "llama2-13b", "-gpus", "2", "-page-tokens", "16"},
 		{"-workload", "serve", "-models", "llama2-13b", "-gpus", "2", "-page-tokens", "-4"},
@@ -240,6 +251,104 @@ func TestWriteSweepCSVPagedColumns(t *testing.T) {
 	}
 	if v := recs[1][col("kv_util")]; v == "0" || v == "" {
 		t.Errorf("paged row should report nonzero KV utilization, got %q", v)
+	}
+}
+
+// TestCmdSweepServeDefaultFlags is the audit companion to the closed-loop
+// serve fix: `optimus sweep -workload serve` with every flag defaulted
+// must not trip a raw internal error (serving sweeps are Poisson-driven
+// with rate 1, so there is no closed-loop clients hole to fall into; an
+// indivisible default grid degrades to "no feasible candidates", not an
+// error).
+func TestCmdSweepServeDefaultFlags(t *testing.T) {
+	if err := cmdSweep([]string{"-workload", "serve"}); err != nil {
+		t.Fatalf("default serving sweep flags must not error: %v", err)
+	}
+}
+
+// TestCmdSweepTrace drives the -trace flag end to end through a file.
+func TestCmdSweepTrace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.csv")
+	data := "arrival,tenant,prompt,gen\n0,chat,100,40\n0.2,batch,700,60\n0.5,chat,150,30\n"
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSweep([]string{"-workload", "serve", "-models", "llama2-13b", "-devices", "h100",
+		"-intra", "nvlink4", "-gpus", "1", "-trace", path, "-batch-caps", "0,2", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdSweep([]string{"-workload", "serve", "-models", "llama2-13b", "-devices", "h100",
+		"-intra", "nvlink4", "-gpus", "1", "-trace", path, "-rates", "2"}); err == nil {
+		t.Error("-trace with -rates should fail (the trace fixes arrivals)")
+	}
+}
+
+// TestWriteSweepCSVMixColumns: a mix-grid sweep must render the mix and
+// the per-tenant SLO breakdown in the new trailing CSV columns.
+func TestWriteSweepCSVMixColumns(t *testing.T) {
+	cfg, err := optimus.ModelByName("llama2-13b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := optimus.NewSystem("h100", 1, "nvlink4", "ndr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix, err := optimus.ParseServeMix("chat:0.7:200:150,batch:0.3:900:80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := optimus.Sweep(context.Background(), optimus.SweepSpec{
+		Workload: optimus.ServingSweep,
+		Models:   []optimus.Model{cfg}, Systems: []*optimus.System{sys},
+		Rates: []float64{2}, ServeRequests: 24,
+		Mixes:       [][]optimus.ServeTenantLoad{mix},
+		Constraints: optimus.PlanConstraints{TopK: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) == 0 {
+		t.Fatal("empty mix sweep")
+	}
+	var b strings.Builder
+	if err := writeSweep(&b, res, optimus.ServingSweep, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := recs[0]
+	col := func(name string) int {
+		for i, h := range header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("column %q missing from header %v", name, header)
+		return -1
+	}
+	if got := recs[1][col("mix")]; got != optimus.FormatServeMix(mix) {
+		t.Errorf("mix column = %q, want %q", got, optimus.FormatServeMix(mix))
+	}
+	slos := recs[1][col("tenant_slos")]
+	for _, want := range []string{"chat:req=", "batch:req=", "e2e_p95="} {
+		if !strings.Contains(slos, want) {
+			t.Errorf("tenant_slos %q missing %s", slos, want)
+		}
+	}
+	// JSON carries the structured breakdown.
+	var jb strings.Builder
+	if err := writeSweep(&jb, res, optimus.ServingSweep, "json"); err != nil {
+		t.Fatal(err)
+	}
+	var doc sweepJSON
+	if err := json.Unmarshal([]byte(jb.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Rows[0].PerTenant) != 2 {
+		t.Errorf("JSON per_tenant should carry both tenants: %+v", doc.Rows[0].PerTenant)
 	}
 }
 

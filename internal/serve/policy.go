@@ -140,27 +140,52 @@ func newPolicy(s Spec) AdmissionPolicy {
 	if s.Policy == Paged {
 		return newPagedPolicy(s, budget, perRequest)
 	}
-	return &reservePolicy{budget: budget, perRequest: perRequest, userCap: s.MaxBatch}
+	b := s.bounds()
+	return &reservePolicy{
+		budget: budget, perRequest: perRequest,
+		maxContext: b.maxContext, minContext: b.minContext,
+		uniform: b.uniform(), userCap: s.MaxBatch,
+	}
 }
 
 // reservePolicy is the extracted PR-2 admission: every request reserves
-// its full prompt+generation KV context up front, so capacity never has
-// to be reclaimed and preemption never happens. Its arithmetic — the
-// order of float operations included — is exactly the pre-refactor
-// admission loop's, which the paged policy's degenerate-equivalence test
-// relies on.
+// its own full prompt+generation KV context up front, so capacity never
+// has to be reclaimed and preemption never happens. For a uniform workload
+// its arithmetic — the order of float operations included — is exactly the
+// pre-refactor admission loop's, which the paged policy's
+// degenerate-equivalence test relies on; heterogeneous workloads price
+// each reservation per request off the same footprint-derived geometry.
 type reservePolicy struct {
-	budget, perRequest float64
-	userCap            int
-	kvUsed             float64
+	budget float64
+	// perRequest is the footprint model's full-context KV bytes at the
+	// workload's largest context; smaller requests reserve a linear
+	// per-token fraction of it.
+	perRequest             float64
+	maxContext, minContext int
+	uniform                bool
+	userCap                int
+	kvUsed                 float64
+}
+
+// contextBytes prices a context-token full reservation. The footprint's
+// own bytes are used verbatim at the context it was derived for, so the
+// uniform workload stays bit-identical to the PR-3 accounting instead of
+// routing through a divide-and-remultiply round trip.
+func (p *reservePolicy) contextBytes(context int) float64 {
+	if context == p.maxContext {
+		return p.perRequest
+	}
+	return p.perRequest / float64(p.maxContext) * float64(context)
 }
 
 func (p *reservePolicy) BatchCap() int {
-	// Clamped like the paged pool (maxTotalPages): an unguarded float→int
-	// conversion on a huge budget/perRequest ratio overflows to a negative
-	// cap, which would stall the event loop at zero admissions.
+	// The cap is how many of the workload's smallest reservations fit —
+	// an upper bound on concurrency; per-request admission is the real
+	// gate. Clamped like the paged pool (maxTotalPages): an unguarded
+	// float→int conversion on a huge budget/perRequest ratio overflows to
+	// a negative cap, which would stall the event loop at zero admissions.
 	fit := maxTotalPages
-	if f := p.budget / p.perRequest; f < maxTotalPages {
+	if f := p.budget / p.contextBytes(p.minContext); f < maxTotalPages {
 		fit = int(f)
 	}
 	if p.userCap > 0 && p.userCap < fit {
@@ -176,15 +201,26 @@ func (p *reservePolicy) Feasible() bool {
 func (p *reservePolicy) PageGeometry() (int, int) { return 0, 0 }
 
 func (p *reservePolicy) beginStep(running []*request) ([]*request, []*request) {
-	p.kvUsed = p.perRequest * float64(len(running))
+	if p.uniform {
+		// Multiply-by-count, not a sum: the PR-3 float path, preserved
+		// bit for bit for the degenerate-equivalence guarantee.
+		p.kvUsed = p.perRequest * float64(len(running))
+		return running, nil
+	}
+	kv := 0.0
+	for _, r := range running {
+		kv += p.contextBytes(r.prompt + r.gen)
+	}
+	p.kvUsed = kv
 	return running, nil
 }
 
 func (p *reservePolicy) admit(r *request) bool {
-	if !(p.kvUsed+p.perRequest <= p.budget) {
+	need := p.contextBytes(r.prompt + r.gen)
+	if !(p.kvUsed+need <= p.budget) {
 		return false
 	}
-	p.kvUsed += p.perRequest
+	p.kvUsed += need
 	return true
 }
 
@@ -201,26 +237,27 @@ const maxTotalPages = 1<<31 - 1
 
 // pagedPolicy allocates KV in fixed-size token blocks. A request holds
 // ceil(kvTokens/pageTokens) pages for the tokens currently in its cache
-// and grows one page at a time as it decodes; admission only needs the
+// and grows one page at a time as it decodes; admission only needs its own
 // prompt's pages, so many more long-generation requests run concurrently
 // than under full-context reservation. When a sequence cannot grow, the
 // policy evicts victims LIFO (youngest admission first, itself last) —
 // recompute-style preemption: the victim's pages are freed and the event
 // loop re-queues it for a recompute prefill that rebuilds its cache, after
-// which it resumes decoding.
+// which it resumes decoding. All page counts are priced per request, off
+// the request's own prompt/generation lengths.
 //
-// With NoPreempt set, admission instead reserves the full-context page
-// count up front (reservation at page granularity), which guarantees
-// growth never fails — the degenerate configuration the equivalence tests
-// pin against ReserveFull.
+// With NoPreempt set, admission instead reserves the request's own
+// full-context page count up front (reservation at page granularity),
+// which guarantees growth never fails — the degenerate configuration the
+// equivalence tests pin against ReserveFull.
 type pagedPolicy struct {
 	budget     float64
 	pageBytes  float64
 	pageTokens int
 	totalPages int
-	prompt     int
-	admitPages int // pages covering prompt+1 tokens — the admission need
-	fullPages  int // pages covering the full prompt+generation context
+	admitPages int // pages covering the smallest prompt+1 — the derived-cap unit
+	fullPages  int // pages covering the largest full context — the feasibility unit
+	minFull    int // pages covering the smallest full context — NoPreempt's cap unit
 	userCap    int
 	noPreempt  bool
 
@@ -231,12 +268,12 @@ type pagedPolicy struct {
 }
 
 func newPagedPolicy(s Spec, budget, perRequest float64) *pagedPolicy {
-	context := s.PromptTokens + s.GenTokens
+	b := s.bounds()
+	context := b.maxContext
 	pt := CanonicalPageTokens(Paged, s.PageTokens, context)
 	p := &pagedPolicy{
 		budget:     budget,
 		pageTokens: pt,
-		prompt:     s.PromptTokens,
 		userCap:    s.MaxBatch,
 		noPreempt:  s.NoPreempt,
 	}
@@ -244,9 +281,9 @@ func newPagedPolicy(s Spec, budget, perRequest float64) *pagedPolicy {
 		return p // context-free garbage spec; totalPages stays 0 → infeasible
 	}
 	if pt == context {
-		// One page holds a full context. Using the footprint's own bytes
-		// (not perRequest/context*pt, which rounds) keeps the degenerate
-		// configuration bit-identical to ReserveFull accounting.
+		// One page holds the largest full context. Using the footprint's
+		// own bytes (not perRequest/context*pt, which rounds) keeps the
+		// degenerate configuration bit-identical to ReserveFull accounting.
 		p.pageBytes = perRequest
 	} else {
 		p.pageBytes = perRequest * float64(pt) / float64(context)
@@ -258,8 +295,9 @@ func newPagedPolicy(s Spec, budget, perRequest float64) *pagedPolicy {
 			p.totalPages = int(f)
 		}
 	}
-	p.admitPages = p.pagesFor(s.PromptTokens + 1)
+	p.admitPages = p.pagesFor(b.minPrompt + 1)
 	p.fullPages = p.pagesFor(context)
+	p.minFull = p.pagesFor(b.minContext)
 	return p
 }
 
@@ -269,9 +307,11 @@ func (p *pagedPolicy) pagesFor(tokens int) int {
 }
 
 func (p *pagedPolicy) BatchCap() int {
+	// Derived from the workload's smallest per-request need — an upper
+	// bound on concurrency; per-request admission is the real gate.
 	per := p.admitPages
 	if p.noPreempt {
-		per = p.fullPages
+		per = p.minFull
 	}
 	fit := 0
 	if per > 0 {
@@ -293,14 +333,14 @@ func (p *pagedPolicy) PageGeometry() (int, int) { return p.pageTokens, p.totalPa
 // token its next decode step produces. Sequences are grown oldest-first
 // (admission order); when the free pool runs dry, the youngest running
 // sequence is evicted — possibly the grower itself when it is the
-// youngest. The oldest sequence can always finish: a lone request's full
-// context fits the budget (Feasible), so eviction never empties the
-// running set, which is the simulator's progress guarantee.
+// youngest. The oldest sequence can always finish: even the largest lone
+// request's full context fits the budget (Feasible), so eviction never
+// empties the running set, which is the simulator's progress guarantee.
 func (p *pagedPolicy) beginStep(running []*request) (kept, victims []*request) {
 	kept = running
 	for i := 0; i < len(kept); i++ {
 		r := kept[i]
-		need := p.pagesFor(p.prompt + r.produced + 1)
+		need := p.pagesFor(r.prompt + r.produced + 1)
 		extra := need - r.pages
 		if extra <= 0 {
 			continue
@@ -334,16 +374,17 @@ func (p *pagedPolicy) evict(v *request) {
 	p.recomputed += v.produced
 }
 
-// admit reserves the pages a request's next step touches: the prompt's
-// for a fresh sequence, the prompt's plus the already-generated tokens'
-// for a preemption victim resuming after its recompute prefill.
+// admit reserves the pages a request's next step touches: its own
+// prompt's for a fresh sequence, the prompt's plus the already-generated
+// tokens' for a preemption victim resuming after its recompute prefill.
 func (p *pagedPolicy) admit(r *request) bool {
-	need := p.pagesFor(p.prompt + r.produced + 1)
+	need := p.pagesFor(r.prompt + r.produced + 1)
 	if p.noPreempt {
-		if p.reserved+p.fullPages > p.totalPages {
+		full := p.pagesFor(r.prompt + r.gen)
+		if p.reserved+full > p.totalPages {
 			return false
 		}
-		p.reserved += p.fullPages
+		p.reserved += full
 	} else if p.used+need > p.totalPages {
 		return false
 	}
@@ -356,7 +397,7 @@ func (p *pagedPolicy) release(r *request) {
 	p.used -= r.pages
 	r.pages = 0
 	if p.noPreempt {
-		p.reserved -= p.fullPages
+		p.reserved -= p.pagesFor(r.prompt + r.gen)
 	}
 }
 

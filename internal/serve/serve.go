@@ -16,6 +16,14 @@
 // over the decode steps), and E2E latency, with p50/p95/p99 percentiles —
 // the SLO surface capacity planning ranks on.
 //
+// Requests carry their own per-request prompt/generation lengths: a
+// workload is either generated from a seeded multi-tenant Mix (per-tenant
+// rate shares and shapes), replayed from an explicit Trace, or — the
+// degenerate single-tenant case — shaped by the spec-wide
+// PromptTokens/GenTokens, which a uniform one-entry Mix reproduces
+// byte-identically. Results break the SLO percentiles down per tenant
+// (Result.PerTenant) alongside the aggregate view.
+//
 // KV-cache admission is a pluggable AdmissionPolicy with two
 // implementations selected by Spec.Policy:
 //
@@ -82,9 +90,22 @@ type Spec struct {
 	Flash     bool
 
 	// PromptTokens and GenTokens shape every request (the paper's Table 2
-	// uses 200/200).
+	// uses 200/200). They are the degenerate single-tenant workload: when
+	// Mix and Trace are empty they become a one-entry Mix under
+	// DefaultTenant. Leave them zero when Mix or Trace is set.
 	PromptTokens int
 	GenTokens    int
+
+	// Mix generates a multi-tenant workload: each tenant contributes a
+	// share of the arrival process and shapes its requests with its own
+	// prompt/generation lengths. Tenant assignment is drawn from a second
+	// seeded stream, so a single-tenant mix reproduces the spec-wide
+	// workload byte-identically.
+	Mix []TenantLoad
+	// Trace replays an explicit request timeline (arrival, tenant, prompt,
+	// gen) instead of generating one: it fixes the arrival process and the
+	// request count, so Arrival/Rate/Clients/Requests stay unset.
+	Trace []TraceEvent
 
 	// Arrival selects the request process; the zero value is Poisson.
 	Arrival Arrival
@@ -139,17 +160,32 @@ type probeState struct {
 }
 
 func (s Spec) withDefaults() Spec {
+	if len(s.Trace) > 0 {
+		if s.Requests == 0 {
+			s.Requests = len(s.Trace)
+		}
+		return s
+	}
+	if len(s.Mix) == 0 {
+		s.Mix = []TenantLoad{{
+			Tenant: DefaultTenant, Share: 1,
+			PromptTokens: s.PromptTokens, GenTokens: s.GenTokens,
+		}}
+	}
 	if s.Requests == 0 {
 		s.Requests = 256
 	}
 	return s
 }
 
-// inferSpec builds the step-cost configuration of one request.
+// inferSpec builds the step-cost configuration at the workload's largest
+// request shape; for the degenerate single-tenant workload that is exactly
+// the spec-wide PromptTokens/GenTokens.
 func (s Spec) inferSpec() infer.Spec {
+	b := s.bounds()
 	return infer.Spec{
 		Model: s.Model, System: s.System, TP: s.TP, Batch: 1,
-		PromptTokens: s.PromptTokens, GenTokens: s.GenTokens,
+		PromptTokens: b.maxPrompt, GenTokens: b.maxGen,
 		Precision: s.Precision, Algorithm: s.Algorithm, Flash: s.Flash,
 	}
 }
@@ -160,13 +196,14 @@ func (s Spec) inferSpec() infer.Spec {
 // helper call).
 var inferenceFootprint = memfoot.Inference
 
-// kvBudget resolves the per-device KV-cache budget and the per-request
-// full-context reservation, both from the memfoot inference model so the
-// admission policy can never diverge from the footprint the predictors
-// check against. It is called exactly once per simulation, from
-// newPolicy — the footprint model is far too slow for the event loop.
+// kvBudget resolves the per-device KV-cache budget and the full-context
+// reservation of the workload's largest request, both from the memfoot
+// inference model so the admission policy can never diverge from the
+// footprint the predictors check against. It is called exactly once per
+// simulation, from newPolicy — the footprint model is far too slow for the
+// event loop.
 func (s Spec) kvBudget() (budget, perRequest float64) {
-	fp := inferenceFootprint(s.Model, s.TP, 1, s.PromptTokens+s.GenTokens, s.Precision.Bytes())
+	fp := inferenceFootprint(s.Model, s.TP, 1, s.bounds().maxContext, s.Precision.Bytes())
 	budget = s.KVCapacity
 	if budget <= 0 {
 		budget = s.System.Device.DRAMCapacity() - fp.Weights
@@ -174,14 +211,29 @@ func (s Spec) kvBudget() (budget, perRequest float64) {
 	return budget, fp.KVCache
 }
 
-// Validate checks the experiment, including that at least one request's
+// Validate checks the experiment, including that the largest request's
 // weights + full-context KV-cache fit the device (Feasible's verdict).
 func (s Spec) Validate() error {
+	if err := s.validateExclusive(); err != nil {
+		return err
+	}
 	s = s.withDefaults()
 	if err := s.validateShape(); err != nil {
 		return err
 	}
 	return s.validateFit(newPolicy(s))
+}
+
+// validateExclusive rejects ambiguous workload-field combinations before
+// withDefaults folds the spec-wide shape into the degenerate mix.
+func (s Spec) validateExclusive() error {
+	if len(s.Mix) > 0 && len(s.Trace) > 0 {
+		return fmt.Errorf("serve: Mix and Trace are mutually exclusive")
+	}
+	if (len(s.Mix) > 0 || len(s.Trace) > 0) && (s.PromptTokens != 0 || s.GenTokens != 0) {
+		return fmt.Errorf("serve: PromptTokens/GenTokens describe the degenerate single-tenant workload — leave them zero with an explicit Mix or Trace")
+	}
+	return nil
 }
 
 // validateShape checks everything that does not need the KV geometry —
@@ -191,25 +243,43 @@ func (s Spec) validateShape() error {
 	if err := s.inferSpec().Validate(); err != nil {
 		return err
 	}
-	switch s.Arrival {
-	case Poisson:
-		// Negated-positive form so NaN (which fails every comparison, and
-		// would stall the event loop with NaN arrival times) is rejected.
-		if !(s.Rate > 0) || math.IsInf(s.Rate, 0) {
-			return fmt.Errorf("serve: Poisson arrivals need a positive finite rate, got %g", s.Rate)
+	if len(s.Trace) > 0 {
+		if err := ValidateTrace(s.Trace); err != nil {
+			return err
 		}
-	case ClosedLoop:
-		if s.Clients <= 0 {
-			return fmt.Errorf("serve: closed-loop arrivals need positive clients, got %d", s.Clients)
+		// A trace fixes the arrival process and the request count; fields
+		// that would shape a generated workload are rejected rather than
+		// silently ignored.
+		if s.Arrival != Poisson || s.Rate != 0 || s.Clients != 0 || s.Seed != 0 {
+			return fmt.Errorf("serve: a trace fixes the arrival process — leave Arrival/Rate/Clients/Seed unset")
 		}
-	default:
-		return fmt.Errorf("serve: unknown arrival process %v", s.Arrival)
+		if s.Requests != len(s.Trace) {
+			return fmt.Errorf("serve: Requests is derived from the trace (leave it zero, got %d for a %d-event trace)",
+				s.Requests, len(s.Trace))
+		}
+	} else {
+		if err := ValidateMix(s.Mix); err != nil {
+			return err
+		}
+		switch s.Arrival {
+		case Poisson:
+			// Negated-positive form so NaN (which fails every comparison,
+			// and would stall the event loop with NaN arrival times) is
+			// rejected.
+			if !(s.Rate > 0) || math.IsInf(s.Rate, 0) {
+				return fmt.Errorf("serve: Poisson arrivals need a positive finite rate, got %g", s.Rate)
+			}
+		case ClosedLoop:
+			if s.Clients <= 0 {
+				return fmt.Errorf("serve: closed-loop arrivals need positive clients, got %d", s.Clients)
+			}
+		default:
+			return fmt.Errorf("serve: unknown arrival process %v", s.Arrival)
+		}
 	}
 	switch {
 	case s.Requests < 0:
 		return fmt.Errorf("serve: negative request count %d", s.Requests)
-	case s.GenTokens < 1:
-		return fmt.Errorf("serve: serving needs at least one generated token, got %d", s.GenTokens)
 	case s.MaxBatch < 0:
 		return fmt.Errorf("serve: negative batch cap %d", s.MaxBatch)
 	case s.KVCapacity < 0 || math.IsNaN(s.KVCapacity) || math.IsInf(s.KVCapacity, 0):
@@ -241,16 +311,16 @@ func (s Spec) validateShape() error {
 func (s Spec) validateFit(pol AdmissionPolicy) error {
 	if !pol.Feasible() {
 		return fmt.Errorf("serve: one %d-token request does not fit the device (weights + KV-cache exceed %g bytes)",
-			s.PromptTokens+s.GenTokens, s.System.Device.DRAMCapacity())
+			s.bounds().maxContext, s.System.Device.DRAMCapacity())
 	}
 	return nil
 }
 
-// Feasible reports whether a single request can ever be admitted: the
-// TP-sharded weights plus one full-context KV allocation (reservation or
-// pages) fit the KV budget. The sweep engine uses it to prune hopeless
-// grid cells before simulating; its verdict matches whether Run would
-// reject the spec.
+// Feasible reports whether the workload's largest request can ever be
+// admitted: the TP-sharded weights plus one full-context KV allocation
+// (reservation or pages) fit the KV budget. The sweep engine uses it to
+// prune hopeless grid cells before simulating; its verdict matches whether
+// Run would reject the spec.
 func Feasible(s Spec) bool {
 	return newPolicy(s.withDefaults()).Feasible()
 }
@@ -259,6 +329,11 @@ func Feasible(s Spec) bool {
 type RequestMetrics struct {
 	// ID is the arrival index (0-based).
 	ID int
+	// Tenant, PromptTokens and GenTokens echo the request's workload
+	// shape (the degenerate spec-wide workload runs under DefaultTenant).
+	Tenant       string
+	PromptTokens int
+	GenTokens    int
 	// Arrival, Admitted, FirstToken and Done are simulation timestamps.
 	Arrival    float64
 	Admitted   float64
@@ -360,14 +435,67 @@ type Result struct {
 	Preemptions      int
 	RecomputedTokens int
 
+	// PerTenant summarizes each tenant's completed requests, ordered by
+	// tenant name — the SLO surface a multi-tenant capacity plan ranks on
+	// (a mix tenant that drew no requests is absent).
+	PerTenant []TenantMetrics
+
 	// PerRequest holds every completed request, ordered by arrival index.
 	PerRequest []RequestMetrics
+}
+
+// TenantMetrics is one tenant's SLO summary within a simulation.
+type TenantMetrics struct {
+	Tenant string
+	// Requests is the tenant's completed request count; GenTokens its
+	// aggregate generated tokens.
+	Requests  int
+	GenTokens int
+	// TTFT, TPOT, E2E and Queue are the tenant-local percentile summaries.
+	TTFT  Percentiles
+	TPOT  Percentiles
+	E2E   Percentiles
+	Queue Percentiles
+}
+
+// tenantBreakdown groups completed requests by tenant, sorted by name.
+func tenantBreakdown(done []RequestMetrics) []TenantMetrics {
+	byTenant := make(map[string][]RequestMetrics)
+	names := make([]string, 0, 4)
+	for _, m := range done {
+		if _, ok := byTenant[m.Tenant]; !ok {
+			names = append(names, m.Tenant)
+		}
+		byTenant[m.Tenant] = append(byTenant[m.Tenant], m)
+	}
+	sort.Strings(names)
+	out := make([]TenantMetrics, 0, len(names))
+	for _, name := range names {
+		ms := byTenant[name]
+		gen := 0
+		for _, m := range ms {
+			gen += m.GenTokens
+		}
+		out = append(out, TenantMetrics{
+			Tenant: name, Requests: len(ms), GenTokens: gen,
+			TTFT:  metricPercentiles(ms, func(m RequestMetrics) float64 { return m.TTFT }),
+			TPOT:  metricPercentiles(ms, func(m RequestMetrics) float64 { return m.TPOT }),
+			E2E:   metricPercentiles(ms, func(m RequestMetrics) float64 { return m.E2E }),
+			Queue: metricPercentiles(ms, func(m RequestMetrics) float64 { return m.Queue }),
+		})
+	}
+	return out
 }
 
 // request is the in-flight simulator state of one sequence.
 type request struct {
 	id      int
 	arrival float64
+	// tenant, prompt and gen are the request's workload shape; every
+	// admission, decode step and KV allocation is priced off them.
+	tenant string
+	prompt int
+	gen    int
 	// admitted and firstToken are timestamps filled as the request moves
 	// through the pipeline; both keep their first occurrence across
 	// preemptions.
@@ -388,6 +516,9 @@ type request struct {
 // randomness is the seeded arrival process, and the event loop is a single
 // goroutine over slices in arrival order.
 func Run(s Spec) (Result, error) {
+	if err := s.validateExclusive(); err != nil {
+		return Result{}, err
+	}
 	s = s.withDefaults()
 	if err := s.validateShape(); err != nil {
 		return Result{}, err
@@ -407,8 +538,15 @@ func Run(s Spec) (Result, error) {
 	// (TestDecodeStepLinearInKV) and the prefill cost is fixed per batch,
 	// so each batch size needs at most three kernel-enumeration passes;
 	// every further iteration prices in O(1). Plain float math on cached
-	// samples, so determinism is untouched.
-	kv0, kv1 := s.PromptTokens+1, s.PromptTokens+s.GenTokens
+	// samples, so determinism is untouched. The decode line is sampled at
+	// the workload's extreme KV lengths — for the degenerate single-tenant
+	// workload exactly the PR-3 prompt+1 .. prompt+gen span — and, being a
+	// line, prices every intermediate per-request length exactly.
+	bounds := s.bounds()
+	kv0, kv1 := bounds.minPrompt+1, bounds.maxContext
+	// refPrompt is the prompt length the coster's prefill samples price
+	// (the workload's largest); shorter prompts scale the sample linearly.
+	refPrompt := bounds.maxPrompt
 	prefillCache := make(map[int]float64)
 	prefill := func(batch int) float64 {
 		t, ok := prefillCache[batch]
@@ -437,11 +575,24 @@ func Run(s Spec) (Result, error) {
 	budget := pol.budgetBytes()
 	batchCap := pol.BatchCap()
 
+	// Every arrival index is assigned its request shape up front, so the
+	// assignment is identical whether ids are issued open- or closed-loop.
 	// Open-loop arrivals are pre-generated; closed-loop ones are issued on
 	// completion.
 	var arrivals []float64
+	var shapes []Request
 	issued := 0
-	if s.Arrival == Poisson {
+	switch {
+	case len(s.Trace) > 0:
+		arrivals = make([]float64, len(s.Trace))
+		shapes = make([]Request, len(s.Trace))
+		for i, ev := range s.Trace {
+			arrivals[i] = ev.Arrival
+			shapes[i] = ev.Request
+		}
+		issued = s.Requests
+	case s.Arrival == Poisson:
+		shapes = mixShapes(s.Mix, s.Requests, s.Seed)
 		rng := rand.New(rand.NewSource(s.Seed))
 		t := 0.0
 		arrivals = make([]float64, s.Requests)
@@ -450,6 +601,8 @@ func Run(s Spec) (Result, error) {
 			arrivals[i] = t
 		}
 		issued = s.Requests
+	default:
+		shapes = mixShapes(s.Mix, s.Requests, s.Seed)
 	}
 
 	var (
@@ -467,9 +620,13 @@ func Run(s Spec) (Result, error) {
 	)
 	done = make([]RequestMetrics, 0, s.Requests)
 
-	// enqueue issues request id at time t.
+	// enqueue issues request id at time t with its pre-assigned shape.
 	enqueue := func(id int, t float64) {
-		queue = append(queue, &request{id: id, arrival: t})
+		sh := shapes[id]
+		queue = append(queue, &request{
+			id: id, arrival: t,
+			tenant: sh.Tenant, prompt: sh.PromptTokens, gen: sh.GenTokens,
+		})
 	}
 	// admitArrived moves every pre-generated arrival with time <= now into
 	// the queue (iteration-level batching: requests landing mid-iteration
@@ -530,7 +687,7 @@ func Run(s Spec) (Result, error) {
 		// capacity. An iteration that just preempted skips admission — the
 		// pool is under pressure, and admitting would thrash the victim
 		// straight back in.
-		newbies, resumedTokens := 0, 0
+		newbies, prefillTokens := 0, 0
 		if len(victims) == 0 {
 			for len(queue) > 0 && len(running) < batchCap && pol.admit(queue[0]) {
 				r := queue[0]
@@ -541,9 +698,10 @@ func Run(s Spec) (Result, error) {
 				r.admissions++
 				running = append(running, r)
 				newbies++
-				// A resumed victim's recompute prefill spans its generated
-				// tokens too, not just the prompt — bill them below.
-				resumedTokens += r.produced
+				// The pass prefills this request's own prompt; a resumed
+				// victim's recompute prefill spans its generated tokens
+				// too — bill the true token count below.
+				prefillTokens += r.prompt + r.produced
 			}
 		}
 		kv := pol.usedBytes()
@@ -577,15 +735,17 @@ func Run(s Spec) (Result, error) {
 		deciders := running[:len(running)-newbies]
 		var iterTime float64
 		if newbies > 0 {
-			// PrefillCost prices newbies * PromptTokens tokens. Resumed
-			// preemption victims also rebuild their generated tokens' KV in
-			// this pass, so scale by the true token count — per-token
-			// linear, which slightly undercharges the quadratic attention
-			// share but keeps recompute far from free (and leaves fresh-only
-			// batches, the degenerate-equivalence path, untouched).
+			// The prefill sample prices newbies * refPrompt tokens. Batches
+			// whose requests carry shorter prompts — and resumed preemption
+			// victims, whose recompute prefill also rebuilds their generated
+			// tokens' KV — scale the sample by the true token count:
+			// per-token linear, which slightly undercharges the quadratic
+			// attention share but keeps recompute far from free (and leaves
+			// uniform fresh-only batches, the degenerate-equivalence path,
+			// untouched).
 			t := prefill(newbies)
-			if resumedTokens > 0 {
-				t *= float64(newbies*s.PromptTokens+resumedTokens) / float64(newbies*s.PromptTokens)
+			if ref := newbies * refPrompt; prefillTokens != ref {
+				t *= float64(prefillTokens) / float64(ref)
 			}
 			iterTime += t
 		}
@@ -593,8 +753,9 @@ func Run(s Spec) (Result, error) {
 			kvSum := 0
 			for _, r := range deciders {
 				// The step generating token produced+1 attends over the
-				// prompt plus every generated token including the new one.
-				kvSum += s.PromptTokens + r.produced + 1
+				// request's own prompt plus every generated token including
+				// the new one.
+				kvSum += r.prompt + r.produced + 1
 			}
 			iterTime += decode(float64(kvSum)/float64(len(deciders)), len(deciders))
 		}
@@ -612,21 +773,23 @@ func Run(s Spec) (Result, error) {
 			if r.produced == 1 && r.firstToken == 0 {
 				r.firstToken = now
 			}
-			if r.produced < s.GenTokens {
+			if r.produced < r.gen {
 				alive = append(alive, r)
 				continue
 			}
 			pol.release(r)
 			m := RequestMetrics{
-				ID: r.id, Arrival: r.arrival, Admitted: r.admitted,
+				ID: r.id, Tenant: r.tenant,
+				PromptTokens: r.prompt, GenTokens: r.gen,
+				Arrival: r.arrival, Admitted: r.admitted,
 				FirstToken: r.firstToken, Done: now,
 				Queue:       r.admitted - r.arrival,
 				TTFT:        r.firstToken - r.arrival,
 				E2E:         now - r.arrival,
 				Preemptions: r.preempts,
 			}
-			if s.GenTokens > 1 {
-				m.TPOT = (now - r.firstToken) / float64(s.GenTokens-1)
+			if r.gen > 1 {
+				m.TPOT = (now - r.firstToken) / float64(r.gen-1)
 			}
 			done = append(done, m)
 			if s.Arrival == ClosedLoop && issued < s.Requests {
@@ -659,13 +822,18 @@ func Run(s Spec) (Result, error) {
 		PerRequest:       done,
 	}
 	if now > 0 {
+		genSum := 0
+		for _, m := range done {
+			genSum += m.GenTokens
+		}
 		res.ThroughputRPS = float64(len(done)) / now
-		res.TokensPerSec = float64(len(done)*s.GenTokens) / now
+		res.TokensPerSec = float64(genSum) / now
 	}
 	res.TTFT = metricPercentiles(done, func(m RequestMetrics) float64 { return m.TTFT })
 	res.TPOT = metricPercentiles(done, func(m RequestMetrics) float64 { return m.TPOT })
 	res.E2E = metricPercentiles(done, func(m RequestMetrics) float64 { return m.E2E })
 	res.Queue = metricPercentiles(done, func(m RequestMetrics) float64 { return m.Queue })
+	res.PerTenant = tenantBreakdown(done)
 	return res, nil
 }
 

@@ -1,0 +1,333 @@
+package serve
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// DefaultTenant names the tenant of the degenerate single-tenant workload
+// the spec-wide PromptTokens/GenTokens fields describe. Trace rows with an
+// empty tenant column parse to it too, so a length-only trace and the
+// spec-wide fields land in the same per-tenant bucket.
+const DefaultTenant = "default"
+
+// Request is one serving request's shape: who issued it and how many
+// prompt and generation tokens it carries. The simulator prices every
+// admission, decode step and KV allocation off these per-request fields —
+// the spec-wide Spec.PromptTokens/GenTokens are just the degenerate
+// single-tenant case.
+type Request struct {
+	Tenant       string
+	PromptTokens int
+	GenTokens    int
+}
+
+// context is the request's full KV span.
+func (r Request) context() int { return r.PromptTokens + r.GenTokens }
+
+// TenantLoad is one tenant's contribution to a generated workload mix: a
+// relative share of the arrival rate (shares are weights — they need not
+// sum to 1) and the prompt/generation shape of its requests.
+type TenantLoad struct {
+	Tenant       string
+	Share        float64
+	PromptTokens int
+	GenTokens    int
+}
+
+// request converts the load entry to the shape its requests carry.
+func (t TenantLoad) request() Request {
+	return Request{Tenant: t.Tenant, PromptTokens: t.PromptTokens, GenTokens: t.GenTokens}
+}
+
+// TraceEvent is one replayed request: an absolute arrival time plus its
+// shape. A trace fixes the whole arrival process, so specs carrying one
+// leave Arrival/Rate/Clients unset.
+type TraceEvent struct {
+	Arrival float64
+	Request
+}
+
+// ValidateMix checks a workload mix: non-empty, unique non-empty tenant
+// names, positive finite shares, and at least one prompt and one generated
+// token per tenant. Shared by serve.Spec and the sweep grid validation.
+func ValidateMix(mix []TenantLoad) error {
+	if len(mix) == 0 {
+		return fmt.Errorf("serve: empty workload mix")
+	}
+	seen := make(map[string]bool, len(mix))
+	for _, t := range mix {
+		if t.Tenant == "" {
+			return fmt.Errorf("serve: mix entry with an empty tenant name")
+		}
+		if seen[t.Tenant] {
+			return fmt.Errorf("serve: duplicate mix tenant %q", t.Tenant)
+		}
+		seen[t.Tenant] = true
+		if !(t.Share > 0) || math.IsInf(t.Share, 0) {
+			return fmt.Errorf("serve: tenant %q needs a positive finite share, got %g", t.Tenant, t.Share)
+		}
+		if t.PromptTokens < 1 {
+			return fmt.Errorf("serve: tenant %q needs a positive prompt length, got %d", t.Tenant, t.PromptTokens)
+		}
+		if t.GenTokens < 1 {
+			return fmt.Errorf("serve: tenant %q needs at least one generated token, got %d", t.Tenant, t.GenTokens)
+		}
+	}
+	return nil
+}
+
+// ValidateTrace checks a replay trace: non-empty, finite non-negative
+// arrival times in non-decreasing order, and a well-formed shape per
+// event. Shared by serve.Spec and the sweep grid validation.
+func ValidateTrace(trace []TraceEvent) error {
+	if len(trace) == 0 {
+		return fmt.Errorf("serve: empty trace")
+	}
+	prev := 0.0
+	for i, ev := range trace {
+		if !(ev.Arrival >= prev) || math.IsInf(ev.Arrival, 0) {
+			return fmt.Errorf("serve: trace event %d: arrival %g not finite and non-decreasing (previous %g)",
+				i, ev.Arrival, prev)
+		}
+		prev = ev.Arrival
+		if ev.Tenant == "" {
+			return fmt.Errorf("serve: trace event %d has an empty tenant name", i)
+		}
+		if ev.PromptTokens < 1 {
+			return fmt.Errorf("serve: trace event %d needs a positive prompt length, got %d", i, ev.PromptTokens)
+		}
+		if ev.GenTokens < 1 {
+			return fmt.Errorf("serve: trace event %d needs at least one generated token, got %d", i, ev.GenTokens)
+		}
+	}
+	return nil
+}
+
+// MixContext returns the largest prompt+generation context any mix tenant
+// can reach — the bound KV geometry and page-size canonicalization use.
+func MixContext(mix []TenantLoad) int {
+	max := 0
+	for _, t := range mix {
+		if c := t.PromptTokens + t.GenTokens; c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// TraceContext returns the largest prompt+generation context of a trace.
+func TraceContext(trace []TraceEvent) int {
+	max := 0
+	for _, ev := range trace {
+		if c := ev.context(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// ParseMix parses the CLI mix syntax: comma-separated
+// "tenant:share:prompt:gen" entries, e.g.
+// "chat:0.7:200:200,batch:0.3:2000:100".
+func ParseMix(s string) ([]TenantLoad, error) {
+	var out []TenantLoad
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		parts := strings.Split(tok, ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("serve: mix entry %q: want tenant:share:prompt:gen", tok)
+		}
+		share, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("serve: mix entry %q: bad share: %w", tok, err)
+		}
+		prompt, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("serve: mix entry %q: bad prompt length: %w", tok, err)
+		}
+		gen, err := strconv.Atoi(parts[3])
+		if err != nil {
+			return nil, fmt.Errorf("serve: mix entry %q: bad generation length: %w", tok, err)
+		}
+		out = append(out, TenantLoad{Tenant: parts[0], Share: share, PromptTokens: prompt, GenTokens: gen})
+	}
+	if err := ValidateMix(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FormatMix renders a mix back into the ParseMix syntax — the canonical
+// one-token rendering the sweep writers use.
+func FormatMix(mix []TenantLoad) string {
+	parts := make([]string, len(mix))
+	for i, t := range mix {
+		parts[i] = fmt.Sprintf("%s:%g:%d:%d", t.Tenant, t.Share, t.PromptTokens, t.GenTokens)
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParseTrace reads a serving trace in CSV form: one request per row as
+// "arrival,tenant,prompt,gen", with an optional header row (detected by a
+// non-numeric first field). An empty tenant column maps to DefaultTenant.
+// The parsed trace is validated (finite sorted arrivals, positive shapes).
+func ParseTrace(r io.Reader) ([]TraceEvent, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 4
+	cr.TrimLeadingSpace = true
+	var out []TraceEvent
+	for row := 0; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("serve: trace row %d: %w", row, err)
+		}
+		for i := range rec {
+			rec[i] = strings.TrimSpace(rec[i])
+		}
+		if row == 0 {
+			_, arrErr := strconv.ParseFloat(rec[0], 64)
+			_, promptErr := strconv.Atoi(rec[2])
+			// A header is non-numeric across the board; a data row whose
+			// arrival alone is malformed must fail loudly below rather
+			// than vanish as a misdetected header.
+			if arrErr != nil && promptErr != nil {
+				continue // header row
+			}
+		}
+		arrival, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("serve: trace row %d: bad arrival time: %w", row, err)
+		}
+		prompt, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("serve: trace row %d: bad prompt length: %w", row, err)
+		}
+		gen, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("serve: trace row %d: bad generation length: %w", row, err)
+		}
+		tenant := rec[1]
+		if tenant == "" {
+			tenant = DefaultTenant
+		}
+		out = append(out, TraceEvent{
+			Arrival: arrival,
+			Request: Request{Tenant: tenant, PromptTokens: prompt, GenTokens: gen},
+		})
+	}
+	if err := ValidateTrace(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// shapeSeedSalt decorrelates the tenant-assignment stream from the arrival
+// stream, which is seeded with the raw Spec.Seed. Without it the two
+// rand.Sources would start in identical states.
+const shapeSeedSalt = 0x2545F4914F6CDD1D
+
+// mixShapes deterministically assigns each arrival index its request
+// shape. A single-tenant mix takes the draw-free fast path, so the
+// degenerate spec-wide workload leaves the arrival process's random stream
+// untouched — the PR-3 byte-identity guarantee. Multi-tenant mixes draw
+// tenants, weighted by share, from a second independently seeded stream.
+func mixShapes(mix []TenantLoad, n int, seed int64) []Request {
+	out := make([]Request, n)
+	if len(mix) == 1 {
+		sh := mix[0].request()
+		for i := range out {
+			out[i] = sh
+		}
+		return out
+	}
+	total := 0.0
+	for _, t := range mix {
+		total += t.Share
+	}
+	rng := rand.New(rand.NewSource(seed ^ shapeSeedSalt))
+	for i := range out {
+		x := rng.Float64() * total
+		k := 0
+		for k < len(mix)-1 {
+			x -= mix[k].Share
+			if x < 0 {
+				break
+			}
+			k++
+		}
+		out[i] = mix[k].request()
+	}
+	return out
+}
+
+// shapeBounds are the extreme request shapes of one workload, derived once
+// per simulation: the step-cost engine is configured at the largest prompt
+// and generation, the KV geometry at the largest context, and the derived
+// batch caps at the smallest (a cap is an upper bound on concurrency — the
+// per-request admission math is the real gate).
+type shapeBounds struct {
+	minPrompt, maxPrompt   int
+	maxGen                 int
+	minContext, maxContext int
+}
+
+// boundsOf folds one request shape into the running bounds.
+func (b *shapeBounds) fold(first bool, prompt, gen int) {
+	c := prompt + gen
+	if first {
+		*b = shapeBounds{minPrompt: prompt, maxPrompt: prompt, maxGen: gen, minContext: c, maxContext: c}
+		return
+	}
+	if prompt < b.minPrompt {
+		b.minPrompt = prompt
+	}
+	if prompt > b.maxPrompt {
+		b.maxPrompt = prompt
+	}
+	if gen > b.maxGen {
+		b.maxGen = gen
+	}
+	if c < b.minContext {
+		b.minContext = c
+	}
+	if c > b.maxContext {
+		b.maxContext = c
+	}
+}
+
+// bounds resolves the workload's shape bounds: the trace's when replaying,
+// the mix's when generating, and the spec-wide fields when neither is set
+// (validation paths that run before withDefaults fills the degenerate mix).
+func (s Spec) bounds() shapeBounds {
+	var b shapeBounds
+	switch {
+	case len(s.Trace) > 0:
+		for i, ev := range s.Trace {
+			b.fold(i == 0, ev.PromptTokens, ev.GenTokens)
+		}
+	case len(s.Mix) > 0:
+		for i, t := range s.Mix {
+			b.fold(i == 0, t.PromptTokens, t.GenTokens)
+		}
+	default:
+		b.fold(true, s.PromptTokens, s.GenTokens)
+	}
+	return b
+}
+
+// uniform reports whether every request spans one common context length,
+// which lets the reservation policy keep the PR-3 multiply-by-count float
+// path (bit-identical for the degenerate workload) instead of summing.
+func (b shapeBounds) uniform() bool { return b.minContext == b.maxContext }

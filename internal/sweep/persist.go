@@ -16,8 +16,10 @@ const cacheFileVersion = 1
 // snapshot written by a binary with different kernel/roofline/simulator
 // math would silently serve stale metrics (and break the engine==serial
 // guarantee) if it were accepted. Bump on ANY change that can alter a
-// predictor's output for an unchanged Point.
-const costModelVersion = "pr3-paged-kv"
+// predictor's output for an unchanged Point — the pr4 bump covers the
+// per-request workload refactor (serving Metrics gained PerTenant and
+// every Point.Key grew a workload segment).
+const costModelVersion = "pr4-multi-tenant"
 
 // cacheFile is the on-disk memoization snapshot: successful evaluations
 // keyed by the canonical Point.Key. Keys already fingerprint the full
@@ -110,7 +112,11 @@ func (e *Engine) LoadCacheFile(path string) error {
 }
 
 // SaveCacheFile atomically writes the cache snapshot to disk (temp file +
-// rename, so a crashed run never leaves a truncated cache).
+// rename, so a crashed run never leaves a truncated cache). CreateTemp
+// makes its file mode 0600, which the rename would otherwise freeze in
+// place — unreadable to other users no matter the umask, breaking shared
+// and CI cache reuse — so the temp file is chmodded to an umask-honoring
+// 0644 before the rename, the mode a plain create would have produced.
 func (e *Engine) SaveCacheFile(path string) error {
 	tmp, err := os.CreateTemp(dirOf(path), ".sweep-cache-*")
 	if err != nil {
@@ -120,6 +126,10 @@ func (e *Engine) SaveCacheFile(path string) error {
 	if err := e.SaveCache(tmp); err != nil {
 		tmp.Close()
 		return err
+	}
+	if err := tmp.Chmod(0o644 &^ processUmask); err != nil {
+		tmp.Close()
+		return fmt.Errorf("sweep: save cache: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
 		return fmt.Errorf("sweep: save cache: %w", err)

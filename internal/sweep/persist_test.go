@@ -121,6 +121,12 @@ func TestLoadCacheMissingAndMalformed(t *testing.T) {
 	if err := eng.LoadCache(strings.NewReader(stale)); err == nil {
 		t.Error("cache from a different cost model should error, not serve stale metrics")
 	}
+	// The per-request workload refactor changed serving metrics (PerTenant)
+	// and every Point.Key, so a PR-3 snapshot must be rejected outright.
+	pr3 := `{"version":1,"cost_model":"pr3-paged-kv","entries":{}}`
+	if err := eng.LoadCache(strings.NewReader(pr3)); err == nil {
+		t.Error("pre-multi-tenant cache should be rejected by the cost-model bump")
+	}
 }
 
 // TestSaveCacheFileBareFilename: a separator-free -cache path must stage
@@ -150,6 +156,36 @@ func TestSaveCacheFileBareFilename(t *testing.T) {
 	}
 	if len(ents) != 1 || ents[0].Name() != "cache.json" {
 		t.Errorf("unexpected files after save: %v", ents)
+	}
+}
+
+// TestSaveCacheFilePermissions is the regression gate on the cache-file
+// mode: SaveCacheFile stages through os.CreateTemp, whose 0600 mode the
+// rename used to freeze in place — a sweep cache written by one CI user
+// was unreadable to every other, silently defeating shared cache reuse.
+// The temp file must be chmodded to umask-honoring 0644 before the rename.
+func TestSaveCacheFilePermissions(t *testing.T) {
+	spec := trainSpec0(t)
+	eng := New(1)
+	if _, err := eng.Run(context.Background(), spec); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cache.json")
+	if err := eng.SaveCacheFile(path); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := os.FileMode(0o644) &^ processUmask
+	if got := info.Mode().Perm(); got != want {
+		t.Errorf("cache file mode %v, want %v (0644 under umask %03o)", got, want, processUmask)
+	}
+	// Whatever the umask, the CreateTemp 0600 mode must not leak through
+	// unchanged when the umask would have allowed a group-readable file.
+	if processUmask&0o040 == 0 && info.Mode().Perm()&0o040 == 0 {
+		t.Errorf("cache file %v lost group readability the umask permits", info.Mode().Perm())
 	}
 }
 

@@ -132,6 +132,16 @@ type Spec struct {
 	// BatchCaps are iteration batch caps, serving only; 0 derives the
 	// largest KV-fitting batch. Nil means {0}.
 	BatchCaps []int
+	// Mixes are multi-tenant workload mixes, serving only: each entry is
+	// one grid-axis value, so one sweep can rank a chat-heavy mix against
+	// a batch-heavy one per rate × batch-cap point. Mixes replaces the
+	// Seqs/GenTokens axes (a mix fixes its own request shapes).
+	Mixes [][]serve.TenantLoad
+	// Trace replays one fixed request timeline per serving candidate
+	// (systems × precisions × batch caps × policies), serving only. It
+	// replaces the Rates, Seqs and GenTokens axes and is mutually
+	// exclusive with Mixes.
+	Trace []serve.TraceEvent
 	// Policies are the KV admission policies to compare per grid cell
 	// (serve.ReserveFull vs serve.Paged), serving only; nil means
 	// {ReserveFull}. Making the policy a grid axis is what lets one sweep
@@ -155,6 +165,10 @@ type Spec struct {
 }
 
 func (s Spec) withDefaults() Spec {
+	// A serving sweep whose requests are shaped by a mix or a trace has no
+	// spec-wide Seqs/GenTokens axes to default (and a trace fixes the
+	// arrival process, so no Rates either).
+	shaped := s.Workload == Serving && (len(s.Mixes) > 0 || len(s.Trace) > 0)
 	if len(s.Precisions) == 0 {
 		if s.Workload == Training {
 			s.Precisions = []tech.Precision{tech.BF16}
@@ -171,17 +185,17 @@ func (s Spec) withDefaults() Spec {
 			s.GlobalBatches = []int{1}
 		}
 	}
-	if len(s.Seqs) == 0 {
+	if len(s.Seqs) == 0 && !shaped {
 		if s.Workload == Training {
 			s.Seqs = []int{2048}
 		} else {
 			s.Seqs = []int{200}
 		}
 	}
-	if len(s.GenTokens) == 0 {
+	if len(s.GenTokens) == 0 && !shaped {
 		s.GenTokens = []int{200}
 	}
-	if len(s.Rates) == 0 {
+	if len(s.Rates) == 0 && len(s.Trace) == 0 {
 		s.Rates = []float64{1}
 	}
 	if len(s.BatchCaps) == 0 {
@@ -207,6 +221,9 @@ func (s Spec) Validate() error {
 		}
 		if len(s.Policies) > 0 || s.ServePageTokens != 0 {
 			return fmt.Errorf("sweep: Policies/ServePageTokens apply to serving sweeps only")
+		}
+		if len(s.Mixes) > 0 || len(s.Trace) > 0 {
+			return fmt.Errorf("sweep: Mixes/Trace apply to serving sweeps only")
 		}
 	}
 	switch s.Workload {
@@ -270,6 +287,33 @@ func (s Spec) Validate() error {
 			for _, g := range s.GenTokens {
 				if g < 1 {
 					return fmt.Errorf("sweep: serving needs at least one generated token, got %d", g)
+				}
+			}
+			if len(s.Mixes) > 0 {
+				if len(s.Trace) > 0 {
+					return fmt.Errorf("sweep: Mixes and Trace are mutually exclusive")
+				}
+				if len(s.Seqs) > 0 || len(s.GenTokens) > 0 {
+					return fmt.Errorf("sweep: Mixes replaces the Seqs/GenTokens axes (a mix fixes its own request shapes)")
+				}
+				for _, mix := range s.Mixes {
+					if err := serve.ValidateMix(mix); err != nil {
+						return err
+					}
+				}
+			}
+			if len(s.Trace) > 0 {
+				if len(s.Rates) > 0 || len(s.Seqs) > 0 || len(s.GenTokens) > 0 {
+					return fmt.Errorf("sweep: Trace replaces the Rates/Seqs/GenTokens axes (a trace fixes arrivals and request shapes)")
+				}
+				// The trace also fixes the request count and carries no
+				// arrival randomness — reject the knobs it would silently
+				// ignore.
+				if s.ServeRequests != 0 || s.ServeSeed != 0 {
+					return fmt.Errorf("sweep: Trace fixes the request count and arrivals — leave ServeRequests/ServeSeed unset")
+				}
+				if err := serve.ValidateTrace(s.Trace); err != nil {
+					return err
 				}
 			}
 		}
@@ -337,6 +381,12 @@ type Point struct {
 	// size in tokens (0 under ReserveFull); serving only.
 	Policy     serve.Policy
 	PageTokens int
+	// Mix is the candidate's multi-tenant workload (nil for spec-wide
+	// shapes); Trace its replayed request timeline. Both shape the
+	// simulated distribution, so they are part of the candidate's
+	// identity. Serving only.
+	Mix   []serve.TenantLoad
+	Trace []serve.TraceEvent
 	// ServeRequests and ServeSeed fix the simulated request count and
 	// arrival seed; serving only. They shape the simulated distribution,
 	// so they are part of the candidate's identity.
@@ -353,7 +403,7 @@ type Point struct {
 // current field values, so mutated Point copies never alias a stale
 // identity; the engine uses the enumeration-time cache internally.
 func (p Point) Key() string {
-	return p.buildKey(modelToken(p.Model), systemToken(p.System))
+	return p.buildKey(modelToken(p.Model), systemToken(p.System), workloadToken(p.Mix, p.Trace))
 }
 
 // cachedKey returns the enumeration-time key without re-formatting; hot
@@ -389,9 +439,10 @@ func fingerprint(v any) string {
 
 // buildKey assembles the canonical key without fmt: key construction runs
 // once per enumerated candidate and dominated sweep time when it used
-// reflection-based formatting. The model and system tokens are computed
-// once per grid cell by the enumerators.
-func (p Point) buildKey(modelStr, sysStr string) string {
+// reflection-based formatting. The model, system and workload tokens are
+// computed once per grid cell (or once per grid, for a shared trace) by
+// the enumerators.
+func (p Point) buildKey(modelStr, sysStr, workloadStr string) string {
 	sp := 0
 	if p.Map.SP {
 		sp = 1
@@ -413,7 +464,25 @@ func (p Point) buildKey(modelStr, sysStr string) string {
 	buf = strconv.AppendInt(buf, p.ServeSeed, 10)
 	buf = append(buf, '|')
 	buf = strconv.AppendFloat(buf, p.Rate, 'g', -1, 64)
+	buf = append(buf, '|')
+	buf = append(buf, workloadStr...)
 	return string(buf)
+}
+
+// workloadToken identifies a serving candidate's request-shape workload —
+// the mix or trace it simulates. Tenant names are arbitrary strings, so
+// the token is a fingerprint rather than a literal rendering (which could
+// collide with the key's separators); empty for spec-wide-shaped
+// candidates, keeping their keys stable relative to each other.
+func workloadToken(mix []serve.TenantLoad, trace []serve.TraceEvent) string {
+	switch {
+	case len(trace) > 0:
+		return "trace#" + fingerprint(trace)
+	case len(mix) > 0:
+		return "mix#" + fingerprint(mix)
+	default:
+		return ""
+	}
 }
 
 // Metrics is the outcome of costing one point.
@@ -444,6 +513,18 @@ type Metrics struct {
 	Preemptions      int
 	RecomputedTokens int
 	KVUtil           float64
+	// PerTenant breaks the SLO percentiles down per workload tenant,
+	// sorted by tenant name. Serving only.
+	PerTenant []TenantSLO
+}
+
+// TenantSLO is one tenant's SLO summary within a serving candidate.
+type TenantSLO struct {
+	Tenant   string
+	Requests int
+	TTFTP95  float64
+	TPOTP95  float64
+	E2EP95   float64
 }
 
 // Row is one ranked result.
@@ -546,7 +627,7 @@ func EnumerateTraining(cfg model.Config, sys *arch.System, batch, seq int, prec 
 							Map: m, Recompute: rec, Precision: prec,
 							GlobalBatch: batch, Seq: seq,
 						}
-						p.key = p.buildKey(modelStr, sysStr)
+						p.key = p.buildKey(modelStr, sysStr, "")
 						out = append(out, p)
 					}
 				}
@@ -569,7 +650,7 @@ func EnumerateInference(cfg model.Config, sys *arch.System, batch, prompt, gen i
 		Map:       parallel.Mapping{DP: 1, TP: tp, PP: 1, SP: tp > 1, Microbatch: 1},
 		Precision: prec, GlobalBatch: batch, Seq: prompt, GenTokens: gen,
 	}
-	p.key = p.buildKey(modelToken(cfg), systemToken(sys))
+	p.key = p.buildKey(modelToken(cfg), systemToken(sys), "")
 	return []Point{p}
 }
 
@@ -593,7 +674,64 @@ func EnumerateServing(cfg model.Config, sys *arch.System, rate float64, batchCap
 		Rate: rate, BatchCap: batchCap, ServeRequests: requests, ServeSeed: seed,
 		Policy: pol, PageTokens: pageTokens,
 	}
-	p.key = p.buildKey(modelToken(cfg), systemToken(sys))
+	p.key = p.buildKey(modelToken(cfg), systemToken(sys), "")
+	return []Point{p}
+}
+
+// EnumerateServingMix lists the candidate serving points of one grid cell
+// whose requests are shaped by a multi-tenant mix: one continuous-batching
+// simulation per (rate, batch cap, policy, mix), with the page size
+// canonicalized against the mix's largest context.
+func EnumerateServingMix(cfg model.Config, sys *arch.System, mix []serve.TenantLoad, rate float64, batchCap int, prec tech.Precision, requests int, seed int64, pol serve.Policy, pageTokens int) []Point {
+	return enumerateServingMix(cfg, sys, mix, rate, batchCap, prec, requests, seed, pol, pageTokens, workloadToken(mix, nil))
+}
+
+// enumerateServingMix is EnumerateServingMix with the mix's workload token
+// precomputed, so Enumerate fingerprints each mix once per grid rather
+// than once per candidate.
+func enumerateServingMix(cfg model.Config, sys *arch.System, mix []serve.TenantLoad, rate float64, batchCap int, prec tech.Precision, requests int, seed int64, pol serve.Policy, pageTokens int, workloadStr string) []Point {
+	tp := sys.NumDevices()
+	if cfg.Heads%tp != 0 {
+		return nil
+	}
+	pageTokens = serve.CanonicalPageTokens(pol, pageTokens, serve.MixContext(mix))
+	p := Point{
+		Workload: Serving, Model: cfg, System: sys,
+		Map:       parallel.Mapping{DP: 1, TP: tp, PP: 1, SP: tp > 1, Microbatch: 1},
+		Precision: prec, Mix: mix,
+		Rate: rate, BatchCap: batchCap, ServeRequests: requests, ServeSeed: seed,
+		Policy: pol, PageTokens: pageTokens,
+	}
+	p.key = p.buildKey(modelToken(cfg), systemToken(sys), workloadStr)
+	return []Point{p}
+}
+
+// EnumerateServingTrace lists the candidate serving points of one grid
+// cell replaying a fixed trace: one simulation per (batch cap, policy).
+// The trace fixes arrivals and request count, so Rate and ServeSeed are
+// canonicalized to zero — two candidates differing only in them would
+// simulate identically.
+func EnumerateServingTrace(cfg model.Config, sys *arch.System, trace []serve.TraceEvent, batchCap int, prec tech.Precision, pol serve.Policy, pageTokens int) []Point {
+	return enumerateServingTrace(cfg, sys, trace, batchCap, prec, pol, pageTokens, workloadToken(nil, trace))
+}
+
+// enumerateServingTrace is EnumerateServingTrace with the trace's workload
+// token precomputed — a trace can be large, and hashing it per candidate
+// would put reflection back on the enumeration path.
+func enumerateServingTrace(cfg model.Config, sys *arch.System, trace []serve.TraceEvent, batchCap int, prec tech.Precision, pol serve.Policy, pageTokens int, workloadStr string) []Point {
+	tp := sys.NumDevices()
+	if cfg.Heads%tp != 0 {
+		return nil
+	}
+	pageTokens = serve.CanonicalPageTokens(pol, pageTokens, serve.TraceContext(trace))
+	p := Point{
+		Workload: Serving, Model: cfg, System: sys,
+		Map:       parallel.Mapping{DP: 1, TP: tp, PP: 1, SP: tp > 1, Microbatch: 1},
+		Precision: prec, Trace: trace,
+		BatchCap: batchCap, ServeRequests: len(trace),
+		Policy: pol, PageTokens: pageTokens,
+	}
+	p.key = p.buildKey(modelToken(cfg), systemToken(sys), workloadStr)
 	return []Point{p}
 }
 
@@ -601,6 +739,13 @@ func EnumerateServing(cfg model.Config, sys *arch.System, rate float64, batchCap
 // in deterministic order.
 func Enumerate(s Spec) []Point {
 	s = s.withDefaults()
+	// Workload tokens are fingerprints over the full mix/trace contents;
+	// hash each once per grid, not once per candidate.
+	traceTok := workloadToken(nil, s.Trace)
+	mixToks := make([]string, len(s.Mixes))
+	for i, mix := range s.Mixes {
+		mixToks[i] = workloadToken(mix, nil)
+	}
 	var out []Point
 	seen := make(map[string]bool)
 	add := func(points []Point) {
@@ -618,12 +763,31 @@ func Enumerate(s Spec) []Point {
 			for _, prec := range s.Precisions {
 				switch s.Workload {
 				case Serving:
-					for _, rate := range s.Rates {
+					switch {
+					case len(s.Trace) > 0:
 						for _, batchCap := range s.BatchCaps {
 							for _, pol := range s.Policies {
-								for _, seq := range s.Seqs {
-									for _, gen := range s.GenTokens {
-										add(EnumerateServing(cfg, sys, rate, batchCap, seq, gen, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens))
+								add(enumerateServingTrace(cfg, sys, s.Trace, batchCap, prec, pol, s.ServePageTokens, traceTok))
+							}
+						}
+					case len(s.Mixes) > 0:
+						for _, rate := range s.Rates {
+							for _, batchCap := range s.BatchCaps {
+								for _, pol := range s.Policies {
+									for i, mix := range s.Mixes {
+										add(enumerateServingMix(cfg, sys, mix, rate, batchCap, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens, mixToks[i]))
+									}
+								}
+							}
+						}
+					default:
+						for _, rate := range s.Rates {
+							for _, batchCap := range s.BatchCaps {
+								for _, pol := range s.Policies {
+									for _, seq := range s.Seqs {
+										for _, gen := range s.GenTokens {
+											add(EnumerateServing(cfg, sys, rate, batchCap, seq, gen, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens))
+										}
 									}
 								}
 							}
@@ -705,14 +869,40 @@ func evaluateInference(p Point) (Metrics, error) {
 
 // servingSpec builds the simulator configuration of one serving point.
 // Enumeration already canonicalized PageTokens (zero unless paged), so
-// the fields pass straight through serve.Spec's strict validation.
+// the fields pass straight through serve.Spec's strict validation. The
+// request shapes come from the candidate's trace, mix, or spec-wide
+// prompt/generation fields — exactly one of the three.
 func servingSpec(p Point) serve.Spec {
-	return serve.Spec{
+	sp := serve.Spec{
 		Model: p.Model, System: p.System, TP: p.Map.TP, Precision: p.Precision,
-		PromptTokens: p.Seq, GenTokens: p.GenTokens,
-		Arrival: serve.Poisson, Rate: p.Rate,
-		Requests: p.ServeRequests, Seed: p.ServeSeed, MaxBatch: p.BatchCap,
-		Policy: p.Policy, PageTokens: p.PageTokens,
+		MaxBatch: p.BatchCap, Policy: p.Policy, PageTokens: p.PageTokens,
+	}
+	switch {
+	case len(p.Trace) > 0:
+		// The trace fixes arrivals, seed and request count.
+		sp.Trace = p.Trace
+	case len(p.Mix) > 0:
+		sp.Mix = p.Mix
+		sp.Arrival, sp.Rate = serve.Poisson, p.Rate
+		sp.Requests, sp.Seed = p.ServeRequests, p.ServeSeed
+	default:
+		sp.PromptTokens, sp.GenTokens = p.Seq, p.GenTokens
+		sp.Arrival, sp.Rate = serve.Poisson, p.Rate
+		sp.Requests, sp.Seed = p.ServeRequests, p.ServeSeed
+	}
+	return sp
+}
+
+// servingContext is the candidate workload's largest prompt+generation
+// context — the bound the footprint reporting prices KV geometry at.
+func servingContext(p Point) int {
+	switch {
+	case len(p.Trace) > 0:
+		return serve.TraceContext(p.Trace)
+	case len(p.Mix) > 0:
+		return serve.MixContext(p.Mix)
+	default:
+		return p.Seq + p.GenTokens
 	}
 }
 
@@ -721,10 +911,10 @@ func evaluateServing(p Point) (Metrics, error) {
 	if err != nil {
 		return Metrics{}, err
 	}
-	return Metrics{
+	m := Metrics{
 		Time: res.E2E.P95,
 		Footprint: memfoot.InferenceBreakdown{
-			Weights: memfoot.Inference(p.Model, p.Map.TP, 1, p.Seq+p.GenTokens, p.Precision.Bytes()).Weights,
+			Weights: memfoot.Inference(p.Model, p.Map.TP, 1, servingContext(p), p.Precision.Bytes()).Weights,
 			KVCache: res.PeakKVBytes,
 		},
 		// Admission never over-commits the device, so a completed
@@ -736,7 +926,14 @@ func evaluateServing(p Point) (Metrics, error) {
 		Preemptions:      res.Preemptions,
 		RecomputedTokens: res.RecomputedTokens,
 		KVUtil:           res.MeanKVUtil,
-	}, nil
+	}
+	for _, tm := range res.PerTenant {
+		m.PerTenant = append(m.PerTenant, TenantSLO{
+			Tenant: tm.Tenant, Requests: tm.Requests,
+			TTFTP95: tm.TTFT.P95, TPOTP95: tm.TPOT.P95, E2EP95: tm.E2E.P95,
+		})
+	}
+	return m, nil
 }
 
 // Feasible reports whether p fits device memory, using only the footprint

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package sweep
+
+import "os"
+
+// processUmask is zero where the platform has no umask: SaveCacheFile then
+// chmods its temp file to plain 0644.
+var processUmask os.FileMode = 0

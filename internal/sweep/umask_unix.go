@@ -1,0 +1,18 @@
+//go:build unix
+
+package sweep
+
+import (
+	"os"
+	"syscall"
+)
+
+// processUmask is the file-creation mask SaveCacheFile honors when fixing
+// up CreateTemp's 0600 mode. There is no portable read-only getter, so it
+// is sampled once at package init — single-goroutine, before any file
+// creation this package could race with — via the set-and-restore idiom.
+var processUmask = func() os.FileMode {
+	m := syscall.Umask(0)
+	syscall.Umask(m)
+	return os.FileMode(m)
+}()

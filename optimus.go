@@ -77,11 +77,30 @@
 //	})
 //	fmt.Println(res.Preemptions, res.RecomputedTokens, res.MeanKVUtil)
 //
+// Requests carry per-request shapes: ServeSpec.Mix generates a seeded
+// multi-tenant workload (per-tenant rate shares and prompt/generation
+// lengths) and ServeSpec.Trace replays an explicit timeline, with the
+// spec-wide PromptTokens/GenTokens the degenerate single-tenant case.
+// ServeResult.PerTenant breaks the SLO percentiles down per tenant:
+//
+//	res, _ = optimus.Serve(optimus.ServeSpec{
+//	    Model: cfg, System: sys, TP: 2, Precision: optimus.FP16,
+//	    Mix: []optimus.ServeTenantLoad{
+//	        {Tenant: "chat", Share: 0.7, PromptTokens: 200, GenTokens: 200},
+//	        {Tenant: "batch", Share: 0.3, PromptTokens: 2000, GenTokens: 100},
+//	    },
+//	    Arrival: optimus.PoissonArrivals, Rate: 2, Requests: 512, Seed: 1,
+//	})
+//	for _, tm := range res.PerTenant {
+//	    fmt.Println(tm.Tenant, tm.TTFT.P95, tm.E2E.P95)
+//	}
+//
 // Set SweepSpec.Workload to ServingSweep to sweep arrival rates × batch
 // caps × admission policies × systems × precisions and rank by p95
 // end-to-end latency — SweepSpec.Policies makes the admission policy a
 // grid axis, so one sweep compares reservation against paged admission at
-// every rate × batch-cap point.
+// every rate × batch-cap point, and SweepSpec.Mixes/Trace do the same for
+// the workload shape (Metrics.PerTenant keeps the per-tenant SLOs).
 //
 // The subpackages under internal/ hold the substrates (technology tables,
 // µarch engine, hierarchical roofline, collectives, schedules, footprint
@@ -144,6 +163,17 @@ type (
 	ServePercentiles = serve.Percentiles
 	// ServeRequestMetrics is one simulated request's timeline.
 	ServeRequestMetrics = serve.RequestMetrics
+	// ServeRequest is one serving request's shape (tenant + per-request
+	// prompt/generation lengths).
+	ServeRequest = serve.Request
+	// ServeTenantLoad is one tenant's contribution to a generated
+	// multi-tenant workload mix (ServeSpec.Mix).
+	ServeTenantLoad = serve.TenantLoad
+	// ServeTraceEvent is one replayed request of a ServeSpec.Trace.
+	ServeTraceEvent = serve.TraceEvent
+	// ServeTenantMetrics is one tenant's SLO summary
+	// (ServeResult.PerTenant).
+	ServeTenantMetrics = serve.TenantMetrics
 	// MemoryBreakdown is a per-device training footprint.
 	MemoryBreakdown = memfoot.Breakdown
 	// MemorySpec describes a training-footprint query.
@@ -183,6 +213,9 @@ type (
 	SweepEngine = sweep.Engine
 	// SweepWorkload selects the predictor a sweep exercises.
 	SweepWorkload = sweep.Workload
+	// SweepTenantSLO is one tenant's SLO summary within a serving sweep
+	// candidate (SweepSpec.Mixes / SweepSpec.Trace grids).
+	SweepTenantSLO = sweep.TenantSLO
 )
 
 // Sweep workloads.
@@ -306,6 +339,21 @@ func Serve(s ServeSpec) (ServeResult, error) { return serve.Run(s) }
 // ParseServePolicy resolves a CLI admission-policy token ("reserve",
 // "paged").
 func ParseServePolicy(s string) (ServePolicy, error) { return serve.ParsePolicy(s) }
+
+// DefaultServeTenant names the tenant of the degenerate single-tenant
+// workload the spec-wide ServeSpec.PromptTokens/GenTokens describe.
+const DefaultServeTenant = serve.DefaultTenant
+
+// ParseServeMix parses the CLI multi-tenant mix syntax: comma-separated
+// "tenant:share:prompt:gen" entries.
+func ParseServeMix(s string) ([]ServeTenantLoad, error) { return serve.ParseMix(s) }
+
+// FormatServeMix renders a mix back into the ParseServeMix syntax.
+func FormatServeMix(mix []ServeTenantLoad) string { return serve.FormatMix(mix) }
+
+// ParseServeTrace reads a serving trace in CSV form — one request per row
+// as "arrival,tenant,prompt,gen", optional header — and validates it.
+func ParseServeTrace(r io.Reader) ([]ServeTraceEvent, error) { return serve.ParseTrace(r) }
 
 // TrainingMemory returns the per-device training footprint (§5.1).
 func TrainingMemory(s MemorySpec) (MemoryBreakdown, error) { return memfoot.Train(s) }
