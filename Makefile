@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench sweep-bench serve-bench cover cover-race
+.PHONY: check vet build test race bench sweep-bench serve-bench cover cover-race fuzz-smoke build-386
 
 check: vet build cover-race
 
@@ -29,6 +29,28 @@ sweep-bench:
 # Serving-simulator throughput: simulated requests per wall-clock second.
 serve-bench:
 	$(GO) test -run xxx -bench 'BenchmarkServe' -benchmem .
+
+# 32-bit cross-build: pins the PR-3 page-count fix (maxTotalPages and the
+# PR-5 per-pool counters must fit 32-bit ints) so it cannot regress
+# unbuilt.
+build-386:
+	GOOS=linux GOARCH=386 $(GO) build ./...
+
+# Short smoke run of every checked-in fuzz harness. `go test` allows one
+# -fuzz target per invocation, so iterate; the harnesses double as
+# regression suites under plain `go test`, this actually fuzzes them.
+FUZZTIME ?= 10s
+FUZZ_PKGS := ./internal/serve ./internal/sweep ./cmd/optimus
+fuzz-smoke:
+	@set -e; \
+	for pkg in $(FUZZ_PKGS); do \
+		targets=$$($(GO) test -list 'Fuzz.*' $$pkg | grep '^Fuzz') || \
+			{ echo "fuzz-smoke: no fuzz targets found in $$pkg"; exit 1; }; \
+		for f in $$targets; do \
+			echo "fuzz-smoke: $$pkg $$f ($(FUZZTIME))"; \
+			$(GO) test -run '^$$' -fuzz "^$$f$$" -fuzztime $(FUZZTIME) $$pkg; \
+		done; \
+	done
 
 # Coverage floors shared by cover-race (the `make check` gate) and the
 # standalone cover target, so the two can never silently diverge.

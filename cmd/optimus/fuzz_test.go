@@ -17,22 +17,30 @@ import (
 // stay distinct field values. The f.Add corpus runs as a regression suite
 // under plain `go test`.
 func FuzzServingTokenCSV(f *testing.F) {
-	f.Add(2, int8(0), 0, 1.5, 8)
-	f.Add(2, int8(1), 16, 1.5, 8)
-	f.Add(8, int8(1), 400, 0.25, 0)
-	f.Add(1, int8(1), 1, 1e6, 1<<20)
-	f.Add(16, int8(0), 0, 0.0001, -3)
-	f.Fuzz(func(t *testing.T, tp int, pol int8, pageTokens int, rate float64, batchCap int) {
+	f.Add(2, int8(0), 0, 1.5, 8, 0, 0, 0.0)
+	f.Add(2, int8(1), 16, 1.5, 8, 0, 0, 0.0)
+	f.Add(8, int8(1), 400, 0.25, 0, 0, 0, 0.0)
+	f.Add(1, int8(1), 1, 1e6, 1<<20, 0, 0, 0.0)
+	f.Add(16, int8(0), 0, 0.0001, -3, 0, 0, 0.0)
+	f.Add(8, int8(2), 16, 2.0, 8, 2, 6, 50.0) // disagg split token
+	f.Add(2, int8(2), 16, 2.0, 8, 1, 1, math.Inf(1))
+	f.Fuzz(func(t *testing.T, tp int, pol int8, pageTokens int, rate float64, batchCap, prefill, decode int, transferGBps float64) {
 		if math.IsNaN(rate) || math.IsInf(rate, 0) {
 			rate = 1 // rejected by validation long before a writer runs
 		}
+		if math.IsNaN(transferGBps) || transferGBps < 0 {
+			transferGBps = 50 // rejected by validation too; +Inf is legal
+		}
 		p := optimus.SweepPoint{
-			Workload:   optimus.ServingSweep,
-			Map:        optimus.Mapping{DP: 1, TP: tp, PP: 1},
-			Rate:       rate,
-			BatchCap:   batchCap,
-			Policy:     optimus.ServePolicy(int(pol) % 2),
-			PageTokens: pageTokens,
+			Workload:       optimus.ServingSweep,
+			Map:            optimus.Mapping{DP: 1, TP: tp, PP: 1},
+			Rate:           rate,
+			BatchCap:       batchCap,
+			Policy:         optimus.ServePolicy(int(pol) % 3),
+			PageTokens:     pageTokens,
+			PrefillDevices: prefill,
+			DecodeDevices:  decode,
+			TransferGBps:   transferGBps,
 		}
 		token := servingMappingToken(p)
 		if token == "" || !strings.Contains(token, ",") {
@@ -61,11 +69,20 @@ func FuzzServingTokenCSV(f *testing.F) {
 
 		// A policy flip must be visible in the token — the CSV is the
 		// capacity study's artifact, and an ambiguous policy column would
-		// make reserve-vs-paged comparisons unreadable.
+		// make reserve-vs-paged-vs-disagg comparisons unreadable.
 		q := p
-		q.Policy = optimus.ServePolicy((int(pol) + 1) % 2)
+		q.Policy = optimus.ServePolicy((int(pol) + 1) % 3)
 		if servingMappingToken(q) == token {
 			t.Fatalf("policies %v and %v render the same token %q", p.Policy, q.Policy, token)
+		}
+		// So must a pool-split flip within the disaggregated policy.
+		if p.Policy == optimus.DisaggregatedPolicy {
+			r := p
+			r.PrefillDevices++
+			if servingMappingToken(r) == token {
+				t.Fatalf("pool splits %d and %d render the same token %q",
+					p.PrefillDevices, r.PrefillDevices, token)
+			}
 		}
 	})
 }

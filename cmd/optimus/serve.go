@@ -41,9 +41,12 @@ func cmdServe(args []string) error {
 	requests := fs.Int("requests", 256, "requests to simulate")
 	seed := fs.Int64("seed", 1, "arrival-process seed")
 	maxBatch := fs.Int("max-batch", 0, "iteration batch cap (0 = derive from KV budget)")
-	policy := fs.String("policy", "reserve", "KV admission policy (reserve = full-context reservation, paged = vLLM-style block allocation with LIFO preemption)")
-	pageTokens := fs.Int("page-tokens", 0, "paged policy block size in KV tokens (0 = default 16; paged only)")
+	policy := fs.String("policy", "reserve", "KV admission policy (reserve = full-context reservation, paged = vLLM-style block allocation with LIFO preemption, disagg = split prefill/decode pools with KV-transfer pricing)")
+	pageTokens := fs.Int("page-tokens", 0, "block size in KV tokens (0 = default 16; paged/disagg only)")
 	noPreempt := fs.Bool("no-preempt", false, "disable preemption: paged admission reserves full-context pages (paged only)")
+	prefillDevices := fs.Int("prefill-devices", 0, "devices backing the disagg prefill pool (0 = all; disagg only)")
+	decodeDevices := fs.Int("decode-devices", 0, "devices backing the disagg decode pool (0 = all; disagg only)")
+	transferGBps := fs.Float64("transfer-gbps", 0, "disagg KV-transfer interconnect bandwidth in GB/s (0 = default 50, Inf = free; disagg only)")
 	format := fs.String("format", "text", "output format (text|csv|json)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,12 +73,20 @@ func cmdServe(args []string) error {
 	if err != nil {
 		return err
 	}
+	// Resolve the default here so the simulation and every output format
+	// report the same bandwidth (the simulator would derive the identical
+	// value from zero; nonzero flags pass through untouched).
+	if pol == optimus.DisaggregatedPolicy && *transferGBps == 0 {
+		*transferGBps = optimus.DefaultServeTransferGBps
+	}
 	spec := optimus.ServeSpec{
 		Model: cfg, System: sys, TP: *gpus, Precision: p,
 		PromptTokens: *prompt, GenTokens: *gen,
 		Rate: *rate, Clients: *clients,
 		Requests: *requests, Seed: *seed, MaxBatch: *maxBatch,
 		Policy: pol, PageTokens: *pageTokens, NoPreempt: *noPreempt,
+		PrefillDevices: *prefillDevices, DecodeDevices: *decodeDevices,
+		TransferGBps: *transferGBps,
 	}
 	// Reject flags the chosen workload or arrival process would silently
 	// ignore — a user who sets them believes they shaped the simulated
@@ -183,10 +194,17 @@ func writeServe(w io.Writer, spec optimus.ServeSpec, res optimus.ServeResult, fo
 		fmt.Fprintf(w, "  kv-cache           peak %s of %s budget (mean util %.0f%%)\n",
 			units.FormatBytes(res.PeakKVBytes), units.FormatBytes(res.KVCapacity),
 			100*res.MeanKVUtil)
-		if res.Policy == optimus.PagedPolicy {
+		if res.Policy == optimus.PagedPolicy || res.Policy == optimus.DisaggregatedPolicy {
 			fmt.Fprintf(w, "  paging             %d-token pages, peak %d of %d, %d preemptions (%d tokens recomputed)\n",
 				res.PageTokens, res.PeakKVPages, res.KVPagesTotal,
 				res.Preemptions, res.RecomputedTokens)
+		}
+		if res.Policy == optimus.DisaggregatedPolicy {
+			fmt.Fprintf(w, "  pools              prefill %d dev (peak %d of %d pages), decode %d dev (peak %d of %d pages)\n",
+				res.PrefillDevices, res.PeakPrefillPages, res.PrefillPagesTotal,
+				res.DecodeDevices, res.PeakDecodePages, res.DecodePagesTotal)
+			fmt.Fprintf(w, "  kv-transfer        %d migrations, %s total over %g GB/s\n",
+				res.KVTransfers, units.FormatSeconds(res.TransferTimeTotal), spec.TransferGBps)
 		}
 		fmt.Fprintf(w, "  %-8s %10s %10s %10s %10s %10s\n", "SLO", "p50", "p95", "p99", "mean", "max")
 		for _, row := range []struct {
@@ -217,7 +235,8 @@ func writeServe(w io.Writer, spec optimus.ServeSpec, res optimus.ServeResult, fo
 		cw := csv.NewWriter(w)
 		if err := cw.Write([]string{"id", "tenant", "prompt", "gen",
 			"arrival_s", "admitted_s", "first_token_s",
-			"done_s", "queue_s", "ttft_s", "tpot_s", "e2e_s", "preemptions"}); err != nil {
+			"done_s", "queue_s", "ttft_s", "tpot_s", "e2e_s", "preemptions",
+			"kv_transfers", "kv_transfer_s"}); err != nil {
 			return err
 		}
 		g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -228,6 +247,7 @@ func writeServe(w io.Writer, spec optimus.ServeSpec, res optimus.ServeResult, fo
 				g(m.Arrival), g(m.Admitted), g(m.FirstToken),
 				g(m.Done), g(m.Queue), g(m.TTFT), g(m.TPOT), g(m.E2E),
 				strconv.Itoa(m.Preemptions),
+				strconv.Itoa(m.KVTransfers), g(m.KVTransferTime),
 			}); err != nil {
 				return err
 			}

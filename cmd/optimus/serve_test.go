@@ -27,6 +27,14 @@ func TestCmdServe(t *testing.T) {
 	if err := cmdServe([]string{"-policy", "paged", "-no-preempt", "-rate", "1", "-requests", "16"}); err != nil {
 		t.Fatal(err)
 	}
+	if err := cmdServe([]string{"-model", "llama2-13b", "-gpus", "2", "-policy", "disagg",
+		"-prefill-devices", "1", "-decode-devices", "1", "-transfer-gbps", "25",
+		"-rate", "2", "-requests", "16"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdServe([]string{"-policy", "disagg", "-requests", "16", "-rate", "1"}); err != nil {
+		t.Fatal(err) // defaults: co-located split, default bandwidth
+	}
 	if err := cmdServe([]string{"-mix", "chat:0.7:200:200,batch:0.3:800:100", "-rate", "2", "-requests", "32"}); err != nil {
 		t.Fatal(err)
 	}
@@ -35,9 +43,14 @@ func TestCmdServe(t *testing.T) {
 	}
 	for _, bad := range [][]string{
 		{"-policy", "lru"},
-		{"-page-tokens", "16"},                     // paged-only knob under reserve
+		{"-page-tokens", "16"},                     // paging knob under reserve
 		{"-no-preempt"},                            // paged-only knob under reserve
 		{"-policy", "paged", "-page-tokens", "-8"}, // negative block size
+		{"-prefill-devices", "1"},                  // disagg-only knob under reserve
+		{"-policy", "paged", "-transfer-gbps", "50"},
+		{"-policy", "disagg", "-no-preempt"},
+		{"-policy", "disagg", "-prefill-devices", "2"}, // pool beyond the 1-GPU TP
+		{"-policy", "disagg", "-transfer-gbps", "-1"},
 		{"-model", "no-such-model"},
 		{"-device", "warp-core"},
 		{"-precision", "fp128"},
@@ -132,11 +145,12 @@ func serveResult(t *testing.T) (optimus.ServeSpec, optimus.ServeResult) {
 	return spec, res
 }
 
-// serveCSVHeader is the golden per-request CSV schema, per-tenant shape
-// columns included.
+// serveCSVHeader is the golden per-request CSV schema: per-tenant shape
+// columns and the disaggregated KV-transfer columns included.
 var serveCSVHeader = []string{"id", "tenant", "prompt", "gen",
 	"arrival_s", "admitted_s", "first_token_s", "done_s",
-	"queue_s", "ttft_s", "tpot_s", "e2e_s", "preemptions"}
+	"queue_s", "ttft_s", "tpot_s", "e2e_s", "preemptions",
+	"kv_transfers", "kv_transfer_s"}
 
 func TestWriteServeCSV(t *testing.T) {
 	spec, res := serveResult(t)
@@ -216,6 +230,7 @@ func TestWriteServeCSVGoldenPerTenant(t *testing.T) {
 			g(m.Arrival), g(m.Admitted), g(m.FirstToken), g(m.Done),
 			g(m.Queue), g(m.TTFT), g(m.TPOT), g(m.E2E),
 			strconv.Itoa(m.Preemptions),
+			strconv.Itoa(m.KVTransfers), g(m.KVTransferTime),
 		}
 		if !slices.Equal(rec, want) {
 			t.Fatalf("row %d = %v, want %v", i, rec, want)
@@ -250,6 +265,107 @@ func TestWriteServeJSONGoldenPerTenant(t *testing.T) {
 	for i, tm := range doc.PerTenant {
 		if tm != res.PerTenant[i] {
 			t.Errorf("tenant %d did not round-trip: %+v vs %+v", i, tm, res.PerTenant[i])
+		}
+	}
+}
+
+// disaggServeResult runs a split-pool simulation over a finite link for
+// the disagg encoder goldens.
+func disaggServeResult(t *testing.T) (optimus.ServeSpec, optimus.ServeResult) {
+	t.Helper()
+	sys, err := optimus.NewSystem("h100", 2, "nvlink4", "ndr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := optimus.ModelByName("llama2-13b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := optimus.ServeSpec{
+		Model: cfg, System: sys, TP: 2, Precision: optimus.FP16,
+		PromptTokens: 200, GenTokens: 200,
+		Arrival: optimus.PoissonArrivals, Rate: 2, Requests: 24, Seed: 1,
+		Policy:         optimus.DisaggregatedPolicy,
+		PrefillDevices: 1, DecodeDevices: 1, TransferGBps: 25,
+	}
+	res, err := optimus.Serve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec, res
+}
+
+// TestWriteServeCSVGoldenDisagg pins the disaggregated per-request CSV
+// columns: every rendered kv_transfers / kv_transfer_s field parses back
+// to the in-memory value, migrations are visible, and the column totals
+// reconcile with the result's transfer counters.
+func TestWriteServeCSVGoldenDisagg(t *testing.T) {
+	spec, res := disaggServeResult(t)
+	var b strings.Builder
+	if err := writeServe(&b, spec, res, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(b.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(recs[0], serveCSVHeader) {
+		t.Fatalf("header = %v, want %v", recs[0], serveCSVHeader)
+	}
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	transfers := 0
+	for i, m := range res.PerRequest {
+		rec := recs[i+1]
+		if rec[13] != strconv.Itoa(m.KVTransfers) || rec[14] != g(m.KVTransferTime) {
+			t.Fatalf("row %d transfer columns = %v/%v, want %d/%g", i, rec[13], rec[14], m.KVTransfers, m.KVTransferTime)
+		}
+		n, err := strconv.Atoi(rec[13])
+		if err != nil {
+			t.Fatal(err)
+		}
+		transfers += n
+	}
+	if transfers == 0 || transfers != res.KVTransfers {
+		t.Errorf("CSV transfers sum to %d, result says %d", transfers, res.KVTransfers)
+	}
+	if res.TransferTimeTotal <= 0 {
+		t.Error("finite link should have charged transfer time")
+	}
+}
+
+// TestWriteServeJSONGoldenDisagg: the JSON document must carry the
+// per-pool geometry and transfer totals and round-trip them losslessly.
+func TestWriteServeJSONGoldenDisagg(t *testing.T) {
+	spec, res := disaggServeResult(t)
+	var b strings.Builder
+	if err := writeServe(&b, spec, res, "json"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"Policy": "disagg"`, `"PrefillDevices": 1`, `"DecodeDevices": 1`,
+		`"PrefillPagesTotal"`, `"DecodePagesTotal"`, `"PeakPrefillPages"`, `"PeakDecodePages"`,
+		`"KVTransfers"`, `"TransferTimeTotal"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON output missing %s", want)
+		}
+	}
+	var doc optimus.ServeResult
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.KVTransfers != res.KVTransfers || doc.TransferTimeTotal != res.TransferTimeTotal ||
+		doc.PeakPrefillPages != res.PeakPrefillPages || doc.PeakDecodePages != res.PeakDecodePages ||
+		doc.PrefillPagesTotal != res.PrefillPagesTotal || doc.DecodePagesTotal != res.DecodePagesTotal {
+		t.Errorf("disagg fields did not round-trip: %+v vs %+v", doc, res)
+	}
+	// The text renderer's pool summary must name both pools.
+	var txt strings.Builder
+	if err := writeServe(&txt, spec, res, "text"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pools", "kv-transfer", "paging"} {
+		if !strings.Contains(txt.String(), want) {
+			t.Errorf("text output missing the %q line:\n%s", want, txt.String())
 		}
 	}
 }

@@ -36,8 +36,11 @@ func cmdSweep(args []string) error {
 	trace := fs.String("trace", "", "CSV trace file to replay per candidate (serve only; replaces -rates/-seqs/-gen)")
 	serveReqs := fs.Int("serve-requests", 0, "simulated requests per serving candidate (serve only, default 128)")
 	serveSeed := fs.Int64("serve-seed", 0, "arrival seed per serving candidate (serve only, default 1)")
-	policies := fs.String("policies", "", "comma-separated KV admission policies to compare (reserve|paged; serve only, default reserve)")
-	pageTokens := fs.Int("page-tokens", 0, "paged-policy KV block size in tokens (serve only, default 16)")
+	policies := fs.String("policies", "", "comma-separated KV admission policies to compare (reserve|paged|disagg; serve only, default reserve)")
+	pageTokens := fs.Int("page-tokens", 0, "paged/disagg KV block size in tokens (serve only, default 16)")
+	prefillDevices := fs.String("prefill-devices", "", "comma-separated disagg prefill-pool device counts, zipped with -decode-devices into pool-split axis values (serve -policies disagg only)")
+	decodeDevices := fs.String("decode-devices", "", "comma-separated disagg decode-pool device counts, zipped with -prefill-devices (serve -policies disagg only)")
+	transferGBps := fs.Float64("transfer-gbps", 0, "disagg KV-transfer interconnect bandwidth in GB/s (serve only, 0 = default 50, Inf = free)")
 	precs := fs.String("precisions", "", "comma-separated GEMM precisions (default bf16; infer fp16)")
 	micros := fs.String("microbatches", "", "comma-separated microbatch sizes (train only, default 1,2,4)")
 	recs := fs.String("recomputes", "", "comma-separated recompute regimes (train only, default none,selective,full)")
@@ -90,6 +93,9 @@ func cmdSweep(args []string) error {
 		if *policies != "" || *pageTokens != 0 {
 			return fmt.Errorf("-policies and -page-tokens apply to serving sweeps only")
 		}
+		if *prefillDevices != "" || *decodeDevices != "" || *transferGBps != 0 {
+			return fmt.Errorf("-prefill-devices, -decode-devices and -transfer-gbps apply to serving sweeps only")
+		}
 		if *mixes != "" || *trace != "" {
 			return fmt.Errorf("-mix and -trace apply to serving sweeps only")
 		}
@@ -121,6 +127,24 @@ func cmdSweep(args []string) error {
 		spec.Policies = append(spec.Policies, pol)
 	}
 	spec.ServePageTokens = *pageTokens
+	// The pool-split axis zips -prefill-devices with -decode-devices:
+	// entry i of each list forms one split, so "2,4" + "6,4" compares a
+	// 2+6 split against a 4+4 one.
+	prefills, err := splitInts(*prefillDevices)
+	if err != nil {
+		return fmt.Errorf("-prefill-devices: %w", err)
+	}
+	decodes, err := splitInts(*decodeDevices)
+	if err != nil {
+		return fmt.Errorf("-decode-devices: %w", err)
+	}
+	if len(prefills) != len(decodes) {
+		return fmt.Errorf("-prefill-devices and -decode-devices must zip: got %d vs %d entries", len(prefills), len(decodes))
+	}
+	for i := range prefills {
+		spec.PoolSplits = append(spec.PoolSplits, optimus.SweepPoolSplit{Prefill: prefills[i], Decode: decodes[i]})
+	}
+	spec.TransferGBps = *transferGBps
 
 	for _, name := range splitList(*models) {
 		cfg, err := optimus.ModelByName(name)
@@ -264,6 +288,13 @@ type sweepRecord struct {
 	Preemptions      int     `json:"preemptions,omitempty"`
 	RecomputedTokens int     `json:"recomputed_tokens,omitempty"`
 	KVUtil           float64 `json:"kv_util,omitempty"`
+	// Serving-only disaggregated-pool columns (zero elsewhere): the pool
+	// split and the KV migrations it cost. The transfer bandwidth itself
+	// rides in the policy token (it may be +Inf, which JSON cannot carry).
+	PrefillDevices int     `json:"prefill_devices,omitempty"`
+	DecodeDevices  int     `json:"decode_devices,omitempty"`
+	KVTransfers    int     `json:"kv_transfers,omitempty"`
+	TransferTime   float64 `json:"transfer_time_s,omitempty"`
 	// Serving-only workload-shape columns: the candidate's mix (or trace
 	// label) and its per-tenant SLO breakdown.
 	Mix       string                   `json:"mix,omitempty"`
@@ -304,6 +335,10 @@ func sweepRecords(res optimus.SweepResult) []sweepRecord {
 			rec.Preemptions = row.Metrics.Preemptions
 			rec.RecomputedTokens = row.Metrics.RecomputedTokens
 			rec.KVUtil = row.Metrics.KVUtil
+			rec.PrefillDevices = row.Point.PrefillDevices
+			rec.DecodeDevices = row.Point.DecodeDevices
+			rec.KVTransfers = row.Metrics.KVTransfers
+			rec.TransferTime = row.Metrics.TransferTime
 			rec.Mix = servingWorkloadLabel(row.Point)
 			rec.PerTenant = row.Metrics.PerTenant
 		}
@@ -313,16 +348,21 @@ func sweepRecords(res optimus.SweepResult) []sweepRecord {
 }
 
 // servingMappingToken renders a serving candidate's policy — TP degree,
-// admission policy (with the paged block size), arrival rate and batch
-// cap — as one comma-separated token.
+// admission policy (with the paged block size, and the pool split and
+// transfer bandwidth for disaggregated candidates), arrival rate and
+// batch cap — as one comma-separated token.
 func servingMappingToken(p optimus.SweepPoint) string {
 	cap := "auto"
 	if p.BatchCap > 0 {
 		cap = strconv.Itoa(p.BatchCap)
 	}
 	pol := p.Policy.String()
-	if p.Policy == optimus.PagedPolicy {
+	switch p.Policy {
+	case optimus.PagedPolicy:
 		pol = fmt.Sprintf("paged/%d", p.PageTokens)
+	case optimus.DisaggregatedPolicy:
+		pol = fmt.Sprintf("disagg/%d,split=%d+%d,xfer=%gGB/s",
+			p.PageTokens, p.PrefillDevices, p.DecodeDevices, p.TransferGBps)
 	}
 	return fmt.Sprintf("tp=%d,%s,rate=%g/s,cap=%s", p.Map.TP, pol, p.Rate, cap)
 }
@@ -435,7 +475,9 @@ func writeSweep(w io.Writer, res optimus.SweepResult, workload optimus.SweepWork
 		if err := cw.Write([]string{"rank", "model", "system", "mapping", "microbatch",
 			"recompute", "precision", "batch", "seq", "gen", "seconds", "mfu", "memory_gb", "fits",
 			"rate_per_sec", "ttft_p95_s", "tpot_p95_s", "tokens_per_sec",
-			"preemptions", "recomputed_tokens", "kv_util", "mix", "tenant_slos"}); err != nil {
+			"preemptions", "recomputed_tokens", "kv_util",
+			"prefill_devices", "decode_devices", "kv_transfers", "transfer_s",
+			"mix", "tenant_slos"}); err != nil {
 			return err
 		}
 		g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -447,6 +489,8 @@ func writeSweep(w io.Writer, res optimus.SweepResult, workload optimus.SweepWork
 				strconv.FormatBool(r.Fits),
 				g(r.Rate), g(r.TTFTP95), g(r.TPOTP95), g(r.TokensPerSec),
 				strconv.Itoa(r.Preemptions), strconv.Itoa(r.RecomputedTokens), g(r.KVUtil),
+				strconv.Itoa(r.PrefillDevices), strconv.Itoa(r.DecodeDevices),
+				strconv.Itoa(r.KVTransfers), g(r.TransferTime),
 				r.Mix, tenantSLOToken(r.PerTenant),
 			}); err != nil {
 				return err

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -251,6 +252,109 @@ func TestWriteSweepCSVPagedColumns(t *testing.T) {
 	}
 	if v := recs[1][col("kv_util")]; v == "0" || v == "" {
 		t.Errorf("paged row should report nonzero KV utilization, got %q", v)
+	}
+}
+
+// TestWriteSweepCSVDisaggColumns pins the disaggregated sweep columns:
+// the mapping token carries the policy, split and transfer bandwidth; the
+// prefill_devices / decode_devices / kv_transfers / transfer_s columns
+// parse back to the candidate's values; and the JSON document mirrors
+// them.
+func TestWriteSweepCSVDisaggColumns(t *testing.T) {
+	cfg, err := optimus.ModelByName("llama2-13b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := optimus.NewSystem("h100", 2, "nvlink4", "ndr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := optimus.Sweep(context.Background(), optimus.SweepSpec{
+		Workload: optimus.ServingSweep,
+		Models:   []optimus.Model{cfg}, Systems: []*optimus.System{sys},
+		Rates: []float64{2}, BatchCaps: []int{8}, ServeRequests: 24,
+		Policies:     []optimus.ServePolicy{optimus.DisaggregatedPolicy},
+		PoolSplits:   []optimus.SweepPoolSplit{{Prefill: 1, Decode: 1}},
+		TransferGBps: 25,
+		Constraints:  optimus.PlanConstraints{TopK: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 {
+		t.Fatalf("expected one disagg row, got %d", len(res.Rows))
+	}
+	var b strings.Builder
+	if err := writeSweep(&b, res, optimus.ServingSweep, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"tp=2,disagg/16,split=1+1,xfer=25GB/s,rate=2/s,cap=8"`) {
+		t.Errorf("disagg mapping token must carry the split and bandwidth, quoted:\n%s", out)
+	}
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := recs[0]
+	col := func(name string) int {
+		for i, h := range header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("column %q missing from header %v", name, header)
+		return -1
+	}
+	row := recs[1]
+	if row[col("prefill_devices")] != "1" || row[col("decode_devices")] != "1" {
+		t.Errorf("pool-split columns wrong: %v", row)
+	}
+	m := res.Rows[0].Metrics
+	if row[col("kv_transfers")] != strconv.Itoa(m.KVTransfers) || m.KVTransfers == 0 {
+		t.Errorf("kv_transfers column = %q, want %d", row[col("kv_transfers")], m.KVTransfers)
+	}
+	wantTransfer := strconv.FormatFloat(m.TransferTime, 'g', -1, 64)
+	if row[col("transfer_s")] != wantTransfer || m.TransferTime <= 0 {
+		t.Errorf("transfer_s column = %q, want %s", row[col("transfer_s")], wantTransfer)
+	}
+
+	var j strings.Builder
+	if err := writeSweep(&j, res, optimus.ServingSweep, "json"); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"prefill_devices": 1`, `"decode_devices": 1`, `"kv_transfers"`, `"transfer_time_s"`} {
+		if !strings.Contains(j.String(), want) {
+			t.Errorf("JSON output missing %s:\n%s", want, j.String())
+		}
+	}
+}
+
+// TestCmdSweepDisaggFlags drives the pool-split axis end to end through
+// the CLI: zipped -prefill-devices/-decode-devices, and rejection of the
+// flags when they cannot apply.
+func TestCmdSweepDisaggFlags(t *testing.T) {
+	if err := cmdSweep([]string{"-workload", "serve", "-models", "llama2-13b", "-devices", "h100",
+		"-intra", "nvlink4", "-gpus", "2", "-rates", "2", "-batch-caps", "8", "-serve-requests", "16",
+		"-policies", "reserve,disagg", "-prefill-devices", "1,2", "-decode-devices", "1,2",
+		"-transfer-gbps", "25", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]string{
+		{"-workload", "serve", "-models", "llama2-13b", "-gpus", "2",
+			"-policies", "disagg", "-prefill-devices", "1,2", "-decode-devices", "1"}, // unzippable
+		{"-workload", "serve", "-models", "llama2-13b", "-gpus", "2",
+			"-policies", "reserve", "-prefill-devices", "1", "-decode-devices", "1"}, // no disagg entry
+		{"-workload", "serve", "-models", "llama2-13b", "-gpus", "2",
+			"-policies", "reserve", "-transfer-gbps", "25"}, // no disagg entry
+		{"-workload", "train", "-models", "gpt-22b", "-gpus", "8", "-transfer-gbps", "25"},
+		{"-workload", "infer", "-models", "llama2-13b", "-gpus", "2", "-prefill-devices", "1"},
+		{"-workload", "serve", "-models", "llama2-13b", "-gpus", "2",
+			"-policies", "disagg", "-prefill-devices", "x", "-decode-devices", "1"},
+	} {
+		if err := cmdSweep(bad); err == nil {
+			t.Errorf("args %v should fail", bad)
+		}
 	}
 }
 

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"optimus/internal/arch"
@@ -35,25 +36,33 @@ func FuzzSpecValidate(f *testing.F) {
 	base := fuzzBase(f)
 
 	// policy, pageTokens, noPreempt, rate, clients, requests, maxBatch,
-	// kvCapacity, prompt, gen, tp, arrival
-	f.Add(int8(0), 0, false, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0))     // baseline reserve
-	f.Add(int8(1), 0, false, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0))     // baseline paged
-	f.Add(int8(1), 16, true, 2.0, 0, 16, 4, 0.0, 200, 200, 1, int8(0))     // paged no-preempt
-	f.Add(int8(1), -3, false, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0))    // negative page size
-	f.Add(int8(1), 1<<30, false, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0)) // page beyond context
-	f.Add(int8(0), 16, false, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0))    // page size under reserve
-	f.Add(int8(0), 0, true, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0))      // no-preempt under reserve
-	f.Add(int8(2), 0, false, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0))     // unknown policy
-	f.Add(int8(1), 8, false, 1.0, 0, 16, 0, 1e6, 200, 200, 1, int8(0))     // budget below one request
-	f.Add(int8(1), 8, false, math.NaN(), 0, 16, 0, 0.0, 200, 200, 1, int8(0))
-	f.Add(int8(0), 0, false, 1.0, 0, 2, 0, 1e30, 200, 200, 1, int8(0)) // huge finite budget
-	f.Add(int8(0), 0, false, 1.0, 0, 2, 0, math.Inf(1), 200, 200, 1, int8(0))
-	f.Add(int8(1), 8, false, 0.0, 4, 16, 0, 0.0, 200, 200, 1, int8(1)) // closed loop
-	f.Add(int8(1), 8, false, 1.0, 0, -1, -1, -1.0, 0, 0, 4, int8(7))   // garbage everything
+	// kvCapacity, prompt, gen, tp, arrival, prefillDevs, decodeDevs,
+	// transferGBps
+	f.Add(int8(0), 0, false, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0), 0, 0, 0.0)     // baseline reserve
+	f.Add(int8(1), 0, false, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0), 0, 0, 0.0)     // baseline paged
+	f.Add(int8(1), 16, true, 2.0, 0, 16, 4, 0.0, 200, 200, 1, int8(0), 0, 0, 0.0)     // paged no-preempt
+	f.Add(int8(1), -3, false, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0), 0, 0, 0.0)    // negative page size
+	f.Add(int8(1), 1<<30, false, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0), 0, 0, 0.0) // page beyond context
+	f.Add(int8(0), 16, false, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0), 0, 0, 0.0)    // page size under reserve
+	f.Add(int8(0), 0, true, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0), 0, 0, 0.0)      // no-preempt under reserve
+	f.Add(int8(3), 0, false, 1.0, 0, 16, 0, 0.0, 200, 200, 1, int8(0), 0, 0, 0.0)     // unknown policy
+	f.Add(int8(1), 8, false, 1.0, 0, 16, 0, 1e6, 200, 200, 1, int8(0), 0, 0, 0.0)     // budget below one request
+	f.Add(int8(1), 8, false, math.NaN(), 0, 16, 0, 0.0, 200, 200, 1, int8(0), 0, 0, 0.0)
+	f.Add(int8(0), 0, false, 1.0, 0, 2, 0, 1e30, 200, 200, 1, int8(0), 0, 0, 0.0) // huge finite budget
+	f.Add(int8(0), 0, false, 1.0, 0, 2, 0, math.Inf(1), 200, 200, 1, int8(0), 0, 0, 0.0)
+	f.Add(int8(1), 8, false, 0.0, 4, 16, 0, 0.0, 200, 200, 1, int8(1), 0, 0, 0.0) // closed loop
+	f.Add(int8(1), 8, false, 1.0, 0, -1, -1, -1.0, 0, 0, 4, int8(7), 0, 0, 0.0)   // garbage everything
+	f.Add(int8(2), 0, false, 1.0, 0, 8, 0, 0.0, 200, 200, 1, int8(0), 0, 0, 0.0)  // disagg defaults
+	f.Add(int8(2), 16, false, 1.0, 0, 8, 0, 0.0, 200, 200, 1, int8(0), 1, 1, math.Inf(1))
+	f.Add(int8(2), 0, false, 1.0, 0, 8, 0, 0.0, 200, 200, 1, int8(0), 3, 1, 50.0)  // pool beyond TP
+	f.Add(int8(2), 0, false, 1.0, 0, 8, 0, 0.0, 200, 200, 1, int8(0), 0, 0, -5.0)  // negative bandwidth
+	f.Add(int8(0), 0, false, 1.0, 0, 8, 0, 0.0, 200, 200, 1, int8(0), 1, 1, 50.0)  // pools under reserve
+	f.Add(int8(1), 0, false, 1.0, 0, 8, 0, 0.0, 200, 200, 1, int8(0), 0, 0, 50.0)  // bandwidth under paged
+	f.Add(int8(2), 0, false, 1.0, 0, 8, 0, 2.2e9, 200, 200, 1, int8(0), 1, 1, 1.0) // tight split pools
 
 	f.Fuzz(func(t *testing.T, policy int8, pageTokens int, noPreempt bool,
 		rate float64, clients, requests, maxBatch int, kvCapacity float64,
-		prompt, gen, tp int, arrival int8) {
+		prompt, gen, tp int, arrival int8, prefillDevs, decodeDevs int, transferGBps float64) {
 		s := base
 		s.Policy = Policy(policy)
 		s.PageTokens = pageTokens
@@ -67,6 +76,9 @@ func FuzzSpecValidate(f *testing.F) {
 		s.GenTokens = gen
 		s.TP = tp
 		s.Arrival = Arrival(arrival)
+		s.PrefillDevices = prefillDevs
+		s.DecodeDevices = decodeDevs
+		s.TransferGBps = transferGBps
 
 		err := s.Validate() // must not panic, whatever the fields
 		if err != nil {
@@ -86,6 +98,40 @@ func FuzzSpecValidate(f *testing.F) {
 			if res.Requests != s.Requests {
 				t.Fatalf("run completed %d of %d requests (%+v)", res.Requests, s.Requests, s)
 			}
+		}
+	})
+}
+
+// FuzzMixRoundTrip is the satellite gate on tenant-name hygiene: any mix
+// ValidateMix accepts must survive FormatMix → ParseMix unchanged. The
+// rendering is the sweep CSV's workload column and the CLI's axis syntax,
+// so an ambiguous rendering silently aliases two distinct workloads. The
+// corpus seeds the pre-fix collision — tenant "a:1:2:3,b" validated, yet
+// its one-tenant mix rendered identically to a two-tenant one, so this
+// harness failed until ValidateMix learned to reject separator-bearing
+// (and whitespace-padded) names.
+func FuzzMixRoundTrip(f *testing.F) {
+	f.Add("chat", 0.7, 200, 200, "batch", 0.3, 900, 80)
+	f.Add("a:1:2:3,b", 1.0, 2, 3, "c", 1.0, 100, 10) // the old FormatMix collision
+	f.Add("a,b", 1.0, 100, 10, "c", 1.0, 100, 10)    // comma alone shears the join
+	f.Add(" padded", 1.0, 100, 10, "x", 1.0, 100, 10)
+	f.Add("padded ", 1.0, 100, 10, "x", 1.0, 100, 10)
+	f.Add("dup", 1.0, 100, 10, "dup", 2.0, 50, 5)
+	f.Fuzz(func(t *testing.T, n1 string, s1 float64, p1, g1 int, n2 string, s2 float64, p2, g2 int) {
+		mix := []TenantLoad{
+			{Tenant: n1, Share: s1, PromptTokens: p1, GenTokens: g1},
+			{Tenant: n2, Share: s2, PromptTokens: p2, GenTokens: g2},
+		}
+		if ValidateMix(mix) != nil {
+			return
+		}
+		rendered := FormatMix(mix)
+		back, err := ParseMix(rendered)
+		if err != nil {
+			t.Fatalf("validated mix failed to round-trip %q: %v", rendered, err)
+		}
+		if !reflect.DeepEqual(back, mix) {
+			t.Fatalf("rendering %q is ambiguous: %+v parsed back as %+v", rendered, mix, back)
 		}
 	})
 }

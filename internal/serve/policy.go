@@ -3,6 +3,9 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+
+	"optimus/internal/arch"
+	"optimus/internal/comm"
 )
 
 // Policy selects the KV-cache admission policy of a serving simulation.
@@ -24,6 +27,18 @@ const (
 	// recovered as context by the recompute prefill, and the sequence
 	// resumes decoding from where it was evicted.
 	Paged
+	// Disaggregated splits the KV capacity into two page pools — prefill
+	// and decode — the DistServe-style deployment where the two phases run
+	// on separate device pools joined by a KV transfer. A request admits
+	// against the prefill pool on its prompt's pages alone; when its first
+	// token is emitted it migrates to the decode pool, paying a per-request
+	// KV-transfer cost of its prompt's KV bytes over the
+	// Spec.TransferGBps interconnect (internal/comm's point-to-point link
+	// model); decode growth and LIFO preemption then run against the
+	// decode pool only. Pool sizes follow Spec.PrefillDevices and
+	// Spec.DecodeDevices; block geometry is the paged policy's
+	// (Spec.PageTokens).
+	Disaggregated
 )
 
 // String names the policy with the token the CLI and sweep writers use.
@@ -33,6 +48,8 @@ func (p Policy) String() string {
 		return "reserve-full"
 	case Paged:
 		return "paged"
+	case Disaggregated:
+		return "disagg"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -65,8 +82,10 @@ func ParsePolicy(s string) (Policy, error) {
 		return ReserveFull, nil
 	case "paged", "page":
 		return Paged, nil
+	case "disagg", "disaggregated":
+		return Disaggregated, nil
 	default:
-		return 0, fmt.Errorf("serve: unknown admission policy %q (reserve|paged)", s)
+		return 0, fmt.Errorf("serve: unknown admission policy %q (reserve|paged|disagg)", s)
 	}
 }
 
@@ -76,13 +95,13 @@ const DefaultPageTokens = 16
 
 // CanonicalPageTokens resolves the effective paged block size for a
 // (policy, requested size, full context) triple: zero unless the policy
-// is Paged (or the context is empty), the default when unset, clamped to
-// the context. It is the single source of the rule — the simulator's
-// policy construction and the sweep's candidate enumeration both call it,
-// so memo keys canonicalize under exactly the block size the simulator
-// runs.
+// pages its KV (Paged or Disaggregated — or the context is empty), the
+// default when unset, clamped to the context. It is the single source of
+// the rule — the simulator's policy construction and the sweep's
+// candidate enumeration both call it, so memo keys canonicalize under
+// exactly the block size the simulator runs.
 func CanonicalPageTokens(pol Policy, pageTokens, context int) int {
-	if pol != Paged || context < 1 {
+	if (pol != Paged && pol != Disaggregated) || context < 1 {
 		return 0
 	}
 	if pageTokens <= 0 {
@@ -92,6 +111,44 @@ func CanonicalPageTokens(pol Policy, pageTokens, context int) int {
 		pageTokens = context
 	}
 	return pageTokens
+}
+
+// DefaultTransferGBps is the disaggregated policy's KV-transfer
+// interconnect bandwidth when Spec.TransferGBps is zero — a PCIe Gen5
+// x16-class link in GB/s.
+const DefaultTransferGBps = 50.0
+
+// CanonicalPoolSplit resolves the effective disaggregated pool split for
+// (policy, requested device counts, TP devices): zeros unless the policy
+// is Disaggregated; an unset (non-positive) count defaults to tp — each
+// pool then spans every device, the co-located split whose block
+// accounting coincides with Paged's. Shared by the simulator's policy
+// construction and the sweep's memo-key canonicalization.
+func CanonicalPoolSplit(pol Policy, prefill, decode, tp int) (int, int) {
+	if pol != Disaggregated || tp < 1 {
+		return 0, 0
+	}
+	if prefill <= 0 {
+		prefill = tp
+	}
+	if decode <= 0 {
+		decode = tp
+	}
+	return prefill, decode
+}
+
+// CanonicalTransferGBps resolves the effective KV-transfer bandwidth:
+// zero unless the policy is Disaggregated, the default when unset.
+// math.Inf(1) is a legal value — a free transfer, the degenerate
+// co-located interconnect.
+func CanonicalTransferGBps(pol Policy, gbps float64) float64 {
+	if pol != Disaggregated {
+		return 0
+	}
+	if gbps == 0 {
+		return DefaultTransferGBps
+	}
+	return gbps
 }
 
 // AdmissionPolicy manages the KV-cache budget of one simulation: it
@@ -137,8 +194,11 @@ type AdmissionPolicy interface {
 // simulator's hot path never recomputes the footprint model.
 func newPolicy(s Spec) AdmissionPolicy {
 	budget, perRequest := s.kvBudget()
-	if s.Policy == Paged {
+	switch s.Policy {
+	case Paged:
 		return newPagedPolicy(s, budget, perRequest)
+	case Disaggregated:
+		return newDisaggPolicy(s, budget, perRequest)
 	}
 	b := s.bounds()
 	return &reservePolicy{
@@ -235,6 +295,31 @@ func (p *reservePolicy) counters() (int, int) { return 0, 0 }
 // must fit a 32-bit int so the package keeps building on 32-bit targets.
 const maxTotalPages = 1<<31 - 1
 
+// pagedGeometry derives the block geometry shared by the paged and
+// disaggregated policies: the byte size of one page and the budget's page
+// count. When one page spans the full context the footprint's own bytes
+// are used verbatim (not a divide-and-remultiply round trip), keeping the
+// degenerate configurations bit-identical to ReserveFull accounting; the
+// page count is clamped to maxTotalPages so a huge budget cannot overflow
+// the float→int conversion on 32-bit targets. One implementation, two
+// callers — the PR-3 32-bit regression came from exactly this rule
+// drifting between copies.
+func pagedGeometry(pageTokens, context int, budget, perRequest float64) (pageBytes float64, budgetPages int) {
+	if pageTokens == context {
+		pageBytes = perRequest
+	} else {
+		pageBytes = perRequest * float64(pageTokens) / float64(context)
+	}
+	if budget > 0 && pageBytes > 0 {
+		if f := budget / pageBytes; f > maxTotalPages {
+			budgetPages = maxTotalPages
+		} else {
+			budgetPages = int(f)
+		}
+	}
+	return pageBytes, budgetPages
+}
+
 // pagedPolicy allocates KV in fixed-size token blocks. A request holds
 // ceil(kvTokens/pageTokens) pages for the tokens currently in its cache
 // and grows one page at a time as it decodes; admission only needs its own
@@ -280,21 +365,7 @@ func newPagedPolicy(s Spec, budget, perRequest float64) *pagedPolicy {
 	if pt == 0 {
 		return p // context-free garbage spec; totalPages stays 0 → infeasible
 	}
-	if pt == context {
-		// One page holds the largest full context. Using the footprint's
-		// own bytes (not perRequest/context*pt, which rounds) keeps the
-		// degenerate configuration bit-identical to ReserveFull accounting.
-		p.pageBytes = perRequest
-	} else {
-		p.pageBytes = perRequest * float64(pt) / float64(context)
-	}
-	if budget > 0 && p.pageBytes > 0 {
-		if f := budget / p.pageBytes; f > maxTotalPages {
-			p.totalPages = maxTotalPages
-		} else {
-			p.totalPages = int(f)
-		}
-	}
+	p.pageBytes, p.totalPages = pagedGeometry(pt, context, budget, perRequest)
 	p.admitPages = p.pagesFor(b.minPrompt + 1)
 	p.fullPages = p.pagesFor(context)
 	p.minFull = p.pagesFor(b.minContext)
@@ -417,3 +488,269 @@ func (p *pagedPolicy) budgetBytes() float64 { return p.budget }
 func (p *pagedPolicy) counters() (int, int) {
 	return p.preempts, p.recomputed
 }
+
+// disaggPolicy is paged block allocation split across two pools: prefill
+// admissions hold pages in the prefill pool, and a sequence's pages move
+// to the decode pool when its first token is emitted — the DistServe-style
+// hand-off, priced per request as a point-to-point transfer of its
+// prompt's KV bytes over the configured interconnect. Decode growth and
+// LIFO preemption run against the decode pool only; a preemption victim
+// loses its pages, re-queues, and on readmission rebuilds its cache in the
+// prefill pool (recompute prefill) before migrating — and paying the
+// transfer — again.
+//
+// Each pool owns PrefillDevices (resp. DecodeDevices) of the TP devices'
+// aggregate KV budget; pools may overlap, and the fully co-located split
+// (both counts = TP, every device serving both phases) makes every
+// per-pool constraint coincide with the shared-budget one — block
+// accounting is then exactly pagedPolicy's, which the
+// degenerate-equivalence suite pins byte for byte under an infinite
+// transfer bandwidth.
+type disaggPolicy struct {
+	budget     float64
+	pageBytes  float64
+	pageTokens int
+	// totalPages caps the two pools' combined commitment: the budget's
+	// pages when the pools overlap, their (smaller) sum when they do not.
+	totalPages   int
+	prefillTotal int
+	decodeTotal  int
+	admitPages   int // pages covering the smallest prompt+1 — the derived-cap unit
+	fullPages    int // pages covering the largest full context — the feasibility unit
+	userCap      int
+	// perToken is the linear per-token KV footprint the migration transfer
+	// is priced over; link is the interconnect joining the pools.
+	perToken float64
+	link     arch.Link
+
+	prefillUsed, decodeUsed int
+	peakPrefill, peakDecode int
+	pendingTransfer         float64
+	transferTotal           float64
+	transfers               int
+	preempts, recomputed    int
+}
+
+func newDisaggPolicy(s Spec, budget, perRequest float64) *disaggPolicy {
+	b := s.bounds()
+	context := b.maxContext
+	pt := CanonicalPageTokens(Disaggregated, s.PageTokens, context)
+	pp, dd := CanonicalPoolSplit(Disaggregated, s.PrefillDevices, s.DecodeDevices, s.TP)
+	p := &disaggPolicy{
+		budget:     budget,
+		pageTokens: pt,
+		userCap:    s.MaxBatch,
+		link:       arch.Link{BW: CanonicalTransferGBps(Disaggregated, s.TransferGBps) * 1e9, Util: 1},
+	}
+	if pt == 0 {
+		return p // context-free garbage spec; totalPages stays 0 → infeasible
+	}
+	var budgetPages int
+	p.pageBytes, budgetPages = pagedGeometry(pt, context, budget, perRequest)
+	p.perToken = perRequest / float64(context)
+	p.prefillTotal = poolPages(budgetPages, pp, s.TP)
+	p.decodeTotal = poolPages(budgetPages, dd, s.TP)
+	// int64 sum: both totals fit 32-bit ints but their sum need not.
+	if int64(p.prefillTotal)+int64(p.decodeTotal) < int64(budgetPages) {
+		p.totalPages = p.prefillTotal + p.decodeTotal
+	} else {
+		p.totalPages = budgetPages
+	}
+	p.admitPages = p.pagesFor(b.minPrompt + 1)
+	p.fullPages = p.pagesFor(context)
+	return p
+}
+
+// poolPages is one pool's share of the budget's pages: devs of the tp
+// devices' aggregate. 64-bit intermediate so the multiply cannot overflow
+// a 32-bit int.
+func poolPages(budgetPages, devs, tp int) int {
+	return int(int64(budgetPages) * int64(devs) / int64(tp))
+}
+
+// pagesFor returns the page count covering tokens KV entries.
+func (p *disaggPolicy) pagesFor(tokens int) int {
+	return (tokens + p.pageTokens - 1) / p.pageTokens
+}
+
+// used is the combined committed page count across both pools — what the
+// shared budget sees as unavailable.
+func (p *disaggPolicy) used() int { return p.prefillUsed + p.decodeUsed }
+
+func (p *disaggPolicy) BatchCap() int {
+	fit := 0
+	if p.admitPages > 0 {
+		fit = p.totalPages / p.admitPages
+	}
+	if p.userCap > 0 && p.userCap < fit {
+		return p.userCap
+	}
+	return fit
+}
+
+// Feasible requires the largest request's full context to fit each pool:
+// the decode pool must grow it to completion, and a preemption victim's
+// recompute readmission can need up to its full context in the prefill
+// pool — the progress guarantee that eviction can never wedge the queue.
+func (p *disaggPolicy) Feasible() bool {
+	return p.budget > 0 && p.fullPages > 0 &&
+		p.fullPages <= p.prefillTotal && p.fullPages <= p.decodeTotal
+}
+
+func (p *disaggPolicy) PageGeometry() (int, int) { return p.pageTokens, p.totalPages }
+
+// beginStep migrates every sequence whose first token was emitted last
+// iteration from the prefill pool to the decode pool — accruing its KV
+// transfer — then grows decode allocations one token ahead, exactly as
+// pagedPolicy does, with LIFO eviction when capacity runs dry. Victim
+// selection respects the pools' physical separation: when only the decode
+// pool binds, the youngest *decode resident* is evicted — preempting a
+// prefill-held sequence cannot free decode pages, it would only thrash
+// recomputes — while shared-budget pressure (co-located pools) evicts the
+// youngest sequence outright, the paged policy's rule, which is what
+// keeps the co-located split byte-identical to Paged.
+//
+// The running set always orders decode residents before prefill-held
+// sequences: the previous beginStep migrated every survivor, and
+// admission appends the prefill-held newcomers at the tail.
+func (p *disaggPolicy) beginStep(running []*request) (kept, victims []*request) {
+	kept = running
+	for i := 0; i < len(kept); i++ {
+		r := kept[i]
+		self := false
+		if !r.inDecode {
+			// The hand-off: the prefill pool's copy of r's cache moves to
+			// the decode pool before its first decode step. Migration never
+			// touches the shared total, so only the decode pool can bind —
+			// and while it does, a decode resident to evict always exists
+			// (decodeUsed > decodeTotal - r.pages >= 0 by feasibility).
+			for p.decodeUsed+r.pages > p.decodeTotal {
+				j := len(kept) - 1
+				for !kept[j].inDecode {
+					j--
+				}
+				v := kept[j]
+				kept = append(kept[:j], kept[j+1:]...)
+				p.evict(v)
+				victims = append(victims, v)
+				// v sat before the scan position (decode residents precede
+				// every prefill-held sequence); keep the cursor on r.
+				i--
+			}
+			p.prefillUsed -= r.pages
+			p.decodeUsed += r.pages
+			if p.decodeUsed > p.peakDecode {
+				p.peakDecode = p.decodeUsed
+			}
+			r.inDecode = true
+			t := p.transferTime(r.prompt)
+			p.pendingTransfer += t
+			p.transfers++
+			r.transfers++
+			r.transferTime += t
+		}
+		need := p.pagesFor(r.prompt + r.produced + 1)
+		extra := need - r.pages
+		if extra <= 0 {
+			continue
+		}
+		for p.decodeUsed+extra > p.decodeTotal || p.used()+extra > p.totalPages {
+			j := len(kept) - 1
+			if p.used()+extra <= p.totalPages {
+				// Only the decode pool binds: LIFO restricts to its own
+				// residents. Unreachable under co-location, where
+				// decodeUsed <= used and decodeTotal == totalPages.
+				for !kept[j].inDecode {
+					j--
+				}
+			}
+			v := kept[j]
+			kept = append(kept[:j], kept[j+1:]...)
+			p.evict(v)
+			victims = append(victims, v)
+			if v == r {
+				self = true
+				break
+			}
+		}
+		if self {
+			// r itself was the LIFO victim. Unlike pagedPolicy — where the
+			// victim scan pops strictly from the tail, so nothing remains
+			// past r — the decode-restricted scan can evict r while
+			// prefill-held sequences still sit behind it; they must keep
+			// scanning (and migrate) rather than decode this iteration from
+			// the wrong pool. Removal shifted them down one slot.
+			i--
+			continue
+		}
+		p.decodeUsed += extra
+		if p.decodeUsed > p.peakDecode {
+			p.peakDecode = p.decodeUsed
+		}
+		r.pages = need
+	}
+	return kept, victims
+}
+
+// transferTime prices one sequence's KV hand-off: its prompt's KV bytes
+// point-to-point over the pool interconnect. An infinite-bandwidth link
+// prices to exactly zero — the co-located degenerate case.
+func (p *disaggPolicy) transferTime(promptTokens int) float64 {
+	return comm.P2PTime(float64(promptTokens)*p.perToken, p.link)
+}
+
+// drainTransfer hands the event loop the KV-transfer time accrued by this
+// iteration's migrations, accumulating the total.
+func (p *disaggPolicy) drainTransfer() float64 {
+	t := p.pendingTransfer
+	p.pendingTransfer = 0
+	p.transferTotal += t
+	return t
+}
+
+// evict frees a victim's pages from whichever pool holds them and
+// accounts the generated tokens its readmission prefill must rebuild.
+func (p *disaggPolicy) evict(v *request) {
+	if v.inDecode {
+		p.decodeUsed -= v.pages
+	} else {
+		p.prefillUsed -= v.pages
+	}
+	v.pages = 0
+	v.inDecode = false
+	p.preempts++
+	p.recomputed += v.produced
+}
+
+// admit reserves the pages a request's next (pre)fill pass touches in the
+// prefill pool: its own prompt's for a fresh sequence, plus the
+// already-generated tokens' for a preemption victim resuming after its
+// recompute prefill.
+func (p *disaggPolicy) admit(r *request) bool {
+	need := p.pagesFor(r.prompt + r.produced + 1)
+	if p.prefillUsed+need > p.prefillTotal || p.used()+need > p.totalPages {
+		return false
+	}
+	r.pages = need
+	r.inDecode = false
+	p.prefillUsed += need
+	if p.prefillUsed > p.peakPrefill {
+		p.peakPrefill = p.prefillUsed
+	}
+	return true
+}
+
+func (p *disaggPolicy) release(r *request) {
+	if r.inDecode {
+		p.decodeUsed -= r.pages
+	} else {
+		p.prefillUsed -= r.pages
+	}
+	r.pages = 0
+	r.inDecode = false
+}
+
+func (p *disaggPolicy) usedPages() int       { return p.used() }
+func (p *disaggPolicy) usedBytes() float64   { return float64(p.used()) * p.pageBytes }
+func (p *disaggPolicy) budgetBytes() float64 { return p.budget }
+func (p *disaggPolicy) counters() (int, int) { return p.preempts, p.recomputed }

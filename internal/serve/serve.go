@@ -139,6 +139,21 @@ type Spec struct {
 	// fail. Paged only.
 	NoPreempt bool
 
+	// PrefillDevices and DecodeDevices size the disaggregated policy's two
+	// page pools: each pool owns its count of the TP devices' aggregate KV
+	// budget. Counts may overlap (a device serving both phases); zero
+	// defaults to TP — each pool spanning every device, the co-located
+	// split. Disaggregated only.
+	PrefillDevices int
+	DecodeDevices  int
+	// TransferGBps is the bandwidth of the interconnect joining the two
+	// pools, in GB/s: every sequence migrating from prefill to decode pays
+	// a point-to-point transfer of its prompt's KV bytes over it
+	// (internal/comm's link model, small-message derating included). Zero
+	// means DefaultTransferGBps; math.Inf(1) prices transfers at exactly
+	// zero — the co-located degenerate case. Disaggregated only.
+	TransferGBps float64
+
 	// probe, when set by package tests, observes every iteration's KV
 	// accounting (the instrumentation hook the conservation property
 	// tests assert through).
@@ -157,6 +172,17 @@ type probeState struct {
 	// full contexts they have not yet filled.
 	usedPages, totalPages, runningPages int
 	usedBytes, budget                   float64
+	// Disaggregated-policy pool accounting (zero elsewhere): committed
+	// pages and capacity per pool, plus the running set's held pages
+	// re-summed by the pool each sequence currently occupies.
+	prefillPages, prefillTotal              int
+	decodePages, decodeTotal                int
+	runningPrefillPages, runningDecodePages int
+	// decidersInPrefill counts carried-over sequences (everything but this
+	// iteration's admissions) still resident in the prefill pool — they are
+	// about to decode, so the count must be zero: beginStep migrates every
+	// survivor before its next token.
+	decidersInPrefill int
 }
 
 func (s Spec) withDefaults() Spec {
@@ -269,9 +295,17 @@ func (s Spec) validateShape() error {
 			if !(s.Rate > 0) || math.IsInf(s.Rate, 0) {
 				return fmt.Errorf("serve: Poisson arrivals need a positive finite rate, got %g", s.Rate)
 			}
+			// The CLI rejects -clients under Poisson; the library must be
+			// as strict rather than silently ignoring the field.
+			if s.Clients != 0 {
+				return fmt.Errorf("serve: Clients applies to closed-loop arrivals only — leave it zero with Poisson, got %d", s.Clients)
+			}
 		case ClosedLoop:
 			if s.Clients <= 0 {
 				return fmt.Errorf("serve: closed-loop arrivals need positive clients, got %d", s.Clients)
+			}
+			if s.Rate != 0 {
+				return fmt.Errorf("serve: Rate applies to Poisson arrivals only — leave it zero closed-loop, got %g", s.Rate)
 			}
 		default:
 			return fmt.Errorf("serve: unknown arrival process %v", s.Arrival)
@@ -287,12 +321,17 @@ func (s Spec) validateShape() error {
 		// comparison and an infinite one overflows the batch-cap math.
 		return fmt.Errorf("serve: KV capacity %g not finite and non-negative", s.KVCapacity)
 	}
+	// Reject knobs the chosen policy would silently ignore: a user who
+	// sets them believes they shaped the simulation.
+	if s.Policy != Disaggregated &&
+		(s.PrefillDevices != 0 || s.DecodeDevices != 0 || s.TransferGBps != 0) {
+		// NaN bandwidths land here too: NaN != 0.
+		return fmt.Errorf("serve: PrefillDevices/DecodeDevices/TransferGBps apply to the disaggregated policy only")
+	}
 	switch s.Policy {
 	case ReserveFull:
-		// Reject paged-only knobs rather than silently ignoring them: a
-		// user who sets them believes they shaped the simulation.
 		if s.PageTokens != 0 {
-			return fmt.Errorf("serve: PageTokens applies to the paged policy only")
+			return fmt.Errorf("serve: PageTokens applies to the paged and disaggregated policies only")
 		}
 		if s.NoPreempt {
 			return fmt.Errorf("serve: NoPreempt applies to the paged policy only")
@@ -300,6 +339,23 @@ func (s Spec) validateShape() error {
 	case Paged:
 		if s.PageTokens < 0 {
 			return fmt.Errorf("serve: negative page size %d tokens", s.PageTokens)
+		}
+	case Disaggregated:
+		if s.PageTokens < 0 {
+			return fmt.Errorf("serve: negative page size %d tokens", s.PageTokens)
+		}
+		if s.NoPreempt {
+			return fmt.Errorf("serve: NoPreempt applies to the paged policy only")
+		}
+		if s.PrefillDevices < 0 || s.PrefillDevices > s.TP {
+			return fmt.Errorf("serve: prefill pool of %d devices outside [1, TP=%d] (0 derives TP)", s.PrefillDevices, s.TP)
+		}
+		if s.DecodeDevices < 0 || s.DecodeDevices > s.TP {
+			return fmt.Errorf("serve: decode pool of %d devices outside [1, TP=%d] (0 derives TP)", s.DecodeDevices, s.TP)
+		}
+		if s.TransferGBps < 0 || math.IsNaN(s.TransferGBps) {
+			return fmt.Errorf("serve: KV-transfer bandwidth %g GB/s not non-negative (0 derives %g; +Inf is a free transfer)",
+				s.TransferGBps, DefaultTransferGBps)
 		}
 	default:
 		return fmt.Errorf("serve: unknown admission policy %v", s.Policy)
@@ -348,11 +404,16 @@ type RequestMetrics struct {
 	// E2E is the end-to-end latency (Done - Arrival).
 	E2E float64
 	// Preemptions counts how many times this request was evicted and
-	// re-queued (paged policy only). Admitted and FirstToken keep their
-	// first-occurrence timestamps across preemptions, so TTFT reflects
-	// when the stream first started; Done (and hence TPOT and E2E) absorb
-	// the recompute stalls.
+	// re-queued (paged and disaggregated policies). Admitted and
+	// FirstToken keep their first-occurrence timestamps across
+	// preemptions, so TTFT reflects when the stream first started; Done
+	// (and hence TPOT and E2E) absorb the recompute stalls.
 	Preemptions int
+	// KVTransfers counts this request's prefill→decode pool migrations
+	// (one per admission that reaches its first token) and KVTransferTime
+	// the interconnect seconds they cost. Disaggregated policy only.
+	KVTransfers    int
+	KVTransferTime float64
 }
 
 // Percentiles summarizes one latency distribution.
@@ -435,6 +496,18 @@ type Result struct {
 	Preemptions      int
 	RecomputedTokens int
 
+	// Disaggregated-policy fields (zero elsewhere): the resolved pool
+	// split, per-pool page capacities and high-water marks, and the KV
+	// migrations between them — count and total interconnect seconds.
+	PrefillDevices    int
+	DecodeDevices     int
+	PrefillPagesTotal int
+	DecodePagesTotal  int
+	PeakPrefillPages  int
+	PeakDecodePages   int
+	KVTransfers       int
+	TransferTimeTotal float64
+
 	// PerTenant summarizes each tenant's completed requests, ordered by
 	// tenant name — the SLO surface a multi-tenant capacity plan ranks on
 	// (a mix tenant that drew no requests is absent).
@@ -505,11 +578,16 @@ type request struct {
 	// pending. Preemption keeps it — the readmission prefill rebuilds the
 	// discarded KV and decoding resumes from here.
 	produced int
-	// pages is the KV page count currently held (paged policy only).
-	pages int
-	// admissions and preempts count lifecycle events.
-	admissions int
-	preempts   int
+	// pages is the KV page count currently held (paged and disaggregated
+	// policies); inDecode marks which disaggregated pool holds them.
+	pages    int
+	inDecode bool
+	// admissions and preempts count lifecycle events; transfers and
+	// transferTime the disaggregated pool migrations and their cost.
+	admissions   int
+	preempts     int
+	transfers    int
+	transferTime float64
 }
 
 // Run executes the simulation. It is fully deterministic: the only
@@ -530,6 +608,10 @@ func Run(s Spec) (Result, error) {
 	if err := s.validateFit(pol); err != nil {
 		return Result{}, err
 	}
+	// The disaggregated policy is the only one with pool-migration state
+	// the event loop must drain (transfer time) and report (per-pool
+	// counters); the interface stays sealed to the common surface.
+	dp, _ := pol.(*disaggPolicy)
 	coster, err := infer.NewStepCoster(s.inferSpec())
 	if err != nil {
 		return Result{}, err
@@ -721,11 +803,28 @@ func Run(s Spec) (Result, error) {
 				held += r.pages
 			}
 			_, totalPages := pol.PageGeometry()
-			s.probe(probeState{
+			ps := probeState{
 				iteration: iterations, running: len(running), queued: len(queue),
 				usedPages: pol.usedPages(), totalPages: totalPages, runningPages: held,
 				usedBytes: kv, budget: budget,
-			})
+			}
+			if dp != nil {
+				ps.prefillPages, ps.prefillTotal = dp.prefillUsed, dp.prefillTotal
+				ps.decodePages, ps.decodeTotal = dp.decodeUsed, dp.decodeTotal
+				for _, r := range running {
+					if r.inDecode {
+						ps.runningDecodePages += r.pages
+					} else {
+						ps.runningPrefillPages += r.pages
+					}
+				}
+				for _, r := range running[:len(running)-newbies] {
+					if !r.inDecode {
+						ps.decidersInPrefill++
+					}
+				}
+			}
+			s.probe(ps)
 		}
 
 		// Price the iteration: one prefill pass over the newly admitted
@@ -759,6 +858,12 @@ func Run(s Spec) (Result, error) {
 			}
 			iterTime += decode(float64(kvSum)/float64(len(deciders)), len(deciders))
 		}
+		if dp != nil {
+			// KV migrations accrued by this iteration's pool hand-offs
+			// serialize on the interconnect and stall the step; an
+			// infinite-bandwidth link contributes exactly zero.
+			iterTime += dp.drainTransfer()
+		}
 		iterations++
 		batchSum += float64(len(running))
 		now += iterTime
@@ -783,10 +888,12 @@ func Run(s Spec) (Result, error) {
 				PromptTokens: r.prompt, GenTokens: r.gen,
 				Arrival: r.arrival, Admitted: r.admitted,
 				FirstToken: r.firstToken, Done: now,
-				Queue:       r.admitted - r.arrival,
-				TTFT:        r.firstToken - r.arrival,
-				E2E:         now - r.arrival,
-				Preemptions: r.preempts,
+				Queue:          r.admitted - r.arrival,
+				TTFT:           r.firstToken - r.arrival,
+				E2E:            now - r.arrival,
+				Preemptions:    r.preempts,
+				KVTransfers:    r.transfers,
+				KVTransferTime: r.transferTime,
 			}
 			if r.gen > 1 {
 				m.TPOT = (now - r.firstToken) / float64(r.gen-1)
@@ -820,6 +927,12 @@ func Run(s Spec) (Result, error) {
 		Preemptions:      preemptions,
 		RecomputedTokens: recomputed,
 		PerRequest:       done,
+	}
+	if dp != nil {
+		res.PrefillDevices, res.DecodeDevices = CanonicalPoolSplit(Disaggregated, s.PrefillDevices, s.DecodeDevices, s.TP)
+		res.PrefillPagesTotal, res.DecodePagesTotal = dp.prefillTotal, dp.decodeTotal
+		res.PeakPrefillPages, res.PeakDecodePages = dp.peakPrefill, dp.peakDecode
+		res.KVTransfers, res.TransferTimeTotal = dp.transfers, dp.transferTotal
 	}
 	if now > 0 {
 		genSum := 0

@@ -251,6 +251,17 @@ func TestValidateRejectsBadSpecs(t *testing.T) {
 	check("NaN rate", func(s *Spec) { s.Rate = math.NaN() })
 	check("infinite rate", func(s *Spec) { s.Rate = math.Inf(1) })
 	check("closed loop without clients", func(s *Spec) { s.Arrival = ClosedLoop; s.Rate = 0 })
+	// The CLI rejects cross-process flags (-clients under poisson, -rate
+	// under closed); the library must be as strict instead of silently
+	// ignoring the stray field.
+	check("poisson with clients", func(s *Spec) { s.Clients = 4 })
+	check("closed loop with a rate", func(s *Spec) { s.Arrival = ClosedLoop; s.Clients = 4 })
+	check("trace with closed-loop arrivals", func(s *Spec) {
+		s.PromptTokens, s.GenTokens = 0, 0
+		s.Rate, s.Requests, s.Seed = 0, 0, 0
+		s.Arrival, s.Clients = ClosedLoop, 4
+		s.Trace = []TraceEvent{{Arrival: 0, Request: Request{Tenant: "a", PromptTokens: 100, GenTokens: 10}}}
+	})
 	check("unknown arrival", func(s *Spec) { s.Arrival = Arrival(9) })
 	check("negative requests", func(s *Spec) { s.Requests = -1 })
 	check("zero gen tokens", func(s *Spec) { s.GenTokens = 0 })

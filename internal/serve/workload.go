@@ -53,17 +53,39 @@ type TraceEvent struct {
 	Request
 }
 
-// ValidateMix checks a workload mix: non-empty, unique non-empty tenant
-// names, positive finite shares, and at least one prompt and one generated
-// token per tenant. Shared by serve.Spec and the sweep grid validation.
+// validateTenantName rejects names that would corrupt rendered workload
+// artifacts: FormatMix joins entries with ',' and fields with ':'
+// unescaped, so a tenant name carrying either separator lets two distinct
+// workloads render to one identical token — the sweep's CSV mix column
+// and memoized workload fingerprints would then silently alias the wrong
+// cached result. Leading/trailing whitespace is rejected too: ParseMix
+// trims it, so such a name can never round-trip through its own
+// rendering.
+func validateTenantName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty tenant name")
+	}
+	if strings.ContainsAny(name, ":,") {
+		return fmt.Errorf("tenant name %q contains a mix separator (':' and ',' are reserved)", name)
+	}
+	if name != strings.TrimSpace(name) {
+		return fmt.Errorf("tenant name %q carries leading or trailing whitespace", name)
+	}
+	return nil
+}
+
+// ValidateMix checks a workload mix: non-empty, unique separator-free
+// tenant names, positive finite shares, and at least one prompt and one
+// generated token per tenant. Shared by serve.Spec and the sweep grid
+// validation.
 func ValidateMix(mix []TenantLoad) error {
 	if len(mix) == 0 {
 		return fmt.Errorf("serve: empty workload mix")
 	}
 	seen := make(map[string]bool, len(mix))
 	for _, t := range mix {
-		if t.Tenant == "" {
-			return fmt.Errorf("serve: mix entry with an empty tenant name")
+		if err := validateTenantName(t.Tenant); err != nil {
+			return fmt.Errorf("serve: mix entry: %w", err)
 		}
 		if seen[t.Tenant] {
 			return fmt.Errorf("serve: duplicate mix tenant %q", t.Tenant)
@@ -96,8 +118,8 @@ func ValidateTrace(trace []TraceEvent) error {
 				i, ev.Arrival, prev)
 		}
 		prev = ev.Arrival
-		if ev.Tenant == "" {
-			return fmt.Errorf("serve: trace event %d has an empty tenant name", i)
+		if err := validateTenantName(ev.Tenant); err != nil {
+			return fmt.Errorf("serve: trace event %d: %w", i, err)
 		}
 		if ev.PromptTokens < 1 {
 			return fmt.Errorf("serve: trace event %d needs a positive prompt length, got %d", i, ev.PromptTokens)

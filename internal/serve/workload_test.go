@@ -366,6 +366,36 @@ func TestWorkloadValidation(t *testing.T) {
 		clearShape(s)
 		s.Mix = []TenantLoad{{Share: 1, PromptTokens: 100, GenTokens: 50}}
 	})
+	// Separator-bearing tenant names make FormatMix's rendering ambiguous:
+	// "a:1:2:3,b" as one tenant renders identically to two tenants, so two
+	// distinct workloads would share one sweep memo token and CSV column.
+	check("tenant name with colons", true, func(s *Spec) {
+		clearShape(s)
+		s.Mix = []TenantLoad{{Tenant: "a:1:2:3", Share: 1, PromptTokens: 100, GenTokens: 50}}
+	})
+	check("tenant name with a comma", true, func(s *Spec) {
+		clearShape(s)
+		s.Mix = []TenantLoad{{Tenant: "a,b", Share: 1, PromptTokens: 100, GenTokens: 50}}
+	})
+	check("tenant name with trailing whitespace", true, func(s *Spec) {
+		clearShape(s)
+		s.Mix = []TenantLoad{{Tenant: "a ", Share: 1, PromptTokens: 100, GenTokens: 50}}
+	})
+	check("trace tenant name with a comma", true, func(s *Spec) {
+		clearShape(s)
+		clearArrival(s)
+		s.Trace = []TraceEvent{{Arrival: 0, Request: Request{Tenant: "a,b", PromptTokens: 100, GenTokens: 10}}}
+	})
+	check("trace tenant name with a colon", true, func(s *Spec) {
+		clearShape(s)
+		clearArrival(s)
+		s.Trace = []TraceEvent{{Arrival: 0, Request: Request{Tenant: "a:b", PromptTokens: 100, GenTokens: 10}}}
+	})
+	check("trace tenant name with leading whitespace", true, func(s *Spec) {
+		clearShape(s)
+		clearArrival(s)
+		s.Trace = []TraceEvent{{Arrival: 0, Request: Request{Tenant: " a", PromptTokens: 100, GenTokens: 10}}}
+	})
 	check("duplicate tenant", true, func(s *Spec) {
 		clearShape(s)
 		s.Mix = []TenantLoad{
@@ -441,10 +471,42 @@ func TestParseFormatMix(t *testing.T) {
 		"", "chat", "chat:1:200", "chat:1:200:200:9", "chat:x:200:200",
 		"chat:1:x:200", "chat:1:200:x", "chat:0:200:200", ":1:200:200",
 		"chat:1:200:200,chat:1:100:100", "chat:1:0:200", "chat:1:200:0",
+		"chat :1:200:200", // internal trailing whitespace cannot round-trip
 	} {
 		if _, err := ParseMix(bad); err == nil {
 			t.Errorf("ParseMix(%q) should fail", bad)
 		}
+	}
+}
+
+// TestTenantNameCollisionRejected is the regression gate on the workload
+// token: a tenant name carrying the mix separators used to render — via
+// FormatMix's unescaped joins — identically to a different multi-tenant
+// workload, so two distinct workloads shared one sweep CSV mix column and
+// memo token. Such names are now rejected at validation, in mixes and
+// traces alike.
+func TestTenantNameCollisionRejected(t *testing.T) {
+	// Pre-fix, these two distinct workloads rendered to the same token.
+	impostor := []TenantLoad{
+		{Tenant: "a:1:2:3,b", Share: 1, PromptTokens: 2, GenTokens: 3},
+	}
+	honest := []TenantLoad{
+		{Tenant: "a", Share: 1, PromptTokens: 2, GenTokens: 3},
+		{Tenant: "b", Share: 1, PromptTokens: 2, GenTokens: 3},
+	}
+	if FormatMix(impostor) != FormatMix(honest) {
+		t.Fatalf("collision vector lost: %q vs %q — update the test", FormatMix(impostor), FormatMix(honest))
+	}
+	if err := ValidateMix(impostor); err == nil {
+		t.Error("separator-bearing tenant name must be rejected")
+	}
+	if err := ValidateMix(honest); err != nil {
+		t.Errorf("separator-free mix must validate: %v", err)
+	}
+	// The trace CSV reader can quote a comma-bearing tenant per RFC 4180,
+	// so the trace validator must hold the same line.
+	if _, err := ParseTrace(strings.NewReader("0,\"a,b\",100,40\n")); err == nil {
+		t.Error("quoted comma-bearing trace tenant must be rejected")
 	}
 }
 

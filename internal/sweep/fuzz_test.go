@@ -36,6 +36,23 @@ func canonRate(r float64) float64 {
 	return r
 }
 
+// canonSplit keeps a fuzzed pool-device count inside [0, 2] — the range
+// the fuzz cell's two-GPU system accepts (wider splits skip the cell, and
+// a skipped cell has no key to compare). Zero canonicalizes to the
+// co-located count at enumeration.
+func canonSplit(v int) int {
+	return ((v % 3) + 3) % 3
+}
+
+// canonGBps folds transfer bandwidths the sweep validation rejects
+// (negative, NaN) to the unset value; +Inf is legal (a free transfer).
+func canonGBps(g float64) float64 {
+	if math.IsNaN(g) || g < 0 {
+		return 0
+	}
+	return g
+}
+
 // FuzzServingPointKey is the satellite memo-key gate: for any pair of
 // serving candidates in one grid cell, Point.Key must collide exactly
 // when the candidates are behaviorally identical — equal canonicalized
@@ -45,31 +62,41 @@ func canonRate(r float64) float64 {
 func FuzzServingPointKey(f *testing.F) {
 	cfg, sys := fuzzCell(f)
 
-	f.Add(1.0, 0, int8(0), 0, int64(1), 32, 1.0, 0, int8(1), 0, int64(1), 32)     // policy differs
-	f.Add(1.0, 0, int8(1), 16, int64(1), 32, 1.0, 0, int8(1), 0, int64(1), 32)    // page default canonicalizes
-	f.Add(1.0, 4, int8(1), 16, int64(1), 32, 1.0, 8, int8(1), 16, int64(1), 32)   // cap differs
-	f.Add(2.0, 4, int8(0), 0, int64(1), 32, 2.0, 4, int8(0), 0, int64(2), 32)     // seed differs
-	f.Add(2.0, 4, int8(0), 0, int64(1), 32, 2.0, 4, int8(0), 0, int64(1), 64)     // requests differ
-	f.Add(1.5, 4, int8(1), 32, int64(1), 32, 1.5, 4, int8(1), 32, int64(1), 32)   // identical
-	f.Add(1.0, 0, int8(1), 1<<30, int64(1), 8, 1.0, 0, int8(1), 400, int64(1), 8) // page clamp collides
+	f.Add(1.0, 0, int8(0), 0, int64(1), 32, 0, 0, 0.0, 1.0, 0, int8(1), 0, int64(1), 32, 0, 0, 0.0)        // policy differs
+	f.Add(1.0, 0, int8(1), 16, int64(1), 32, 0, 0, 0.0, 1.0, 0, int8(1), 0, int64(1), 32, 0, 0, 0.0)       // page default canonicalizes
+	f.Add(1.0, 4, int8(1), 16, int64(1), 32, 0, 0, 0.0, 1.0, 8, int8(1), 16, int64(1), 32, 0, 0, 0.0)      // cap differs
+	f.Add(2.0, 4, int8(0), 0, int64(1), 32, 0, 0, 0.0, 2.0, 4, int8(0), 0, int64(2), 32, 0, 0, 0.0)        // seed differs
+	f.Add(2.0, 4, int8(0), 0, int64(1), 32, 0, 0, 0.0, 2.0, 4, int8(0), 0, int64(1), 64, 0, 0, 0.0)        // requests differ
+	f.Add(1.5, 4, int8(1), 32, int64(1), 32, 0, 0, 0.0, 1.5, 4, int8(1), 32, int64(1), 32, 0, 0, 0.0)      // identical
+	f.Add(1.0, 0, int8(1), 1<<30, int64(1), 8, 0, 0, 0.0, 1.0, 0, int8(1), 400, int64(1), 8, 0, 0, 0.0)    // page clamp collides
+	f.Add(1.0, 0, int8(1), 0, int64(1), 32, 0, 0, 0.0, 1.0, 0, int8(2), 0, int64(1), 32, 0, 0, 0.0)        // paged vs disagg
+	f.Add(1.0, 0, int8(2), 0, int64(1), 32, 1, 1, 50.0, 1.0, 0, int8(2), 0, int64(1), 32, 2, 2, 50.0)      // split differs
+	f.Add(1.0, 0, int8(2), 0, int64(1), 32, 1, 1, 0.0, 1.0, 0, int8(2), 0, int64(1), 32, 1, 1, 50.0)       // bandwidth default canonicalizes
+	f.Add(1.0, 0, int8(2), 0, int64(1), 32, 1, 1, 50.0, 1.0, 0, int8(2), 0, int64(1), 32, 1, 1, 100.0)     // bandwidth differs
+	f.Add(1.0, 0, int8(2), 0, int64(1), 32, 0, 0, 0.0, 1.0, 0, int8(2), 0, int64(1), 32, 2, 2, 50.0)       // zero split canonicalizes co-located
+	f.Add(1.0, 0, int8(0), 0, int64(1), 32, 1, 1, 50.0, 1.0, 0, int8(0), 0, int64(1), 32, 2, 2, 100.0)     // reserve zeroes disagg knobs
+	f.Add(1.0, 0, int8(2), 0, int64(1), 32, 1, 1, math.Inf(1), 1.0, 0, int8(2), 0, int64(1), 32, 1, 1, 50.0) // infinite vs finite link
 
 	f.Fuzz(func(t *testing.T,
-		rate1 float64, cap1 int, pol1 int8, page1 int, seed1 int64, reqs1 int,
-		rate2 float64, cap2 int, pol2 int8, page2 int, seed2 int64, reqs2 int) {
-		mk := func(rate float64, batchCap int, pol int8, page int, seed int64, reqs int) *Point {
+		rate1 float64, cap1 int, pol1 int8, page1 int, seed1 int64, reqs1, pre1, dec1 int, gbps1 float64,
+		rate2 float64, cap2 int, pol2 int8, page2 int, seed2 int64, reqs2, pre2, dec2 int, gbps2 float64) {
+		mk := func(rate float64, batchCap int, pol int8, page int, seed int64, reqs, pre, dec int, gbps float64) *Point {
 			pts := EnumerateServing(cfg, sys, canonRate(rate), batchCap, 200, 200, tech.FP16,
-				reqs, seed, serve.Policy(int(pol)%2), page)
+				reqs, seed, serve.Policy(((int(pol)%3)+3)%3), page,
+				PoolSplit{Prefill: canonSplit(pre), Decode: canonSplit(dec)}, canonGBps(gbps))
 			if len(pts) != 1 {
 				t.Fatalf("expected one candidate, got %d", len(pts))
 			}
 			return &pts[0]
 		}
-		p1 := mk(rate1, cap1, pol1, page1, seed1, reqs1)
-		p2 := mk(rate2, cap2, pol2, page2, seed2, reqs2)
+		p1 := mk(rate1, cap1, pol1, page1, seed1, reqs1, pre1, dec1, gbps1)
+		p2 := mk(rate2, cap2, pol2, page2, seed2, reqs2, pre2, dec2, gbps2)
 
 		same := p1.Rate == p2.Rate && p1.BatchCap == p2.BatchCap &&
 			p1.Policy == p2.Policy && p1.PageTokens == p2.PageTokens &&
-			p1.ServeSeed == p2.ServeSeed && p1.ServeRequests == p2.ServeRequests
+			p1.ServeSeed == p2.ServeSeed && p1.ServeRequests == p2.ServeRequests &&
+			p1.PrefillDevices == p2.PrefillDevices && p1.DecodeDevices == p2.DecodeDevices &&
+			p1.TransferGBps == p2.TransferGBps
 		k1, k2 := p1.Key(), p2.Key()
 		if same && k1 != k2 {
 			t.Fatalf("identical candidates got distinct keys:\n%s\n%s", k1, k2)

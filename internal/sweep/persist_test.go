@@ -127,6 +127,13 @@ func TestLoadCacheMissingAndMalformed(t *testing.T) {
 	if err := eng.LoadCache(strings.NewReader(pr3)); err == nil {
 		t.Error("pre-multi-tenant cache should be rejected by the cost-model bump")
 	}
+	// The disaggregated-pools refactor grew every Point.Key (pool split +
+	// transfer bandwidth) and serving Metrics (KV-transfer fields), so a
+	// PR-4 snapshot must be refused, not silently served.
+	pr4 := `{"version":1,"cost_model":"pr4-multi-tenant","entries":{}}`
+	if err := eng.LoadCache(strings.NewReader(pr4)); err == nil {
+		t.Error("pre-disaggregation cache should be rejected by the cost-model bump")
+	}
 }
 
 // TestSaveCacheFileBareFilename: a separator-free -cache path must stage

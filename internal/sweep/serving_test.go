@@ -157,6 +157,18 @@ func TestServingKeyCoversServingAxes(t *testing.T) {
 		"seed":        func(q *Point) { q.ServeSeed++ },
 		"policy":      func(q *Point) { q.Policy = serve.Paged; q.PageTokens = serve.DefaultPageTokens },
 		"page tokens": func(q *Point) { q.Policy = serve.Paged; q.PageTokens = 32 },
+		"pool split": func(q *Point) {
+			q.Policy = serve.Disaggregated
+			q.PageTokens = serve.DefaultPageTokens
+			q.PrefillDevices, q.DecodeDevices = 1, 1
+			q.TransferGBps = serve.DefaultTransferGBps
+		},
+		"transfer bandwidth": func(q *Point) {
+			q.Policy = serve.Disaggregated
+			q.PageTokens = serve.DefaultPageTokens
+			q.PrefillDevices, q.DecodeDevices = 1, 1
+			q.TransferGBps = 200
+		},
 	} {
 		q := p
 		mutate(&q)
@@ -181,6 +193,25 @@ func TestServingValidation(t *testing.T) {
 		}
 	}
 	check("rates on training sweep", func(s *Spec) { s.Workload = Training; s.GenTokens = nil })
+	check("pool splits without a disagg policy", func(s *Spec) { s.PoolSplits = []PoolSplit{{Prefill: 1, Decode: 1}} })
+	check("transfer bandwidth without a disagg policy", func(s *Spec) { s.TransferGBps = 50 })
+	check("negative pool split", func(s *Spec) {
+		s.Policies = []serve.Policy{serve.Disaggregated}
+		s.PoolSplits = []PoolSplit{{Prefill: -1, Decode: 1}}
+	})
+	check("negative transfer bandwidth", func(s *Spec) {
+		s.Policies = []serve.Policy{serve.Disaggregated}
+		s.TransferGBps = -1
+	})
+	check("NaN transfer bandwidth", func(s *Spec) {
+		s.Policies = []serve.Policy{serve.Disaggregated}
+		s.TransferGBps = math.NaN()
+	})
+	check("pool splits on inference sweep", func(s *Spec) {
+		s.Workload = Inference
+		s.Rates, s.BatchCaps, s.ServeRequests = nil, nil, 0
+		s.PoolSplits = []PoolSplit{{Prefill: 1, Decode: 1}}
+	})
 	check("policies on training sweep", func(s *Spec) {
 		s.Workload = Training
 		s.GenTokens, s.Rates, s.BatchCaps, s.ServeRequests = nil, nil, nil, 0
@@ -256,6 +287,84 @@ func TestServingPolicyAxis(t *testing.T) {
 	}
 	if !reflect.DeepEqual(eng.Rows, serial.Rows) {
 		t.Error("engine ranking with the policy axis must match serial byte for byte")
+	}
+}
+
+// TestServingDisaggAxis: with PoolSplits as a grid axis, one sweep must
+// rank disaggregated splits against reservation per rate × batch-cap
+// point — a split wider than a system's device count skips that cell, the
+// zero split canonicalizes to the co-located one per system, and the
+// concurrent engine must reproduce the serial ranking exactly.
+func TestServingDisaggAxis(t *testing.T) {
+	spec := servingSpec0(t)
+	spec.Policies = []serve.Policy{serve.ReserveFull, serve.Disaggregated}
+	spec.PoolSplits = []PoolSplit{{Prefill: 1, Decode: 1}, {Prefill: 2, Decode: 2}}
+	spec.TransferGBps = 100
+	spec.ServePageTokens = 32 // legal: disagg pages its KV too
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("disagg grid should validate: %v", err)
+	}
+
+	serial, err := Serial(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reserve: 2 systems × 2 rates × 2 caps = 8. Disagg: the 1-GPU system
+	// takes only the 1+1 split (2+2 exceeds its device count), the 2-GPU
+	// system both → (1+2) × 2 rates × 2 caps = 12.
+	if len(serial.Rows) != 20 {
+		t.Fatalf("expected 20 ranked rows, got %d", len(serial.Rows))
+	}
+	count := map[serve.Policy]int{}
+	for _, row := range serial.Rows {
+		count[row.Point.Policy]++
+		switch row.Point.Policy {
+		case serve.ReserveFull:
+			if row.Point.PrefillDevices != 0 || row.Point.DecodeDevices != 0 || row.Point.TransferGBps != 0 {
+				t.Errorf("reservation row carries a pool split: %+v", row.Point)
+			}
+		case serve.Disaggregated:
+			if row.Point.PageTokens != 32 || row.Point.TransferGBps != 100 {
+				t.Errorf("disagg row lost its knobs: %+v", row.Point)
+			}
+			if row.Point.PrefillDevices > row.Point.Map.TP || row.Point.DecodeDevices > row.Point.Map.TP {
+				t.Errorf("split wider than the system survived enumeration: %+v", row.Point)
+			}
+			if row.Metrics.KVTransfers == 0 {
+				t.Errorf("disagg row simulated no migrations: %+v", row.Metrics)
+			}
+			if row.Metrics.TransferTime <= 0 {
+				t.Errorf("finite bandwidth must charge transfer time: %+v", row.Metrics)
+			}
+		}
+	}
+	if count[serve.ReserveFull] != 8 || count[serve.Disaggregated] != 12 {
+		t.Fatalf("expected 8 reserve + 12 disagg rows, got %v", count)
+	}
+
+	eng, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(eng.Rows, serial.Rows) {
+		t.Error("engine ranking with the pool-split axis must match serial byte for byte")
+	}
+
+	// A disagg grid without explicit splits defaults to the co-located one
+	// per system — still one candidate per cell, not zero.
+	spec.PoolSplits = nil
+	pts := Enumerate(spec)
+	colocated := 0
+	for _, p := range pts {
+		if p.Policy == serve.Disaggregated {
+			colocated++
+			if p.PrefillDevices != p.Map.TP || p.DecodeDevices != p.Map.TP {
+				t.Errorf("defaulted split should be co-located per system: %+v", p)
+			}
+		}
+	}
+	if colocated != 8 {
+		t.Errorf("defaulted disagg axis should yield 8 candidates, got %d", colocated)
 	}
 }
 

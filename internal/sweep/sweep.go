@@ -151,6 +151,19 @@ type Spec struct {
 	// ServePageTokens is the paged policy's KV block size in tokens,
 	// serving only; zero means serve.DefaultPageTokens.
 	ServePageTokens int
+	// PoolSplits are the disaggregated prefill/decode pool splits to
+	// compare per grid cell, serving only: each entry is one grid-axis
+	// value for the serve.Disaggregated candidates (other policies ignore
+	// the axis), so one sweep can rank a 2+6 split against a 4+4 one per
+	// rate × batch-cap point. Requires a Disaggregated entry in Policies;
+	// nil with one present means the co-located split (both pools spanning
+	// every device). A split asking for more devices than a grid system
+	// has skips that cell, like an indivisible head count.
+	PoolSplits []PoolSplit
+	// TransferGBps is the disaggregated policy's KV-transfer interconnect
+	// bandwidth in GB/s, serving only; zero means
+	// serve.DefaultTransferGBps, math.Inf(1) a free transfer.
+	TransferGBps float64
 	// ServeRequests is the simulated request count per serving candidate;
 	// zero means 128.
 	ServeRequests int
@@ -162,6 +175,26 @@ type Spec struct {
 	// Workers bounds the engine's pool; zero means GOMAXPROCS. Serial
 	// ignores it.
 	Workers int
+}
+
+// PoolSplit is one disaggregated prefill/decode pool split: the device
+// counts backing each pool (serve.Spec.PrefillDevices/DecodeDevices).
+// Zero fields default to each grid system's full device count — the
+// co-located split.
+type PoolSplit struct {
+	Prefill int
+	Decode  int
+}
+
+// hasPolicy reports whether pol appears in the (possibly defaulted)
+// policy axis.
+func hasPolicy(policies []serve.Policy, pol serve.Policy) bool {
+	for _, p := range policies {
+		if p == pol {
+			return true
+		}
+	}
+	return false
 }
 
 func (s Spec) withDefaults() Spec {
@@ -204,6 +237,11 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Policies) == 0 {
 		s.Policies = []serve.Policy{serve.ReserveFull}
 	}
+	if len(s.PoolSplits) == 0 && hasPolicy(s.Policies, serve.Disaggregated) {
+		// The zero split canonicalizes per system to the co-located
+		// configuration (both pools spanning every device).
+		s.PoolSplits = []PoolSplit{{}}
+	}
 	if s.ServeRequests == 0 {
 		s.ServeRequests = 128
 	}
@@ -221,6 +259,10 @@ func (s Spec) Validate() error {
 		}
 		if len(s.Policies) > 0 || s.ServePageTokens != 0 {
 			return fmt.Errorf("sweep: Policies/ServePageTokens apply to serving sweeps only")
+		}
+		if len(s.PoolSplits) > 0 || s.TransferGBps != 0 {
+			// NaN bandwidths land here too: NaN != 0.
+			return fmt.Errorf("sweep: PoolSplits/TransferGBps apply to serving sweeps only")
 		}
 		if len(s.Mixes) > 0 || len(s.Trace) > 0 {
 			return fmt.Errorf("sweep: Mixes/Trace apply to serving sweeps only")
@@ -265,11 +307,13 @@ func (s Spec) Validate() error {
 			if s.ServeRequests < 0 {
 				return fmt.Errorf("sweep: negative serving request count %d", s.ServeRequests)
 			}
-			hasPaged := false
+			hasPaged, hasDisagg := false, false
 			for _, pol := range s.Policies {
 				switch pol {
 				case serve.Paged:
 					hasPaged = true
+				case serve.Disaggregated:
+					hasDisagg = true
 				case serve.ReserveFull:
 				default:
 					return fmt.Errorf("sweep: unknown serving policy %v", pol)
@@ -278,11 +322,25 @@ func (s Spec) Validate() error {
 			if s.ServePageTokens < 0 {
 				return fmt.Errorf("sweep: negative serving page size %d tokens", s.ServePageTokens)
 			}
-			// Without a Paged entry the page size would be silently
+			// Without a paging policy entry the page size would be silently
 			// discarded at enumeration — reject, matching serve.Spec's
 			// strictness about knobs the chosen policy ignores.
-			if s.ServePageTokens != 0 && !hasPaged {
-				return fmt.Errorf("sweep: ServePageTokens needs a Paged entry in Policies")
+			if s.ServePageTokens != 0 && !hasPaged && !hasDisagg {
+				return fmt.Errorf("sweep: ServePageTokens needs a Paged or Disaggregated entry in Policies")
+			}
+			for _, sp := range s.PoolSplits {
+				if sp.Prefill < 0 || sp.Decode < 0 {
+					return fmt.Errorf("sweep: negative pool split %d+%d devices", sp.Prefill, sp.Decode)
+				}
+			}
+			if len(s.PoolSplits) > 0 && !hasDisagg {
+				return fmt.Errorf("sweep: PoolSplits needs a Disaggregated entry in Policies")
+			}
+			if s.TransferGBps < 0 || math.IsNaN(s.TransferGBps) {
+				return fmt.Errorf("sweep: KV-transfer bandwidth %g GB/s not non-negative", s.TransferGBps)
+			}
+			if s.TransferGBps != 0 && !hasDisagg {
+				return fmt.Errorf("sweep: TransferGBps needs a Disaggregated entry in Policies")
 			}
 			for _, g := range s.GenTokens {
 				if g < 1 {
@@ -381,6 +439,13 @@ type Point struct {
 	// size in tokens (0 under ReserveFull); serving only.
 	Policy     serve.Policy
 	PageTokens int
+	// PrefillDevices/DecodeDevices are the disaggregated pool split and
+	// TransferGBps its KV-transfer bandwidth (all zero under other
+	// policies); serving only. They shape the simulated capacity, so they
+	// are part of the candidate's identity.
+	PrefillDevices int
+	DecodeDevices  int
+	TransferGBps   float64
 	// Mix is the candidate's multi-tenant workload (nil for spec-wide
 	// shapes); Trace its replayed request timeline. Both shape the
 	// simulated distribution, so they are part of the candidate's
@@ -456,6 +521,7 @@ func (p Point) buildKey(modelStr, sysStr, workloadStr string) string {
 		p.Map.Microbatch, int(p.Map.Schedule), p.Map.VirtualStages,
 		int(p.Recompute), int(p.Precision), p.GlobalBatch, p.Seq, p.GenTokens,
 		p.BatchCap, p.ServeRequests, int(p.Policy), p.PageTokens,
+		p.PrefillDevices, p.DecodeDevices,
 	} {
 		buf = append(buf, '|')
 		buf = strconv.AppendInt(buf, int64(v), 10)
@@ -464,6 +530,8 @@ func (p Point) buildKey(modelStr, sysStr, workloadStr string) string {
 	buf = strconv.AppendInt(buf, p.ServeSeed, 10)
 	buf = append(buf, '|')
 	buf = strconv.AppendFloat(buf, p.Rate, 'g', -1, 64)
+	buf = append(buf, '|')
+	buf = strconv.AppendFloat(buf, p.TransferGBps, 'g', -1, 64)
 	buf = append(buf, '|')
 	buf = append(buf, workloadStr...)
 	return string(buf)
@@ -513,6 +581,11 @@ type Metrics struct {
 	Preemptions      int
 	RecomputedTokens int
 	KVUtil           float64
+	// KVTransfers and TransferTime count the disaggregated policy's
+	// prefill→decode KV migrations and the total interconnect seconds
+	// they cost. Serving only, disaggregated candidates only.
+	KVTransfers  int
+	TransferTime float64
 	// PerTenant breaks the SLO percentiles down per workload tenant,
 	// sorted by tenant name. Serving only.
 	PerTenant []TenantSLO
@@ -654,25 +727,49 @@ func EnumerateInference(cfg model.Config, sys *arch.System, batch, prompt, gen i
 	return []Point{p}
 }
 
+// servingPolicyAxes canonicalizes one serving candidate's policy knobs
+// for a system of tp devices: the block size through
+// serve.CanonicalPageTokens and the disaggregated pool split and transfer
+// bandwidth through serve.CanonicalPoolSplit/CanonicalTransferGBps — all
+// zeroed for policies that ignore them — so equal-behavior candidates
+// always share one memo key, under exactly the rules the simulator
+// applies. ok is false when the split asks for more devices than the
+// system has: that (system, split) cell is skipped, like an indivisible
+// head count.
+func servingPolicyAxes(pol serve.Policy, pageTokens, context int, split PoolSplit, transferGBps float64, tp int) (pt, prefill, decode int, gbps float64, ok bool) {
+	pt = serve.CanonicalPageTokens(pol, pageTokens, context)
+	prefill, decode = serve.CanonicalPoolSplit(pol, split.Prefill, split.Decode, tp)
+	gbps = serve.CanonicalTransferGBps(pol, transferGBps)
+	if pol == serve.Disaggregated && (prefill > tp || decode > tp) {
+		return 0, 0, 0, 0, false
+	}
+	return pt, prefill, decode, gbps, true
+}
+
 // EnumerateServing lists the candidate serving points of one grid cell:
 // one continuous-batching simulation per (rate, batch cap, admission
-// policy), with the mapping fixed to TP = device count as in inference.
-// pageTokens is canonicalized per point through serve.CanonicalPageTokens
-// — resolved to the serve default for paged candidates, zeroed for
-// reservation ones — so equal-behavior candidates always share one memo
-// key, under exactly the rule the simulator applies.
-func EnumerateServing(cfg model.Config, sys *arch.System, rate float64, batchCap, prompt, gen int, prec tech.Precision, requests int, seed int64, pol serve.Policy, pageTokens int) []Point {
+// policy, pool split), with the mapping fixed to TP = device count as in
+// inference. pageTokens, split and transferGBps are canonicalized per
+// point through the serve package's canonical rules — resolved to the
+// serve defaults for the policies that use them, zeroed for the others —
+// so equal-behavior candidates always share one memo key, under exactly
+// the rules the simulator applies.
+func EnumerateServing(cfg model.Config, sys *arch.System, rate float64, batchCap, prompt, gen int, prec tech.Precision, requests int, seed int64, pol serve.Policy, pageTokens int, split PoolSplit, transferGBps float64) []Point {
 	tp := sys.NumDevices()
 	if cfg.Heads%tp != 0 {
 		return nil
 	}
-	pageTokens = serve.CanonicalPageTokens(pol, pageTokens, prompt+gen)
+	pt, prefill, decode, gbps, ok := servingPolicyAxes(pol, pageTokens, prompt+gen, split, transferGBps, tp)
+	if !ok {
+		return nil
+	}
 	p := Point{
 		Workload: Serving, Model: cfg, System: sys,
 		Map:       parallel.Mapping{DP: 1, TP: tp, PP: 1, SP: tp > 1, Microbatch: 1},
 		Precision: prec, Seq: prompt, GenTokens: gen,
 		Rate: rate, BatchCap: batchCap, ServeRequests: requests, ServeSeed: seed,
-		Policy: pol, PageTokens: pageTokens,
+		Policy: pol, PageTokens: pt,
+		PrefillDevices: prefill, DecodeDevices: decode, TransferGBps: gbps,
 	}
 	p.key = p.buildKey(modelToken(cfg), systemToken(sys), "")
 	return []Point{p}
@@ -680,56 +777,64 @@ func EnumerateServing(cfg model.Config, sys *arch.System, rate float64, batchCap
 
 // EnumerateServingMix lists the candidate serving points of one grid cell
 // whose requests are shaped by a multi-tenant mix: one continuous-batching
-// simulation per (rate, batch cap, policy, mix), with the page size
-// canonicalized against the mix's largest context.
-func EnumerateServingMix(cfg model.Config, sys *arch.System, mix []serve.TenantLoad, rate float64, batchCap int, prec tech.Precision, requests int, seed int64, pol serve.Policy, pageTokens int) []Point {
-	return enumerateServingMix(cfg, sys, mix, rate, batchCap, prec, requests, seed, pol, pageTokens, workloadToken(mix, nil))
+// simulation per (rate, batch cap, policy, pool split, mix), with the page
+// size canonicalized against the mix's largest context.
+func EnumerateServingMix(cfg model.Config, sys *arch.System, mix []serve.TenantLoad, rate float64, batchCap int, prec tech.Precision, requests int, seed int64, pol serve.Policy, pageTokens int, split PoolSplit, transferGBps float64) []Point {
+	return enumerateServingMix(cfg, sys, mix, rate, batchCap, prec, requests, seed, pol, pageTokens, split, transferGBps, workloadToken(mix, nil))
 }
 
 // enumerateServingMix is EnumerateServingMix with the mix's workload token
 // precomputed, so Enumerate fingerprints each mix once per grid rather
 // than once per candidate.
-func enumerateServingMix(cfg model.Config, sys *arch.System, mix []serve.TenantLoad, rate float64, batchCap int, prec tech.Precision, requests int, seed int64, pol serve.Policy, pageTokens int, workloadStr string) []Point {
+func enumerateServingMix(cfg model.Config, sys *arch.System, mix []serve.TenantLoad, rate float64, batchCap int, prec tech.Precision, requests int, seed int64, pol serve.Policy, pageTokens int, split PoolSplit, transferGBps float64, workloadStr string) []Point {
 	tp := sys.NumDevices()
 	if cfg.Heads%tp != 0 {
 		return nil
 	}
-	pageTokens = serve.CanonicalPageTokens(pol, pageTokens, serve.MixContext(mix))
+	pt, prefill, decode, gbps, ok := servingPolicyAxes(pol, pageTokens, serve.MixContext(mix), split, transferGBps, tp)
+	if !ok {
+		return nil
+	}
 	p := Point{
 		Workload: Serving, Model: cfg, System: sys,
 		Map:       parallel.Mapping{DP: 1, TP: tp, PP: 1, SP: tp > 1, Microbatch: 1},
 		Precision: prec, Mix: mix,
 		Rate: rate, BatchCap: batchCap, ServeRequests: requests, ServeSeed: seed,
-		Policy: pol, PageTokens: pageTokens,
+		Policy: pol, PageTokens: pt,
+		PrefillDevices: prefill, DecodeDevices: decode, TransferGBps: gbps,
 	}
 	p.key = p.buildKey(modelToken(cfg), systemToken(sys), workloadStr)
 	return []Point{p}
 }
 
 // EnumerateServingTrace lists the candidate serving points of one grid
-// cell replaying a fixed trace: one simulation per (batch cap, policy).
-// The trace fixes arrivals and request count, so Rate and ServeSeed are
-// canonicalized to zero — two candidates differing only in them would
-// simulate identically.
-func EnumerateServingTrace(cfg model.Config, sys *arch.System, trace []serve.TraceEvent, batchCap int, prec tech.Precision, pol serve.Policy, pageTokens int) []Point {
-	return enumerateServingTrace(cfg, sys, trace, batchCap, prec, pol, pageTokens, workloadToken(nil, trace))
+// cell replaying a fixed trace: one simulation per (batch cap, policy,
+// pool split). The trace fixes arrivals and request count, so Rate and
+// ServeSeed are canonicalized to zero — two candidates differing only in
+// them would simulate identically.
+func EnumerateServingTrace(cfg model.Config, sys *arch.System, trace []serve.TraceEvent, batchCap int, prec tech.Precision, pol serve.Policy, pageTokens int, split PoolSplit, transferGBps float64) []Point {
+	return enumerateServingTrace(cfg, sys, trace, batchCap, prec, pol, pageTokens, split, transferGBps, workloadToken(nil, trace))
 }
 
 // enumerateServingTrace is EnumerateServingTrace with the trace's workload
 // token precomputed — a trace can be large, and hashing it per candidate
 // would put reflection back on the enumeration path.
-func enumerateServingTrace(cfg model.Config, sys *arch.System, trace []serve.TraceEvent, batchCap int, prec tech.Precision, pol serve.Policy, pageTokens int, workloadStr string) []Point {
+func enumerateServingTrace(cfg model.Config, sys *arch.System, trace []serve.TraceEvent, batchCap int, prec tech.Precision, pol serve.Policy, pageTokens int, split PoolSplit, transferGBps float64, workloadStr string) []Point {
 	tp := sys.NumDevices()
 	if cfg.Heads%tp != 0 {
 		return nil
 	}
-	pageTokens = serve.CanonicalPageTokens(pol, pageTokens, serve.TraceContext(trace))
+	pt, prefill, decode, gbps, ok := servingPolicyAxes(pol, pageTokens, serve.TraceContext(trace), split, transferGBps, tp)
+	if !ok {
+		return nil
+	}
 	p := Point{
 		Workload: Serving, Model: cfg, System: sys,
 		Map:       parallel.Mapping{DP: 1, TP: tp, PP: 1, SP: tp > 1, Microbatch: 1},
 		Precision: prec, Trace: trace,
 		BatchCap: batchCap, ServeRequests: len(trace),
-		Policy: pol, PageTokens: pageTokens,
+		Policy: pol, PageTokens: pt,
+		PrefillDevices: prefill, DecodeDevices: decode, TransferGBps: gbps,
 	}
 	p.key = p.buildKey(modelToken(cfg), systemToken(sys), workloadStr)
 	return []Point{p}
@@ -763,19 +868,32 @@ func Enumerate(s Spec) []Point {
 			for _, prec := range s.Precisions {
 				switch s.Workload {
 				case Serving:
+					// The pool split is a grid axis for disaggregated
+					// candidates only; other policies see the zero split,
+					// which canonicalizes away (no duplicate cells).
+					polSplits := func(pol serve.Policy) []PoolSplit {
+						if pol == serve.Disaggregated {
+							return s.PoolSplits
+						}
+						return []PoolSplit{{}}
+					}
 					switch {
 					case len(s.Trace) > 0:
 						for _, batchCap := range s.BatchCaps {
 							for _, pol := range s.Policies {
-								add(enumerateServingTrace(cfg, sys, s.Trace, batchCap, prec, pol, s.ServePageTokens, traceTok))
+								for _, split := range polSplits(pol) {
+									add(enumerateServingTrace(cfg, sys, s.Trace, batchCap, prec, pol, s.ServePageTokens, split, s.TransferGBps, traceTok))
+								}
 							}
 						}
 					case len(s.Mixes) > 0:
 						for _, rate := range s.Rates {
 							for _, batchCap := range s.BatchCaps {
 								for _, pol := range s.Policies {
-									for i, mix := range s.Mixes {
-										add(enumerateServingMix(cfg, sys, mix, rate, batchCap, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens, mixToks[i]))
+									for _, split := range polSplits(pol) {
+										for i, mix := range s.Mixes {
+											add(enumerateServingMix(cfg, sys, mix, rate, batchCap, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens, split, s.TransferGBps, mixToks[i]))
+										}
 									}
 								}
 							}
@@ -784,9 +902,11 @@ func Enumerate(s Spec) []Point {
 						for _, rate := range s.Rates {
 							for _, batchCap := range s.BatchCaps {
 								for _, pol := range s.Policies {
-									for _, seq := range s.Seqs {
-										for _, gen := range s.GenTokens {
-											add(EnumerateServing(cfg, sys, rate, batchCap, seq, gen, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens))
+									for _, split := range polSplits(pol) {
+										for _, seq := range s.Seqs {
+											for _, gen := range s.GenTokens {
+												add(EnumerateServing(cfg, sys, rate, batchCap, seq, gen, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens, split, s.TransferGBps))
+											}
 										}
 									}
 								}
@@ -876,6 +996,8 @@ func servingSpec(p Point) serve.Spec {
 	sp := serve.Spec{
 		Model: p.Model, System: p.System, TP: p.Map.TP, Precision: p.Precision,
 		MaxBatch: p.BatchCap, Policy: p.Policy, PageTokens: p.PageTokens,
+		PrefillDevices: p.PrefillDevices, DecodeDevices: p.DecodeDevices,
+		TransferGBps: p.TransferGBps,
 	}
 	switch {
 	case len(p.Trace) > 0:
@@ -926,6 +1048,8 @@ func evaluateServing(p Point) (Metrics, error) {
 		Preemptions:      res.Preemptions,
 		RecomputedTokens: res.RecomputedTokens,
 		KVUtil:           res.MeanKVUtil,
+		KVTransfers:      res.KVTransfers,
+		TransferTime:     res.TransferTimeTotal,
 	}
 	for _, tm := range res.PerTenant {
 		m.PerTenant = append(m.PerTenant, TenantSLO{

@@ -77,6 +77,24 @@
 //	})
 //	fmt.Println(res.Preemptions, res.RecomputedTokens, res.MeanKVUtil)
 //
+// DisaggregatedPolicy models DistServe-style disaggregated serving: the
+// KV capacity splits into a prefill pool and a decode pool
+// (ServeSpec.PrefillDevices / DecodeDevices of the TP devices), requests
+// admit against the prefill pool on their prompt's pages alone, and each
+// sequence migrates to the decode pool when its first token is emitted —
+// paying a per-request KV transfer of its prompt's KV bytes over the
+// ServeSpec.TransferGBps interconnect. ServeResult reports per-pool page
+// peaks and the migration count and total transfer time:
+//
+//	res, _ = optimus.Serve(optimus.ServeSpec{
+//	    Model: cfg, System: sys, TP: 2, Precision: optimus.FP16,
+//	    PromptTokens: 200, GenTokens: 800,
+//	    Arrival: optimus.PoissonArrivals, Rate: 2, Requests: 512, Seed: 1,
+//	    Policy: optimus.DisaggregatedPolicy,
+//	    PrefillDevices: 1, DecodeDevices: 1, TransferGBps: 50,
+//	})
+//	fmt.Println(res.KVTransfers, res.TransferTimeTotal, res.PeakDecodePages)
+//
 // Requests carry per-request shapes: ServeSpec.Mix generates a seeded
 // multi-tenant workload (per-tenant rate shares and prompt/generation
 // lengths) and ServeSpec.Trace replays an explicit timeline, with the
@@ -99,8 +117,9 @@
 // caps × admission policies × systems × precisions and rank by p95
 // end-to-end latency — SweepSpec.Policies makes the admission policy a
 // grid axis, so one sweep compares reservation against paged admission at
-// every rate × batch-cap point, and SweepSpec.Mixes/Trace do the same for
-// the workload shape (Metrics.PerTenant keeps the per-tenant SLOs).
+// every rate × batch-cap point, SweepSpec.PoolSplits does the same for
+// the disaggregated pool split, and SweepSpec.Mixes/Trace for the
+// workload shape (Metrics.PerTenant keeps the per-tenant SLOs).
 //
 // The subpackages under internal/ hold the substrates (technology tables,
 // µarch engine, hierarchical roofline, collectives, schedules, footprint
@@ -216,6 +235,9 @@ type (
 	// SweepTenantSLO is one tenant's SLO summary within a serving sweep
 	// candidate (SweepSpec.Mixes / SweepSpec.Trace grids).
 	SweepTenantSLO = sweep.TenantSLO
+	// SweepPoolSplit is one disaggregated prefill/decode pool split of the
+	// SweepSpec.PoolSplits grid axis.
+	SweepPoolSplit = sweep.PoolSplit
 )
 
 // Sweep workloads.
@@ -247,9 +269,19 @@ const (
 	// grow as a request decodes, preempting LIFO (recompute on
 	// readmission) under pressure.
 	PagedPolicy = serve.Paged
+	// DisaggregatedPolicy splits the KV capacity into prefill and decode
+	// page pools (ServeSpec.PrefillDevices / DecodeDevices): requests
+	// admit against the prefill pool on their prompt's pages, migrate to
+	// the decode pool on first token — paying a per-request KV transfer
+	// over the ServeSpec.TransferGBps interconnect — and decode growth
+	// and preemption run against the decode pool only.
+	DisaggregatedPolicy = serve.Disaggregated
 	// DefaultPageTokens is PagedPolicy's block size when
 	// ServeSpec.PageTokens is zero.
 	DefaultPageTokens = serve.DefaultPageTokens
+	// DefaultServeTransferGBps is DisaggregatedPolicy's KV-transfer
+	// bandwidth when ServeSpec.TransferGBps is zero, in GB/s.
+	DefaultServeTransferGBps = serve.DefaultTransferGBps
 )
 
 // Precisions.

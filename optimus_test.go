@@ -131,6 +131,60 @@ func TestPublicCollectives(t *testing.T) {
 	}
 }
 
+// TestPublicDisaggServingFlow exercises the disaggregated-serving surface
+// end to end: the policy re-export, the pool-split spec fields, the
+// transfer counters on the result, and the sweep's pool-split axis.
+func TestPublicDisaggServingFlow(t *testing.T) {
+	sys, err := NewSystem("h100", 2, "nvlink4", "ndr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ModelByName("llama2-13b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pol, err := ParseServePolicy("disagg")
+	if err != nil || pol != DisaggregatedPolicy {
+		t.Fatalf("ParseServePolicy(disagg) = %v, %v", pol, err)
+	}
+	res, err := Serve(ServeSpec{
+		Model: cfg, System: sys, TP: 2, Precision: FP16,
+		PromptTokens: 200, GenTokens: 200,
+		Arrival: PoissonArrivals, Rate: 2, Requests: 24, Seed: 1,
+		Policy:         DisaggregatedPolicy,
+		PrefillDevices: 1, DecodeDevices: 1,
+		TransferGBps: DefaultServeTransferGBps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KVTransfers == 0 || res.TransferTimeTotal <= 0 {
+		t.Errorf("disagg serve should migrate and charge transfer time: %+v", res)
+	}
+	if res.PrefillPagesTotal == 0 || res.DecodePagesTotal == 0 {
+		t.Errorf("per-pool geometry missing: %+v", res)
+	}
+
+	sweep, err := SweepSerial(SweepSpec{
+		Workload: ServingSweep,
+		Models:   []Model{cfg}, Systems: []*System{sys},
+		Rates: []float64{2}, ServeRequests: 16,
+		Policies:    []ServePolicy{DisaggregatedPolicy},
+		PoolSplits:  []SweepPoolSplit{{Prefill: 1, Decode: 1}},
+		Constraints: PlanConstraints{TopK: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Rows) != 1 {
+		t.Fatalf("expected one disagg candidate, got %d", len(sweep.Rows))
+	}
+	p := sweep.Rows[0].Point
+	if p.PrefillDevices != 1 || p.DecodeDevices != 1 || p.TransferGBps != DefaultServeTransferGBps {
+		t.Errorf("pool-split axis lost on the candidate: %+v", p)
+	}
+}
+
 func TestPublicNameErrors(t *testing.T) {
 	if _, err := ModelByName("gpt-9000"); err == nil {
 		t.Error("unknown model should error")
