@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench sweep-bench serve-bench cover cover-race fuzz-smoke build-386
+.PHONY: check vet build test race bench sweep-bench serve-bench cluster-bench cover cover-race fuzz-smoke build-386
 
 check: vet build cover-race
 
@@ -30,6 +30,11 @@ sweep-bench:
 serve-bench:
 	$(GO) test -run xxx -bench 'BenchmarkServe' -benchmem .
 
+# Fleet-simulator throughput: goroutine-per-replica speedup over the
+# single-instance path, and the load-aware routing barrier's overhead.
+cluster-bench:
+	$(GO) test -run xxx -bench 'BenchmarkCluster' -benchmem .
+
 # 32-bit cross-build: pins the PR-3 page-count fix (maxTotalPages and the
 # PR-5 per-pool counters must fit 32-bit ints) so it cannot regress
 # unbuilt.
@@ -40,7 +45,7 @@ build-386:
 # -fuzz target per invocation, so iterate; the harnesses double as
 # regression suites under plain `go test`, this actually fuzzes them.
 FUZZTIME ?= 10s
-FUZZ_PKGS := ./internal/serve ./internal/sweep ./cmd/optimus
+FUZZ_PKGS := ./internal/serve ./internal/sweep ./internal/cluster ./cmd/optimus
 fuzz-smoke:
 	@set -e; \
 	for pkg in $(FUZZ_PKGS); do \
@@ -56,6 +61,7 @@ fuzz-smoke:
 # standalone cover target, so the two can never silently diverge.
 SERVE_COVER_FLOOR := 85
 SWEEP_COVER_FLOOR := 80
+CLUSTER_COVER_FLOOR := 80
 
 # Tier-1 test pass: -race and -cover in one run, with the `cover` floors
 # enforced from the same output — the heavy simulation suites execute
@@ -72,7 +78,8 @@ cover-race:
 			|| { echo "cover: FAIL — $$1 fell below the $$2% floor"; exit 1; }; \
 	}; \
 	floor optimus/internal/serve $(SERVE_COVER_FLOOR); \
-	floor optimus/internal/sweep $(SWEEP_COVER_FLOOR)
+	floor optimus/internal/sweep $(SWEEP_COVER_FLOOR); \
+	floor optimus/internal/cluster $(CLUSTER_COVER_FLOOR)
 
 # Coverage floors on the serving simulator and sweep engine — the paged
 # KV-cache hot paths — so tier-1 fails when new code in them arrives
@@ -91,4 +98,5 @@ cover:
 			|| { echo "cover: FAIL — $$1 fell below the $$2% floor"; exit 1; }; \
 	}; \
 	check ./internal/serve $(SERVE_COVER_FLOOR); \
-	check ./internal/sweep $(SWEEP_COVER_FLOOR)
+	check ./internal/sweep $(SWEEP_COVER_FLOOR); \
+	check ./internal/cluster $(CLUSTER_COVER_FLOOR)

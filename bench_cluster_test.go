@@ -1,0 +1,60 @@
+package optimus
+
+import (
+	"fmt"
+	"testing"
+
+	"optimus/internal/cluster"
+)
+
+// clusterBenchSpec is the cluster-bench workload: the serve-bench capacity
+// replicated R times behind a routing policy, under a fleet-wide Poisson
+// stream heavy enough that every replica batches several sequences.
+func clusterBenchSpec(tb testing.TB, reps int, rt cluster.Routing, requests int) cluster.Spec {
+	tb.Helper()
+	cap := serveBenchSpec(tb, 0)
+	cap.PromptTokens, cap.GenTokens = 0, 0
+	cap.Rate, cap.Seed = 0, 0
+	return cluster.Spec{
+		Replicas:     []cluster.Replica{{Spec: cap, Count: reps}},
+		Routing:      rt,
+		PromptTokens: 200, GenTokens: 200,
+		Rate: 4 * float64(reps), Requests: requests, Seed: 1,
+	}
+}
+
+// BenchmarkClusterFleet reports fleet-simulation throughput across fleet
+// sizes and routing policies — the `make cluster-bench` gate. Round-robin
+// assigns upfront and runs replicas embarrassingly parallel; least-queue
+// pays a per-arrival synchronization barrier, so the two bracket the
+// router's overhead.
+func BenchmarkClusterFleet(b *testing.B) {
+	const requests = 256
+	for _, bench := range []struct {
+		reps int
+		rt   cluster.Routing
+	}{
+		{1, cluster.RoundRobin},
+		{4, cluster.RoundRobin},
+		{4, cluster.LeastQueue},
+	} {
+		b.Run(fmt.Sprintf("R=%d/%v", bench.reps, bench.rt), func(b *testing.B) {
+			spec := clusterBenchSpec(b, bench.reps, bench.rt, requests)
+			b.ReportAllocs()
+			b.ResetTimer()
+			var last cluster.Result
+			for i := 0; i < b.N; i++ {
+				res, err := cluster.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = res
+			}
+			b.StopTimer()
+			if last.Requests != requests {
+				b.Fatalf("fleet completed %d requests, want %d", last.Requests, requests)
+			}
+			b.ReportMetric(float64(requests*b.N)/b.Elapsed().Seconds(), "req/s")
+		})
+	}
+}

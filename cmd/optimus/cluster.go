@@ -1,0 +1,335 @@
+package main
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+
+	"optimus"
+	"optimus/internal/tech"
+	"optimus/internal/units"
+)
+
+// cmdCluster runs the multi-replica fleet simulator: R identical serving
+// replicas behind a routing policy, fed from one seeded arrival stream,
+// reporting fleet-wide SLO percentiles with per-replica shares — or, with
+// -slo-e2e-p95, bisects the arrival rate to the saturation knee where the
+// fleet first misses that SLO.
+func cmdCluster(args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	modelName := fs.String("model", "llama2-13b", "model preset")
+	device := fs.String("device", "h100", "device preset")
+	deviceFile := fs.String("device-file", "", "JSON device description (overrides -device)")
+	intra := fs.String("intra", "nvlink4", "intra-node fabric")
+	gpus := fs.Int("gpus", 1, "GPU count per replica (= tensor-parallel degree)")
+	replicas := fs.Int("replicas", 2, "replica count (the CLI fleet is homogeneous; heterogeneous fleets are library-only)")
+	routing := fs.String("routing", "round-robin", "routing policy (round-robin|least-queue|least-kv|tenant-affinity)")
+	prompt := fs.Int("prompt", 200, "prompt tokens per request (single-tenant; see -mix/-trace)")
+	gen := fs.Int("gen", 200, "generated tokens per request (single-tenant; see -mix/-trace)")
+	mix := fs.String("mix", "", "multi-tenant workload mix as tenant:share:prompt:gen[,...] (replaces -prompt/-gen)")
+	trace := fs.String("trace", "", "CSV trace file to replay (arrival,tenant,prompt,gen; replaces the arrival flags)")
+	prec := fs.String("precision", "fp16", "precision")
+	rate := fs.Float64("rate", 2, "fleet-wide Poisson arrival rate in requests/sec")
+	requests := fs.Int("requests", 256, "requests to simulate")
+	seed := fs.Int64("seed", 1, "arrival-process seed")
+	maxBatch := fs.Int("max-batch", 0, "per-replica iteration batch cap (0 = derive from KV budget)")
+	policy := fs.String("policy", "reserve", "per-replica KV admission policy (reserve|paged|disagg)")
+	pageTokens := fs.Int("page-tokens", 0, "block size in KV tokens (0 = default 16; paged/disagg only)")
+	noPreempt := fs.Bool("no-preempt", false, "disable preemption: paged admission reserves full-context pages (paged only)")
+	prefillDevices := fs.Int("prefill-devices", 0, "devices backing the disagg prefill pool (0 = all; disagg only)")
+	decodeDevices := fs.Int("decode-devices", 0, "devices backing the disagg decode pool (0 = all; disagg only)")
+	transferGBps := fs.Float64("transfer-gbps", 0, "disagg KV-transfer interconnect bandwidth in GB/s (0 = default 50, Inf = free; disagg only)")
+	slo := fs.Float64("slo-e2e-p95", 0, "saturation analysis: bisect the arrival rate to the knee where fleet p95 E2E first exceeds this SLO in seconds (replaces -rate)")
+	minRate := fs.Float64("min-rate", 0.25, "saturation bracket floor in requests/sec (-slo-e2e-p95 only)")
+	maxRate := fs.Float64("max-rate", 16, "saturation bracket ceiling in requests/sec (-slo-e2e-p95 only)")
+	format := fs.String("format", "text", "output format (text|csv|json)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch *format {
+	case "text", "csv", "json":
+	default:
+		return fmt.Errorf("unknown format %q (text|csv|json)", *format)
+	}
+
+	cfg, err := optimus.ModelByName(*modelName)
+	if err != nil {
+		return err
+	}
+	sys, err := systemWithOverride(*device, *deviceFile, *gpus, *intra, "ndr")
+	if err != nil {
+		return err
+	}
+	p, err := tech.ParsePrecision(*prec)
+	if err != nil {
+		return err
+	}
+	pol, err := optimus.ParseServePolicy(*policy)
+	if err != nil {
+		return err
+	}
+	rt, err := optimus.ParseClusterRouting(*routing)
+	if err != nil {
+		return err
+	}
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas must be at least 1, got %d", *replicas)
+	}
+
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	// Reject admission-policy knobs the chosen -policy would silently
+	// ignore, naming the flags (same surface as optimus serve).
+	if err := rejectPolicyFlagMisuse(set, pol); err != nil {
+		return err
+	}
+	// Resolve the transfer default here so the simulation and every output
+	// format report the same bandwidth (mirrors optimus serve).
+	if pol == optimus.DisaggregatedPolicy && *transferGBps == 0 {
+		*transferGBps = optimus.DefaultServeTransferGBps
+	}
+
+	capacity := optimus.ServeSpec{
+		Model: cfg, System: sys, TP: *gpus, Precision: p,
+		MaxBatch: *maxBatch, Policy: pol,
+		PageTokens: *pageTokens, NoPreempt: *noPreempt,
+		PrefillDevices: *prefillDevices, DecodeDevices: *decodeDevices,
+		TransferGBps: *transferGBps,
+	}
+	spec := optimus.ClusterSpec{
+		Replicas: []optimus.ClusterReplica{{Spec: capacity, Count: *replicas}},
+		Routing:  rt,
+		PromptTokens: *prompt, GenTokens: *gen,
+		Rate: *rate, Requests: *requests, Seed: *seed,
+	}
+
+	if *mix != "" && *trace != "" {
+		return fmt.Errorf("-mix and -trace are mutually exclusive")
+	}
+	if *mix != "" || *trace != "" {
+		if set["prompt"] || set["gen"] {
+			return fmt.Errorf("-prompt and -gen describe the single-tenant workload (use the per-tenant lengths in -mix, or the trace's)")
+		}
+		spec.PromptTokens, spec.GenTokens = 0, 0
+	}
+	if *mix != "" {
+		if spec.Mix, err = optimus.ParseServeMix(*mix); err != nil {
+			return err
+		}
+	}
+	if *trace != "" {
+		for _, f := range []string{"rate", "requests", "seed"} {
+			if set[f] {
+				return fmt.Errorf("-%s does not apply when replaying a trace (-trace fixes the arrival process)", f)
+			}
+		}
+		if spec.Trace, err = loadTrace(*trace); err != nil {
+			return err
+		}
+		spec.Rate, spec.Requests, spec.Seed = 0, 0, 0
+	}
+
+	if set["slo-e2e-p95"] {
+		// Knee mode: the analyzer owns the rate axis.
+		if set["rate"] {
+			return fmt.Errorf("-rate does not apply to the saturation analysis (-slo-e2e-p95 bisects the rate)")
+		}
+		if *trace != "" {
+			return fmt.Errorf("-trace does not apply to the saturation analysis (a trace fixes its own arrival times)")
+		}
+		spec.Rate = 0
+		ks := optimus.ClusterKneeSpec{
+			Cluster: spec, SLOE2EP95: *slo,
+			MinRate: *minRate, MaxRate: *maxRate,
+		}
+		knee, err := optimus.FindClusterKnee(ks)
+		if err != nil {
+			return err
+		}
+		return writeKnee(os.Stdout, spec, knee, *format)
+	}
+	if set["min-rate"] || set["max-rate"] {
+		return fmt.Errorf("-min-rate and -max-rate bracket the saturation analysis (set -slo-e2e-p95)")
+	}
+
+	res, err := optimus.ServeCluster(spec)
+	if err != nil {
+		return err
+	}
+	return writeCluster(os.Stdout, spec, res, *format)
+}
+
+// rejectPolicyFlagMisuse rejects admission-policy knobs the chosen policy
+// would silently ignore, naming the flags. Shared by the serve, cluster
+// and (axis-adapted) sweep subcommands so all three reject the same
+// combinations with the same kind of message.
+func rejectPolicyFlagMisuse(set map[string]bool, pol optimus.ServePolicy) error {
+	paged := pol == optimus.PagedPolicy || pol == optimus.DisaggregatedPolicy
+	if set["page-tokens"] && !paged {
+		return fmt.Errorf("-page-tokens applies to the paged and disagg policies only (-policy %v ignores it)", pol)
+	}
+	if set["no-preempt"] && pol != optimus.PagedPolicy {
+		return fmt.Errorf("-no-preempt applies to the paged policy only (-policy %v ignores it)", pol)
+	}
+	if pol != optimus.DisaggregatedPolicy {
+		for _, f := range []string{"prefill-devices", "decode-devices", "transfer-gbps"} {
+			if set[f] {
+				return fmt.Errorf("-%s applies to the disagg policy only (-policy %v ignores it)", f, pol)
+			}
+		}
+	}
+	return nil
+}
+
+// clusterWorkloadLabel names the simulated fleet workload for the text
+// header.
+func clusterWorkloadLabel(spec optimus.ClusterSpec) string {
+	switch {
+	case len(spec.Trace) > 0:
+		return fmt.Sprintf("%d-event trace", len(spec.Trace))
+	case len(spec.Mix) > 0:
+		return fmt.Sprintf("%d-tenant mix %s", len(spec.Mix), optimus.FormatServeMix(spec.Mix))
+	default:
+		return fmt.Sprintf("%d+%d tokens", spec.PromptTokens, spec.GenTokens)
+	}
+}
+
+// writeCluster renders a fleet simulation in the chosen format.
+func writeCluster(w io.Writer, spec optimus.ClusterSpec, res optimus.ClusterResult, format string) error {
+	switch format {
+	case "text":
+		cap := spec.Replicas[0].Spec
+		arrivals := "poisson"
+		if len(spec.Trace) > 0 {
+			arrivals = "replayed"
+		}
+		fmt.Fprintf(w, "%s on %d replicas of %d x %s (%v routing), %s arrivals, %d requests of %s (seed %d)\n",
+			cap.Model.Name, res.Replicas, cap.TP, cap.System.Device.Name, res.Routing,
+			arrivals, res.Requests, clusterWorkloadLabel(spec), spec.Seed)
+		fmt.Fprintf(w, "  makespan           %s\n", units.FormatSeconds(res.SimTime))
+		fmt.Fprintf(w, "  throughput         %.2f req/s, %.0f tok/s (fleet)\n",
+			res.ThroughputRPS, res.TokensPerSec)
+		if res.Preemptions > 0 || res.RecomputedTokens > 0 {
+			fmt.Fprintf(w, "  paging             %d preemptions (%d tokens recomputed)\n",
+				res.Preemptions, res.RecomputedTokens)
+		}
+		if res.KVTransfers > 0 {
+			fmt.Fprintf(w, "  kv-transfer        %d migrations, %s total\n",
+				res.KVTransfers, units.FormatSeconds(res.TransferTimeTotal))
+		}
+		fmt.Fprintf(w, "  %-8s %10s %10s %10s %10s %10s\n", "SLO", "p50", "p95", "p99", "mean", "max")
+		for _, row := range []struct {
+			name string
+			p    optimus.ServePercentiles
+		}{
+			{"ttft", res.TTFT}, {"tpot", res.TPOT}, {"e2e", res.E2E}, {"queue", res.Queue},
+		} {
+			fmt.Fprintf(w, "  %-8s %10s %10s %10s %10s %10s\n", row.name,
+				units.FormatSeconds(row.p.P50), units.FormatSeconds(row.p.P95),
+				units.FormatSeconds(row.p.P99), units.FormatSeconds(row.p.Mean),
+				units.FormatSeconds(row.p.Max))
+		}
+		fmt.Fprintf(w, "  %-8s %8s %10s %10s %8s %10s\n",
+			"replica", "assigned", "makespan", "e2e-p95", "preempt", "peak-kv")
+		for _, rr := range res.PerReplica {
+			fmt.Fprintf(w, "  %-8d %8d %10s %10s %8d %10s\n", rr.Index, rr.Assigned,
+				units.FormatSeconds(rr.Result.SimTime), units.FormatSeconds(rr.Result.E2E.P95),
+				rr.Result.Preemptions, units.FormatBytes(rr.Result.PeakKVBytes))
+		}
+		if len(res.PerTenant) > 1 {
+			fmt.Fprintf(w, "  %-12s %8s %10s %10s %10s\n",
+				"tenant", "requests", "ttft-p95", "tpot-p95", "e2e-p95")
+			for _, tm := range res.PerTenant {
+				fmt.Fprintf(w, "  %-12s %8d %10s %10s %10s\n", tm.Tenant, tm.Requests,
+					units.FormatSeconds(tm.TTFT.P95), units.FormatSeconds(tm.TPOT.P95),
+					units.FormatSeconds(tm.E2E.P95))
+			}
+		}
+		return nil
+	case "csv":
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"id", "replica", "tenant", "prompt", "gen",
+			"arrival_s", "admitted_s", "first_token_s",
+			"done_s", "queue_s", "ttft_s", "tpot_s", "e2e_s", "preemptions",
+			"kv_transfers", "kv_transfer_s"}); err != nil {
+			return err
+		}
+		g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+		for _, m := range res.PerRequest {
+			if err := cw.Write([]string{
+				strconv.Itoa(m.ID), strconv.Itoa(m.Replica), m.Tenant,
+				strconv.Itoa(m.PromptTokens), strconv.Itoa(m.GenTokens),
+				g(m.Arrival), g(m.Admitted), g(m.FirstToken),
+				g(m.Done), g(m.Queue), g(m.TTFT), g(m.TPOT), g(m.E2E),
+				strconv.Itoa(m.Preemptions),
+				strconv.Itoa(m.KVTransfers), g(m.KVTransferTime),
+			}); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	default:
+		return fmt.Errorf("unknown format %q (text|csv|json)", format)
+	}
+}
+
+// writeKnee renders a saturation analysis in the chosen format.
+func writeKnee(w io.Writer, spec optimus.ClusterSpec, knee optimus.ClusterKnee, format string) error {
+	switch format {
+	case "text":
+		cap := spec.Replicas[0].Spec
+		R := spec.Replicas[0].Count
+		fmt.Fprintf(w, "%s on %d replicas of %d x %s (%v routing): saturation knee vs %s p95-E2E SLO\n",
+			cap.Model.Name, R, cap.TP, cap.System.Device.Name, spec.Routing,
+			units.FormatSeconds(knee.SLOE2EP95))
+		if knee.Saturated {
+			fmt.Fprintf(w, "  knee               %g req/s (p95 E2E %s)\n",
+				knee.Rate, units.FormatSeconds(knee.P95E2E))
+			fmt.Fprintf(w, "  first violation    %g req/s (p95 E2E %s)\n",
+				knee.LimitRate, units.FormatSeconds(knee.LimitP95))
+		} else {
+			fmt.Fprintf(w, "  unsaturated        fleet meets the SLO through %g req/s (p95 E2E %s); raise -max-rate to find the knee\n",
+				knee.Rate, units.FormatSeconds(knee.P95E2E))
+		}
+		fmt.Fprintf(w, "  %-6s %10s %12s %s\n", "probe", "rate", "p95-e2e", "slo")
+		for i, pr := range knee.Probes {
+			verdict := "meets"
+			if !pr.OK {
+				verdict = "MISSES"
+			}
+			fmt.Fprintf(w, "  %-6d %10g %12s %s\n", i, pr.Rate,
+				units.FormatSeconds(pr.P95E2E), verdict)
+		}
+		return nil
+	case "csv":
+		cw := csv.NewWriter(w)
+		if err := cw.Write([]string{"probe", "rate_per_sec", "p95_e2e_s", "meets_slo"}); err != nil {
+			return err
+		}
+		g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+		for i, pr := range knee.Probes {
+			if err := cw.Write([]string{
+				strconv.Itoa(i), g(pr.Rate), g(pr.P95E2E), strconv.FormatBool(pr.OK),
+			}); err != nil {
+				return err
+			}
+		}
+		cw.Flush()
+		return cw.Error()
+	case "json":
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(knee)
+	default:
+		return fmt.Errorf("unknown format %q (text|csv|json)", format)
+	}
+}

@@ -8,6 +8,7 @@
 //	optimus train     -model gpt-175b -device a100 -dp 1 -tp 8 -pp 8 -sp -batch 64 -recompute full
 //	optimus infer     -model llama2-13b -device h100 -gpus 2 -prompt 200 -gen 200
 //	optimus serve     -model llama2-13b -device h100 -gpus 2 -rate 2 -requests 512 -policy paged
+//	optimus cluster   -model llama2-13b -device h100 -replicas 4 -routing least-queue -rate 8
 //	optimus memory    -model gpt-530b -tp 8 -pp 35 -batch 280 -recompute selective
 //	optimus gemmtable -model llama2-13b -device a100
 //	optimus dse       -node n5 -dram hbm2e -net xdr-x8
@@ -47,6 +48,8 @@ func main() {
 		err = cmdInfer(args)
 	case "serve":
 		err = cmdServe(args)
+	case "cluster":
+		err = cmdCluster(args)
 	case "memory":
 		err = cmdMemory(args)
 	case "gemmtable":
@@ -91,6 +94,9 @@ commands:
   serve      simulate continuous-batching serving with SLO percentiles; -policy
              picks KV admission (reserve = full-context, paged = vLLM-style blocks
              with LIFO preemption and recompute readmission)
+  cluster    simulate a multi-replica serving fleet behind a routing policy
+             (round-robin, least-queue, least-kv, tenant-affinity) with
+             fleet-wide SLOs; -slo-e2e-p95 bisects the saturation knee
   memory     dissect the per-device training memory footprint
   gemmtable  per-GEMM bound analysis of the prefill phase (Table 4)
   dse        design-space exploration at a technology node (§3.6)

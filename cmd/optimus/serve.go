@@ -93,6 +93,9 @@ func cmdServe(args []string) error {
 	// load.
 	set := make(map[string]bool)
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if err := rejectPolicyFlagMisuse(set, pol); err != nil {
+		return err
+	}
 	if *mix != "" && *trace != "" {
 		return fmt.Errorf("-mix and -trace are mutually exclusive")
 	}

@@ -390,3 +390,25 @@ func TestWriteServeJSON(t *testing.T) {
 		t.Error("JSON should render the admission policy by name and round-trip it")
 	}
 }
+
+// TestCmdServeFlagErrorsNameFlags pins the policy-knob rejection parity:
+// a knob the chosen -policy would silently ignore must fail with an error
+// naming the CLI flag, not the library field ("PageTokens").
+func TestCmdServeFlagErrorsNameFlags(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		flag string
+	}{
+		{[]string{"-page-tokens", "16"}, "-page-tokens"},
+		{[]string{"-no-preempt"}, "-no-preempt"},
+		{[]string{"-policy", "disagg", "-no-preempt"}, "-no-preempt"},
+		{[]string{"-prefill-devices", "1"}, "-prefill-devices"},
+		{[]string{"-policy", "paged", "-decode-devices", "1"}, "-decode-devices"},
+		{[]string{"-policy", "paged", "-transfer-gbps", "50"}, "-transfer-gbps"},
+	} {
+		err := cmdServe(tc.args)
+		if err == nil || !strings.Contains(err.Error(), tc.flag) {
+			t.Errorf("args %v: error should name %s, got: %v", tc.args, tc.flag, err)
+		}
+	}
+}

@@ -41,6 +41,8 @@ func cmdSweep(args []string) error {
 	prefillDevices := fs.String("prefill-devices", "", "comma-separated disagg prefill-pool device counts, zipped with -decode-devices into pool-split axis values (serve -policies disagg only)")
 	decodeDevices := fs.String("decode-devices", "", "comma-separated disagg decode-pool device counts, zipped with -prefill-devices (serve -policies disagg only)")
 	transferGBps := fs.Float64("transfer-gbps", 0, "disagg KV-transfer interconnect bandwidth in GB/s (serve only, 0 = default 50, Inf = free)")
+	replicasFlag := fs.String("replicas", "", "comma-separated fleet sizes to compare (serve only; 0 = plain single instance)")
+	routings := fs.String("routings", "", "comma-separated cluster routing policies to compare (round-robin|least-queue|least-kv|tenant-affinity; serve only, needs a positive -replicas entry)")
 	precs := fs.String("precisions", "", "comma-separated GEMM precisions (default bf16; infer fp16)")
 	micros := fs.String("microbatches", "", "comma-separated microbatch sizes (train only, default 1,2,4)")
 	recs := fs.String("recomputes", "", "comma-separated recompute regimes (train only, default none,selective,full)")
@@ -99,8 +101,29 @@ func cmdSweep(args []string) error {
 		if *mixes != "" || *trace != "" {
 			return fmt.Errorf("-mix and -trace apply to serving sweeps only")
 		}
+		if *replicasFlag != "" || *routings != "" {
+			return fmt.Errorf("-replicas and -routings apply to serving sweeps only")
+		}
 	} else if *batches != "" {
 		return fmt.Errorf("-batches does not apply to serving sweeps (use -batch-caps)")
+	}
+	// Reject flag combinations no candidate on the grid would read, naming
+	// the flags — the same parity surface as optimus serve, ahead of the
+	// library's field-named validation.
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if *mixes != "" && *trace != "" {
+		return fmt.Errorf("-mix and -trace are mutually exclusive")
+	}
+	if *trace != "" {
+		for _, f := range []string{"rates", "seqs", "gen", "serve-requests", "serve-seed"} {
+			if set[f] {
+				return fmt.Errorf("-%s does not apply when replaying a trace (-trace fixes arrivals and request shapes)", f)
+			}
+		}
+	}
+	if *mixes != "" && (set["seqs"] || set["gen"]) {
+		return fmt.Errorf("-seqs and -gen describe the single-tenant workload (use the per-tenant lengths in -mix)")
 	}
 	for _, m := range strings.Split(*mixes, ";") {
 		if m = strings.TrimSpace(m); m == "" {
@@ -126,6 +149,23 @@ func cmdSweep(args []string) error {
 		}
 		spec.Policies = append(spec.Policies, pol)
 	}
+	// Policy knobs only some -policies entries read: reject the combos
+	// where every listed policy would silently ignore the knob.
+	hasPaged, hasDisagg := false, false
+	for _, pol := range spec.Policies {
+		hasPaged = hasPaged || pol == optimus.PagedPolicy || pol == optimus.DisaggregatedPolicy
+		hasDisagg = hasDisagg || pol == optimus.DisaggregatedPolicy
+	}
+	if set["page-tokens"] && !hasPaged {
+		return fmt.Errorf("-page-tokens needs a paged or disagg entry in -policies (every listed policy ignores it)")
+	}
+	if !hasDisagg {
+		for _, f := range []string{"prefill-devices", "decode-devices", "transfer-gbps"} {
+			if set[f] {
+				return fmt.Errorf("-%s needs a disagg entry in -policies (every listed policy ignores it)", f)
+			}
+		}
+	}
 	spec.ServePageTokens = *pageTokens
 	// The pool-split axis zips -prefill-devices with -decode-devices:
 	// entry i of each list forms one split, so "2,4" + "6,4" compares a
@@ -145,6 +185,25 @@ func cmdSweep(args []string) error {
 		spec.PoolSplits = append(spec.PoolSplits, optimus.SweepPoolSplit{Prefill: prefills[i], Decode: decodes[i]})
 	}
 	spec.TransferGBps = *transferGBps
+	if spec.Replicas, err = splitInts(*replicasFlag); err != nil {
+		return fmt.Errorf("-replicas: %w", err)
+	}
+	for _, name := range splitList(*routings) {
+		rt, err := optimus.ParseClusterRouting(name)
+		if err != nil {
+			return err
+		}
+		spec.Routings = append(spec.Routings, rt)
+	}
+	if len(spec.Routings) > 0 {
+		fleet := false
+		for _, r := range spec.Replicas {
+			fleet = fleet || r > 0
+		}
+		if !fleet {
+			return fmt.Errorf("-routings needs a positive fleet size in -replicas (a fleet of one routes identically under every policy)")
+		}
+	}
 
 	for _, name := range splitList(*models) {
 		cfg, err := optimus.ModelByName(name)
@@ -295,6 +354,10 @@ type sweepRecord struct {
 	DecodeDevices  int     `json:"decode_devices,omitempty"`
 	KVTransfers    int     `json:"kv_transfers,omitempty"`
 	TransferTime   float64 `json:"transfer_time_s,omitempty"`
+	// Serving-only fleet columns (zero for single-instance candidates):
+	// the replica count and routing policy of a cluster candidate.
+	Replicas int    `json:"replicas,omitempty"`
+	Routing  string `json:"routing,omitempty"`
 	// Serving-only workload-shape columns: the candidate's mix (or trace
 	// label) and its per-tenant SLO breakdown.
 	Mix       string                   `json:"mix,omitempty"`
@@ -339,6 +402,10 @@ func sweepRecords(res optimus.SweepResult) []sweepRecord {
 			rec.DecodeDevices = row.Point.DecodeDevices
 			rec.KVTransfers = row.Metrics.KVTransfers
 			rec.TransferTime = row.Metrics.TransferTime
+			if row.Point.Replicas > 0 {
+				rec.Replicas = row.Point.Replicas
+				rec.Routing = row.Point.Routing.String()
+			}
 			rec.Mix = servingWorkloadLabel(row.Point)
 			rec.PerTenant = row.Metrics.PerTenant
 		}
@@ -364,7 +431,11 @@ func servingMappingToken(p optimus.SweepPoint) string {
 		pol = fmt.Sprintf("disagg/%d,split=%d+%d,xfer=%gGB/s",
 			p.PageTokens, p.PrefillDevices, p.DecodeDevices, p.TransferGBps)
 	}
-	return fmt.Sprintf("tp=%d,%s,rate=%g/s,cap=%s", p.Map.TP, pol, p.Rate, cap)
+	tok := fmt.Sprintf("tp=%d,%s,rate=%g/s,cap=%s", p.Map.TP, pol, p.Rate, cap)
+	if p.Replicas > 0 {
+		tok += fmt.Sprintf(",fleet=%dx%v", p.Replicas, p.Routing)
+	}
+	return tok
 }
 
 // servingWorkloadLabel renders a serving candidate's request-shape
@@ -477,7 +548,7 @@ func writeSweep(w io.Writer, res optimus.SweepResult, workload optimus.SweepWork
 			"rate_per_sec", "ttft_p95_s", "tpot_p95_s", "tokens_per_sec",
 			"preemptions", "recomputed_tokens", "kv_util",
 			"prefill_devices", "decode_devices", "kv_transfers", "transfer_s",
-			"mix", "tenant_slos"}); err != nil {
+			"replicas", "routing", "mix", "tenant_slos"}); err != nil {
 			return err
 		}
 		g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
@@ -491,6 +562,7 @@ func writeSweep(w io.Writer, res optimus.SweepResult, workload optimus.SweepWork
 				strconv.Itoa(r.Preemptions), strconv.Itoa(r.RecomputedTokens), g(r.KVUtil),
 				strconv.Itoa(r.PrefillDevices), strconv.Itoa(r.DecodeDevices),
 				strconv.Itoa(r.KVTransfers), g(r.TransferTime),
+				strconv.Itoa(r.Replicas), r.Routing,
 				r.Mix, tenantSLOToken(r.PerTenant),
 			}); err != nil {
 				return err

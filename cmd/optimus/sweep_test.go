@@ -476,3 +476,144 @@ func TestWriteSweepJSON(t *testing.T) {
 		t.Errorf("unexpected first JSON row: %+v", doc.Rows[0])
 	}
 }
+
+// TestCmdSweepFleetFlags drives the fleet axes end to end through the
+// CLI: -replicas/-routings expand cluster candidates, and the flags are
+// rejected with flag-level messages when they cannot apply.
+func TestCmdSweepFleetFlags(t *testing.T) {
+	if err := cmdSweep([]string{"-workload", "serve", "-models", "llama2-13b", "-devices", "h100",
+		"-intra", "nvlink4", "-gpus", "1", "-rates", "2", "-batch-caps", "8", "-serve-requests", "16",
+		"-replicas", "0,2", "-routings", "round-robin,least-queue", "-format", "csv"}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		args []string
+		flag string
+	}{
+		{[]string{"-workload", "serve", "-models", "llama2-13b", "-gpus", "1",
+			"-routings", "least-kv"}, "-replicas"}, // routings without a fleet
+		{[]string{"-workload", "serve", "-models", "llama2-13b", "-gpus", "1",
+			"-replicas", "0", "-routings", "least-kv"}, "-replicas"}, // no positive fleet size
+		{[]string{"-workload", "train", "-models", "gpt-22b", "-gpus", "8",
+			"-replicas", "2"}, "-replicas"}, // serving-only axis
+		{[]string{"-workload", "infer", "-models", "llama2-13b", "-gpus", "2",
+			"-routings", "round-robin"}, "-routings"}, // serving-only axis
+		{[]string{"-workload", "serve", "-models", "llama2-13b", "-gpus", "1",
+			"-replicas", "two"}, "-replicas"}, // unparseable
+		{[]string{"-workload", "serve", "-models", "llama2-13b", "-gpus", "1",
+			"-replicas", "2", "-routings", "random"}, "unknown routing"}, // bad policy name
+		{[]string{"-workload", "serve", "-models", "llama2-13b", "-gpus", "1",
+			"-replicas", "-1"}, "negative fleet size"}, // library floor still reachable
+	} {
+		err := cmdSweep(tc.args)
+		if err == nil || !strings.Contains(err.Error(), tc.flag) {
+			t.Errorf("args %v: error should mention %q, got: %v", tc.args, tc.flag, err)
+		}
+	}
+}
+
+// TestCmdSweepFlagErrorsNameFlags pins the serve/sweep rejection parity:
+// policy knobs and workload-shape flags no grid candidate would read must
+// fail with an error that names the CLI flag, not a library field.
+func TestCmdSweepFlagErrorsNameFlags(t *testing.T) {
+	base := []string{"-workload", "serve", "-models", "llama2-13b", "-gpus", "1"}
+	for _, tc := range []struct {
+		args []string
+		flag string
+	}{
+		{[]string{"-page-tokens", "32"}, "-page-tokens"},
+		{[]string{"-policies", "reserve", "-page-tokens", "32"}, "-page-tokens"},
+		{[]string{"-policies", "reserve,paged", "-prefill-devices", "1", "-decode-devices", "1"}, "-prefill-devices"},
+		{[]string{"-policies", "paged", "-decode-devices", "1"}, "-decode-devices"},
+		{[]string{"-policies", "reserve", "-transfer-gbps", "25"}, "-transfer-gbps"},
+		{[]string{"-trace", "x.csv", "-rates", "2"}, "-rates"},
+		{[]string{"-trace", "x.csv", "-seqs", "100"}, "-seqs"},
+		{[]string{"-trace", "x.csv", "-gen", "100"}, "-gen"},
+		{[]string{"-trace", "x.csv", "-serve-requests", "8"}, "-serve-requests"},
+		{[]string{"-trace", "x.csv", "-serve-seed", "2"}, "-serve-seed"},
+		{[]string{"-mix", "chat:1:200:200", "-seqs", "100"}, "-seqs"},
+		{[]string{"-mix", "chat:1:200:200", "-gen", "100"}, "-gen"},
+		{[]string{"-mix", "chat:1:200:200", "-trace", "x.csv"}, "-trace"},
+	} {
+		err := cmdSweep(append(append([]string{}, base...), tc.args...))
+		if err == nil || !strings.Contains(err.Error(), tc.flag) {
+			t.Errorf("args %v: error should name %s, got: %v", tc.args, tc.flag, err)
+		}
+	}
+}
+
+// TestWriteSweepCSVFleetColumns pins the fleet columns: the mapping token
+// carries the fleet size and routing, and the replicas/routing columns
+// parse back to the candidate's values (empty for single-instance rows).
+func TestWriteSweepCSVFleetColumns(t *testing.T) {
+	cfg, err := optimus.ModelByName("llama2-13b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := optimus.NewSystem("h100", 1, "nvlink4", "ndr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := optimus.Sweep(context.Background(), optimus.SweepSpec{
+		Workload: optimus.ServingSweep,
+		Models:   []optimus.Model{cfg}, Systems: []*optimus.System{sys},
+		Rates: []float64{2}, BatchCaps: []int{8}, ServeRequests: 16,
+		Replicas:    []int{0, 2},
+		Routings:    []optimus.ClusterRouting{optimus.LeastQueueRouting},
+		Constraints: optimus.PlanConstraints{TopK: 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("expected 2 rows (single + fleet), got %d", len(res.Rows))
+	}
+	var b strings.Builder
+	if err := writeSweep(&b, res, optimus.ServingSweep, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "fleet=2xleast-queue") {
+		t.Errorf("fleet mapping token missing from CSV:\n%s", out)
+	}
+	recs, err := csv.NewReader(strings.NewReader(out)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	header := recs[0]
+	col := func(name string) int {
+		for i, h := range header {
+			if h == name {
+				return i
+			}
+		}
+		t.Fatalf("column %q missing from header %v", name, header)
+		return -1
+	}
+	byFleet := map[string][]string{}
+	for _, rec := range recs[1:] {
+		byFleet[rec[col("replicas")]] = rec
+	}
+	fleet, ok := byFleet["2"]
+	if !ok {
+		t.Fatalf("no fleet row in CSV: %v", byFleet)
+	}
+	if fleet[col("routing")] != "least-queue" {
+		t.Errorf("fleet routing column = %q, want least-queue", fleet[col("routing")])
+	}
+	single, ok := byFleet["0"]
+	if !ok {
+		t.Fatalf("no single-instance row in CSV: %v", byFleet)
+	}
+	if single[col("routing")] != "" {
+		t.Errorf("single-instance routing column should be empty, got %q", single[col("routing")])
+	}
+
+	var j strings.Builder
+	if err := writeSweep(&j, res, optimus.ServingSweep, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(j.String(), `"replicas": 2`) || !strings.Contains(j.String(), `"routing": "least-queue"`) {
+		t.Errorf("JSON output missing fleet columns:\n%s", j.String())
+	}
+}

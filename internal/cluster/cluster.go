@@ -1,0 +1,435 @@
+// Package cluster simulates a multi-replica LLM serving fleet: R
+// independent internal/serve simulations behind a pluggable routing
+// policy, all fed from one seeded arrival stream the router splits
+// deterministically. It is the composition step above internal/serve that
+// RAPID-LLM-style fleet analysis needs — the paper models one instance;
+// production serves its traffic from N replicas behind a router, and fleet
+// SLOs are dominated by where requests land.
+//
+// Replicas are heterogeneous capacity descriptors: each carries its own
+// serve.Spec (system, precision, TP, admission policy, pool split), so a
+// mixed fleet — say four paged H100 boxes plus two disaggregated A100
+// pairs — falls out of listing them. Replicas run on real goroutines, the
+// first genuinely parallel serve path in the repository; results merge
+// deterministically (index-ordered, with global-ID remapping), so a fleet
+// Result is byte-identical at any GOMAXPROCS — the engine==serial
+// discipline of internal/sweep, applied to simulation itself. The
+// load-aware routing policies sample replica load only at arrival-time
+// barriers, where each replica's state is a pure function of the requests
+// pushed so far; scheduling order can never leak into an assignment.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"optimus/internal/serve"
+)
+
+// Replica is one fleet capacity descriptor: a serve.Spec carrying capacity
+// only (model/system/precision, batching and KV limits, admission policy —
+// its workload and arrival fields must be zero; the router owns the
+// stream), instantiated Count times.
+type Replica struct {
+	Spec serve.Spec
+	// Count instantiates this descriptor as that many identical replicas;
+	// zero means 1.
+	Count int
+}
+
+// Spec fixes one fleet simulation: the replicas, the routing policy, and
+// the fleet-wide workload — the same workload surface as serve.Spec
+// (degenerate shape, multi-tenant mix, or replay trace) minus the
+// closed-loop arrival process, which is replica-local feedback a fleet
+// router cannot see.
+type Spec struct {
+	// Replicas lists the fleet's capacity descriptors in routing order
+	// (replica indices follow the expansion of Counts).
+	Replicas []Replica
+	// Routing selects the router policy; the zero value is RoundRobin.
+	Routing Routing
+
+	// PromptTokens/GenTokens, Mix and Trace select the workload exactly
+	// as in serve.Spec: spec-wide shape, generated mix, or replay trace.
+	PromptTokens int
+	GenTokens    int
+	Mix          []serve.TenantLoad
+	Trace        []serve.TraceEvent
+
+	// Rate is the fleet-wide open-loop Poisson arrival rate in
+	// requests/sec; Requests the request count (zero means 256); Seed the
+	// arrival-process seed. All zero (and derived) when Trace is set.
+	Rate     float64
+	Requests int
+	Seed     int64
+}
+
+// withDefaults fills the derivable fields: singleton Counts, the
+// degenerate one-tenant mix, and the 256-request default (or the trace's
+// count), mirroring serve.Spec.withDefaults.
+func (s Spec) withDefaults() Spec {
+	reps := make([]Replica, len(s.Replicas))
+	for i, r := range s.Replicas {
+		if r.Count == 0 {
+			r.Count = 1
+		}
+		reps[i] = r
+	}
+	s.Replicas = reps
+	if len(s.Trace) > 0 {
+		if s.Requests == 0 {
+			s.Requests = len(s.Trace)
+		}
+		return s
+	}
+	if len(s.Mix) == 0 && s.Trace == nil {
+		s.Mix = []serve.TenantLoad{{
+			Tenant: serve.DefaultTenant, Share: 1,
+			PromptTokens: s.PromptTokens, GenTokens: s.GenTokens,
+		}}
+	}
+	if s.Requests == 0 {
+		s.Requests = 256
+	}
+	return s
+}
+
+// serveWorkload poses the fleet workload as a single-replica serve.Spec on
+// the given capacity descriptor — the spec a replica would run if it were
+// the whole fleet. Validation delegates to it per replica so a fleet spec
+// is exactly as strict as R copies of serve.Spec.Validate.
+func (s Spec) serveWorkload(cap serve.Spec) serve.Spec {
+	cap.PromptTokens, cap.GenTokens = s.PromptTokens, s.GenTokens
+	cap.Mix, cap.Trace = s.Mix, s.Trace
+	cap.Arrival, cap.Clients = serve.Poisson, 0
+	cap.Rate, cap.Requests, cap.Seed = s.Rate, s.Requests, s.Seed
+	return cap
+}
+
+// Validate checks the fleet spec: at least one replica, each descriptor a
+// pure capacity spec whose capacity fits the workload's largest request,
+// a known routing policy, and a workload serve.Spec itself would accept.
+func (s Spec) Validate() error {
+	if len(s.Replicas) == 0 {
+		return fmt.Errorf("cluster: fleet needs at least one replica")
+	}
+	if !s.Routing.valid() {
+		return fmt.Errorf("cluster: unknown routing policy %v", s.Routing)
+	}
+	d := s.withDefaults()
+	for i, r := range d.Replicas {
+		if r.Count < 0 {
+			return fmt.Errorf("cluster: replica %d: negative count %d", i, r.Count)
+		}
+		c := r.Spec
+		if c.PromptTokens != 0 || c.GenTokens != 0 || len(c.Mix) > 0 || c.Trace != nil {
+			return fmt.Errorf("cluster: replica %d carries workload fields — the fleet spec owns the workload", i)
+		}
+		if c.Arrival != serve.Poisson || c.Rate != 0 || c.Clients != 0 || c.Requests != 0 || c.Seed != 0 {
+			return fmt.Errorf("cluster: replica %d carries arrival fields — the fleet spec owns the arrival process", i)
+		}
+		// Compose the raw (un-defaulted) workload: serve.Validate applies
+		// its own defaulting, and folding the degenerate mix here first
+		// would trip serve's shape/mix exclusivity.
+		if err := s.serveWorkload(c).Validate(); err != nil {
+			return fmt.Errorf("cluster: replica %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// RequestMetrics is one completed request in the fleet-merged view: the
+// per-request timeline with its global arrival index as ID, plus the
+// replica that served it.
+type RequestMetrics struct {
+	serve.RequestMetrics
+	Replica int
+}
+
+// ReplicaResult is one replica's share of the fleet simulation.
+type ReplicaResult struct {
+	// Index is the replica's position in the expanded fleet; Descriptor
+	// the index of the Spec.Replicas entry it was instantiated from.
+	Index      int
+	Descriptor int
+	// Assigned counts the requests the router sent here.
+	Assigned int
+	// Result is the replica's own serve-level result (request IDs are
+	// replica-local push indices; the fleet view remaps them).
+	Result serve.Result
+}
+
+// Result is the outcome of one fleet simulation.
+type Result struct {
+	// Requests is the completed request count; Replicas the expanded
+	// fleet size; Routing echoes the router policy.
+	Requests int
+	Replicas int
+	Routing  Routing
+	// SimTime is the fleet makespan (the slowest replica's last
+	// completion); ThroughputRPS and TokensPerSec are fleet totals over
+	// it.
+	SimTime       float64
+	ThroughputRPS float64
+	TokensPerSec  float64
+
+	// TTFT, TPOT, E2E and Queue are the fleet-wide SLO percentile
+	// summaries over every completed request.
+	TTFT  serve.Percentiles
+	TPOT  serve.Percentiles
+	E2E   serve.Percentiles
+	Queue serve.Percentiles
+
+	// Preemptions, RecomputedTokens, KVTransfers and TransferTimeTotal
+	// sum the per-replica counters.
+	Preemptions       int
+	RecomputedTokens  int
+	KVTransfers       int
+	TransferTimeTotal float64
+
+	// PerTenant is the fleet-wide tenant breakdown (the multi-tenant SLO
+	// surface, now spanning replicas).
+	PerTenant []serve.TenantMetrics
+	// PerReplica holds each replica's share, in replica-index order.
+	PerReplica []ReplicaResult
+	// PerRequest is the fleet-merged request view, ordered by global
+	// arrival index.
+	PerRequest []RequestMetrics
+}
+
+// expandReplicas flattens Count repetitions into the per-replica capacity
+// list, remembering each replica's descriptor index.
+func expandReplicas(reps []Replica) (specs []serve.Spec, descriptor []int, err error) {
+	for d, r := range reps {
+		for k := 0; k < r.Count; k++ {
+			specs = append(specs, r.Spec)
+			descriptor = append(descriptor, d)
+		}
+	}
+	if len(specs) == 0 {
+		return nil, nil, fmt.Errorf("cluster: fleet expanded to zero replicas (all counts zero?)")
+	}
+	return specs, descriptor, nil
+}
+
+// each runs f(0..n-1) on n goroutines and waits — the fleet's only
+// parallelism. Every call site is a barrier whose per-index work touches
+// disjoint state, so the merge points after each() see a deterministic
+// fleet no matter how the goroutines were scheduled.
+func each(n int, f func(int)) {
+	if n == 1 {
+		f(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Run executes the fleet simulation: generate the seeded fleet-wide
+// arrival stream (byte-identical to what serve.Run would generate for the
+// same workload), route every arrival to a replica, run the replicas —
+// genuinely in parallel — and merge per-replica results into the fleet
+// view deterministically.
+func Run(s Spec) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	s = s.withDefaults()
+
+	// The fleet arrival stream, through the same exported helpers Run's
+	// single-instance path draws from.
+	var times []float64
+	var shapes []serve.Request
+	if len(s.Trace) > 0 {
+		times = make([]float64, len(s.Trace))
+		shapes = make([]serve.Request, len(s.Trace))
+		for i, ev := range s.Trace {
+			times[i] = ev.Arrival
+			shapes[i] = ev.Request
+		}
+	} else {
+		var err error
+		shapes, err = serve.MixShapes(s.Mix, s.Requests, s.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		times = serve.PoissonArrivalTimes(s.Rate, s.Requests, s.Seed)
+	}
+
+	specs, descriptor, err := expandReplicas(s.Replicas)
+	if err != nil {
+		return Result{}, err
+	}
+	R := len(specs)
+	instances := make([]*serve.Instance, R)
+	for i, cap := range specs {
+		in, err := serve.NewInstance(cap, shapes)
+		if err != nil {
+			return Result{}, fmt.Errorf("cluster: replica %d: %w", i, err)
+		}
+		instances[i] = in
+	}
+
+	// routed[i] lists replica i's assigned global arrival indices in push
+	// order — the local→global ID remapping the merge applies.
+	routed := make([][]int, R)
+	assign := func(i, replica int) {
+		routed[replica] = append(routed[replica], i)
+	}
+
+	pushErrs := make([]error, R)
+	switch s.Routing {
+	case RoundRobin, TenantAffinity:
+		// Load-independent routing: the whole assignment is a pure
+		// function of the stream, so compute it up front and run every
+		// replica's full push+drain embarrassingly parallel.
+		for i := range times {
+			switch s.Routing {
+			case RoundRobin:
+				assign(i, i%R)
+			default:
+				assign(i, tenantReplica(shapes[i].Tenant, R))
+			}
+		}
+		each(R, func(r int) {
+			in := instances[r]
+			for _, g := range routed[r] {
+				if err := in.Push(shapes[g], times[g]); err != nil {
+					pushErrs[r] = err
+					return
+				}
+			}
+			in.Drain()
+		})
+	case LeastQueue, LeastKV:
+		// Load-aware routing: barrier every replica to the arrival
+		// instant (in parallel — each replica steps its own iterations),
+		// then scan loads in index order. The snapshot each replica
+		// reports at time t depends only on its own push history, so the
+		// argmin — ties to the lowest index — is scheduling-independent.
+		for i, at := range times {
+			each(R, func(r int) { instances[r].AdvanceTo(at) })
+			best, bestLoad := 0, instances[0].Load()
+			for r := 1; r < R; r++ {
+				l := instances[r].Load()
+				if lessLoaded(s.Routing, l, bestLoad) {
+					best, bestLoad = r, l
+				}
+			}
+			if err := instances[best].Push(shapes[i], at); err != nil {
+				return Result{}, fmt.Errorf("cluster: replica %d: %w", best, err)
+			}
+			assign(i, best)
+		}
+		each(R, func(r int) { instances[r].Drain() })
+	default:
+		return Result{}, fmt.Errorf("cluster: unknown routing policy %v", s.Routing)
+	}
+	for r, err := range pushErrs {
+		if err != nil {
+			return Result{}, fmt.Errorf("cluster: replica %d: %w", r, err)
+		}
+	}
+
+	return merge(s, instances, routed, descriptor)
+}
+
+// lessLoaded ranks replica load snapshots for the load-aware routers:
+// strictly less loaded wins (ties keep the earlier, lower-indexed
+// incumbent).
+func lessLoaded(r Routing, a, b serve.Load) bool {
+	if r == LeastKV {
+		if a.KVBytes != b.KVBytes {
+			return a.KVBytes < b.KVBytes
+		}
+	}
+	return a.InFlight() < b.InFlight()
+}
+
+// merge assembles the fleet Result from drained replicas: per-replica
+// results in index order, the global-ID-remapped request view, and
+// fleet-wide summaries over it.
+func merge(s Spec, instances []*serve.Instance, routed [][]int, descriptor []int) (Result, error) {
+	R := len(instances)
+	res := Result{
+		Replicas:   R,
+		Routing:    s.Routing,
+		PerReplica: make([]ReplicaResult, R),
+	}
+	total := 0
+	for r, in := range instances {
+		rr, err := in.Result()
+		if err != nil {
+			return Result{}, fmt.Errorf("cluster: replica %d: %w", r, err)
+		}
+		res.PerReplica[r] = ReplicaResult{
+			Index: r, Descriptor: descriptor[r],
+			Assigned: len(routed[r]), Result: rr,
+		}
+		total += len(routed[r])
+		if rr.SimTime > res.SimTime {
+			res.SimTime = rr.SimTime
+		}
+		res.Preemptions += rr.Preemptions
+		res.RecomputedTokens += rr.RecomputedTokens
+		res.KVTransfers += rr.KVTransfers
+		res.TransferTimeTotal += rr.TransferTimeTotal
+	}
+
+	flat := make([]serve.RequestMetrics, 0, total)
+	res.PerRequest = make([]RequestMetrics, 0, total)
+	for r := range instances {
+		for _, m := range res.PerReplica[r].Result.PerRequest {
+			m.ID = routed[r][m.ID] // local push index → global arrival index
+			res.PerRequest = append(res.PerRequest, RequestMetrics{RequestMetrics: m, Replica: r})
+		}
+	}
+	sort.Slice(res.PerRequest, func(i, j int) bool { return res.PerRequest[i].ID < res.PerRequest[j].ID })
+	for _, m := range res.PerRequest {
+		flat = append(flat, m.RequestMetrics)
+	}
+	res.Requests = len(res.PerRequest)
+
+	if res.SimTime > 0 {
+		genSum := 0
+		for _, m := range flat {
+			genSum += m.GenTokens
+		}
+		res.ThroughputRPS = float64(len(flat)) / res.SimTime
+		res.TokensPerSec = float64(genSum) / res.SimTime
+	}
+	res.TTFT = summarizeMetric(flat, func(m serve.RequestMetrics) float64 { return m.TTFT })
+	res.TPOT = summarizeMetric(flat, func(m serve.RequestMetrics) float64 { return m.TPOT })
+	res.E2E = summarizeMetric(flat, func(m serve.RequestMetrics) float64 { return m.E2E })
+	res.Queue = summarizeMetric(flat, func(m serve.RequestMetrics) float64 { return m.Queue })
+	res.PerTenant = serve.TenantBreakdown(flat)
+	return res, nil
+}
+
+// summarizeMetric extracts one per-request metric and summarizes it with
+// serve's nearest-rank percentiles.
+func summarizeMetric(done []serve.RequestMetrics, f func(serve.RequestMetrics) float64) serve.Percentiles {
+	vals := make([]float64, len(done))
+	for i, m := range done {
+		vals[i] = f(m)
+	}
+	return serve.Summarize(vals)
+}
+
+// validateRate mirrors serve's Poisson rate validation for the knee
+// analyzer's probe rates.
+func validateRate(rate float64) error {
+	if !(rate > 0) || math.IsInf(rate, 0) {
+		return fmt.Errorf("cluster: need a positive finite rate, got %g", rate)
+	}
+	return nil
+}

@@ -1,0 +1,379 @@
+package cluster
+
+import (
+	"encoding/json"
+	"reflect"
+	"runtime"
+	"strings"
+	"testing"
+
+	"optimus/internal/arch"
+	"optimus/internal/model"
+	"optimus/internal/serve"
+	"optimus/internal/tech"
+)
+
+// capacity0 is the baseline replica capacity: Llama2-13B on one A100 —
+// spec0 from the serve tests, stripped to the capacity descriptor an
+// instance carries.
+func capacity0(t testing.TB) serve.Spec {
+	t.Helper()
+	sys, err := arch.SystemOf(arch.A100(), 1, 8, tech.NVLink3, tech.IBNDR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := model.ByName("Llama2-13B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return serve.Spec{Model: cfg, System: sys, TP: 1, Precision: tech.FP16}
+}
+
+// fleet0 is a homogeneous fleet of n baseline replicas under the default
+// 200/200 workload.
+func fleet0(t testing.TB, n int) Spec {
+	t.Helper()
+	return Spec{
+		Replicas:     []Replica{{Spec: capacity0(t), Count: n}},
+		PromptTokens: 200, GenTokens: 200,
+		Rate: 2.0, Requests: 64, Seed: 1,
+	}
+}
+
+// TestSingleReplicaReproducesServe is the degenerate-equivalence pin: a
+// one-replica round-robin fleet must reproduce plain serve.Run
+// byte-identically (reflect + JSON) — the replica-level result exactly,
+// and the fleet-level summaries agreeing with the serve-level ones —
+// across a rate × cap × policy × seed grid.
+func TestSingleReplicaReproducesServe(t *testing.T) {
+	for _, rate := range []float64{0.5, 4.0} {
+		for _, maxBatch := range []int{0, 6} {
+			for _, pol := range []serve.Policy{serve.ReserveFull, serve.Paged, serve.Disaggregated} {
+				for _, seed := range []int64{1, 99} {
+					cap := capacity0(t)
+					cap.MaxBatch = maxBatch
+					cap.Policy = pol
+					if pol != serve.ReserveFull {
+						cap.KVCapacity = 3e9
+					}
+					single := cap
+					single.PromptTokens, single.GenTokens = 200, 200
+					single.Arrival, single.Rate, single.Requests, single.Seed = serve.Poisson, rate, 48, seed
+					want, err := serve.Run(single)
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					fleet, err := Run(Spec{
+						Replicas:     []Replica{{Spec: cap}},
+						Routing:      RoundRobin,
+						PromptTokens: 200, GenTokens: 200,
+						Rate: rate, Requests: 48, Seed: seed,
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := fleet.PerReplica[0].Result
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("rate=%g cap=%d %v seed=%d: R=1 replica result diverges from serve.Run", rate, maxBatch, pol, seed)
+					}
+					jw, _ := json.Marshal(want)
+					jg, _ := json.Marshal(got)
+					if string(jw) != string(jg) {
+						t.Fatalf("rate=%g cap=%d %v seed=%d: JSON encodings differ", rate, maxBatch, pol, seed)
+					}
+					// The fleet summaries must agree with the serve-level
+					// ones exactly — same samples, same percentile math.
+					if fleet.E2E != want.E2E || fleet.TTFT != want.TTFT || fleet.TPOT != want.TPOT || fleet.Queue != want.Queue {
+						t.Fatalf("rate=%g cap=%d %v seed=%d: fleet percentiles diverge from serve.Run's", rate, maxBatch, pol, seed)
+					}
+					if fleet.SimTime != want.SimTime || fleet.ThroughputRPS != want.ThroughputRPS || fleet.TokensPerSec != want.TokensPerSec {
+						t.Fatalf("rate=%g cap=%d %v seed=%d: fleet totals diverge from serve.Run's", rate, maxBatch, pol, seed)
+					}
+					if !reflect.DeepEqual(fleet.PerTenant, want.PerTenant) {
+						t.Fatalf("rate=%g cap=%d %v seed=%d: fleet tenant breakdown diverges", rate, maxBatch, pol, seed)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFleetDeterministicAcrossGOMAXPROCS: the replicas run on real
+// goroutines, so this is the pin that parallel execution cannot leak into
+// results — fleets at GOMAXPROCS 1 and N must be byte-identical for every
+// routing policy (run under -race in tier 1, which also catches unsynced
+// access in the barrier pattern).
+func TestFleetDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	for _, routing := range routings {
+		s := fleet0(t, 4)
+		s.Routing = routing
+		s.Mix = []serve.TenantLoad{
+			{Tenant: "chat", Share: 0.6, PromptTokens: 150, GenTokens: 120},
+			{Tenant: "batch", Share: 0.4, PromptTokens: 350, GenTokens: 40},
+		}
+		s.PromptTokens, s.GenTokens = 0, 0
+
+		prev := runtime.GOMAXPROCS(1)
+		serial, err := Run(s)
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatal(err)
+		}
+		parallel, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("%v: fleet result differs between GOMAXPROCS 1 and %d", routing, prev)
+		}
+		js, _ := json.Marshal(serial)
+		jp, _ := json.Marshal(parallel)
+		if string(js) != string(jp) {
+			t.Errorf("%v: JSON encodings differ across GOMAXPROCS", routing)
+		}
+	}
+}
+
+// TestFleetMergeInvariants: whatever the routing, the merged fleet view
+// must conserve the stream — every global arrival index exactly once, in
+// order, served by an in-range replica, with Assigned counts summing to
+// the request count.
+func TestFleetMergeInvariants(t *testing.T) {
+	for _, routing := range routings {
+		s := fleet0(t, 3)
+		s.Routing = routing
+		res, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Requests != 64 || len(res.PerRequest) != 64 {
+			t.Fatalf("%v: completed %d of 64", routing, res.Requests)
+		}
+		assigned := 0
+		for _, rr := range res.PerReplica {
+			assigned += rr.Assigned
+			if rr.Result.Requests != rr.Assigned {
+				t.Errorf("%v: replica %d completed %d of its %d assigned", routing, rr.Index, rr.Result.Requests, rr.Assigned)
+			}
+		}
+		if assigned != 64 {
+			t.Errorf("%v: assigned counts sum to %d, want 64", routing, assigned)
+		}
+		for i, m := range res.PerRequest {
+			if m.ID != i {
+				t.Fatalf("%v: merged request %d has global ID %d", routing, i, m.ID)
+			}
+			if m.Replica < 0 || m.Replica >= res.Replicas {
+				t.Fatalf("%v: request %d served by out-of-range replica %d", routing, i, m.Replica)
+			}
+		}
+	}
+}
+
+// TestRoutingPolicyBehavior pins each policy's characteristic assignment:
+// round-robin splits evenly, tenant affinity keeps each tenant on exactly
+// one replica, and the load-aware policies never leave a replica unused
+// under sustained load.
+func TestRoutingPolicyBehavior(t *testing.T) {
+	mix := []serve.TenantLoad{
+		{Tenant: "a", Share: 1, PromptTokens: 150, GenTokens: 100},
+		{Tenant: "b", Share: 1, PromptTokens: 200, GenTokens: 150},
+		{Tenant: "c", Share: 1, PromptTokens: 250, GenTokens: 50},
+	}
+	base := fleet0(t, 3)
+	base.PromptTokens, base.GenTokens = 0, 0
+	base.Mix = mix
+	base.Rate, base.Requests = 6.0, 60
+
+	t.Run("round-robin", func(t *testing.T) {
+		s := base
+		s.Routing = RoundRobin
+		res, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, rr := range res.PerReplica {
+			if rr.Assigned != 20 {
+				t.Errorf("replica %d assigned %d, want an even 20", rr.Index, rr.Assigned)
+			}
+		}
+		for _, m := range res.PerRequest {
+			if m.Replica != m.ID%3 {
+				t.Fatalf("request %d on replica %d, want %d", m.ID, m.Replica, m.ID%3)
+			}
+		}
+	})
+	t.Run("tenant-affinity", func(t *testing.T) {
+		s := base
+		s.Routing = TenantAffinity
+		res, err := Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		home := map[string]int{}
+		for _, m := range res.PerRequest {
+			if prev, ok := home[m.Tenant]; ok && prev != m.Replica {
+				t.Fatalf("tenant %s served by replicas %d and %d", m.Tenant, prev, m.Replica)
+			}
+			home[m.Tenant] = m.Replica
+		}
+	})
+	for _, routing := range []Routing{LeastQueue, LeastKV} {
+		t.Run(routing.String(), func(t *testing.T) {
+			s := base
+			s.Routing = routing
+			res, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, rr := range res.PerReplica {
+				if rr.Assigned == 0 {
+					t.Errorf("replica %d unused under sustained load", rr.Index)
+				}
+			}
+		})
+	}
+}
+
+// TestMoreReplicasImproveSLO: at a rate that saturates one replica, a
+// four-replica fleet must cut the fleet p95 E2E — the basic capacity
+// physics the cluster model exists to expose.
+func TestMoreReplicasImproveSLO(t *testing.T) {
+	one := fleet0(t, 1)
+	one.Rate = 3.0
+	r1, err := Run(one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	four := fleet0(t, 4)
+	four.Rate = 3.0
+	r4, err := Run(four)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.E2E.P95 >= r1.E2E.P95 {
+		t.Errorf("4 replicas p95 E2E %g should beat 1 replica's %g", r4.E2E.P95, r1.E2E.P95)
+	}
+	if r4.SimTime > r1.SimTime {
+		t.Errorf("4-replica makespan %g should not exceed 1-replica %g", r4.SimTime, r1.SimTime)
+	}
+}
+
+// TestHeterogeneousFleet: replicas are full capacity descriptors — a mixed
+// fleet (reserve A100 alongside a paged, KV-capped A100) runs, serves from
+// both boxes, and echoes each replica's own policy in its result.
+func TestHeterogeneousFleet(t *testing.T) {
+	big := capacity0(t)
+	small := capacity0(t)
+	small.Policy = serve.Paged
+	small.PageTokens = 32
+	small.KVCapacity = 2e9
+	small.MaxBatch = 4
+
+	s := Spec{
+		Replicas:     []Replica{{Spec: big}, {Spec: small, Count: 2}},
+		Routing:      LeastQueue,
+		PromptTokens: 200, GenTokens: 200,
+		Rate: 4.0, Requests: 96, Seed: 3,
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Replicas != 3 {
+		t.Fatalf("fleet expanded to %d replicas, want 3", res.Replicas)
+	}
+	wantDesc := []int{0, 1, 1}
+	wantPol := []serve.Policy{serve.ReserveFull, serve.Paged, serve.Paged}
+	for i, rr := range res.PerReplica {
+		if rr.Descriptor != wantDesc[i] {
+			t.Errorf("replica %d from descriptor %d, want %d", i, rr.Descriptor, wantDesc[i])
+		}
+		if rr.Result.Policy != wantPol[i] {
+			t.Errorf("replica %d ran policy %v, want %v", i, rr.Result.Policy, wantPol[i])
+		}
+		if rr.Assigned == 0 {
+			t.Errorf("replica %d unused in the heterogeneous fleet", i)
+		}
+	}
+	if res.Requests != 96 {
+		t.Errorf("completed %d of 96", res.Requests)
+	}
+}
+
+// TestClusterValidate pins the spec rejection surface.
+func TestClusterValidate(t *testing.T) {
+	check := func(name string, wantErr string, mut func(*Spec)) {
+		t.Helper()
+		s := fleet0(t, 2)
+		mut(&s)
+		err := s.Validate()
+		if wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", name, err)
+			}
+			return
+		}
+		if err == nil || !strings.Contains(err.Error(), wantErr) {
+			t.Errorf("%s: got %v, want %q", name, err, wantErr)
+		}
+	}
+	check("baseline", "", func(s *Spec) {})
+	check("no replicas", "at least one replica", func(s *Spec) { s.Replicas = nil })
+	check("zero-count fleet", "", func(s *Spec) { s.Replicas[0].Count = 1 })
+	check("negative count", "negative count", func(s *Spec) { s.Replicas[0].Count = -1 })
+	check("unknown routing", "unknown routing", func(s *Spec) { s.Routing = Routing(42) })
+	check("replica with workload", "workload fields", func(s *Spec) { s.Replicas[0].Spec.PromptTokens = 100 })
+	check("replica with arrival", "arrival fields", func(s *Spec) { s.Replicas[0].Spec.Rate = 1 })
+	check("replica with clients", "arrival fields", func(s *Spec) { s.Replicas[0].Spec.Clients = 4 })
+	check("zero rate", "rate", func(s *Spec) { s.Rate = 0 })
+	check("mix and shape", "leave them zero", func(s *Spec) {
+		s.Mix = []serve.TenantLoad{{Tenant: "x", Share: 1, PromptTokens: 10, GenTokens: 10}}
+	})
+	check("empty non-nil trace", "empty trace", func(s *Spec) {
+		s.PromptTokens, s.GenTokens, s.Rate = 0, 0, 0
+		s.Trace = []serve.TraceEvent{}
+	})
+	check("trace with rate", "leave Arrival/Rate/Clients/Seed unset", func(s *Spec) {
+		s.PromptTokens, s.GenTokens = 0, 0
+		s.Trace = []serve.TraceEvent{{Arrival: 0, Request: serve.Request{Tenant: "a", PromptTokens: 100, GenTokens: 10}}}
+	})
+	check("trace", "", func(s *Spec) {
+		s.PromptTokens, s.GenTokens, s.Rate, s.Requests, s.Seed = 0, 0, 0, 0, 0
+		s.Trace = []serve.TraceEvent{{Arrival: 0, Request: serve.Request{Tenant: "a", PromptTokens: 100, GenTokens: 10}}}
+	})
+	check("infeasible replica", "does not fit", func(s *Spec) { s.Replicas[0].Spec.KVCapacity = 1e6 })
+}
+
+// TestClusterTraceWorkload: a trace drives the fleet exactly as it drives
+// serve.Run — the R=1 equivalence holds for replayed workloads too, and a
+// multi-replica fleet completes every event.
+func TestClusterTraceWorkload(t *testing.T) {
+	trace := []serve.TraceEvent{
+		{Arrival: 0, Request: serve.Request{Tenant: "a", PromptTokens: 120, GenTokens: 30}},
+		{Arrival: 0.2, Request: serve.Request{Tenant: "b", PromptTokens: 200, GenTokens: 60}},
+		{Arrival: 0.9, Request: serve.Request{Tenant: "a", PromptTokens: 80, GenTokens: 10}},
+		{Arrival: 1.4, Request: serve.Request{Tenant: "c", PromptTokens: 300, GenTokens: 90}},
+	}
+	single := capacity0(t)
+	single.Trace = trace
+	want, err := serve.Run(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := Run(Spec{Replicas: []Replica{{Spec: capacity0(t)}}, Trace: trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, fleet.PerReplica[0].Result) {
+		t.Error("R=1 trace fleet diverges from serve.Run")
+	}
+	multi, err := Run(Spec{Replicas: []Replica{{Spec: capacity0(t), Count: 2}}, Routing: LeastKV, Trace: trace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.Requests != len(trace) {
+		t.Errorf("fleet completed %d of %d trace events", multi.Requests, len(trace))
+	}
+}

@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+)
+
+// Load is one replica's router-visible load snapshot, sampled at an
+// iteration boundary. It is the observability hook cluster routing
+// policies rank replicas by; it reads the sealed admission policy's
+// accounting without widening the policy interface.
+type Load struct {
+	// Now is the replica's local clock (simulated seconds).
+	Now float64
+	// Queued and Running count requests waiting for admission and
+	// sequences in the current batch.
+	Queued  int
+	Running int
+	// Done counts completed requests.
+	Done int
+	// KVPages is the policy's committed page count (zero under
+	// ReserveFull); KVBytes the committed KV bytes — the policy-agnostic
+	// load measure (reservations under ReserveFull, held pages otherwise).
+	KVPages int
+	KVBytes float64
+}
+
+// InFlight is the total admission-relevant occupancy: queued plus running.
+func (l Load) InFlight() int { return l.Queued + l.Running }
+
+// Instance is one steppable serving simulation: the exact event loop
+// behind Run, exposed request by request so a cluster router can feed R
+// replicas from one split arrival stream and observe per-iteration load.
+//
+// The driving contract: Push requests in non-decreasing arrival-time
+// order; each Push first advances the clock to the arrival (so a request
+// can never be admitted before it exists, and explicit AdvanceTo calls are
+// purely observational — their granularity never changes the outcome: a
+// replica's result depends only on its Push sequence). Drain runs the loop
+// to completion; Result then assembles exactly what Run would have
+// returned for the same request sequence.
+type Instance struct {
+	sim     *simulator
+	pushed  int
+	lastT   float64
+	drained bool
+}
+
+// NewInstance builds a steppable replica from a capacity spec and a shape
+// envelope. The spec carries capacity only — model/system/precision,
+// batching and KV limits, and the admission policy; its workload and
+// arrival fields must be zero (the router owns the stream). The envelope
+// is the set of request shapes the router may push (duplicates are fine):
+// the KV geometry, step-cost samples and batch caps are derived from its
+// bounds exactly as Run derives them from a workload, so an instance fed a
+// workload's requests prices them byte-identically to Run on that
+// workload.
+func NewInstance(s Spec, envelope []Request) (*Instance, error) {
+	if len(s.Mix) > 0 || s.Trace != nil || s.PromptTokens != 0 || s.GenTokens != 0 {
+		return nil, fmt.Errorf("serve: an instance spec carries capacity only — leave PromptTokens/GenTokens/Mix/Trace zero, the router pushes requests")
+	}
+	if s.Arrival != Poisson || s.Rate != 0 || s.Clients != 0 || s.Requests != 0 || s.Seed != 0 {
+		return nil, fmt.Errorf("serve: an instance spec carries no arrival process — leave Arrival/Rate/Clients/Requests/Seed zero")
+	}
+	if len(envelope) == 0 {
+		return nil, fmt.Errorf("serve: an instance needs a non-empty shape envelope")
+	}
+	// Pose the envelope as a zero-time trace: every existing validation
+	// and geometry path (shape bounds, KV budget, policy construction,
+	// step-coster configuration) then sees exactly the workload Run would
+	// see, with no second derivation to drift.
+	env := s
+	env.Trace = make([]TraceEvent, len(envelope))
+	for i, sh := range envelope {
+		env.Trace[i] = TraceEvent{Request: sh}
+	}
+	env = env.withDefaults()
+	if err := env.validateShape(); err != nil {
+		return nil, err
+	}
+	sim, err := newSimulator(env)
+	if err != nil {
+		return nil, err
+	}
+	// The envelope trace configured geometry; it is not an arrival stream.
+	sim.arrivals, sim.shapes, sim.target = nil, nil, 0
+	return &Instance{sim: sim}, nil
+}
+
+// Push hands the instance one request arriving at time t. Requests must
+// arrive in non-decreasing t order and fit the envelope's largest context
+// (the KV geometry was sized to it). Push first advances the clock to t
+// (running any pending iterations, exactly as Run's loop would before the
+// arrival joins the queue); pushing into an instance left idle before t
+// jumps the clock to t — Run's idle jump to its next pre-generated
+// arrival.
+func (in *Instance) Push(r Request, t float64) error {
+	if in.drained {
+		return fmt.Errorf("serve: push after drain")
+	}
+	if !(t >= in.lastT) || math.IsInf(t, 0) {
+		return fmt.Errorf("serve: push at %g not finite and non-decreasing (previous %g)", t, in.lastT)
+	}
+	if err := validateTenantName(r.Tenant); err != nil {
+		return fmt.Errorf("serve: push: %w", err)
+	}
+	if r.PromptTokens < 1 || r.GenTokens < 1 {
+		return fmt.Errorf("serve: push needs a positive prompt and at least one generated token, got %d/%d", r.PromptTokens, r.GenTokens)
+	}
+	if c := r.context(); c > in.sim.kv1 {
+		return fmt.Errorf("serve: pushed request spans %d tokens, beyond the instance envelope's largest context %d", c, in.sim.kv1)
+	}
+	in.lastT = t
+	in.AdvanceTo(t)
+	sim := in.sim
+	if sim.idle() && sim.now < t {
+		sim.now = t
+	}
+	sim.pushShape(in.pushed, r, t)
+	in.pushed++
+	sim.target++
+	return nil
+}
+
+// AdvanceTo runs batching iterations until the instance's clock reaches t
+// or it runs out of work. Iterations are atomic: the clock may overshoot
+// t, exactly as Run's loop overshoots an arrival landing mid-iteration.
+func (in *Instance) AdvanceTo(t float64) {
+	sim := in.sim
+	for !sim.idle() && sim.now < t {
+		sim.step()
+	}
+}
+
+// Drain runs the instance to completion: every pushed request finishes.
+// Further pushes are rejected.
+func (in *Instance) Drain() {
+	in.drained = true
+	sim := in.sim
+	for !sim.idle() {
+		sim.step()
+	}
+}
+
+// Pushed returns the number of requests routed to this instance so far.
+func (in *Instance) Pushed() int { return in.pushed }
+
+// Load samples the instance's current load. Between a router's barrier
+// advances the snapshot is deterministic: it depends only on the push
+// sequence and the advance target, never on goroutine scheduling.
+func (in *Instance) Load() Load {
+	sim := in.sim
+	return Load{
+		Now:     sim.now,
+		Queued:  len(sim.queue),
+		Running: len(sim.running),
+		Done:    len(sim.done),
+		KVPages: sim.pol.usedPages(),
+		KVBytes: sim.pol.usedBytes(),
+	}
+}
+
+// Result assembles the completed simulation's metrics; the instance must
+// be drained first. Request IDs are local push indices (0-based, in push
+// order) — a router merging replicas remaps them to its global arrival
+// indices.
+func (in *Instance) Result() (Result, error) {
+	if !in.drained {
+		return Result{}, fmt.Errorf("serve: result before drain (%d requests still in flight)", in.sim.target-len(in.sim.done))
+	}
+	return in.sim.finish(), nil
+}

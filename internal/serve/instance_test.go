@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// capacityOf strips a full workload spec down to the capacity descriptor an
+// Instance carries, and returns the arrival stream (times + shapes) the
+// router would push — generated through the same exported helpers Run uses
+// internally.
+func capacityOf(t *testing.T, s Spec) (cap Spec, times []float64, shapes []Request) {
+	t.Helper()
+	d := s.withDefaults()
+	shapes, err := MixShapes(d.Mix, d.Requests, d.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	times = PoissonArrivalTimes(d.Rate, d.Requests, d.Seed)
+	cap = s
+	cap.PromptTokens, cap.GenTokens = 0, 0
+	cap.Mix, cap.Trace = nil, nil
+	cap.Arrival, cap.Rate, cap.Clients, cap.Requests, cap.Seed = Poisson, 0, 0, 0, 0
+	return cap, times, shapes
+}
+
+// TestInstanceReproducesRun: an Instance pushed Run's own arrival stream
+// must reproduce Run byte-identically (reflect + JSON) across the policy
+// axis — the degenerate-equivalence pin for the steppable-core refactor
+// and the foundation of the R=1 cluster equivalence.
+func TestInstanceReproducesRun(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"reserve", func(s *Spec) {}},
+		{"paged", func(s *Spec) { s.Policy = Paged; s.PageTokens = 16; s.KVCapacity = 3e9; s.MaxBatch = 8 }},
+		{"disagg", func(s *Spec) { s.Policy = Disaggregated; s.TransferGBps = 25; s.KVCapacity = 3e9 }},
+		{"mix", func(s *Spec) {
+			s.PromptTokens, s.GenTokens = 0, 0
+			s.Mix = []TenantLoad{
+				{Tenant: "chat", Share: 0.7, PromptTokens: 150, GenTokens: 100},
+				{Tenant: "batch", Share: 0.3, PromptTokens: 400, GenTokens: 50},
+			}
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := spec0(t)
+			s.Rate, s.Requests = 2.0, 48
+			tc.mut(&s)
+			want, err := Run(s)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			capSpec, times, shapes := capacityOf(t, s)
+			in, err := NewInstance(capSpec, shapes)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, at := range times {
+				in.AdvanceTo(at)
+				if err := in.Push(shapes[i], at); err != nil {
+					t.Fatal(err)
+				}
+			}
+			in.Drain()
+			got, err := in.Result()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("instance result diverges from Run")
+			}
+			jw, _ := json.Marshal(want)
+			jg, _ := json.Marshal(got)
+			if string(jw) != string(jg) {
+				t.Errorf("JSON encodings differ:\nrun:      %.200s\ninstance: %.200s", jw, jg)
+			}
+		})
+	}
+}
+
+// TestInstanceAdvanceGranularityIrrelevant: an instance's outcome depends
+// only on its push sequence, never on whether or how finely the driver
+// interleaves AdvanceTo (Push advances to the arrival itself) — the
+// property that lets load-independent routing run replicas fully parallel
+// while load-aware routing barriers per arrival to sample loads.
+func TestInstanceAdvanceGranularityIrrelevant(t *testing.T) {
+	s := spec0(t)
+	s.Rate, s.Requests = 2.0, 32
+	capSpec, times, shapes := capacityOf(t, s)
+
+	run := func(advance func(in *Instance, at float64)) Result {
+		in, err := NewInstance(capSpec, shapes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, at := range times {
+			advance(in, at)
+			if err := in.Push(shapes[i], at); err != nil {
+				t.Fatal(err)
+			}
+		}
+		in.Drain()
+		res, err := in.Result()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	coarse := run(func(in *Instance, at float64) {})                       // push everything, then drain
+	perArrival := run(func(in *Instance, at float64) { in.AdvanceTo(at) }) // barrier before each push
+	fine := run(func(in *Instance, at float64) {                           // many tiny advances
+		for t := in.Load().Now; t < at; t += 0.05 {
+			in.AdvanceTo(t)
+		}
+		in.AdvanceTo(at)
+	})
+	if !reflect.DeepEqual(coarse, perArrival) || !reflect.DeepEqual(coarse, fine) {
+		t.Error("advance granularity changed the simulation outcome")
+	}
+}
+
+// TestInstanceLoadObservables: the load snapshot tracks the event loop —
+// monotone completion count, conserved in-flight accounting, and a final
+// drained state with nothing queued or running.
+func TestInstanceLoadObservables(t *testing.T) {
+	s := spec0(t)
+	s.Rate, s.Requests = 4.0, 24
+	capSpec, times, shapes := capacityOf(t, s)
+	in, err := NewInstance(capSpec, shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prevDone := 0
+	for i, at := range times {
+		in.AdvanceTo(at)
+		l := in.Load()
+		if l.Done < prevDone {
+			t.Fatalf("completed count went backwards: %d then %d", prevDone, l.Done)
+		}
+		prevDone = l.Done
+		if l.Done+l.InFlight() != in.Pushed() {
+			t.Fatalf("push %d: done %d + in-flight %d != pushed %d", i, l.Done, l.InFlight(), in.Pushed())
+		}
+		if l.KVBytes < 0 || l.KVPages < 0 {
+			t.Fatalf("negative KV accounting: %g bytes, %d pages", l.KVBytes, l.KVPages)
+		}
+		if err := in.Push(shapes[i], at); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in.Drain()
+	l := in.Load()
+	if l.InFlight() != 0 || l.Done != len(times) {
+		t.Errorf("drained instance load = %+v, want 0 in flight and %d done", l, len(times))
+	}
+	if in.Pushed() != len(times) {
+		t.Errorf("Pushed() = %d, want %d", in.Pushed(), len(times))
+	}
+}
+
+// TestInstanceValidation pins the Instance API's rejection surface: specs
+// smuggling workload or arrival fields, empty envelopes, out-of-order or
+// malformed pushes, oversized contexts, and use-after-drain.
+func TestInstanceValidation(t *testing.T) {
+	s := spec0(t)
+	capSpec, _, shapes := capacityOf(t, s)
+
+	bad := capSpec
+	bad.PromptTokens = 100
+	if _, err := NewInstance(bad, shapes); err == nil || !strings.Contains(err.Error(), "capacity only") {
+		t.Errorf("workload fields on an instance spec: got %v", err)
+	}
+	bad = capSpec
+	bad.Rate = 1
+	if _, err := NewInstance(bad, shapes); err == nil || !strings.Contains(err.Error(), "arrival process") {
+		t.Errorf("arrival fields on an instance spec: got %v", err)
+	}
+	if _, err := NewInstance(capSpec, nil); err == nil || !strings.Contains(err.Error(), "envelope") {
+		t.Errorf("empty envelope: got %v", err)
+	}
+	if _, err := NewInstance(capSpec, []Request{{Tenant: "x", PromptTokens: -1, GenTokens: 1}}); err == nil {
+		t.Error("malformed envelope shape should be rejected")
+	}
+
+	in, err := NewInstance(capSpec, shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := shapes[0]
+	if err := in.Push(sh, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Push(sh, 4); err == nil || !strings.Contains(err.Error(), "non-decreasing") {
+		t.Errorf("decreasing push time: got %v", err)
+	}
+	if err := in.Push(sh, math.Inf(1)); err == nil {
+		t.Error("infinite push time should be rejected")
+	}
+	if err := in.Push(Request{Tenant: "x", PromptTokens: 0, GenTokens: 1}, 6); err == nil {
+		t.Error("zero-prompt push should be rejected")
+	}
+	if err := in.Push(Request{Tenant: "x", PromptTokens: 1 << 20, GenTokens: 1 << 20}, 6); err == nil ||
+		!strings.Contains(err.Error(), "envelope") {
+		t.Errorf("over-envelope context: got %v", err)
+	}
+	if _, err := in.Result(); err == nil || !strings.Contains(err.Error(), "drain") {
+		t.Errorf("result before drain: got %v", err)
+	}
+	in.Drain()
+	if err := in.Push(sh, 7); err == nil || !strings.Contains(err.Error(), "drain") {
+		t.Errorf("push after drain: got %v", err)
+	}
+}
+
+// TestInstanceZeroPushes: an instance drained without any pushes reports a
+// zero-request Result rather than dividing by zero iterations.
+func TestInstanceZeroPushes(t *testing.T) {
+	s := spec0(t)
+	capSpec, _, shapes := capacityOf(t, s)
+	in, err := NewInstance(capSpec, shapes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.Drain()
+	res, err := in.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 0 || res.Iterations != 0 || res.SimTime != 0 {
+		t.Errorf("zero-push result = %d requests, %d iterations, %g sim time; want all zero",
+			res.Requests, res.Iterations, res.SimTime)
+	}
+	if math.IsNaN(res.MeanBatch) || math.IsNaN(res.MeanKVUtil) {
+		t.Error("zero-push result carries NaN means")
+	}
+}

@@ -43,7 +43,6 @@ package serve
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
 	"optimus/internal/arch"
@@ -256,6 +255,13 @@ func (s Spec) validateExclusive() error {
 	if len(s.Mix) > 0 && len(s.Trace) > 0 {
 		return fmt.Errorf("serve: Mix and Trace are mutually exclusive")
 	}
+	// A non-nil empty trace is a replay of nothing, not a request to
+	// generate a workload: without this check it would fall through to the
+	// mix path and silently simulate the spec-wide shape instead of the
+	// trace the caller supplied.
+	if s.Trace != nil && len(s.Trace) == 0 {
+		return fmt.Errorf("serve: empty trace — a replay needs at least one event (leave Trace nil to generate a workload)")
+	}
 	if (len(s.Mix) > 0 || len(s.Trace) > 0) && (s.PromptTokens != 0 || s.GenTokens != 0) {
 		return fmt.Errorf("serve: PromptTokens/GenTokens describe the degenerate single-tenant workload — leave them zero with an explicit Mix or Trace")
 	}
@@ -416,7 +422,14 @@ type RequestMetrics struct {
 	KVTransferTime float64
 }
 
-// Percentiles summarizes one latency distribution.
+// Percentiles summarizes one latency distribution with nearest-rank
+// percentiles: Pq is the sample at 1-based rank ceil(q·n) of the sorted
+// n-sample set. Nearest-rank saturates rather than interpolates on small
+// samples — for n < 20 the P95 rank is n itself, so P95 == Max, and for
+// n < 100 likewise P99 == Max. Short runs and low-share tenants therefore
+// report degenerate (maximum-valued) tail percentiles by construction;
+// that is a property of the estimator, not an off-by-one
+// (TestPercentilesNearestRank pins the exact ranks).
 type Percentiles struct {
 	P50, P95, P99 float64
 	Mean, Max     float64
@@ -592,7 +605,10 @@ type request struct {
 
 // Run executes the simulation. It is fully deterministic: the only
 // randomness is the seeded arrival process, and the event loop is a single
-// goroutine over slices in arrival order.
+// goroutine over slices in arrival order. Run is a driver over the
+// steppable simulator core (sim.go) that Instance exposes piecemeal — the
+// two paths share every line of event-loop code, so an Instance fed Run's
+// arrival stream reproduces Run byte-identically.
 func Run(s Spec) (Result, error) {
 	if err := s.validateExclusive(); err != nil {
 		return Result{}, err
@@ -601,353 +617,54 @@ func Run(s Spec) (Result, error) {
 	if err := s.validateShape(); err != nil {
 		return Result{}, err
 	}
-	// One policy per simulation: the KV geometry behind it is derived
-	// exactly once (one memfoot.Inference evaluation), never per
-	// iteration — TestRunDerivesKVGeometryOnce pins this.
-	pol := newPolicy(s)
-	if err := s.validateFit(pol); err != nil {
-		return Result{}, err
-	}
-	// The disaggregated policy is the only one with pool-migration state
-	// the event loop must drain (transfer time) and report (per-pool
-	// counters); the interface stays sealed to the common surface.
-	dp, _ := pol.(*disaggPolicy)
-	coster, err := infer.NewStepCoster(s.inferSpec())
+	sim, err := newSimulator(s)
 	if err != nil {
 		return Result{}, err
 	}
-	// The step cost is linear in the KV length at fixed batch
-	// (TestDecodeStepLinearInKV) and the prefill cost is fixed per batch,
-	// so each batch size needs at most three kernel-enumeration passes;
-	// every further iteration prices in O(1). Plain float math on cached
-	// samples, so determinism is untouched. The decode line is sampled at
-	// the workload's extreme KV lengths — for the degenerate single-tenant
-	// workload exactly the PR-3 prompt+1 .. prompt+gen span — and, being a
-	// line, prices every intermediate per-request length exactly.
-	bounds := s.bounds()
-	kv0, kv1 := bounds.minPrompt+1, bounds.maxContext
-	// refPrompt is the prompt length the coster's prefill samples price
-	// (the workload's largest); shorter prompts scale the sample linearly.
-	refPrompt := bounds.maxPrompt
-	prefillCache := make(map[int]float64)
-	prefill := func(batch int) float64 {
-		t, ok := prefillCache[batch]
-		if !ok {
-			t = coster.Prefill(batch).Time()
-			prefillCache[batch] = t
-		}
-		return t
-	}
-	type decodeLine struct{ base, slope float64 }
-	decodeCache := make(map[int]decodeLine)
-	// decode prices one step at a possibly fractional mean KV length — the
-	// linear model makes mean-of-batch pricing exact without rounding.
-	decode := func(kvMean float64, batch int) float64 {
-		ln, ok := decodeCache[batch]
-		if !ok {
-			ln.base = coster.DecodeStep(kv0, batch).Time()
-			if kv1 > kv0 {
-				ln.slope = (coster.DecodeStep(kv1, batch).Time() - ln.base) / float64(kv1-kv0)
-			}
-			decodeCache[batch] = ln
-		}
-		return ln.base + ln.slope*(kvMean-float64(kv0))
-	}
-
-	budget := pol.budgetBytes()
-	batchCap := pol.BatchCap()
 
 	// Every arrival index is assigned its request shape up front, so the
 	// assignment is identical whether ids are issued open- or closed-loop.
 	// Open-loop arrivals are pre-generated; closed-loop ones are issued on
 	// completion.
-	var arrivals []float64
-	var shapes []Request
-	issued := 0
 	switch {
 	case len(s.Trace) > 0:
-		arrivals = make([]float64, len(s.Trace))
-		shapes = make([]Request, len(s.Trace))
+		sim.arrivals = make([]float64, len(s.Trace))
+		sim.shapes = make([]Request, len(s.Trace))
 		for i, ev := range s.Trace {
-			arrivals[i] = ev.Arrival
-			shapes[i] = ev.Request
+			sim.arrivals[i] = ev.Arrival
+			sim.shapes[i] = ev.Request
 		}
-		issued = s.Requests
+		sim.issued = s.Requests
 	case s.Arrival == Poisson:
-		shapes = mixShapes(s.Mix, s.Requests, s.Seed)
-		rng := rand.New(rand.NewSource(s.Seed))
-		t := 0.0
-		arrivals = make([]float64, s.Requests)
-		for i := range arrivals {
-			t += rng.ExpFloat64() / s.Rate
-			arrivals[i] = t
-		}
-		issued = s.Requests
+		sim.shapes = mixShapes(s.Mix, s.Requests, s.Seed)
+		sim.arrivals = PoissonArrivalTimes(s.Rate, s.Requests, s.Seed)
+		sim.issued = s.Requests
 	default:
-		shapes = mixShapes(s.Mix, s.Requests, s.Seed)
-	}
-
-	var (
-		now        float64
-		queue      []*request // FIFO; preemption re-queues victims at the head
-		running    []*request // admission order
-		nextArr    int        // next pre-generated arrival index
-		done       []RequestMetrics
-		iterations int
-		batchSum   float64
-		peakBatch  int
-		peakKV     float64
-		peakPages  int
-		utilSum    float64
-	)
-	done = make([]RequestMetrics, 0, s.Requests)
-
-	// enqueue issues request id at time t with its pre-assigned shape.
-	enqueue := func(id int, t float64) {
-		sh := shapes[id]
-		queue = append(queue, &request{
-			id: id, arrival: t,
-			tenant: sh.Tenant, prompt: sh.PromptTokens, gen: sh.GenTokens,
-		})
-	}
-	// admitArrived moves every pre-generated arrival with time <= now into
-	// the queue (iteration-level batching: requests landing mid-iteration
-	// wait for the next boundary).
-	admitArrived := func() {
-		for nextArr < len(arrivals) && arrivals[nextArr] <= now {
-			enqueue(nextArr, arrivals[nextArr])
-			nextArr++
-		}
-	}
-
-	if s.Arrival == ClosedLoop {
+		sim.shapes = mixShapes(s.Mix, s.Requests, s.Seed)
+		sim.closed = true
 		clients := s.Clients
 		if clients > s.Requests {
 			clients = s.Requests
 		}
 		for i := 0; i < clients; i++ {
-			enqueue(i, 0)
+			sim.enqueue(i, 0)
 		}
-		issued = clients
+		sim.issued = clients
 	}
 
-	for len(done) < s.Requests {
-		admitArrived()
+	for len(sim.done) < sim.target {
+		sim.admitArrived()
 		// Idle: jump to the next arrival.
-		if len(running) == 0 && len(queue) == 0 {
-			if nextArr >= len(arrivals) {
-				return Result{}, fmt.Errorf("serve: simulation stalled with %d/%d requests done", len(done), s.Requests)
+		if sim.idle() {
+			if sim.nextArr >= len(sim.arrivals) {
+				return Result{}, fmt.Errorf("serve: simulation stalled with %d/%d requests done", len(sim.done), sim.target)
 			}
-			now = arrivals[nextArr]
-			admitArrived()
+			sim.now = sim.arrivals[sim.nextArr]
+			sim.admitArrived()
 		}
-
-		// Let the policy make room for every established sequence's next
-		// token; under the paged policy this is where victims are chosen
-		// (LIFO) and sent back to the head of the queue for a recompute
-		// readmission.
-		kept, victims := pol.beginStep(running)
-		running = kept
-		if len(victims) > 0 {
-			requeue := make([]*request, 0, len(victims)+len(queue))
-			// Victims were collected youngest-first; reverse so the queue
-			// head readmits the longest-running (most to rebuild) victim
-			// first. A victim keeps its produced count: readmission prices
-			// one prefill pass that rebuilds the discarded KV — vLLM's
-			// recompute preemption, where already-generated tokens are
-			// recovered as context by the recompute prefill, not decoded
-			// again — and the sequence resumes from where it was evicted.
-			for i := len(victims) - 1; i >= 0; i-- {
-				v := victims[i]
-				v.preempts++
-				requeue = append(requeue, v)
-			}
-			queue = append(requeue, queue...)
-		}
-
-		// Admit waiting requests up to the batch cap and the policy's KV
-		// capacity. An iteration that just preempted skips admission — the
-		// pool is under pressure, and admitting would thrash the victim
-		// straight back in.
-		newbies, prefillTokens := 0, 0
-		if len(victims) == 0 {
-			for len(queue) > 0 && len(running) < batchCap && pol.admit(queue[0]) {
-				r := queue[0]
-				queue = queue[1:]
-				if r.admissions == 0 {
-					r.admitted = now
-				}
-				r.admissions++
-				running = append(running, r)
-				newbies++
-				// The pass prefills this request's own prompt; a resumed
-				// victim's recompute prefill spans its generated tokens
-				// too — bill the true token count below.
-				prefillTokens += r.prompt + r.produced
-			}
-		}
-		kv := pol.usedBytes()
-		if kv > peakKV {
-			peakKV = kv
-		}
-		if up := pol.usedPages(); up > peakPages {
-			peakPages = up
-		}
-		utilSum += kv / budget
-		if len(running) > peakBatch {
-			peakBatch = len(running)
-		}
-		if s.probe != nil {
-			held := 0
-			for _, r := range running {
-				held += r.pages
-			}
-			_, totalPages := pol.PageGeometry()
-			ps := probeState{
-				iteration: iterations, running: len(running), queued: len(queue),
-				usedPages: pol.usedPages(), totalPages: totalPages, runningPages: held,
-				usedBytes: kv, budget: budget,
-			}
-			if dp != nil {
-				ps.prefillPages, ps.prefillTotal = dp.prefillUsed, dp.prefillTotal
-				ps.decodePages, ps.decodeTotal = dp.decodeUsed, dp.decodeTotal
-				for _, r := range running {
-					if r.inDecode {
-						ps.runningDecodePages += r.pages
-					} else {
-						ps.runningPrefillPages += r.pages
-					}
-				}
-				for _, r := range running[:len(running)-newbies] {
-					if !r.inDecode {
-						ps.decidersInPrefill++
-					}
-				}
-			}
-			s.probe(ps)
-		}
-
-		// Price the iteration: one prefill pass over the newly admitted
-		// sequences plus one decode step over the established ones. The
-		// decode batch is priced at its mean KV length — exact under the
-		// step cost's linearity in kvLen (TestDecodeStepLinearInKV).
-		deciders := running[:len(running)-newbies]
-		var iterTime float64
-		if newbies > 0 {
-			// The prefill sample prices newbies * refPrompt tokens. Batches
-			// whose requests carry shorter prompts — and resumed preemption
-			// victims, whose recompute prefill also rebuilds their generated
-			// tokens' KV — scale the sample by the true token count:
-			// per-token linear, which slightly undercharges the quadratic
-			// attention share but keeps recompute far from free (and leaves
-			// uniform fresh-only batches, the degenerate-equivalence path,
-			// untouched).
-			t := prefill(newbies)
-			if ref := newbies * refPrompt; prefillTokens != ref {
-				t *= float64(prefillTokens) / float64(ref)
-			}
-			iterTime += t
-		}
-		if len(deciders) > 0 {
-			kvSum := 0
-			for _, r := range deciders {
-				// The step generating token produced+1 attends over the
-				// request's own prompt plus every generated token including
-				// the new one.
-				kvSum += r.prompt + r.produced + 1
-			}
-			iterTime += decode(float64(kvSum)/float64(len(deciders)), len(deciders))
-		}
-		if dp != nil {
-			// KV migrations accrued by this iteration's pool hand-offs
-			// serialize on the interconnect and stall the step; an
-			// infinite-bandwidth link contributes exactly zero.
-			iterTime += dp.drainTransfer()
-		}
-		iterations++
-		batchSum += float64(len(running))
-		now += iterTime
-
-		// Advance sequences: prefill emits the first token, decode steps
-		// one more each; completed requests leave and free their KV. The
-		// firstToken guard keeps the first emission across preemptions
-		// (every iteration has positive duration, so 0 means unset).
-		alive := running[:0]
-		for _, r := range running {
-			r.produced++
-			if r.produced == 1 && r.firstToken == 0 {
-				r.firstToken = now
-			}
-			if r.produced < r.gen {
-				alive = append(alive, r)
-				continue
-			}
-			pol.release(r)
-			m := RequestMetrics{
-				ID: r.id, Tenant: r.tenant,
-				PromptTokens: r.prompt, GenTokens: r.gen,
-				Arrival: r.arrival, Admitted: r.admitted,
-				FirstToken: r.firstToken, Done: now,
-				Queue:          r.admitted - r.arrival,
-				TTFT:           r.firstToken - r.arrival,
-				E2E:            now - r.arrival,
-				Preemptions:    r.preempts,
-				KVTransfers:    r.transfers,
-				KVTransferTime: r.transferTime,
-			}
-			if r.gen > 1 {
-				m.TPOT = (now - r.firstToken) / float64(r.gen-1)
-			}
-			done = append(done, m)
-			if s.Arrival == ClosedLoop && issued < s.Requests {
-				enqueue(issued, now)
-				issued++
-			}
-		}
-		running = alive
+		sim.step()
 	}
-
-	sort.Slice(done, func(i, j int) bool { return done[i].ID < done[j].ID })
-	pageTokens, totalPages := pol.PageGeometry()
-	preemptions, recomputed := pol.counters()
-	res := Result{
-		Requests:         len(done),
-		SimTime:          now,
-		Iterations:       iterations,
-		MeanBatch:        batchSum / float64(iterations),
-		PeakBatch:        peakBatch,
-		PeakKVBytes:      peakKV,
-		MeanKVUtil:       utilSum / float64(iterations),
-		MaxBatch:         batchCap,
-		KVCapacity:       budget,
-		Policy:           s.Policy,
-		PageTokens:       pageTokens,
-		KVPagesTotal:     totalPages,
-		PeakKVPages:      peakPages,
-		Preemptions:      preemptions,
-		RecomputedTokens: recomputed,
-		PerRequest:       done,
-	}
-	if dp != nil {
-		res.PrefillDevices, res.DecodeDevices = CanonicalPoolSplit(Disaggregated, s.PrefillDevices, s.DecodeDevices, s.TP)
-		res.PrefillPagesTotal, res.DecodePagesTotal = dp.prefillTotal, dp.decodeTotal
-		res.PeakPrefillPages, res.PeakDecodePages = dp.peakPrefill, dp.peakDecode
-		res.KVTransfers, res.TransferTimeTotal = dp.transfers, dp.transferTotal
-	}
-	if now > 0 {
-		genSum := 0
-		for _, m := range done {
-			genSum += m.GenTokens
-		}
-		res.ThroughputRPS = float64(len(done)) / now
-		res.TokensPerSec = float64(genSum) / now
-	}
-	res.TTFT = metricPercentiles(done, func(m RequestMetrics) float64 { return m.TTFT })
-	res.TPOT = metricPercentiles(done, func(m RequestMetrics) float64 { return m.TPOT })
-	res.E2E = metricPercentiles(done, func(m RequestMetrics) float64 { return m.E2E })
-	res.Queue = metricPercentiles(done, func(m RequestMetrics) float64 { return m.Queue })
-	res.PerTenant = tenantBreakdown(done)
-	return res, nil
+	return sim.finish(), nil
 }
 
 // metricPercentiles extracts and summarizes one per-request metric.

@@ -1,0 +1,424 @@
+package serve
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"optimus/internal/infer"
+)
+
+// decodeLine is one batch size's cached decode-step pricing: the step cost
+// is linear in the KV length at fixed batch (TestDecodeStepLinearInKV), so
+// two samples price every intermediate length exactly.
+type decodeLine struct{ base, slope float64 }
+
+// simulator is the steppable core behind Run and Instance: the full
+// continuous-batching event loop as explicit state plus a step method, so
+// the iteration boundary is a first-class place to observe load (the
+// cluster router hook) without perturbing the sealed admission policies.
+// Run drives it to completion over a pre-generated arrival stream;
+// Instance feeds it request by request.
+type simulator struct {
+	spec Spec
+	pol  AdmissionPolicy
+	// dp is the disaggregated policy's widened handle (nil elsewhere): the
+	// only policy with pool-migration state the event loop must drain
+	// (transfer time) and report (per-pool counters).
+	dp *disaggPolicy
+
+	coster    *infer.StepCoster
+	kv0, kv1  int
+	refPrompt int
+
+	prefillCache map[int]float64
+	decodeCache  map[int]decodeLine
+
+	budget   float64
+	batchCap int
+
+	// arrivals/shapes/nextArr/issued are the Run-mode pre-generated
+	// arrival stream; Instance mode leaves them empty and feeds the queue
+	// through pushShape. target is the completion count Run's driver loop
+	// stops at; closed marks closed-loop issuing on completion.
+	arrivals []float64
+	shapes   []Request
+	nextArr  int
+	issued   int
+	target   int
+	closed   bool
+
+	now        float64
+	queue      []*request // FIFO; preemption re-queues victims at the head
+	running    []*request // admission order
+	done       []RequestMetrics
+	iterations int
+	batchSum   float64
+	peakBatch  int
+	peakKV     float64
+	peakPages  int
+	utilSum    float64
+}
+
+// newSimulator builds the simulator core for a defaulted, shape-validated
+// spec: one policy (one memfoot.Inference evaluation — pinned by
+// TestRunDerivesKVGeometryOnce), one step coster, and the cached pricing
+// samples the event loop re-uses.
+func newSimulator(s Spec) (*simulator, error) {
+	// One policy per simulation: the KV geometry behind it is derived
+	// exactly once, never per iteration.
+	pol := newPolicy(s)
+	if err := s.validateFit(pol); err != nil {
+		return nil, err
+	}
+	dp, _ := pol.(*disaggPolicy)
+	coster, err := infer.NewStepCoster(s.inferSpec())
+	if err != nil {
+		return nil, err
+	}
+	// The step cost is linear in the KV length at fixed batch and the
+	// prefill cost is fixed per batch, so each batch size needs at most
+	// three kernel-enumeration passes; every further iteration prices in
+	// O(1). Plain float math on cached samples, so determinism is
+	// untouched. The decode line is sampled at the workload's extreme KV
+	// lengths — for the degenerate single-tenant workload exactly the PR-3
+	// prompt+1 .. prompt+gen span — and, being a line, prices every
+	// intermediate per-request length exactly.
+	bounds := s.bounds()
+	sim := &simulator{
+		spec:         s,
+		pol:          pol,
+		dp:           dp,
+		coster:       coster,
+		kv0:          bounds.minPrompt + 1,
+		kv1:          bounds.maxContext,
+		refPrompt:    bounds.maxPrompt,
+		prefillCache: make(map[int]float64),
+		decodeCache:  make(map[int]decodeLine),
+		budget:       pol.budgetBytes(),
+		batchCap:     pol.BatchCap(),
+		target:       s.Requests,
+		done:         make([]RequestMetrics, 0, s.Requests),
+	}
+	return sim, nil
+}
+
+// prefill prices one prefill pass over batch newly admitted sequences at
+// the reference prompt length, caching per batch size.
+func (sim *simulator) prefill(batch int) float64 {
+	t, ok := sim.prefillCache[batch]
+	if !ok {
+		t = sim.coster.Prefill(batch).Time()
+		sim.prefillCache[batch] = t
+	}
+	return t
+}
+
+// decode prices one step at a possibly fractional mean KV length — the
+// linear model makes mean-of-batch pricing exact without rounding.
+func (sim *simulator) decode(kvMean float64, batch int) float64 {
+	ln, ok := sim.decodeCache[batch]
+	if !ok {
+		ln.base = sim.coster.DecodeStep(sim.kv0, batch).Time()
+		if sim.kv1 > sim.kv0 {
+			ln.slope = (sim.coster.DecodeStep(sim.kv1, batch).Time() - ln.base) / float64(sim.kv1-sim.kv0)
+		}
+		sim.decodeCache[batch] = ln
+	}
+	return ln.base + ln.slope*(kvMean-float64(sim.kv0))
+}
+
+// enqueue issues request id at time t with its pre-assigned shape.
+func (sim *simulator) enqueue(id int, t float64) {
+	sim.pushShape(id, sim.shapes[id], t)
+}
+
+// pushShape appends one request to the FIFO queue; it joins the batch at
+// the next iteration boundary (iteration-level batching).
+func (sim *simulator) pushShape(id int, sh Request, t float64) {
+	sim.queue = append(sim.queue, &request{
+		id: id, arrival: t,
+		tenant: sh.Tenant, prompt: sh.PromptTokens, gen: sh.GenTokens,
+	})
+}
+
+// admitArrived moves every pre-generated arrival with time <= now into
+// the queue (requests landing mid-iteration wait for the next boundary).
+func (sim *simulator) admitArrived() {
+	for sim.nextArr < len(sim.arrivals) && sim.arrivals[sim.nextArr] <= sim.now {
+		sim.enqueue(sim.nextArr, sim.arrivals[sim.nextArr])
+		sim.nextArr++
+	}
+}
+
+// idle reports whether the simulator holds no admissible work: stepping an
+// idle simulator would make no progress, so drivers jump the clock (Run,
+// Instance.Push) instead.
+func (sim *simulator) idle() bool {
+	return len(sim.running) == 0 && len(sim.queue) == 0
+}
+
+// step executes one batching iteration: policy bookkeeping and preemption,
+// admission, pricing, and sequence advancement. It requires pending work
+// (queue or running non-empty) and always advances the clock.
+func (sim *simulator) step() {
+	s := sim.spec
+
+	// Let the policy make room for every established sequence's next
+	// token; under the paged policy this is where victims are chosen
+	// (LIFO) and sent back to the head of the queue for a recompute
+	// readmission.
+	kept, victims := sim.pol.beginStep(sim.running)
+	sim.running = kept
+	if len(victims) > 0 {
+		requeue := make([]*request, 0, len(victims)+len(sim.queue))
+		// Victims were collected youngest-first; reverse so the queue
+		// head readmits the longest-running (most to rebuild) victim
+		// first. A victim keeps its produced count: readmission prices
+		// one prefill pass that rebuilds the discarded KV — vLLM's
+		// recompute preemption, where already-generated tokens are
+		// recovered as context by the recompute prefill, not decoded
+		// again — and the sequence resumes from where it was evicted.
+		for i := len(victims) - 1; i >= 0; i-- {
+			v := victims[i]
+			v.preempts++
+			requeue = append(requeue, v)
+		}
+		sim.queue = append(requeue, sim.queue...)
+	}
+
+	// Admit waiting requests up to the batch cap and the policy's KV
+	// capacity. An iteration that just preempted skips admission — the
+	// pool is under pressure, and admitting would thrash the victim
+	// straight back in.
+	newbies, prefillTokens := 0, 0
+	if len(victims) == 0 {
+		for len(sim.queue) > 0 && len(sim.running) < sim.batchCap && sim.pol.admit(sim.queue[0]) {
+			r := sim.queue[0]
+			sim.queue = sim.queue[1:]
+			if r.admissions == 0 {
+				r.admitted = sim.now
+			}
+			r.admissions++
+			sim.running = append(sim.running, r)
+			newbies++
+			// The pass prefills this request's own prompt; a resumed
+			// victim's recompute prefill spans its generated tokens
+			// too — bill the true token count below.
+			prefillTokens += r.prompt + r.produced
+		}
+	}
+	kv := sim.pol.usedBytes()
+	if kv > sim.peakKV {
+		sim.peakKV = kv
+	}
+	if up := sim.pol.usedPages(); up > sim.peakPages {
+		sim.peakPages = up
+	}
+	sim.utilSum += kv / sim.budget
+	if len(sim.running) > sim.peakBatch {
+		sim.peakBatch = len(sim.running)
+	}
+	if s.probe != nil {
+		held := 0
+		for _, r := range sim.running {
+			held += r.pages
+		}
+		_, totalPages := sim.pol.PageGeometry()
+		ps := probeState{
+			iteration: sim.iterations, running: len(sim.running), queued: len(sim.queue),
+			usedPages: sim.pol.usedPages(), totalPages: totalPages, runningPages: held,
+			usedBytes: kv, budget: sim.budget,
+		}
+		if sim.dp != nil {
+			ps.prefillPages, ps.prefillTotal = sim.dp.prefillUsed, sim.dp.prefillTotal
+			ps.decodePages, ps.decodeTotal = sim.dp.decodeUsed, sim.dp.decodeTotal
+			for _, r := range sim.running {
+				if r.inDecode {
+					ps.runningDecodePages += r.pages
+				} else {
+					ps.runningPrefillPages += r.pages
+				}
+			}
+			for _, r := range sim.running[:len(sim.running)-newbies] {
+				if !r.inDecode {
+					ps.decidersInPrefill++
+				}
+			}
+		}
+		s.probe(ps)
+	}
+
+	// Price the iteration: one prefill pass over the newly admitted
+	// sequences plus one decode step over the established ones. The
+	// decode batch is priced at its mean KV length — exact under the
+	// step cost's linearity in kvLen (TestDecodeStepLinearInKV).
+	deciders := sim.running[:len(sim.running)-newbies]
+	var iterTime float64
+	if newbies > 0 {
+		// The prefill sample prices newbies * refPrompt tokens. Batches
+		// whose requests carry shorter prompts — and resumed preemption
+		// victims, whose recompute prefill also rebuilds their generated
+		// tokens' KV — scale the sample by the true token count:
+		// per-token linear, which slightly undercharges the quadratic
+		// attention share but keeps recompute far from free (and leaves
+		// uniform fresh-only batches, the degenerate-equivalence path,
+		// untouched).
+		t := sim.prefill(newbies)
+		if ref := newbies * sim.refPrompt; prefillTokens != ref {
+			t *= float64(prefillTokens) / float64(ref)
+		}
+		iterTime += t
+	}
+	if len(deciders) > 0 {
+		kvSum := 0
+		for _, r := range deciders {
+			// The step generating token produced+1 attends over the
+			// request's own prompt plus every generated token including
+			// the new one.
+			kvSum += r.prompt + r.produced + 1
+		}
+		iterTime += sim.decode(float64(kvSum)/float64(len(deciders)), len(deciders))
+	}
+	if sim.dp != nil {
+		// KV migrations accrued by this iteration's pool hand-offs
+		// serialize on the interconnect and stall the step; an
+		// infinite-bandwidth link contributes exactly zero.
+		iterTime += sim.dp.drainTransfer()
+	}
+	sim.iterations++
+	sim.batchSum += float64(len(sim.running))
+	sim.now += iterTime
+
+	// Advance sequences: prefill emits the first token, decode steps
+	// one more each; completed requests leave and free their KV. The
+	// firstToken guard keeps the first emission across preemptions
+	// (every iteration has positive duration, so 0 means unset).
+	alive := sim.running[:0]
+	for _, r := range sim.running {
+		r.produced++
+		if r.produced == 1 && r.firstToken == 0 {
+			r.firstToken = sim.now
+		}
+		if r.produced < r.gen {
+			alive = append(alive, r)
+			continue
+		}
+		sim.pol.release(r)
+		m := RequestMetrics{
+			ID: r.id, Tenant: r.tenant,
+			PromptTokens: r.prompt, GenTokens: r.gen,
+			Arrival: r.arrival, Admitted: r.admitted,
+			FirstToken: r.firstToken, Done: sim.now,
+			Queue:          r.admitted - r.arrival,
+			TTFT:           r.firstToken - r.arrival,
+			E2E:            sim.now - r.arrival,
+			Preemptions:    r.preempts,
+			KVTransfers:    r.transfers,
+			KVTransferTime: r.transferTime,
+		}
+		if r.gen > 1 {
+			m.TPOT = (sim.now - r.firstToken) / float64(r.gen-1)
+		}
+		sim.done = append(sim.done, m)
+		if sim.closed && sim.issued < sim.target {
+			sim.enqueue(sim.issued, sim.now)
+			sim.issued++
+		}
+	}
+	sim.running = alive
+}
+
+// finish assembles the Result over the completed set. An instance that was
+// never pushed a request reports a zero Result (no iterations to average).
+func (sim *simulator) finish() Result {
+	s := sim.spec
+	sort.Slice(sim.done, func(i, j int) bool { return sim.done[i].ID < sim.done[j].ID })
+	pageTokens, totalPages := sim.pol.PageGeometry()
+	preemptions, recomputed := sim.pol.counters()
+	res := Result{
+		Requests:         len(sim.done),
+		SimTime:          sim.now,
+		Iterations:       sim.iterations,
+		PeakBatch:        sim.peakBatch,
+		PeakKVBytes:      sim.peakKV,
+		MaxBatch:         sim.batchCap,
+		KVCapacity:       sim.budget,
+		Policy:           s.Policy,
+		PageTokens:       pageTokens,
+		KVPagesTotal:     totalPages,
+		PeakKVPages:      sim.peakPages,
+		Preemptions:      preemptions,
+		RecomputedTokens: recomputed,
+		PerRequest:       sim.done,
+	}
+	if sim.iterations > 0 {
+		res.MeanBatch = sim.batchSum / float64(sim.iterations)
+		res.MeanKVUtil = sim.utilSum / float64(sim.iterations)
+	}
+	if sim.dp != nil {
+		res.PrefillDevices, res.DecodeDevices = CanonicalPoolSplit(Disaggregated, s.PrefillDevices, s.DecodeDevices, s.TP)
+		res.PrefillPagesTotal, res.DecodePagesTotal = sim.dp.prefillTotal, sim.dp.decodeTotal
+		res.PeakPrefillPages, res.PeakDecodePages = sim.dp.peakPrefill, sim.dp.peakDecode
+		res.KVTransfers, res.TransferTimeTotal = sim.dp.transfers, sim.dp.transferTotal
+	}
+	if sim.now > 0 {
+		genSum := 0
+		for _, m := range sim.done {
+			genSum += m.GenTokens
+		}
+		res.ThroughputRPS = float64(len(sim.done)) / sim.now
+		res.TokensPerSec = float64(genSum) / sim.now
+	}
+	res.TTFT = metricPercentiles(sim.done, func(m RequestMetrics) float64 { return m.TTFT })
+	res.TPOT = metricPercentiles(sim.done, func(m RequestMetrics) float64 { return m.TPOT })
+	res.E2E = metricPercentiles(sim.done, func(m RequestMetrics) float64 { return m.E2E })
+	res.Queue = metricPercentiles(sim.done, func(m RequestMetrics) float64 { return m.Queue })
+	res.PerTenant = tenantBreakdown(sim.done)
+	return res
+}
+
+// PoissonArrivalTimes pre-generates n open-loop Poisson arrival timestamps
+// (exponential interarrivals at rate requests/sec) from the seeded stream
+// Run itself draws — the cluster router generates the fleet-wide arrival
+// stream through this exact helper so a routed workload and a single-replica
+// Run see byte-identical timestamps.
+func PoissonArrivalTimes(rate float64, n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	t := 0.0
+	out := make([]float64, n)
+	for i := range out {
+		t += rng.ExpFloat64() / rate
+		out[i] = t
+	}
+	return out
+}
+
+// MixShapes deterministically assigns each of n arrival indices its request
+// shape from a validated workload mix — the exported form of the assignment
+// Run uses, so routers splitting one generated workload across replicas
+// reproduce Run's per-index shapes exactly.
+func MixShapes(mix []TenantLoad, n int, seed int64) ([]Request, error) {
+	if err := ValidateMix(mix); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("serve: negative request count %d", n)
+	}
+	return mixShapes(mix, n, seed), nil
+}
+
+// TenantBreakdown groups completed requests by tenant, sorted by tenant
+// name — exported so fleet-level aggregations (internal/cluster) summarize
+// merged request sets with exactly the per-tenant math Run uses.
+func TenantBreakdown(done []RequestMetrics) []TenantMetrics {
+	return tenantBreakdown(done)
+}
+
+// Summarize computes nearest-rank percentiles over a sample (the input
+// slice is not modified). See Percentiles for the small-sample semantics.
+func Summarize(values []float64) Percentiles {
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	return percentiles(sorted)
+}

@@ -16,10 +16,11 @@ const cacheFileVersion = 1
 // snapshot written by a binary with different kernel/roofline/simulator
 // math would silently serve stale metrics (and break the engine==serial
 // guarantee) if it were accepted. Bump on ANY change that can alter a
-// predictor's output for an unchanged Point — the pr5 bump covers the
-// disaggregated serving pools (serving Metrics gained KV-transfer fields
-// and every Point.Key grew pool-split and transfer-bandwidth segments).
-const costModelVersion = "pr5-disagg-serving"
+// predictor's output for an unchanged Point — the pr6 bump covers the
+// multi-replica cluster serving path (every Point.Key grew fleet-size and
+// routing-policy segments, and fleet candidates are costed by a different
+// simulator composition).
+const costModelVersion = "pr6-cluster-serving"
 
 // cacheFile is the on-disk memoization snapshot: successful evaluations
 // keyed by the canonical Point.Key. Keys already fingerprint the full

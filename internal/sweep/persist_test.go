@@ -134,6 +134,13 @@ func TestLoadCacheMissingAndMalformed(t *testing.T) {
 	if err := eng.LoadCache(strings.NewReader(pr4)); err == nil {
 		t.Error("pre-disaggregation cache should be rejected by the cost-model bump")
 	}
+	// The cluster-serving refactor grew every Point.Key (fleet size +
+	// routing policy), so a PR-5 snapshot must be refused, not silently
+	// served.
+	pr5 := `{"version":1,"cost_model":"pr5-disagg-serving","entries":{}}`
+	if err := eng.LoadCache(strings.NewReader(pr5)); err == nil {
+		t.Error("pre-cluster cache should be rejected by the cost-model bump")
+	}
 }
 
 // TestSaveCacheFileBareFilename: a separator-free -cache path must stage

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"optimus/internal/arch"
+	"optimus/internal/cluster"
 	"optimus/internal/infer"
 	"optimus/internal/memfoot"
 	"optimus/internal/model"
@@ -164,6 +165,18 @@ type Spec struct {
 	// bandwidth in GB/s, serving only; zero means
 	// serve.DefaultTransferGBps, math.Inf(1) a free transfer.
 	TransferGBps float64
+	// Replicas are the fleet sizes to compare per grid cell, serving only:
+	// each entry runs the candidate's serve configuration as a homogeneous
+	// R-replica cluster (internal/cluster) instead of a single instance,
+	// ranking fleet-wide SLO percentiles. A zero entry is the plain
+	// single-instance simulation; nil means {0}.
+	Replicas []int
+	// Routings are the cluster routing policies to compare per fleet
+	// candidate, serving only. Requires Replicas; nil with fleet sizes
+	// present means {cluster.RoundRobin}. Fleets of one replica route
+	// identically under every policy, so their routing axis canonicalizes
+	// to round-robin (one memo key, like the policy-knob axes).
+	Routings []cluster.Routing
 	// ServeRequests is the simulated request count per serving candidate;
 	// zero means 128.
 	ServeRequests int
@@ -248,6 +261,12 @@ func (s Spec) withDefaults() Spec {
 	if s.ServeSeed == 0 {
 		s.ServeSeed = 1
 	}
+	if len(s.Replicas) == 0 {
+		s.Replicas = []int{0}
+	}
+	if len(s.Routings) == 0 {
+		s.Routings = []cluster.Routing{cluster.RoundRobin}
+	}
 	return s
 }
 
@@ -266,6 +285,9 @@ func (s Spec) Validate() error {
 		}
 		if len(s.Mixes) > 0 || len(s.Trace) > 0 {
 			return fmt.Errorf("sweep: Mixes/Trace apply to serving sweeps only")
+		}
+		if len(s.Replicas) > 0 || len(s.Routings) > 0 {
+			return fmt.Errorf("sweep: Replicas/Routings apply to serving sweeps only")
 		}
 	}
 	switch s.Workload {
@@ -346,6 +368,30 @@ func (s Spec) Validate() error {
 				if g < 1 {
 					return fmt.Errorf("sweep: serving needs at least one generated token, got %d", g)
 				}
+			}
+			hasFleet := false
+			for _, r := range s.Replicas {
+				// Zero is the explicit single-instance entry; a negative
+				// fleet cannot be meant.
+				if r < 0 {
+					return fmt.Errorf("sweep: negative fleet size %d replicas", r)
+				}
+				if r > 0 {
+					hasFleet = true
+				}
+			}
+			for _, rt := range s.Routings {
+				switch rt {
+				case cluster.RoundRobin, cluster.LeastQueue, cluster.LeastKV, cluster.TenantAffinity:
+				default:
+					return fmt.Errorf("sweep: unknown routing policy %v", rt)
+				}
+			}
+			// Without a fleet axis every candidate is single-instance and
+			// the routing axis would be silently discarded — reject, like
+			// ServePageTokens without a paging policy.
+			if len(s.Routings) > 0 && !hasFleet {
+				return fmt.Errorf("sweep: Routings needs a positive fleet size in Replicas")
 			}
 			if len(s.Mixes) > 0 {
 				if len(s.Trace) > 0 {
@@ -457,6 +503,12 @@ type Point struct {
 	// so they are part of the candidate's identity.
 	ServeRequests int
 	ServeSeed     int64
+	// Replicas is the homogeneous fleet size the candidate simulates
+	// (0 = plain single-instance serve) and Routing its cluster routing
+	// policy (canonically RoundRobin for fleets of at most one replica);
+	// serving only.
+	Replicas int
+	Routing  cluster.Routing
 
 	// key is the precomputed canonical identity; enumeration fills it so
 	// the engine's hot path never formats strings.
@@ -521,7 +573,7 @@ func (p Point) buildKey(modelStr, sysStr, workloadStr string) string {
 		p.Map.Microbatch, int(p.Map.Schedule), p.Map.VirtualStages,
 		int(p.Recompute), int(p.Precision), p.GlobalBatch, p.Seq, p.GenTokens,
 		p.BatchCap, p.ServeRequests, int(p.Policy), p.PageTokens,
-		p.PrefillDevices, p.DecodeDevices,
+		p.PrefillDevices, p.DecodeDevices, p.Replicas, int(p.Routing),
 	} {
 		buf = append(buf, '|')
 		buf = strconv.AppendInt(buf, int64(v), 10)
@@ -877,12 +929,42 @@ func Enumerate(s Spec) []Point {
 						}
 						return []PoolSplit{{}}
 					}
+					// addFleet stamps the fleet axes onto the cell's base
+					// candidates: one copy per (fleet size, routing), with
+					// the routing axis collapsed to round-robin for
+					// single-instance and one-replica entries (every policy
+					// routes a fleet of one identically, so they would be
+					// duplicate simulations under distinct keys). The base
+					// enumerators key their points with zero fleet fields,
+					// so only fleet copies need re-keying.
+					modelTok, sysTok := modelToken(cfg), systemToken(sys)
+					addFleet := func(points []Point, wlTok string) {
+						for _, reps := range s.Replicas {
+							rts := s.Routings
+							if reps <= 1 {
+								rts = []cluster.Routing{cluster.RoundRobin}
+							}
+							for _, rt := range rts {
+								if reps == 0 {
+									add(points)
+									continue
+								}
+								stamped := make([]Point, len(points))
+								for i, p := range points {
+									p.Replicas, p.Routing = reps, rt
+									p.key = p.buildKey(modelTok, sysTok, wlTok)
+									stamped[i] = p
+								}
+								add(stamped)
+							}
+						}
+					}
 					switch {
 					case len(s.Trace) > 0:
 						for _, batchCap := range s.BatchCaps {
 							for _, pol := range s.Policies {
 								for _, split := range polSplits(pol) {
-									add(enumerateServingTrace(cfg, sys, s.Trace, batchCap, prec, pol, s.ServePageTokens, split, s.TransferGBps, traceTok))
+									addFleet(enumerateServingTrace(cfg, sys, s.Trace, batchCap, prec, pol, s.ServePageTokens, split, s.TransferGBps, traceTok), traceTok)
 								}
 							}
 						}
@@ -892,7 +974,7 @@ func Enumerate(s Spec) []Point {
 								for _, pol := range s.Policies {
 									for _, split := range polSplits(pol) {
 										for i, mix := range s.Mixes {
-											add(enumerateServingMix(cfg, sys, mix, rate, batchCap, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens, split, s.TransferGBps, mixToks[i]))
+											addFleet(enumerateServingMix(cfg, sys, mix, rate, batchCap, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens, split, s.TransferGBps, mixToks[i]), mixToks[i])
 										}
 									}
 								}
@@ -905,7 +987,7 @@ func Enumerate(s Spec) []Point {
 									for _, split := range polSplits(pol) {
 										for _, seq := range s.Seqs {
 											for _, gen := range s.GenTokens {
-												add(EnumerateServing(cfg, sys, rate, batchCap, seq, gen, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens, split, s.TransferGBps))
+												addFleet(EnumerateServing(cfg, sys, rate, batchCap, seq, gen, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens, split, s.TransferGBps), "")
 											}
 										}
 									}
@@ -1028,7 +1110,71 @@ func servingContext(p Point) int {
 	}
 }
 
+// clusterSpec builds the fleet configuration of a Replicas > 0 serving
+// point: the single-instance serve spec split into its capacity descriptor
+// (instantiated Replicas times — sweep fleets are homogeneous) and the
+// fleet-wide workload/arrival fields internal/cluster owns.
+func clusterSpec(p Point) cluster.Spec {
+	cap := servingSpec(p)
+	cs := cluster.Spec{
+		Routing:      p.Routing,
+		PromptTokens: cap.PromptTokens, GenTokens: cap.GenTokens,
+		Mix: cap.Mix, Trace: cap.Trace,
+		Rate: cap.Rate, Requests: cap.Requests, Seed: cap.Seed,
+	}
+	cap.PromptTokens, cap.GenTokens = 0, 0
+	cap.Mix, cap.Trace = nil, nil
+	cap.Arrival, cap.Rate, cap.Requests, cap.Seed = serve.Poisson, 0, 0, 0
+	cs.Replicas = []cluster.Replica{{Spec: cap, Count: p.Replicas}}
+	return cs
+}
+
+// evaluateServingFleet costs a fleet candidate through internal/cluster,
+// mapping the fleet-wide result onto the same serving Metrics surface as a
+// single instance (per-device footprint from the worst replica, KV
+// utilization averaged across the fleet).
+func evaluateServingFleet(p Point) (Metrics, error) {
+	res, err := cluster.Run(clusterSpec(p))
+	if err != nil {
+		return Metrics{}, err
+	}
+	var peakKV, kvUtil float64
+	for _, rr := range res.PerReplica {
+		if rr.Result.PeakKVBytes > peakKV {
+			peakKV = rr.Result.PeakKVBytes
+		}
+		kvUtil += rr.Result.MeanKVUtil
+	}
+	kvUtil /= float64(len(res.PerReplica))
+	m := Metrics{
+		Time: res.E2E.P95,
+		Footprint: memfoot.InferenceBreakdown{
+			Weights: memfoot.Inference(p.Model, p.Map.TP, 1, servingContext(p), p.Precision.Bytes()).Weights,
+			KVCache: peakKV,
+		},
+		Fits:             true,
+		TTFTP95:          res.TTFT.P95,
+		TPOTP95:          res.TPOT.P95,
+		TokensPerSec:     res.TokensPerSec,
+		Preemptions:      res.Preemptions,
+		RecomputedTokens: res.RecomputedTokens,
+		KVUtil:           kvUtil,
+		KVTransfers:      res.KVTransfers,
+		TransferTime:     res.TransferTimeTotal,
+	}
+	for _, tm := range res.PerTenant {
+		m.PerTenant = append(m.PerTenant, TenantSLO{
+			Tenant: tm.Tenant, Requests: tm.Requests,
+			TTFTP95: tm.TTFT.P95, TPOTP95: tm.TPOT.P95, E2EP95: tm.E2E.P95,
+		})
+	}
+	return m, nil
+}
+
 func evaluateServing(p Point) (Metrics, error) {
+	if p.Replicas > 0 {
+		return evaluateServingFleet(p)
+	}
 	res, err := serve.Run(servingSpec(p))
 	if err != nil {
 		return Metrics{}, err
@@ -1069,6 +1215,8 @@ func evaluateServing(p Point) (Metrics, error) {
 func Feasible(p Point) (bool, error) {
 	capacity := p.System.Device.DRAMCapacity()
 	if p.Workload == Serving {
+		// Fleet candidates are homogeneous, so one replica's admission
+		// feasibility is the fleet's.
 		return serve.Feasible(servingSpec(p)), nil
 	}
 	if p.Workload == Inference {

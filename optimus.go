@@ -121,6 +121,29 @@
 // the disaggregated pool split, and SweepSpec.Mixes/Trace for the
 // workload shape (Metrics.PerTenant keeps the per-tenant SLOs).
 //
+// # Cluster serving
+//
+// ServeCluster scales the simulator from one instance to a fleet: R
+// independent replicas behind a pluggable routing policy (round-robin,
+// least-queue, least-kv, tenant-affinity), all fed from one seeded arrival
+// stream the router splits deterministically. Replicas are heterogeneous
+// capacity descriptors — each carries its own ServeSpec system, precision
+// and admission policy — and run on real goroutines with a deterministic
+// merge, so a fleet result is byte-identical at any GOMAXPROCS:
+//
+//	res, _ := optimus.ServeCluster(optimus.ClusterSpec{
+//	    Replicas: []optimus.ClusterReplica{{Spec: capacity, Count: 4}},
+//	    Routing:  optimus.LeastQueueRouting,
+//	    PromptTokens: 200, GenTokens: 200,
+//	    Rate: 8, Requests: 1024, Seed: 1,
+//	})
+//	fmt.Println(res.E2E.P95, res.PerReplica[0].Assigned)
+//
+// FindClusterKnee bisects the fleet arrival rate to the saturation knee —
+// the highest rate whose fleet p95 E2E still meets a target SLO — instead
+// of making the user eyeball a rate sweep. SweepSpec.Replicas and
+// SweepSpec.Routings make the fleet size and routing policy sweep axes.
+//
 // The subpackages under internal/ hold the substrates (technology tables,
 // µarch engine, hierarchical roofline, collectives, schedules, footprint
 // model, DSE); this package re-exports the surface a downstream user needs.
@@ -131,6 +154,7 @@ import (
 	"io"
 
 	"optimus/internal/arch"
+	"optimus/internal/cluster"
 	"optimus/internal/comm"
 	"optimus/internal/dse"
 	"optimus/internal/infer"
@@ -193,6 +217,35 @@ type (
 	// ServeTenantMetrics is one tenant's SLO summary
 	// (ServeResult.PerTenant).
 	ServeTenantMetrics = serve.TenantMetrics
+	// ServeInstance is a steppable single-replica simulator: push requests
+	// at arrival times, observe load, drain — the driving surface cluster
+	// routers are built on.
+	ServeInstance = serve.Instance
+	// ServeLoad is one instance's load snapshot (queue depth, in-flight
+	// requests, KV pages/bytes held).
+	ServeLoad = serve.Load
+
+	// ClusterSpec describes one multi-replica fleet simulation.
+	ClusterSpec = cluster.Spec
+	// ClusterReplica is one fleet capacity descriptor (a ServeSpec carrying
+	// capacity only, instantiated Count times).
+	ClusterReplica = cluster.Replica
+	// ClusterRouting selects the fleet routing policy.
+	ClusterRouting = cluster.Routing
+	// ClusterResult is a fleet simulation outcome with fleet-wide SLO
+	// percentiles and per-replica shares.
+	ClusterResult = cluster.Result
+	// ClusterReplicaResult is one replica's share of a fleet simulation.
+	ClusterReplicaResult = cluster.ReplicaResult
+	// ClusterRequestMetrics is one completed request in the fleet-merged
+	// view (global arrival index plus the replica that served it).
+	ClusterRequestMetrics = cluster.RequestMetrics
+	// ClusterKneeSpec describes one saturation-knee analysis.
+	ClusterKneeSpec = cluster.KneeSpec
+	// ClusterKnee is the knee analysis outcome.
+	ClusterKnee = cluster.Knee
+	// ClusterKneeProbe is one bisection evaluation of a knee analysis.
+	ClusterKneeProbe = cluster.KneeProbe
 	// MemoryBreakdown is a per-device training footprint.
 	MemoryBreakdown = memfoot.Breakdown
 	// MemorySpec describes a training-footprint query.
@@ -282,6 +335,24 @@ const (
 	// DefaultServeTransferGBps is DisaggregatedPolicy's KV-transfer
 	// bandwidth when ServeSpec.TransferGBps is zero, in GB/s.
 	DefaultServeTransferGBps = serve.DefaultTransferGBps
+)
+
+// Cluster routing policies.
+const (
+	// RoundRobinRouting routes arrival i to replica i mod R.
+	RoundRobinRouting = cluster.RoundRobin
+	// LeastQueueRouting routes each arrival to the replica with the fewest
+	// in-flight requests at the arrival instant (ties to the lowest index).
+	LeastQueueRouting = cluster.LeastQueue
+	// LeastKVRouting routes each arrival to the replica holding the fewest
+	// KV-cache bytes at the arrival instant.
+	LeastKVRouting = cluster.LeastKV
+	// TenantAffinityRouting pins each tenant to one home replica by a hash
+	// of its name — session/prefix-cache affinity.
+	TenantAffinityRouting = cluster.TenantAffinity
+	// DefaultClusterKneeTolerance is FindClusterKnee's relative bracket
+	// tolerance when ClusterKneeSpec.Tolerance is zero.
+	DefaultClusterKneeTolerance = cluster.DefaultKneeTolerance
 )
 
 // Precisions.
@@ -386,6 +457,32 @@ func FormatServeMix(mix []ServeTenantLoad) string { return serve.FormatMix(mix) 
 // ParseServeTrace reads a serving trace in CSV form — one request per row
 // as "arrival,tenant,prompt,gen", optional header — and validates it.
 func ParseServeTrace(r io.Reader) ([]ServeTraceEvent, error) { return serve.ParseTrace(r) }
+
+// NewServeInstance builds a steppable single-replica simulator from a
+// capacity-only ServeSpec (no workload or arrival fields) and the envelope
+// of request shapes it may be asked to serve; ServeCluster drives R of
+// them behind a routing policy.
+func NewServeInstance(s ServeSpec, envelope []ServeRequest) (*ServeInstance, error) {
+	return serve.NewInstance(s, envelope)
+}
+
+// ServeCluster runs the multi-replica fleet simulator: R independent
+// serving simulations behind a deterministic routing policy, fed from one
+// seeded fleet-wide arrival stream. Replicas run on parallel goroutines;
+// results merge deterministically, so a fleet result is byte-identical at
+// any GOMAXPROCS.
+func ServeCluster(s ClusterSpec) (ClusterResult, error) { return cluster.Run(s) }
+
+// FindClusterKnee bisects the fleet arrival rate to the saturation knee:
+// the highest rate whose fleet p95 E2E latency still meets the target SLO.
+// The probe sequence is fully deterministic, so repeated analyses are
+// byte-identical.
+func FindClusterKnee(ks ClusterKneeSpec) (ClusterKnee, error) { return cluster.FindKnee(ks) }
+
+// ParseClusterRouting resolves a CLI routing-policy token ("round-robin",
+// "least-queue", "least-kv", "tenant-affinity", or the short aliases "rr",
+// "lq", "lkv", "affinity").
+func ParseClusterRouting(s string) (ClusterRouting, error) { return cluster.ParseRouting(s) }
 
 // TrainingMemory returns the per-device training footprint (§5.1).
 func TrainingMemory(s MemorySpec) (MemoryBreakdown, error) { return memfoot.Train(s) }

@@ -209,3 +209,78 @@ func TestModelZooComplete(t *testing.T) {
 		t.Errorf("model zoo has %d entries, want 15", len(Models()))
 	}
 }
+
+// TestPublicClusterFlow exercises the fleet surface end to end through
+// the facade: parse a routing policy, run a fleet, step an instance, and
+// bisect the saturation knee.
+func TestPublicClusterFlow(t *testing.T) {
+	sys, err := NewSystem("h100", 1, "nvlink4", "ndr")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ModelByName("llama2-13b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := ParseClusterRouting("least-queue")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt != LeastQueueRouting {
+		t.Fatalf("ParseClusterRouting = %v, want %v", rt, LeastQueueRouting)
+	}
+	capacity := ServeSpec{Model: cfg, System: sys, TP: 1, Precision: FP16}
+	spec := ClusterSpec{
+		Replicas:     []ClusterReplica{{Spec: capacity, Count: 2}},
+		Routing:      rt,
+		PromptTokens: 200, GenTokens: 150,
+		Rate: 2, Requests: 32, Seed: 1,
+	}
+	res, err := ServeCluster(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests != 32 || res.Replicas != 2 || res.Routing != rt {
+		t.Fatalf("fleet shape wrong: %+v", res)
+	}
+	if res.E2E.P95 <= 0 || res.TTFT.P95 <= 0 || res.ThroughputRPS <= 0 {
+		t.Errorf("fleet SLOs not populated: %+v", res)
+	}
+	if len(res.PerReplica) != 2 || res.PerReplica[0].Assigned+res.PerReplica[1].Assigned != 32 {
+		t.Errorf("per-replica shares wrong: %+v", res.PerReplica)
+	}
+
+	// The steppable instance behind the router is public too: a
+	// capacity-only spec plus the envelope of shapes it may be pushed.
+	envelope := []ServeRequest{{Tenant: "chat", PromptTokens: 200, GenTokens: 150}}
+	inst, err := NewServeInstance(capacity, envelope)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if load := inst.Load(); load.InFlight() != 0 {
+		t.Errorf("fresh instance should be idle, got %+v", load)
+	}
+
+	// Knee bisection through the facade: constrain the fleet so the
+	// bracket saturates.
+	kneeCluster := spec
+	kneeCluster.Replicas = []ClusterReplica{{
+		Spec: ServeSpec{Model: cfg, System: sys, TP: 1, Precision: FP16, MaxBatch: 4},
+		Count: 2,
+	}}
+	kneeCluster.Rate = 0
+	knee, err := FindClusterKnee(ClusterKneeSpec{
+		Cluster: kneeCluster, SLOE2EP95: 8,
+		MinRate: 0.5, MaxRate: 6,
+		Tolerance: DefaultClusterKneeTolerance,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(knee.Probes) < 2 || knee.Rate <= 0 {
+		t.Fatalf("knee transcript empty: %+v", knee)
+	}
+	if knee.Saturated && knee.LimitRate <= knee.Rate {
+		t.Errorf("saturated knee must bracket: knee %g, limit %g", knee.Rate, knee.LimitRate)
+	}
+}
