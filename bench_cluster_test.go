@@ -40,11 +40,12 @@ func BenchmarkClusterFleet(b *testing.B) {
 	} {
 		b.Run(fmt.Sprintf("R=%d/%v", bench.reps, bench.rt), func(b *testing.B) {
 			spec := clusterBenchSpec(b, bench.reps, bench.rt, requests)
+			rn := cluster.NewRunner()
 			b.ReportAllocs()
 			b.ResetTimer()
 			var last cluster.Result
 			for i := 0; i < b.N; i++ {
-				res, err := cluster.Run(spec)
+				res, err := rn.Run(spec)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseBenchOutput pins the bench-line grammar against real `go test
+// -bench -benchmem` output, including custom b.ReportMetric units — the
+// format `make bench-json` feeds this tool.
+func TestParseBenchOutput(t *testing.T) {
+	const out = `goos: linux
+goarch: amd64
+pkg: optimus
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkServeSimulator
+BenchmarkServeSimulator-8   	    2335	    473751 ns/op	    540369 sim-req/s	   45130 B/op	      78 allocs/op
+BenchmarkClusterFleet/replicas=4/routing=least-queue-8         	     100	  10400000 ns/op	    393834 req/s	  120000 B/op	     900 allocs/op
+PASS
+ok  	optimus	4.2s
+`
+	doc, err := parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.CPU != "Intel(R) Xeon(R) CPU @ 2.10GHz" || doc.Pkg != "optimus" {
+		t.Errorf("context lines: cpu=%q pkg=%q", doc.CPU, doc.Pkg)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2: %+v", len(doc.Benchmarks), doc.Benchmarks)
+	}
+	serve := doc.Benchmarks[0]
+	if serve.Name != "ServeSimulator" || serve.Iterations != 2335 {
+		t.Errorf("serve line: %+v", serve)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 473751, "sim-req/s": 540369, "B/op": 45130, "allocs/op": 78,
+	} {
+		if got := serve.Metrics[unit]; got != want {
+			t.Errorf("serve %s = %g, want %g", unit, got, want)
+		}
+	}
+	fleet := doc.Benchmarks[1]
+	if fleet.Name != "ClusterFleet/replicas=4/routing=least-queue" {
+		t.Errorf("sub-benchmark name not preserved: %q", fleet.Name)
+	}
+	if got := fleet.Metrics["req/s"]; got != 393834 {
+		t.Errorf("fleet req/s = %g, want 393834", got)
+	}
+}
+
+// TestParseRejectsMalformedValue: a corrupt numeric field is an error, not
+// a silently dropped metric — the JSON snapshot must never lie by omission.
+func TestParseRejectsMalformedValue(t *testing.T) {
+	_, err := parse(strings.NewReader("BenchmarkX-8 10 oops ns/op\n"))
+	if err == nil {
+		t.Fatal("malformed value should fail parsing")
+	}
+}

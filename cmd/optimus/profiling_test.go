@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestProfilingFlagsWriteProfiles pins the shared -cpuprofile/-memprofile
+// wiring: each simulation subcommand must leave a non-empty pprof file at
+// the requested path once it returns.
+func TestProfilingFlagsWriteProfiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, tc := range []struct {
+		name string
+		run  func(args []string) error
+		args []string
+	}{
+		{"serve", cmdServe, []string{"-rate", "2", "-requests", "16"}},
+		{"cluster", cmdCluster, []string{"-replicas", "2", "-rate", "4", "-requests", "16"}},
+		{"sweep", cmdSweep, []string{"-models", "llama2-13b", "-gpus", "2", "-workload", "inference"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cpu := filepath.Join(dir, tc.name+".cpu.pprof")
+			mem := filepath.Join(dir, tc.name+".mem.pprof")
+			args := append(tc.args, "-cpuprofile", cpu, "-memprofile", mem)
+			if err := tc.run(args); err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range []string{cpu, mem} {
+				st, err := os.Stat(p)
+				if err != nil {
+					t.Fatalf("profile not written: %v", err)
+				}
+				if st.Size() == 0 {
+					t.Errorf("profile %s is empty", p)
+				}
+			}
+		})
+	}
+}

@@ -48,9 +48,15 @@ func cmdServe(args []string) error {
 	decodeDevices := fs.Int("decode-devices", 0, "devices backing the disagg decode pool (0 = all; disagg only)")
 	transferGBps := fs.Float64("transfer-gbps", 0, "disagg KV-transfer interconnect bandwidth in GB/s (0 = default 50, Inf = free; disagg only)")
 	format := fs.String("format", "text", "output format (text|csv|json)")
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	switch *format {
 	case "text", "csv", "json":
 	default:

@@ -53,9 +53,15 @@ func cmdSweep(args []string) error {
 	serial := fs.Bool("serial", false, "use the serial reference path instead of the engine")
 	cache := fs.String("cache", "", "persist the memoization cache to this JSON file (load on start, save on exit)")
 	format := fs.String("format", "text", "output format (text|csv|json)")
+	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProf, err := prof.start()
+	if err != nil {
+		return err
+	}
+	defer stopProf()
 	switch *format {
 	case "text", "csv", "json":
 	default:

@@ -91,21 +91,32 @@ func (d Device) PeakCompute(p tech.Precision) (float64, error) {
 // the device supports, falling back toward FP32. Training with a FP8
 // transformer engine on an A100, for example, resolves to BF16.
 func (d Device) BestCompute(p tech.Precision) (tech.Precision, float64) {
-	// Preference order from the requested precision down to FP32.
-	order := []tech.Precision{p}
+	// Preference order from the requested precision down to FP32, in a
+	// fixed-size array so the hot costing path never allocates.
+	var order [5]tech.Precision
+	n := 0
+	push := func(q tech.Precision) { order[n] = q; n++ }
+	push(p)
 	switch p {
 	case tech.FP4:
-		order = append(order, tech.FP8, tech.FP16, tech.BF16, tech.FP32)
+		push(tech.FP8)
+		push(tech.FP16)
+		push(tech.BF16)
+		push(tech.FP32)
 	case tech.FP8:
-		order = append(order, tech.FP16, tech.BF16, tech.FP32)
+		push(tech.FP16)
+		push(tech.BF16)
+		push(tech.FP32)
 	case tech.FP16:
-		order = append(order, tech.BF16, tech.FP32)
+		push(tech.BF16)
+		push(tech.FP32)
 	case tech.BF16:
-		order = append(order, tech.FP16, tech.FP32)
+		push(tech.FP16)
+		push(tech.FP32)
 	default:
-		order = append(order, tech.FP32)
+		push(tech.FP32)
 	}
-	for _, q := range order {
+	for _, q := range order[:n] {
 		if f, ok := d.Compute[q]; ok && f > 0 {
 			return q, f
 		}

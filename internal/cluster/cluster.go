@@ -22,7 +22,7 @@ package cluster
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 	"sync"
 
 	"optimus/internal/serve"
@@ -214,32 +214,107 @@ func expandReplicas(reps []Replica) (specs []serve.Spec, descriptor []int, err e
 	return specs, descriptor, nil
 }
 
-// each runs f(0..n-1) on n goroutines and waits — the fleet's only
-// parallelism. Every call site is a barrier whose per-index work touches
+// workerPool runs fleet barriers on persistent per-replica goroutines —
+// the fleet's only parallelism. Every barrier's per-index work touches
 // disjoint state, so the merge points after each() see a deterministic
-// fleet no matter how the goroutines were scheduled.
-func each(n int, f func(int)) {
-	if n == 1 {
-		f(0)
+// fleet no matter how the goroutines were scheduled. Workers are spawned
+// once per Run: under load-aware routing each arrival is a barrier, and
+// per-arrival goroutine launches (~R×requests of them) used to dominate
+// the router's wall clock.
+type workerPool struct {
+	cmds []chan func(int)
+	wg   sync.WaitGroup
+}
+
+// newWorkerPool starts r persistent workers; a single-replica pool runs
+// its barriers inline.
+func newWorkerPool(r int) *workerPool {
+	p := new(workerPool)
+	if r == 1 {
+		return p
+	}
+	p.cmds = make([]chan func(int), r)
+	for i := range p.cmds {
+		ch := make(chan func(int), 1)
+		p.cmds[i] = ch
+		go func(i int, ch chan func(int)) {
+			for f := range ch {
+				f(i)
+				p.wg.Done()
+			}
+		}(i, ch)
+	}
+	return p
+}
+
+// each runs f(0..r-1) as one barrier and waits for every worker.
+func (p *workerPool) each(r int, f func(int)) {
+	if p.cmds == nil {
+		for i := 0; i < r; i++ {
+			f(i)
+		}
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(n)
-	for i := 0; i < n; i++ {
-		go func(i int) {
-			defer wg.Done()
-			f(i)
-		}(i)
+	p.wg.Add(r)
+	for _, ch := range p.cmds {
+		ch <- f
 	}
-	wg.Wait()
+	p.wg.Wait()
 }
+
+// run dispatches f to the listed workers only and waits — the barrier for
+// arrivals where most replicas have nothing to step. Small barriers run
+// inline and serial: an arrival-time advance is typically one or two
+// batching iterations per busy replica, well under the park/unpark cost
+// of a goroutine hand-off (measured ~1.5× faster at R=4 than dispatching
+// every busy replica).
+func (p *workerPool) run(ids []int, f func(int)) {
+	const inlineMax = 4
+	if len(ids) <= inlineMax || p.cmds == nil {
+		for _, i := range ids {
+			f(i)
+		}
+		return
+	}
+	p.wg.Add(len(ids))
+	for _, i := range ids {
+		p.cmds[i] <- f
+	}
+	p.wg.Wait()
+}
+
+// stop terminates the workers; the pool is single-use per Run.
+func (p *workerPool) stop() {
+	for _, ch := range p.cmds {
+		close(ch)
+	}
+}
+
+// Runner pools fleet simulation state across runs: one serve.Runner per
+// replica slot, so every replica's slabs, pricing tables and scratch
+// survive from one fleet simulation to the next — the steady state of a
+// rate sweep or a knee bisection re-running one fleet at many rates.
+// A Runner is NOT safe for concurrent use and supports one live fleet
+// simulation at a time; results are byte-identical to the package-level
+// Run (TestClusterRunnerReuseMatchesFresh).
+type Runner struct {
+	reps []*serve.Runner
+}
+
+// NewRunner returns an empty Runner; replica slots are grown on first use.
+func NewRunner() *Runner { return new(Runner) }
 
 // Run executes the fleet simulation: generate the seeded fleet-wide
 // arrival stream (byte-identical to what serve.Run would generate for the
 // same workload), route every arrival to a replica, run the replicas —
 // genuinely in parallel — and merge per-replica results into the fleet
 // view deterministically.
-func Run(s Spec) (Result, error) {
+func Run(s Spec) (Result, error) { return new(Runner).Run(s) }
+
+// Run is the pooled form of the package-level Run: replica instances are
+// re-armed from the Runner's per-slot serve.Runners instead of built
+// fresh.
+func (rn *Runner) Run(s Spec) (Result, error) {
 	if err := s.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -270,14 +345,19 @@ func Run(s Spec) (Result, error) {
 		return Result{}, err
 	}
 	R := len(specs)
+	for len(rn.reps) < R {
+		rn.reps = append(rn.reps, serve.NewRunner())
+	}
 	instances := make([]*serve.Instance, R)
 	for i, cap := range specs {
-		in, err := serve.NewInstance(cap, shapes)
+		in, err := rn.reps[i].Instance(cap, shapes)
 		if err != nil {
 			return Result{}, fmt.Errorf("cluster: replica %d: %w", i, err)
 		}
 		instances[i] = in
 	}
+	pool := newWorkerPool(R)
+	defer pool.stop()
 
 	// routed[i] lists replica i's assigned global arrival indices in push
 	// order — the local→global ID remapping the merge applies.
@@ -300,7 +380,7 @@ func Run(s Spec) (Result, error) {
 				assign(i, tenantReplica(shapes[i].Tenant, R))
 			}
 		}
-		each(R, func(r int) {
+		pool.each(R, func(r int) {
 			in := instances[r]
 			for _, g := range routed[r] {
 				if err := in.Push(shapes[g], times[g]); err != nil {
@@ -316,8 +396,15 @@ func Run(s Spec) (Result, error) {
 		// then scan loads in index order. The snapshot each replica
 		// reports at time t depends only on its own push history, so the
 		// argmin — ties to the lowest index — is scheduling-independent.
+		var busy []int
 		for i, at := range times {
-			each(R, func(r int) { instances[r].AdvanceTo(at) })
+			busy = busy[:0]
+			for r := 0; r < R; r++ {
+				if instances[r].NeedsAdvance(at) {
+					busy = append(busy, r)
+				}
+			}
+			pool.run(busy, func(r int) { instances[r].AdvanceTo(at) })
 			best, bestLoad := 0, instances[0].Load()
 			for r := 1; r < R; r++ {
 				l := instances[r].Load()
@@ -330,7 +417,7 @@ func Run(s Spec) (Result, error) {
 			}
 			assign(i, best)
 		}
-		each(R, func(r int) { instances[r].Drain() })
+		pool.each(R, func(r int) { instances[r].Drain() })
 	default:
 		return Result{}, fmt.Errorf("cluster: unknown routing policy %v", s.Routing)
 	}
@@ -393,7 +480,9 @@ func merge(s Spec, instances []*serve.Instance, routed [][]int, descriptor []int
 			res.PerRequest = append(res.PerRequest, RequestMetrics{RequestMetrics: m, Replica: r})
 		}
 	}
-	sort.Slice(res.PerRequest, func(i, j int) bool { return res.PerRequest[i].ID < res.PerRequest[j].ID })
+	// IDs are unique global arrival indices, so the unstable generic sort
+	// is deterministic — and free of sort.Slice's reflection.
+	slices.SortFunc(res.PerRequest, func(a, b RequestMetrics) int { return a.ID - b.ID })
 	for _, m := range res.PerRequest {
 		flat = append(flat, m.RequestMetrics)
 	}
@@ -411,7 +500,28 @@ func merge(s Spec, instances []*serve.Instance, routed [][]int, descriptor []int
 	res.TPOT = summarizeMetric(flat, func(m serve.RequestMetrics) float64 { return m.TPOT })
 	res.E2E = summarizeMetric(flat, func(m serve.RequestMetrics) float64 { return m.E2E })
 	res.Queue = summarizeMetric(flat, func(m serve.RequestMetrics) float64 { return m.Queue })
-	res.PerTenant = serve.TenantBreakdown(flat)
+	// Single-tenant fleets (the default workload) reuse the fleet-wide
+	// percentiles just computed — same samples, same shared nearest-rank
+	// math, so the reuse is byte-identical to TenantBreakdown's.
+	single := len(flat) > 0
+	for i := 1; i < len(flat); i++ {
+		if flat[i].Tenant != flat[0].Tenant {
+			single = false
+			break
+		}
+	}
+	if single {
+		gen := 0
+		for _, m := range flat {
+			gen += m.GenTokens
+		}
+		res.PerTenant = []serve.TenantMetrics{{
+			Tenant: flat[0].Tenant, Requests: len(flat), GenTokens: gen,
+			TTFT: res.TTFT, TPOT: res.TPOT, E2E: res.E2E, Queue: res.Queue,
+		}}
+	} else {
+		res.PerTenant = serve.TenantBreakdown(flat)
+	}
 	return res, nil
 }
 

@@ -106,10 +106,14 @@ func FindKnee(ks KneeSpec) (Knee, error) {
 	}
 
 	knee := Knee{SLOE2EP95: ks.SLOE2EP95}
+	// One pooled Runner serves every probe: the bisection re-runs the same
+	// fleet at different rates, exactly the steady state the pooling seam
+	// keeps warm (slabs, pricing tables).
+	rn := NewRunner()
 	probe := func(rate float64) (KneeProbe, error) {
 		cs := ks.Cluster
 		cs.Rate = rate
-		res, err := Run(cs)
+		res, err := rn.Run(cs)
 		if err != nil {
 			return KneeProbe{}, fmt.Errorf("cluster: knee probe at %g req/s: %w", rate, err)
 		}

@@ -108,25 +108,29 @@ type phaseCost struct {
 
 // passCost evaluates the full model (embedding + layers + head) for one
 // Exec, resolving collectives over the TP fabric with the chosen algorithm.
-func passCost(s Spec, eng *roofline.Engine, exec kernels.Exec) phaseCost {
+// The op enumeration runs through scratch (nil means a throwaway local), so
+// a StepCoster pricing thousands of simulator steps reuses one buffer, and
+// the kernel times come from the roofline's allocation-free Cost fast
+// paths, which are pinned bit-identical to the Estimate* breakdowns.
+func passCost(s Spec, eng *roofline.Engine, exec kernels.Exec, scratch *[]kernels.Op) phaseCost {
 	link := s.System.LinkBetween(s.TP)
-	var c phaseCost
 	nf := float64(s.TP)
-	cost := func(ops []kernels.Op) {
-		for _, op := range ops {
+	cost := func(c *phaseCost, ops []kernels.Op) {
+		for i := range ops {
+			op := &ops[i]
 			switch op.Kind {
 			case kernels.KindGEMM:
-				est := eng.EstimateGEMM(op.GEMM)
-				c.device += est.Time
-				c.dramBytes += est.DRAMBytes
+				t, b := eng.GEMMCost(op.GEMM)
+				c.device += t
+				c.dramBytes += b
 			case kernels.KindElementwise:
-				est := eng.EstimateElementwise(op.EW)
-				c.device += est.Time
-				c.dramBytes += est.DRAMBytes
+				t, b := eng.ElementwiseCost(op.EW)
+				c.device += t
+				c.dramBytes += b
 			case kernels.KindFused:
-				est := eng.EstimateFused(op.Fused)
-				c.device += est.Time
-				c.dramBytes += est.DRAMBytes
+				t, b := eng.FusedCost(op.Fused)
+				c.device += t
+				c.dramBytes += b
 			case kernels.KindAllReduce:
 				c.comm += comm.AllReduceTime(s.Algorithm, op.CommBytes, s.TP, link)
 				if s.TP > 1 {
@@ -145,21 +149,23 @@ func passCost(s Spec, eng *roofline.Engine, exec kernels.Exec) phaseCost {
 			}
 		}
 	}
-	cost(kernels.EmbeddingForward(s.Model, exec))
-	layer := kernels.LayerForward(s.Model, exec)
-	layerCost := phaseCost{}
-	{
-		saved := c
-		c = phaseCost{}
-		cost(layer)
-		layerCost = c
-		c = saved
+	var local []kernels.Op
+	if scratch == nil {
+		scratch = &local
 	}
+	var c phaseCost
+	ops := kernels.AppendEmbeddingForward((*scratch)[:0], s.Model, exec)
+	cost(&c, ops)
+	ops = kernels.AppendLayerForward(ops[:0], s.Model, exec)
+	var layerCost phaseCost
+	cost(&layerCost, ops)
 	c.device += layerCost.device * float64(s.Model.Layers)
 	c.comm += layerCost.comm * float64(s.Model.Layers)
 	c.dramBytes += layerCost.dramBytes * float64(s.Model.Layers)
 	c.wireBytes += layerCost.wireBytes * float64(s.Model.Layers)
-	cost(kernels.LogitsForward(s.Model, exec))
+	ops = kernels.AppendLogitsForward(ops[:0], s.Model, exec)
+	cost(&c, ops)
+	*scratch = ops
 	return c
 }
 

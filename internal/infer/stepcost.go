@@ -41,9 +41,15 @@ func fromPhase(p phaseCost) StepCost {
 // step-cost engine Predict, ThroughputSweep and the serving simulator all
 // compose over. The batch arguments override Spec.Batch, so one coster
 // serves every batch composition a continuous-batching iteration can take.
+//
+// A StepCoster reuses an internal op scratch buffer across calls, so it is
+// NOT safe for concurrent use; give each goroutine its own coster.
 type StepCoster struct {
 	spec Spec
 	eng  *roofline.Engine
+	// ops is the reusable kernel-enumeration buffer threaded through
+	// passCost so steady-state pricing never allocates.
+	ops []kernels.Op
 }
 
 // NewStepCoster validates the configuration and builds a coster for it.
@@ -68,7 +74,7 @@ func (c *StepCoster) Prefill(batch int) StepCost {
 		Flash:     c.spec.Flash,
 		Precision: c.spec.Precision,
 		Phase:     kernels.Prefill,
-	}))
+	}, &c.ops))
 }
 
 // DecodeStep prices one autoregressive generation step for a batch of
@@ -89,7 +95,7 @@ func (c *StepCoster) DecodeStep(kvLen, batch int) StepCost {
 		Flash:     c.spec.Flash,
 		Precision: c.spec.Precision,
 		Phase:     kernels.Decode,
-	}))
+	}, &c.ops))
 }
 
 // PrefillCost prices the summarization pass of one request batch: the

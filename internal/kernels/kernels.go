@@ -175,6 +175,13 @@ const (
 // LayerForward returns the ordered per-device ops of one transformer
 // layer's forward pass for the given context.
 func LayerForward(cfg model.Config, e Exec) []Op {
+	return AppendLayerForward(nil, cfg, e)
+}
+
+// AppendLayerForward appends LayerForward's ops to dst and returns the
+// extended slice — the allocation-free enumeration the inference step-cost
+// engine reuses a scratch buffer with.
+func AppendLayerForward(dst []Op, cfg model.Config, e Exec) []Op {
 	if err := e.Validate(); err != nil {
 		panic(err)
 	}
@@ -193,7 +200,7 @@ func LayerForward(cfg model.Config, e Exec) []Op {
 	hd := cfg.HeadDim()
 	hiddenElems := float64(rows * h)
 
-	var ops []Op
+	ops := dst
 	add := func(o Op) { ops = append(ops, o) }
 
 	norm := func(name string) Op {
@@ -330,14 +337,19 @@ func LayerForward(cfg model.Config, e Exec) []Op {
 // EmbeddingForward returns the input-embedding ops (token gather plus
 // learned-position add where present).
 func EmbeddingForward(cfg model.Config, e Exec) []Op {
+	return AppendEmbeddingForward(nil, cfg, e)
+}
+
+// AppendEmbeddingForward appends EmbeddingForward's ops to dst.
+func AppendEmbeddingForward(dst []Op, cfg model.Config, e Exec) []Op {
 	eb := e.storeBytes()
 	elems := float64(e.tokens() * cfg.Hidden)
-	ops := []Op{{Name: "embed-gather", Kind: KindElementwise, EW: roofline.Elementwise{
+	ops := append(dst, Op{Name: "embed-gather", Kind: KindElementwise, EW: roofline.Elementwise{
 		Name:         "embed-gather",
 		Elements:     elems,
 		BytesPerElem: 2 * eb,
 		FLOPsPerElem: 0,
-	}}}
+	}})
 	if cfg.LearnedPositions {
 		ops = append(ops, Op{Name: "pos-add", Kind: KindElementwise, EW: roofline.Elementwise{
 			Name:         "pos-add",
@@ -353,18 +365,23 @@ func EmbeddingForward(cfg model.Config, e Exec) []Op {
 // vocabulary projection, column-split across the TP group (vocab-parallel
 // cross entropy needs no activation all-reduce).
 func LogitsForward(cfg model.Config, e Exec) []Op {
+	return AppendLogitsForward(nil, cfg, e)
+}
+
+// AppendLogitsForward appends LogitsForward's ops to dst.
+func AppendLogitsForward(dst []Op, cfg model.Config, e Exec) []Op {
 	eb := e.storeBytes()
-	return []Op{
-		{Name: "final-norm", Kind: KindElementwise, EW: roofline.Elementwise{
+	return append(dst,
+		Op{Name: "final-norm", Kind: KindElementwise, EW: roofline.Elementwise{
 			Name:         "final-norm",
 			Elements:     float64(e.tokens() * cfg.Hidden),
 			BytesPerElem: normAccesses * eb,
 			FLOPsPerElem: 8,
 		}},
-		{Name: "logits", Kind: KindGEMM, GEMM: roofline.GEMM{
+		Op{Name: "logits", Kind: KindGEMM, GEMM: roofline.GEMM{
 			M: e.tokens(), N: cfg.Vocab / e.TP, K: cfg.Hidden, Precision: e.Precision,
 		}},
-	}
+	)
 }
 
 // Totals aggregates an op stream.

@@ -288,6 +288,40 @@ func (e *Engine) EstimateGEMM(g GEMM) Estimate {
 	return est
 }
 
+// GEMMCost returns the Time and DRAMBytes fields of EstimateGEMM without
+// materializing the per-level breakdown — the allocation-free fast path
+// used by the serving simulator's pricing loop. The float operations run
+// in the same order as EstimateGEMM, so the two are bit-identical (pinned
+// by TestCostPathsMatchEstimates).
+func (e *Engine) GEMMCost(g GEMM) (time, dramBytes float64) {
+	var computeTime float64
+	if thru := e.computeThroughput(g); thru > 0 {
+		computeTime = g.FLOPs() / thru
+	} else {
+		computeTime = math.Inf(1)
+	}
+	levels := e.dev.Mem
+	time = computeTime
+	for i, lvl := range levels {
+		var bytes float64
+		if i == 0 {
+			bytes = trafficThrough(g, lvl.Capacity/8)
+		} else {
+			bytes = trafficThrough(g, levels[i-1].Capacity)
+		}
+		bw := lvl.EffBW()
+		if i == len(levels)-1 {
+			bw *= e.dramUtil(g)
+			dramBytes = bytes
+		}
+		if t := bytes / bw; t > time {
+			time = t
+		}
+	}
+	time += e.dev.KernelLaunch
+	return time, dramBytes
+}
+
 // Fused describes a tensor-core kernel whose data movement is decoupled
 // from its FLOP count — the FlashAttention pattern of §1.1, which "focuses
 // on the memory access to and from DRAM at the cost of FLOPs": the
@@ -342,6 +376,31 @@ func (e *Engine) EstimateFused(f Fused) Estimate {
 	return est
 }
 
+// FusedCost returns the Time and DRAMBytes fields of EstimateFused without
+// allocating the per-level breakdown; bit-identical to EstimateFused.
+func (e *Engine) FusedCost(f Fused) (time, dramBytes float64) {
+	var computeTime float64
+	_, peak := e.dev.BestCompute(f.Precision)
+	if peak > 0 {
+		computeTime = f.FLOPs / (peak * e.dev.GEMMEff)
+	} else {
+		computeTime = math.Inf(1)
+	}
+	onChip := f.OnChipBytes
+	if onChip <= 0 {
+		onChip = 2 * f.DRAMBytes
+	}
+	time = computeTime
+	if t := onChip / e.dev.Mem[0].EffBW(); t > time {
+		time = t
+	}
+	if t := f.DRAMBytes / e.dev.DRAMLevel().EffBW(); t > time {
+		time = t
+	}
+	time += e.dev.KernelLaunch
+	return time, f.DRAMBytes
+}
+
 // Elementwise describes a streaming non-GEMM kernel (softmax, layer-norm,
 // dropout, activation, residual add, embedding gather): Elements values
 // each touched BytesPerElem bytes of traffic with FLOPsPerElem operations.
@@ -385,4 +444,24 @@ func (e *Engine) EstimateElementwise(w Elementwise) Estimate {
 	}
 	est.Time += e.dev.KernelLaunch
 	return est
+}
+
+// ElementwiseCost returns the Time and DRAMBytes fields of
+// EstimateElementwise without allocating the per-level breakdown;
+// bit-identical to EstimateElementwise.
+func (e *Engine) ElementwiseCost(w Elementwise) (time, dramBytes float64) {
+	bytes := w.Elements * w.BytesPerElem
+	flops := w.Elements * w.FLOPsPerElem
+	memTime := bytes / e.dev.DRAMLevel().EffBW()
+	var compTime float64
+	if e.dev.VectorCompute > 0 {
+		compTime = flops / e.dev.VectorCompute
+	}
+	if memTime >= compTime {
+		time = memTime
+	} else {
+		time = compTime
+	}
+	time += e.dev.KernelLaunch
+	return time, bytes
 }

@@ -56,6 +56,14 @@ type Instance struct {
 // workload's requests prices them byte-identically to Run on that
 // workload.
 func NewInstance(s Spec, envelope []Request) (*Instance, error) {
+	return new(Runner).Instance(s, envelope)
+}
+
+// Instance re-arms the Runner's pooled simulator as a steppable replica —
+// NewInstance without the per-construction slab allocations. The Runner's
+// single-live-simulation contract applies: building a new Instance (or
+// calling Run) invalidates the previous one.
+func (rn *Runner) Instance(s Spec, envelope []Request) (*Instance, error) {
 	if len(s.Mix) > 0 || s.Trace != nil || s.PromptTokens != 0 || s.GenTokens != 0 {
 		return nil, fmt.Errorf("serve: an instance spec carries capacity only — leave PromptTokens/GenTokens/Mix/Trace zero, the router pushes requests")
 	}
@@ -70,18 +78,20 @@ func NewInstance(s Spec, envelope []Request) (*Instance, error) {
 	// step-coster configuration) then sees exactly the workload Run would
 	// see, with no second derivation to drift.
 	env := s
-	env.Trace = make([]TraceEvent, len(envelope))
-	for i, sh := range envelope {
-		env.Trace[i] = TraceEvent{Request: sh}
+	trace := rn.traceBuf[:0]
+	for _, sh := range envelope {
+		trace = append(trace, TraceEvent{Request: sh})
 	}
+	rn.traceBuf = trace
+	env.Trace = trace
 	env = env.withDefaults()
 	if err := env.validateShape(); err != nil {
 		return nil, err
 	}
-	sim, err := newSimulator(env)
-	if err != nil {
+	if err := rn.sim.reset(env); err != nil {
 		return nil, err
 	}
+	sim := &rn.sim
 	// The envelope trace configured geometry; it is not an arrival stream.
 	sim.arrivals, sim.shapes, sim.target = nil, nil, 0
 	return &Instance{sim: sim}, nil
@@ -132,6 +142,16 @@ func (in *Instance) AdvanceTo(t float64) {
 	}
 }
 
+// NeedsAdvance reports whether AdvanceTo(t) would run at least one
+// iteration — the instance holds work and its clock trails t. A router
+// barriering a fleet checks this inline and dispatches only the replicas
+// with pending iterations, instead of paying a goroutine hand-off for
+// every replica at every arrival (clock overshoot makes the no-op case
+// the common one).
+func (in *Instance) NeedsAdvance(t float64) bool {
+	return !in.sim.idle() && in.sim.now < t
+}
+
 // Drain runs the instance to completion: every pushed request finishes.
 // Further pushes are rejected.
 func (in *Instance) Drain() {
@@ -152,7 +172,7 @@ func (in *Instance) Load() Load {
 	sim := in.sim
 	return Load{
 		Now:     sim.now,
-		Queued:  len(sim.queue),
+		Queued:  sim.queue.len(),
 		Running: len(sim.running),
 		Done:    len(sim.done),
 		KVPages: sim.pol.usedPages(),

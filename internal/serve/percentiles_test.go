@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -105,5 +106,79 @@ func TestSummarize(t *testing.T) {
 	}
 	if z := Summarize(nil); z != (Percentiles{}) {
 		t.Errorf("empty Summarize = %+v, want zero", z)
+	}
+}
+
+// TestSummarizePanicsOnNaN: a NaN sample breaks the sort's total order —
+// every percentile would silently depend on the input's order — so
+// Summarize refuses it loudly. Infinities are legal samples (a saturated
+// SLO) and sort to the tail.
+func TestSummarizePanicsOnNaN(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		vals      []float64
+		wantPanic bool
+	}{
+		{"clean", []float64{3, 1, 2}, false},
+		{"empty", nil, false},
+		{"positive-inf", []float64{1, math.Inf(1)}, false},
+		{"negative-inf", []float64{math.Inf(-1), 1}, false},
+		{"nan-only", []float64{math.NaN()}, true},
+		{"nan-mixed", []float64{1, math.NaN(), 2}, true},
+		{"nan-tail", []float64{1, 2, math.NaN()}, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); (r != nil) != tc.wantPanic {
+					t.Errorf("panic = %v, wantPanic %v", r, tc.wantPanic)
+				}
+			}()
+			p := Summarize(tc.vals)
+			if tc.name == "positive-inf" && !math.IsInf(p.Max, 1) {
+				t.Errorf("infinite sample should surface as Max, got %g", p.Max)
+			}
+		})
+	}
+}
+
+// TestPoissonArrivalTimesPanicsOnBadInput: a zero, negative, NaN or
+// infinite rate would silently yield Inf/NaN timestamps that stall every
+// downstream event loop, and a negative count has no meaning — both
+// violate the documented contract and panic, exactly as Spec.Validate
+// rejects them for Run.
+func TestPoissonArrivalTimesPanicsOnBadInput(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		rate      float64
+		n         int
+		wantPanic bool
+	}{
+		{"valid", 2.5, 8, false},
+		{"zero-n", 1, 0, false},
+		{"zero-rate", 0, 8, true},
+		{"negative-rate", -1, 8, true},
+		{"nan-rate", math.NaN(), 8, true},
+		{"inf-rate", math.Inf(1), 8, true},
+		{"negative-n", 1, -1, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); (r != nil) != tc.wantPanic {
+					t.Errorf("panic = %v, wantPanic %v", r, tc.wantPanic)
+				}
+			}()
+			times := PoissonArrivalTimes(tc.rate, tc.n, 1)
+			if len(times) != tc.n {
+				t.Errorf("got %d timestamps, want %d", len(times), tc.n)
+			}
+			for i, ts := range times {
+				if !(ts > 0) || math.IsInf(ts, 0) {
+					t.Errorf("timestamp %d = %g, want positive finite", i, ts)
+				}
+				if i > 0 && ts < times[i-1] {
+					t.Errorf("timestamps must be non-decreasing, got %g after %g", ts, times[i-1])
+				}
+			}
+		})
 	}
 }

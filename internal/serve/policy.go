@@ -168,10 +168,12 @@ type AdmissionPolicy interface {
 	PageGeometry() (pageTokens, totalPages int)
 
 	// beginStep re-derives per-iteration accounting from the running set
-	// (in admission order) and makes room for each sequence's next token,
-	// returning the sequences that keep running and the preemption
-	// victims, which the event loop re-queues.
-	beginStep(running []*request) (kept, victims []*request)
+	// (indices into the request slab, in admission order) and makes room
+	// for each sequence's next token, returning the sequences that keep
+	// running and the preemption victims (appended to the caller's
+	// reusable buffer), which the event loop re-queues. Victims are
+	// collected youngest-first.
+	beginStep(pool []request, running, victims []int32) (kept, outVictims []int32)
 	// admit reserves capacity for the request, or reports that it does
 	// not fit right now.
 	admit(r *request) bool
@@ -260,19 +262,20 @@ func (p *reservePolicy) Feasible() bool {
 
 func (p *reservePolicy) PageGeometry() (int, int) { return 0, 0 }
 
-func (p *reservePolicy) beginStep(running []*request) ([]*request, []*request) {
+func (p *reservePolicy) beginStep(pool []request, running, victims []int32) ([]int32, []int32) {
 	if p.uniform {
 		// Multiply-by-count, not a sum: the PR-3 float path, preserved
 		// bit for bit for the degenerate-equivalence guarantee.
 		p.kvUsed = p.perRequest * float64(len(running))
-		return running, nil
+		return running, victims
 	}
 	kv := 0.0
-	for _, r := range running {
+	for _, id := range running {
+		r := &pool[id]
 		kv += p.contextBytes(r.prompt + r.gen)
 	}
 	p.kvUsed = kv
-	return running, nil
+	return running, victims
 }
 
 func (p *reservePolicy) admit(r *request) bool {
@@ -407,22 +410,28 @@ func (p *pagedPolicy) PageGeometry() (int, int) { return p.pageTokens, p.totalPa
 // youngest. The oldest sequence can always finish: even the largest lone
 // request's full context fits the budget (Feasible), so eviction never
 // empties the running set, which is the simulator's progress guarantee.
-func (p *pagedPolicy) beginStep(running []*request) (kept, victims []*request) {
-	kept = running
+func (p *pagedPolicy) beginStep(pool []request, running, victims []int32) (kept, outVictims []int32) {
+	kept, outVictims = running, victims
 	for i := 0; i < len(kept); i++ {
-		r := kept[i]
-		need := p.pagesFor(r.prompt + r.produced + 1)
-		extra := need - r.pages
-		if extra <= 0 {
+		id := kept[i]
+		r := &pool[id]
+		// A sequence needs another page only when its next token spills
+		// past its held pages' capacity: need = ceil(tokens/pageTokens)
+		// exceeds r.pages exactly when tokens > r.pages*pageTokens. The
+		// multiply-and-compare keeps the per-sequence steady state free of
+		// the ceil's integer division.
+		if r.prompt+r.produced+1 <= r.pages*p.pageTokens {
 			continue
 		}
+		need := p.pagesFor(r.prompt + r.produced + 1)
+		extra := need - r.pages
 		self := false
 		for p.used+extra > p.totalPages {
-			v := kept[len(kept)-1]
+			vi := kept[len(kept)-1]
 			kept = kept[:len(kept)-1]
-			p.evict(v)
-			victims = append(victims, v)
-			if v == r {
+			p.evict(&pool[vi])
+			outVictims = append(outVictims, vi)
+			if vi == id {
 				self = true
 				break
 			}
@@ -433,7 +442,7 @@ func (p *pagedPolicy) beginStep(running []*request) (kept, victims []*request) {
 		p.used += extra
 		r.pages = need
 	}
-	return kept, victims
+	return kept, outVictims
 }
 
 // evict frees a victim's pages and accounts the generated tokens whose
@@ -613,10 +622,11 @@ func (p *disaggPolicy) PageGeometry() (int, int) { return p.pageTokens, p.totalP
 // The running set always orders decode residents before prefill-held
 // sequences: the previous beginStep migrated every survivor, and
 // admission appends the prefill-held newcomers at the tail.
-func (p *disaggPolicy) beginStep(running []*request) (kept, victims []*request) {
-	kept = running
+func (p *disaggPolicy) beginStep(pool []request, running, victims []int32) (kept, outVictims []int32) {
+	kept, outVictims = running, victims
 	for i := 0; i < len(kept); i++ {
-		r := kept[i]
+		id := kept[i]
+		r := &pool[id]
 		self := false
 		if !r.inDecode {
 			// The hand-off: the prefill pool's copy of r's cache moves to
@@ -626,13 +636,13 @@ func (p *disaggPolicy) beginStep(running []*request) (kept, victims []*request) 
 			// (decodeUsed > decodeTotal - r.pages >= 0 by feasibility).
 			for p.decodeUsed+r.pages > p.decodeTotal {
 				j := len(kept) - 1
-				for !kept[j].inDecode {
+				for !pool[kept[j]].inDecode {
 					j--
 				}
-				v := kept[j]
+				vi := kept[j]
 				kept = append(kept[:j], kept[j+1:]...)
-				p.evict(v)
-				victims = append(victims, v)
+				p.evict(&pool[vi])
+				outVictims = append(outVictims, vi)
 				// v sat before the scan position (decode residents precede
 				// every prefill-held sequence); keep the cursor on r.
 				i--
@@ -660,15 +670,15 @@ func (p *disaggPolicy) beginStep(running []*request) (kept, victims []*request) 
 				// Only the decode pool binds: LIFO restricts to its own
 				// residents. Unreachable under co-location, where
 				// decodeUsed <= used and decodeTotal == totalPages.
-				for !kept[j].inDecode {
+				for !pool[kept[j]].inDecode {
 					j--
 				}
 			}
-			v := kept[j]
+			vi := kept[j]
 			kept = append(kept[:j], kept[j+1:]...)
-			p.evict(v)
-			victims = append(victims, v)
-			if v == r {
+			p.evict(&pool[vi])
+			outVictims = append(outVictims, vi)
+			if vi == id {
 				self = true
 				break
 			}
@@ -689,7 +699,7 @@ func (p *disaggPolicy) beginStep(running []*request) (kept, victims []*request) 
 		}
 		r.pages = need
 	}
-	return kept, victims
+	return kept, outVictims
 }
 
 // transferTime prices one sequence's KV hand-off: its prompt's KV bytes

@@ -610,6 +610,35 @@ type request struct {
 // two paths share every line of event-loop code, so an Instance fed Run's
 // arrival stream reproduces Run byte-identically.
 func Run(s Spec) (Result, error) {
+	return new(Runner).Run(s)
+}
+
+// Runner is a reusable simulator: it owns the slabs one simulation grows
+// (request pool, index queues, pricing tables, workload buffers) and
+// re-arms them for every Run call, so a worker evaluating thousands of
+// specs — a sweep worker goroutine, a cluster replica slot, a knee
+// bisection — skips the per-run slab allocations entirely. Results are
+// byte-identical to fresh construction (TestRunnerReuseMatchesFresh).
+//
+// A Runner is NOT safe for concurrent use, and at most one of its Run or
+// Instance simulations may be live at a time (a new call re-arms the
+// shared slabs, invalidating the previous Instance); give each goroutine
+// its own Runner.
+type Runner struct {
+	sim simulator
+	// arrivalsBuf/shapesBuf/traceBuf are the reusable workload-generation
+	// buffers behind Run's arrival stream and Instance's envelope trace.
+	arrivalsBuf []float64
+	shapesBuf   []Request
+	traceBuf    []TraceEvent
+}
+
+// NewRunner builds an empty Runner; slabs grow on first use.
+func NewRunner() *Runner { return new(Runner) }
+
+// Run executes one simulation on the Runner's pooled state. See Run (the
+// package function) for semantics.
+func (rn *Runner) Run(s Spec) (Result, error) {
 	if err := s.validateExclusive(); err != nil {
 		return Result{}, err
 	}
@@ -617,8 +646,8 @@ func Run(s Spec) (Result, error) {
 	if err := s.validateShape(); err != nil {
 		return Result{}, err
 	}
-	sim, err := newSimulator(s)
-	if err != nil {
+	sim := &rn.sim
+	if err := sim.reset(s); err != nil {
 		return Result{}, err
 	}
 
@@ -628,19 +657,22 @@ func Run(s Spec) (Result, error) {
 	// completion.
 	switch {
 	case len(s.Trace) > 0:
-		sim.arrivals = make([]float64, len(s.Trace))
-		sim.shapes = make([]Request, len(s.Trace))
-		for i, ev := range s.Trace {
-			sim.arrivals[i] = ev.Arrival
-			sim.shapes[i] = ev.Request
+		arrivals, shapes := rn.arrivalsBuf[:0], rn.shapesBuf[:0]
+		for _, ev := range s.Trace {
+			arrivals = append(arrivals, ev.Arrival)
+			shapes = append(shapes, ev.Request)
 		}
+		rn.arrivalsBuf, rn.shapesBuf = arrivals, shapes
+		sim.arrivals, sim.shapes = arrivals, shapes
 		sim.issued = s.Requests
 	case s.Arrival == Poisson:
-		sim.shapes = mixShapes(s.Mix, s.Requests, s.Seed)
-		sim.arrivals = PoissonArrivalTimes(s.Rate, s.Requests, s.Seed)
+		rn.shapesBuf = appendMixShapes(rn.shapesBuf[:0], s.Mix, s.Requests, s.Seed)
+		rn.arrivalsBuf = appendPoissonArrivals(rn.arrivalsBuf[:0], s.Rate, s.Requests, s.Seed)
+		sim.arrivals, sim.shapes = rn.arrivalsBuf, rn.shapesBuf
 		sim.issued = s.Requests
 	default:
-		sim.shapes = mixShapes(s.Mix, s.Requests, s.Seed)
+		rn.shapesBuf = appendMixShapes(rn.shapesBuf[:0], s.Mix, s.Requests, s.Seed)
+		sim.shapes = rn.shapesBuf
 		sim.closed = true
 		clients := s.Clients
 		if clients > s.Requests {
@@ -669,10 +701,17 @@ func Run(s Spec) (Result, error) {
 
 // metricPercentiles extracts and summarizes one per-request metric.
 func metricPercentiles(done []RequestMetrics, f func(RequestMetrics) float64) Percentiles {
-	vals := make([]float64, len(done))
-	for i, m := range done {
-		vals[i] = f(m)
+	p, _ := metricPercentilesBuf(nil, done, f)
+	return p
+}
+
+// metricPercentilesBuf is metricPercentiles over a reusable scratch
+// buffer, returning the (possibly grown) buffer for the next pass.
+func metricPercentilesBuf(buf []float64, done []RequestMetrics, f func(RequestMetrics) float64) (Percentiles, []float64) {
+	buf = buf[:0]
+	for _, m := range done {
+		buf = append(buf, f(m))
 	}
-	sort.Float64s(vals)
-	return percentiles(vals)
+	sort.Float64s(buf)
+	return percentiles(buf), buf
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -13,12 +14,74 @@ import (
 // two samples price every intermediate length exactly.
 type decodeLine struct{ base, slope float64 }
 
+// indexDeque is a growable ring buffer of request indices — the FIFO wait
+// queue with O(1) pushFront for preemption re-queues, replacing the
+// allocate-and-copy `append(requeue, queue...)` of the pointer-slice era.
+// Capacity is always a power of two so position math is a mask, not a
+// division.
+type indexDeque struct {
+	buf  []int32
+	head int
+	n    int
+}
+
+func (d *indexDeque) len() int { return d.n }
+
+func (d *indexDeque) reset() { d.head, d.n = 0, 0 }
+
+// grow doubles the buffer (minimum 64) and re-packs the live window at
+// offset zero.
+func (d *indexDeque) grow() {
+	newCap := 2 * len(d.buf)
+	if newCap < 64 {
+		newCap = 64
+	}
+	nb := make([]int32, newCap)
+	mask := len(d.buf) - 1
+	for i := 0; i < d.n; i++ {
+		nb[i] = d.buf[(d.head+i)&mask]
+	}
+	d.buf, d.head = nb, 0
+}
+
+func (d *indexDeque) pushBack(v int32) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.buf[(d.head+d.n)&(len(d.buf)-1)] = v
+	d.n++
+}
+
+func (d *indexDeque) pushFront(v int32) {
+	if d.n == len(d.buf) {
+		d.grow()
+	}
+	d.head = (d.head - 1) & (len(d.buf) - 1)
+	d.buf[d.head] = v
+	d.n++
+}
+
+func (d *indexDeque) popFront() int32 {
+	v := d.buf[d.head]
+	d.head = (d.head + 1) & (len(d.buf) - 1)
+	d.n--
+	return v
+}
+
+func (d *indexDeque) front() int32 { return d.buf[d.head] }
+
 // simulator is the steppable core behind Run and Instance: the full
 // continuous-batching event loop as explicit state plus a step method, so
 // the iteration boundary is a first-class place to observe load (the
 // cluster router hook) without perturbing the sealed admission policies.
 // Run drives it to completion over a pre-generated arrival stream;
 // Instance feeds it request by request.
+//
+// The in-flight request state lives in a flat struct-of-arrays slab
+// (reqs), with the queue and running set as index views over it — the
+// steady-state event loop moves int32 indices, never pointers, so it
+// neither allocates nor pays GC write barriers. reset reuses every slab
+// across simulations (the Runner pooling seam).
 type simulator struct {
 	spec Spec
 	pol  AdmissionPolicy
@@ -27,15 +90,28 @@ type simulator struct {
 	// (transfer time) and report (per-pool counters).
 	dp *disaggPolicy
 
-	coster    *infer.StepCoster
-	kv0, kv1  int
-	refPrompt int
+	coster *infer.StepCoster
+	// costerSpec is the pricing key: the exact infer.Spec the coster was
+	// built from. A reset whose spec prices identically (same key, same
+	// kv0/kv1 sample points) keeps the coster and the filled tables warm —
+	// the steady state of a sweep worker or cluster replica re-running one
+	// configuration.
+	costerSpec infer.Spec
+	kv0, kv1   int
+	refPrompt  int
 
-	prefillCache map[int]float64
-	decodeCache  map[int]decodeLine
+	// prefillTab/decodeTab are dense lazily-filled pricing tables indexed
+	// by batch size — a bounds-checked array load per step, replacing the
+	// map caches. NaN marks an unfilled slot (a NaN-priced cost is refilled
+	// each hit with identical math, so results cannot drift).
+	prefillTab []float64
+	decodeTab  []decodeLine
 
-	budget   float64
-	batchCap int
+	budget float64
+	// invBudget caches 1/budget: utilization accrues once per iteration
+	// and a float divide there is measurable.
+	invBudget float64
+	batchCap  int
 
 	// arrivals/shapes/nextArr/issued are the Run-mode pre-generated
 	// arrival stream; Instance mode leaves them empty and feeds the queue
@@ -48,10 +124,16 @@ type simulator struct {
 	target   int
 	closed   bool
 
-	now        float64
-	queue      []*request // FIFO; preemption re-queues victims at the head
-	running    []*request // admission order
-	done       []RequestMetrics
+	now float64
+	// reqs is the request slab: one entry per issued id, indexed by id
+	// (ids are issued densely, so id == slab position).
+	reqs    []request
+	queue   indexDeque // FIFO; preemption re-queues victims at the head
+	running []int32    // admission order
+	victims []int32    // beginStep's reusable victim buffer
+	scratch []float64  // reusable percentile-pass buffer
+	done    []RequestMetrics
+
 	iterations int
 	batchSum   float64
 	peakBatch  int
@@ -65,17 +147,27 @@ type simulator struct {
 // TestRunDerivesKVGeometryOnce), one step coster, and the cached pricing
 // samples the event loop re-uses.
 func newSimulator(s Spec) (*simulator, error) {
+	sim := new(simulator)
+	if err := sim.reset(s); err != nil {
+		return nil, err
+	}
+	return sim, nil
+}
+
+// reset re-arms the simulator for a defaulted, shape-validated spec,
+// reusing every slab the previous simulation grew (request pool, queue,
+// running/victim index buffers, pricing tables, percentile scratch). The
+// per-spec state — policy, step coster, pricing samples — is rebuilt from
+// scratch, so a reset simulator is byte-identical to a fresh one
+// (TestRunnerReuseMatchesFresh).
+func (sim *simulator) reset(s Spec) error {
 	// One policy per simulation: the KV geometry behind it is derived
 	// exactly once, never per iteration.
 	pol := newPolicy(s)
 	if err := s.validateFit(pol); err != nil {
-		return nil, err
+		return err
 	}
 	dp, _ := pol.(*disaggPolicy)
-	coster, err := infer.NewStepCoster(s.inferSpec())
-	if err != nil {
-		return nil, err
-	}
 	// The step cost is linear in the KV length at fixed batch and the
 	// prefill cost is fixed per batch, so each batch size needs at most
 	// three kernel-enumeration passes; every further iteration prices in
@@ -85,31 +177,70 @@ func newSimulator(s Spec) (*simulator, error) {
 	// prompt+1 .. prompt+gen span — and, being a line, prices every
 	// intermediate per-request length exactly.
 	bounds := s.bounds()
-	sim := &simulator{
-		spec:         s,
-		pol:          pol,
-		dp:           dp,
-		coster:       coster,
-		kv0:          bounds.minPrompt + 1,
-		kv1:          bounds.maxContext,
-		refPrompt:    bounds.maxPrompt,
-		prefillCache: make(map[int]float64),
-		decodeCache:  make(map[int]decodeLine),
-		budget:       pol.budgetBytes(),
-		batchCap:     pol.BatchCap(),
-		target:       s.Requests,
-		done:         make([]RequestMetrics, 0, s.Requests),
+	is := s.inferSpec()
+	kv0, kv1 := bounds.minPrompt+1, bounds.maxContext
+	if sim.coster == nil || is != sim.costerSpec || kv0 != sim.kv0 || kv1 != sim.kv1 {
+		// Pricing inputs changed (or first run): rebuild the coster and
+		// invalidate every cached sample. An identical key prices every
+		// batch size byte-identically (same coster math, same kv sample
+		// points), so the tables stay warm across such resets.
+		coster, err := infer.NewStepCoster(is)
+		if err != nil {
+			return err
+		}
+		sim.coster = coster
+		sim.costerSpec = is
+		for i := range sim.prefillTab {
+			sim.prefillTab[i] = math.NaN()
+		}
+		for i := range sim.decodeTab {
+			sim.decodeTab[i] = decodeLine{base: math.NaN()}
+		}
 	}
-	return sim, nil
+	sim.spec = s
+	sim.pol = pol
+	sim.dp = dp
+	sim.kv0 = kv0
+	sim.kv1 = kv1
+	sim.refPrompt = bounds.maxPrompt
+	sim.budget = pol.budgetBytes()
+	sim.invBudget = 1 / sim.budget
+	sim.batchCap = pol.BatchCap()
+	sim.arrivals, sim.shapes = nil, nil
+	sim.nextArr, sim.issued = 0, 0
+	sim.target = s.Requests
+	sim.closed = false
+	sim.now = 0
+	if cap(sim.reqs) < s.Requests {
+		sim.reqs = make([]request, 0, s.Requests)
+	} else {
+		sim.reqs = sim.reqs[:0]
+	}
+	sim.queue.reset()
+	sim.running = sim.running[:0]
+	sim.victims = sim.victims[:0]
+	// done escapes into Result.PerRequest, so it is the one per-run
+	// allocation reuse cannot elide.
+	sim.done = make([]RequestMetrics, 0, s.Requests)
+	sim.iterations = 0
+	sim.batchSum = 0
+	sim.peakBatch = 0
+	sim.peakKV = 0
+	sim.peakPages = 0
+	sim.utilSum = 0
+	return nil
 }
 
 // prefill prices one prefill pass over batch newly admitted sequences at
 // the reference prompt length, caching per batch size.
 func (sim *simulator) prefill(batch int) float64 {
-	t, ok := sim.prefillCache[batch]
-	if !ok {
+	for batch >= len(sim.prefillTab) {
+		sim.prefillTab = append(sim.prefillTab, math.NaN())
+	}
+	t := sim.prefillTab[batch]
+	if math.IsNaN(t) {
 		t = sim.coster.Prefill(batch).Time()
-		sim.prefillCache[batch] = t
+		sim.prefillTab[batch] = t
 	}
 	return t
 }
@@ -117,13 +248,17 @@ func (sim *simulator) prefill(batch int) float64 {
 // decode prices one step at a possibly fractional mean KV length — the
 // linear model makes mean-of-batch pricing exact without rounding.
 func (sim *simulator) decode(kvMean float64, batch int) float64 {
-	ln, ok := sim.decodeCache[batch]
-	if !ok {
+	for batch >= len(sim.decodeTab) {
+		sim.decodeTab = append(sim.decodeTab, decodeLine{base: math.NaN()})
+	}
+	ln := sim.decodeTab[batch]
+	if math.IsNaN(ln.base) {
 		ln.base = sim.coster.DecodeStep(sim.kv0, batch).Time()
+		ln.slope = 0
 		if sim.kv1 > sim.kv0 {
 			ln.slope = (sim.coster.DecodeStep(sim.kv1, batch).Time() - ln.base) / float64(sim.kv1-sim.kv0)
 		}
-		sim.decodeCache[batch] = ln
+		sim.decodeTab[batch] = ln
 	}
 	return ln.base + ln.slope*(kvMean-float64(sim.kv0))
 }
@@ -134,12 +269,14 @@ func (sim *simulator) enqueue(id int, t float64) {
 }
 
 // pushShape appends one request to the FIFO queue; it joins the batch at
-// the next iteration boundary (iteration-level batching).
+// the next iteration boundary (iteration-level batching). Ids are issued
+// densely in order, so the request lands at slab position id.
 func (sim *simulator) pushShape(id int, sh Request, t float64) {
-	sim.queue = append(sim.queue, &request{
+	sim.reqs = append(sim.reqs, request{
 		id: id, arrival: t,
 		tenant: sh.Tenant, prompt: sh.PromptTokens, gen: sh.GenTokens,
 	})
+	sim.queue.pushBack(int32(id))
 }
 
 // admitArrived moves every pre-generated arrival with time <= now into
@@ -155,36 +292,30 @@ func (sim *simulator) admitArrived() {
 // idle simulator would make no progress, so drivers jump the clock (Run,
 // Instance.Push) instead.
 func (sim *simulator) idle() bool {
-	return len(sim.running) == 0 && len(sim.queue) == 0
+	return len(sim.running) == 0 && sim.queue.len() == 0
 }
 
 // step executes one batching iteration: policy bookkeeping and preemption,
 // admission, pricing, and sequence advancement. It requires pending work
 // (queue or running non-empty) and always advances the clock.
 func (sim *simulator) step() {
-	s := sim.spec
-
 	// Let the policy make room for every established sequence's next
 	// token; under the paged policy this is where victims are chosen
 	// (LIFO) and sent back to the head of the queue for a recompute
 	// readmission.
-	kept, victims := sim.pol.beginStep(sim.running)
+	kept, victims := sim.pol.beginStep(sim.reqs, sim.running, sim.victims[:0])
 	sim.running = kept
-	if len(victims) > 0 {
-		requeue := make([]*request, 0, len(victims)+len(sim.queue))
-		// Victims were collected youngest-first; reverse so the queue
-		// head readmits the longest-running (most to rebuild) victim
-		// first. A victim keeps its produced count: readmission prices
-		// one prefill pass that rebuilds the discarded KV — vLLM's
-		// recompute preemption, where already-generated tokens are
-		// recovered as context by the recompute prefill, not decoded
-		// again — and the sequence resumes from where it was evicted.
-		for i := len(victims) - 1; i >= 0; i-- {
-			v := victims[i]
-			v.preempts++
-			requeue = append(requeue, v)
-		}
-		sim.queue = append(requeue, sim.queue...)
+	sim.victims = victims
+	// Victims were collected youngest-first; pushing each to the queue
+	// head in that order leaves the longest-running (most to rebuild)
+	// victim at the head for readmission. A victim keeps its produced
+	// count: readmission prices one prefill pass that rebuilds the
+	// discarded KV — vLLM's recompute preemption, where already-generated
+	// tokens are recovered as context by the recompute prefill, not
+	// decoded again — and the sequence resumes from where it was evicted.
+	for _, vi := range victims {
+		sim.reqs[vi].preempts++
+		sim.queue.pushFront(vi)
 	}
 
 	// Admit waiting requests up to the batch cap and the policy's KV
@@ -193,14 +324,14 @@ func (sim *simulator) step() {
 	// straight back in.
 	newbies, prefillTokens := 0, 0
 	if len(victims) == 0 {
-		for len(sim.queue) > 0 && len(sim.running) < sim.batchCap && sim.pol.admit(sim.queue[0]) {
-			r := sim.queue[0]
-			sim.queue = sim.queue[1:]
+		for sim.queue.len() > 0 && len(sim.running) < sim.batchCap && sim.pol.admit(&sim.reqs[sim.queue.front()]) {
+			id := sim.queue.popFront()
+			r := &sim.reqs[id]
 			if r.admissions == 0 {
 				r.admitted = sim.now
 			}
 			r.admissions++
-			sim.running = append(sim.running, r)
+			sim.running = append(sim.running, id)
 			newbies++
 			// The pass prefills this request's own prompt; a resumed
 			// victim's recompute prefill spans its generated tokens
@@ -215,38 +346,41 @@ func (sim *simulator) step() {
 	if up := sim.pol.usedPages(); up > sim.peakPages {
 		sim.peakPages = up
 	}
-	sim.utilSum += kv / sim.budget
+	sim.utilSum += kv * sim.invBudget
 	if len(sim.running) > sim.peakBatch {
 		sim.peakBatch = len(sim.running)
 	}
-	if s.probe != nil {
+	// Read the probe hook without copying the whole Spec — step runs once
+	// per iteration and a struct copy here is measurable.
+	if probe := sim.spec.probe; probe != nil {
 		held := 0
-		for _, r := range sim.running {
-			held += r.pages
+		for _, id := range sim.running {
+			held += sim.reqs[id].pages
 		}
 		_, totalPages := sim.pol.PageGeometry()
 		ps := probeState{
-			iteration: sim.iterations, running: len(sim.running), queued: len(sim.queue),
+			iteration: sim.iterations, running: len(sim.running), queued: sim.queue.len(),
 			usedPages: sim.pol.usedPages(), totalPages: totalPages, runningPages: held,
 			usedBytes: kv, budget: sim.budget,
 		}
 		if sim.dp != nil {
 			ps.prefillPages, ps.prefillTotal = sim.dp.prefillUsed, sim.dp.prefillTotal
 			ps.decodePages, ps.decodeTotal = sim.dp.decodeUsed, sim.dp.decodeTotal
-			for _, r := range sim.running {
+			for _, id := range sim.running {
+				r := &sim.reqs[id]
 				if r.inDecode {
 					ps.runningDecodePages += r.pages
 				} else {
 					ps.runningPrefillPages += r.pages
 				}
 			}
-			for _, r := range sim.running[:len(sim.running)-newbies] {
-				if !r.inDecode {
+			for _, id := range sim.running[:len(sim.running)-newbies] {
+				if !sim.reqs[id].inDecode {
 					ps.decidersInPrefill++
 				}
 			}
 		}
-		s.probe(ps)
+		probe(ps)
 	}
 
 	// Price the iteration: one prefill pass over the newly admitted
@@ -272,10 +406,11 @@ func (sim *simulator) step() {
 	}
 	if len(deciders) > 0 {
 		kvSum := 0
-		for _, r := range deciders {
+		for _, id := range deciders {
 			// The step generating token produced+1 attends over the
 			// request's own prompt plus every generated token including
 			// the new one.
+			r := &sim.reqs[id]
 			kvSum += r.prompt + r.produced + 1
 		}
 		iterTime += sim.decode(float64(kvSum)/float64(len(deciders)), len(deciders))
@@ -295,13 +430,14 @@ func (sim *simulator) step() {
 	// firstToken guard keeps the first emission across preemptions
 	// (every iteration has positive duration, so 0 means unset).
 	alive := sim.running[:0]
-	for _, r := range sim.running {
+	for _, id := range sim.running {
+		r := &sim.reqs[id]
 		r.produced++
 		if r.produced == 1 && r.firstToken == 0 {
 			r.firstToken = sim.now
 		}
 		if r.produced < r.gen {
-			alive = append(alive, r)
+			alive = append(alive, id)
 			continue
 		}
 		sim.pol.release(r)
@@ -322,6 +458,7 @@ func (sim *simulator) step() {
 		}
 		sim.done = append(sim.done, m)
 		if sim.closed && sim.issued < sim.target {
+			// enqueue may grow the slab; r is not referenced past here.
 			sim.enqueue(sim.issued, sim.now)
 			sim.issued++
 		}
@@ -333,7 +470,19 @@ func (sim *simulator) step() {
 // never pushed a request reports a zero Result (no iterations to average).
 func (sim *simulator) finish() Result {
 	s := sim.spec
-	sort.Slice(sim.done, func(i, j int) bool { return sim.done[i].ID < sim.done[j].ID })
+	// Completions in the common open-loop uniform case already come out in
+	// ID order; skip the sort (and its closure machinery) when a linear
+	// scan confirms it.
+	ordered := true
+	for i := 1; i < len(sim.done); i++ {
+		if sim.done[i-1].ID > sim.done[i].ID {
+			ordered = false
+			break
+		}
+	}
+	if !ordered {
+		sort.Slice(sim.done, func(i, j int) bool { return sim.done[i].ID < sim.done[j].ID })
+	}
 	pageTokens, totalPages := sim.pol.PageGeometry()
 	preemptions, recomputed := sim.pol.counters()
 	res := Result{
@@ -370,12 +519,37 @@ func (sim *simulator) finish() Result {
 		res.ThroughputRPS = float64(len(sim.done)) / sim.now
 		res.TokensPerSec = float64(genSum) / sim.now
 	}
-	res.TTFT = metricPercentiles(sim.done, func(m RequestMetrics) float64 { return m.TTFT })
-	res.TPOT = metricPercentiles(sim.done, func(m RequestMetrics) float64 { return m.TPOT })
-	res.E2E = metricPercentiles(sim.done, func(m RequestMetrics) float64 { return m.E2E })
-	res.Queue = metricPercentiles(sim.done, func(m RequestMetrics) float64 { return m.Queue })
-	res.PerTenant = tenantBreakdown(sim.done)
+	res.TTFT, sim.scratch = metricPercentilesBuf(sim.scratch, sim.done, func(m RequestMetrics) float64 { return m.TTFT })
+	res.TPOT, sim.scratch = metricPercentilesBuf(sim.scratch, sim.done, func(m RequestMetrics) float64 { return m.TPOT })
+	res.E2E, sim.scratch = metricPercentilesBuf(sim.scratch, sim.done, func(m RequestMetrics) float64 { return m.E2E })
+	res.Queue, sim.scratch = metricPercentilesBuf(sim.scratch, sim.done, func(m RequestMetrics) float64 { return m.Queue })
+	res.PerTenant = sim.perTenant(&res)
 	return res
+}
+
+// perTenant assembles the per-tenant breakdown. In the ubiquitous
+// single-tenant case every per-tenant percentile equals the global one
+// finish just computed (same samples, same order, same math — so reuse
+// is byte-identical), skipping tenantBreakdown's map and four re-sorts.
+func (sim *simulator) perTenant(res *Result) []TenantMetrics {
+	single := len(sim.done) > 0
+	for i := 1; i < len(sim.done); i++ {
+		if sim.done[i].Tenant != sim.done[0].Tenant {
+			single = false
+			break
+		}
+	}
+	if !single {
+		return tenantBreakdown(sim.done)
+	}
+	gen := 0
+	for _, m := range sim.done {
+		gen += m.GenTokens
+	}
+	return []TenantMetrics{{
+		Tenant: sim.done[0].Tenant, Requests: len(sim.done), GenTokens: gen,
+		TTFT: res.TTFT, TPOT: res.TPOT, E2E: res.E2E, Queue: res.Queue,
+	}}
 }
 
 // PoissonArrivalTimes pre-generates n open-loop Poisson arrival timestamps
@@ -383,15 +557,31 @@ func (sim *simulator) finish() Result {
 // Run itself draws — the cluster router generates the fleet-wide arrival
 // stream through this exact helper so a routed workload and a single-replica
 // Run see byte-identical timestamps.
+//
+// The rate must be positive and finite and n non-negative, exactly as
+// Spec.Validate enforces for Run; violations panic (a zero, negative, NaN
+// or infinite rate would otherwise silently yield Inf/NaN timestamps that
+// stall every downstream event loop).
 func PoissonArrivalTimes(rate float64, n int, seed int64) []float64 {
+	return appendPoissonArrivals(nil, rate, n, seed)
+}
+
+// appendPoissonArrivals is PoissonArrivalTimes into a reusable buffer —
+// the Runner pooling seam.
+func appendPoissonArrivals(dst []float64, rate float64, n int, seed int64) []float64 {
+	if !(rate > 0) || math.IsInf(rate, 0) {
+		panic(fmt.Sprintf("serve: PoissonArrivalTimes needs a positive finite rate, got %g", rate))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("serve: PoissonArrivalTimes needs a non-negative count, got %d", n))
+	}
 	rng := rand.New(rand.NewSource(seed))
 	t := 0.0
-	out := make([]float64, n)
-	for i := range out {
+	for i := 0; i < n; i++ {
 		t += rng.ExpFloat64() / rate
-		out[i] = t
+		dst = append(dst, t)
 	}
-	return out
+	return dst
 }
 
 // MixShapes deterministically assigns each of n arrival indices its request
@@ -417,7 +607,16 @@ func TenantBreakdown(done []RequestMetrics) []TenantMetrics {
 
 // Summarize computes nearest-rank percentiles over a sample (the input
 // slice is not modified). See Percentiles for the small-sample semantics.
+//
+// NaN values panic: a NaN breaks the sort's total order, which would make
+// every percentile silently order-dependent. Infinities are legal samples
+// (a saturated SLO) and sort to the tail as expected.
 func Summarize(values []float64) Percentiles {
+	for _, v := range values {
+		if math.IsNaN(v) {
+			panic("serve: Summarize sample contains NaN")
+		}
+	}
 	sorted := append([]float64(nil), values...)
 	sort.Float64s(sorted)
 	return percentiles(sorted)

@@ -65,7 +65,9 @@ func validateTenantName(name string) error {
 	if name == "" {
 		return fmt.Errorf("empty tenant name")
 	}
-	if strings.ContainsAny(name, ":,") {
+	// Two IndexByte scans, not ContainsAny: this runs on every
+	// Instance.Push, and ContainsAny's rune machinery is measurable there.
+	if strings.IndexByte(name, ':') >= 0 || strings.IndexByte(name, ',') >= 0 {
 		return fmt.Errorf("tenant name %q contains a mix separator (':' and ',' are reserved)", name)
 	}
 	if name != strings.TrimSpace(name) {
@@ -266,20 +268,25 @@ const shapeSeedSalt = 0x2545F4914F6CDD1D
 // untouched — the PR-3 byte-identity guarantee. Multi-tenant mixes draw
 // tenants, weighted by share, from a second independently seeded stream.
 func mixShapes(mix []TenantLoad, n int, seed int64) []Request {
-	out := make([]Request, n)
+	return appendMixShapes(nil, mix, n, seed)
+}
+
+// appendMixShapes is mixShapes into a reusable buffer — the Runner
+// pooling seam.
+func appendMixShapes(dst []Request, mix []TenantLoad, n int, seed int64) []Request {
 	if len(mix) == 1 {
 		sh := mix[0].request()
-		for i := range out {
-			out[i] = sh
+		for i := 0; i < n; i++ {
+			dst = append(dst, sh)
 		}
-		return out
+		return dst
 	}
 	total := 0.0
 	for _, t := range mix {
 		total += t.Share
 	}
 	rng := rand.New(rand.NewSource(seed ^ shapeSeedSalt))
-	for i := range out {
+	for i := 0; i < n; i++ {
 		x := rng.Float64() * total
 		k := 0
 		for k < len(mix)-1 {
@@ -289,9 +296,9 @@ func mixShapes(mix []TenantLoad, n int, seed int64) []Request {
 			}
 			k++
 		}
-		out[i] = mix[k].request()
+		dst = append(dst, mix[k].request())
 	}
-	return out
+	return dst
 }
 
 // shapeBounds are the extreme request shapes of one workload, derived once

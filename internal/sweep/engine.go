@@ -95,8 +95,12 @@ func (e *Engine) Run(ctx context.Context, s Spec) (Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One pooled evaluator per worker: simulator slabs and pricing
+			// tables survive across the points this goroutine costs
+			// (byte-identical to fresh evaluation — see Evaluate).
+			ev := newEvaluator()
 			for i := range idx {
-				m, ok := e.eval(ctx, points[i], prune, &ct)
+				m, ok := e.eval(ctx, points[i], prune, &ct, ev)
 				slots[i] = slot{m: m, ok: ok}
 			}
 		}()
@@ -143,7 +147,7 @@ feed:
 // eval costs one point: feasibility pre-check (when pruning is sound),
 // then a memoized full evaluation. Only full evaluations enter the memo —
 // a pruned point costs nothing and decides nothing beyond its own run.
-func (e *Engine) eval(ctx context.Context, p Point, prune bool, ct *counters) (Metrics, bool) {
+func (e *Engine) eval(ctx context.Context, p Point, prune bool, ct *counters, ev *evaluator) (Metrics, bool) {
 	key := p.cachedKey()
 	e.mu.Lock()
 	ent := e.memo[key]
@@ -168,7 +172,7 @@ func (e *Engine) eval(ctx context.Context, p Point, prune bool, ct *counters) (M
 			ent = &memoEntry{done: make(chan struct{})}
 			e.memo[key] = ent
 			e.mu.Unlock()
-			ent.m, ent.err = Evaluate(p)
+			ent.m, ent.err = ev.evaluate(p)
 			close(ent.done)
 			if ent.err != nil {
 				ct.errors.Add(1)

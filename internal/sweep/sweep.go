@@ -1016,13 +1016,34 @@ func Enumerate(s Spec) []Point {
 	return out
 }
 
-// Evaluate runs the full cost model on one point.
+// Evaluate runs the full cost model on one point — on fresh simulator
+// state. The engine and Serial evaluate through a pooled per-worker
+// evaluator instead, which reuses simulator slabs across points;
+// TestRunnerReuseMatchesFresh (serve) and TestClusterRunnerReuseMatchesFresh
+// pin that reuse byte-identical, so the two paths cannot diverge.
 func Evaluate(p Point) (Metrics, error) {
+	return newEvaluator().evaluate(p)
+}
+
+// evaluator carries the pooled serving simulators one sweep worker reuses
+// across the points it costs. Inference and training predictions are
+// stateless; only the serving paths hold reusable state. NOT safe for
+// concurrent use — each worker owns one.
+type evaluator struct {
+	serve   *serve.Runner
+	cluster *cluster.Runner
+}
+
+func newEvaluator() *evaluator {
+	return &evaluator{serve: serve.NewRunner(), cluster: cluster.NewRunner()}
+}
+
+func (ev *evaluator) evaluate(p Point) (Metrics, error) {
 	switch p.Workload {
 	case Inference:
 		return evaluateInference(p)
 	case Serving:
-		return evaluateServing(p)
+		return ev.evaluateServing(p)
 	default:
 		return evaluateTraining(p)
 	}
@@ -1133,8 +1154,8 @@ func clusterSpec(p Point) cluster.Spec {
 // mapping the fleet-wide result onto the same serving Metrics surface as a
 // single instance (per-device footprint from the worst replica, KV
 // utilization averaged across the fleet).
-func evaluateServingFleet(p Point) (Metrics, error) {
-	res, err := cluster.Run(clusterSpec(p))
+func (ev *evaluator) evaluateServingFleet(p Point) (Metrics, error) {
+	res, err := ev.cluster.Run(clusterSpec(p))
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -1171,11 +1192,11 @@ func evaluateServingFleet(p Point) (Metrics, error) {
 	return m, nil
 }
 
-func evaluateServing(p Point) (Metrics, error) {
+func (ev *evaluator) evaluateServing(p Point) (Metrics, error) {
 	if p.Replicas > 0 {
-		return evaluateServingFleet(p)
+		return ev.evaluateServingFleet(p)
 	}
-	res, err := serve.Run(servingSpec(p))
+	res, err := ev.serve.Run(servingSpec(p))
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -1273,8 +1294,9 @@ func Serial(s Spec) (Result, error) {
 	c := s.Constraints.WithDefaults(firstSystem(s))
 	rows := make([]Row, 0, len(points))
 	stats := Stats{Enumerated: len(points), Workers: 1}
+	ev := newEvaluator()
 	for i, p := range points {
-		m, err := Evaluate(p)
+		m, err := ev.evaluate(p)
 		if err != nil {
 			stats.Errors++
 			continue
