@@ -27,7 +27,7 @@ bench:
 # cmd/benchjson (name, iterations, and every metric incl. sim-req/s).
 # CI runs it with BENCHTIME=1x as a smoke test so the bench path cannot
 # rot; locally the default 1s benchtime gives comparable numbers.
-BENCH_JSON ?= BENCH_PR7.json
+BENCH_JSON ?= BENCH_PR8.json
 BENCHTIME ?= 1s
 bench-json:
 	@set -e; \

@@ -86,6 +86,41 @@ func BenchmarkServeSimulatorPaged(b *testing.B) {
 	b.ReportMetric(last.MeanKVUtil*100, "kv-util-%")
 }
 
+// BenchmarkServeSimulatorPrefixTiered tracks the PR-8 admission paths
+// together under page pressure: every request shares a prefix (so hit
+// accounting and refcounting run each admission) and preemption victims
+// swap to a host KV tier (so the swap-out/swap-in pricing runs too).
+func BenchmarkServeSimulatorPrefixTiered(b *testing.B) {
+	const requests = 256
+	spec := serveBenchSpec(b, requests)
+	spec.Policy = serve.Paged
+	spec.PrefixTokens = 64
+	perRequest := memfoot.Inference(spec.Model, spec.TP, 1,
+		spec.PromptTokens+spec.GenTokens, spec.Precision.Bytes()).KVCache
+	spec.KVCapacity = 8 * perRequest
+	spec.HostKVBytes = 16 * perRequest
+	spec.SwapGBps = serve.DefaultSwapGBps
+	rn := serve.NewRunner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last serve.Result
+	for i := 0; i < b.N; i++ {
+		res, err := rn.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	if last.PrefixHits == 0 || last.KVSwapOuts == 0 {
+		b.Fatalf("prefix+tiered bench must exercise both paths: %d hits, %d swap-outs",
+			last.PrefixHits, last.KVSwapOuts)
+	}
+	b.ReportMetric(float64(requests*b.N)/b.Elapsed().Seconds(), "sim-req/s")
+	b.ReportMetric(float64(last.PrefixHits), "pfx-hits/run")
+	b.ReportMetric(float64(last.KVSwapOuts), "swap-outs/run")
+}
+
 // TestServeSimulatorAllocBudget pins the zero-allocation-core refactor
 // with a machine-independent proxy: allocations per 256-request
 // simulation, per admission policy and arrival process. The event loop
@@ -117,6 +152,14 @@ func TestServeSimulatorAllocBudget(t *testing.T) {
 			s.TransferGBps = 50
 			per := memfoot.Inference(s.Model, s.TP, 1, s.PromptTokens+s.GenTokens, s.Precision.Bytes()).KVCache
 			s.KVCapacity = 12 * per
+		}},
+		{"prefix+tiered", 300, 16, func(s *serve.Spec) {
+			s.Policy = serve.Paged
+			s.PrefixTokens = 64
+			per := memfoot.Inference(s.Model, s.TP, 1, s.PromptTokens+s.GenTokens, s.Precision.Bytes()).KVCache
+			s.KVCapacity = 8 * per
+			s.HostKVBytes = 16 * per
+			s.SwapGBps = serve.DefaultSwapGBps
 		}},
 		{"closed-loop", 150, 16, func(s *serve.Spec) {
 			s.Arrival = serve.ClosedLoop

@@ -30,8 +30,9 @@ func cmdCluster(args []string) error {
 	routing := fs.String("routing", "round-robin", "routing policy (round-robin|least-queue|least-kv|tenant-affinity)")
 	prompt := fs.Int("prompt", 200, "prompt tokens per request (single-tenant; see -mix/-trace)")
 	gen := fs.Int("gen", 200, "generated tokens per request (single-tenant; see -mix/-trace)")
-	mix := fs.String("mix", "", "multi-tenant workload mix as tenant:share:prompt:gen[,...] (replaces -prompt/-gen)")
-	trace := fs.String("trace", "", "CSV trace file to replay (arrival,tenant,prompt,gen; replaces the arrival flags)")
+	mix := fs.String("mix", "", "multi-tenant workload mix as tenant:share:prompt:gen[:prefix[:prefix-id]][,...] (replaces -prompt/-gen)")
+	trace := fs.String("trace", "", "CSV trace file to replay (arrival,tenant,prompt,gen[,prefix_id,prefix_tokens]; replaces the arrival flags)")
+	prefix := fs.Int("prefix", 0, "shared prompt-prefix tokens cached across requests (single-tenant; paged with preemption only)")
 	prec := fs.String("precision", "fp16", "precision")
 	rate := fs.Float64("rate", 2, "fleet-wide Poisson arrival rate in requests/sec")
 	requests := fs.Int("requests", 256, "requests to simulate")
@@ -43,9 +44,12 @@ func cmdCluster(args []string) error {
 	prefillDevices := fs.Int("prefill-devices", 0, "devices backing the disagg prefill pool (0 = all; disagg only)")
 	decodeDevices := fs.Int("decode-devices", 0, "devices backing the disagg decode pool (0 = all; disagg only)")
 	transferGBps := fs.Float64("transfer-gbps", 0, "disagg KV-transfer interconnect bandwidth in GB/s (0 = default 50, Inf = free; disagg only)")
+	hostKVGB := fs.Float64("kv-host-gb", 0, "per-replica host-memory KV swap tier capacity in GB (0 = recompute-only preemption; paged with preemption only)")
+	swapGBps := fs.Float64("swap-gbps", 0, "GPU-host KV swap-link bandwidth in GB/s (0 = default 32; needs -kv-host-gb)")
 	slo := fs.Float64("slo-e2e-p95", 0, "saturation analysis: bisect the arrival rate to the knee where fleet p95 E2E first exceeds this SLO in seconds (replaces -rate)")
 	minRate := fs.Float64("min-rate", 0.25, "saturation bracket floor in requests/sec (-slo-e2e-p95 only)")
 	maxRate := fs.Float64("max-rate", 16, "saturation bracket ceiling in requests/sec (-slo-e2e-p95 only)")
+	kneeProbes := fs.Int("knee-probes", 0, "fleet-simulation budget for the bisection (0 = default 32; a starved budget reports a LOOSE knee; -slo-e2e-p95 only)")
 	format := fs.String("format", "text", "output format (text|csv|json)")
 	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -98,6 +102,9 @@ func cmdCluster(args []string) error {
 	if pol == optimus.DisaggregatedPolicy && *transferGBps == 0 {
 		*transferGBps = optimus.DefaultServeTransferGBps
 	}
+	if pol == optimus.PagedPolicy && *hostKVGB > 0 && *swapGBps == 0 {
+		*swapGBps = optimus.DefaultServeSwapGBps
+	}
 
 	capacity := optimus.ServeSpec{
 		Model: cfg, System: sys, TP: *gpus, Precision: p,
@@ -105,11 +112,12 @@ func cmdCluster(args []string) error {
 		PageTokens: *pageTokens, NoPreempt: *noPreempt,
 		PrefillDevices: *prefillDevices, DecodeDevices: *decodeDevices,
 		TransferGBps: *transferGBps,
+		HostKVBytes:  *hostKVGB * 1e9, SwapGBps: *swapGBps,
 	}
 	spec := optimus.ClusterSpec{
 		Replicas: []optimus.ClusterReplica{{Spec: capacity, Count: *replicas}},
 		Routing:  rt,
-		PromptTokens: *prompt, GenTokens: *gen,
+		PromptTokens: *prompt, GenTokens: *gen, PrefixTokens: *prefix,
 		Rate: *rate, Requests: *requests, Seed: *seed,
 	}
 
@@ -120,7 +128,10 @@ func cmdCluster(args []string) error {
 		if set["prompt"] || set["gen"] {
 			return fmt.Errorf("-prompt and -gen describe the single-tenant workload (use the per-tenant lengths in -mix, or the trace's)")
 		}
-		spec.PromptTokens, spec.GenTokens = 0, 0
+		if set["prefix"] {
+			return fmt.Errorf("-prefix describes the single-tenant workload (use the per-tenant prefix field in -mix, or the trace's prefix columns)")
+		}
+		spec.PromptTokens, spec.GenTokens, spec.PrefixTokens = 0, 0, 0
 	}
 	if *mix != "" {
 		if spec.Mix, err = optimus.ParseServeMix(*mix); err != nil {
@@ -151,6 +162,7 @@ func cmdCluster(args []string) error {
 		ks := optimus.ClusterKneeSpec{
 			Cluster: spec, SLOE2EP95: *slo,
 			MinRate: *minRate, MaxRate: *maxRate,
+			MaxProbes: *kneeProbes,
 		}
 		knee, err := optimus.FindClusterKnee(ks)
 		if err != nil {
@@ -160,6 +172,9 @@ func cmdCluster(args []string) error {
 	}
 	if set["min-rate"] || set["max-rate"] {
 		return fmt.Errorf("-min-rate and -max-rate bracket the saturation analysis (set -slo-e2e-p95)")
+	}
+	if set["knee-probes"] {
+		return fmt.Errorf("-knee-probes budgets the saturation analysis (set -slo-e2e-p95)")
 	}
 
 	res, err := optimus.ServeCluster(spec)
@@ -187,6 +202,23 @@ func rejectPolicyFlagMisuse(set map[string]bool, pol optimus.ServePolicy) error 
 				return fmt.Errorf("-%s applies to the disagg policy only (-policy %v ignores it)", f, pol)
 			}
 		}
+	}
+	// The prefix cache and host KV tier live on the paged policy's
+	// preemption machinery: any other policy (and paged with -no-preempt)
+	// has no eviction to cache across or swap out from.
+	for _, f := range []string{"prefix", "kv-host-gb", "swap-gbps"} {
+		if !set[f] {
+			continue
+		}
+		if pol != optimus.PagedPolicy {
+			return fmt.Errorf("-%s applies to the paged policy only (-policy %v ignores it)", f, pol)
+		}
+		if set["no-preempt"] {
+			return fmt.Errorf("-%s needs preemption (-no-preempt reserves full context and never evicts)", f)
+		}
+	}
+	if set["swap-gbps"] && !set["kv-host-gb"] {
+		return fmt.Errorf("-swap-gbps prices the host KV tier's swap link (set -kv-host-gb)")
 	}
 	return nil
 }
@@ -226,6 +258,14 @@ func writeCluster(w io.Writer, spec optimus.ClusterSpec, res optimus.ClusterResu
 		if res.KVTransfers > 0 {
 			fmt.Fprintf(w, "  kv-transfer        %d migrations, %s total\n",
 				res.KVTransfers, units.FormatSeconds(res.TransferTimeTotal))
+		}
+		if res.PrefixHits > 0 || res.PrefixSavedTokens > 0 {
+			fmt.Fprintf(w, "  prefix-cache       %d hits, %d prefill tokens saved (fleet)\n",
+				res.PrefixHits, res.PrefixSavedTokens)
+		}
+		if res.KVSwapOuts > 0 || res.KVSwapIns > 0 {
+			fmt.Fprintf(w, "  kv-host-tier       %d swap-outs, %d swap-ins, %s swapping (fleet)\n",
+				res.KVSwapOuts, res.KVSwapIns, units.FormatSeconds(res.SwapTimeTotal))
 		}
 		fmt.Fprintf(w, "  %-8s %10s %10s %10s %10s %10s\n", "SLO", "p50", "p95", "p99", "mean", "max")
 		for _, row := range []struct {
@@ -302,6 +342,10 @@ func writeKnee(w io.Writer, spec optimus.ClusterSpec, knee optimus.ClusterKnee, 
 				knee.Rate, units.FormatSeconds(knee.P95E2E))
 			fmt.Fprintf(w, "  first violation    %g req/s (p95 E2E %s)\n",
 				knee.LimitRate, units.FormatSeconds(knee.LimitP95))
+			if !knee.Converged {
+				fmt.Fprintf(w, "  convergence        LOOSE: probe budget exhausted at %.3g relative bracket width (knee is coarser than the tolerance)\n",
+					knee.BracketWidth)
+			}
 		} else {
 			fmt.Fprintf(w, "  unsaturated        fleet meets the SLO through %g req/s (p95 E2E %s); raise -max-rate to find the knee\n",
 				knee.Rate, units.FormatSeconds(knee.P95E2E))

@@ -78,6 +78,12 @@ func TestCmdClusterFlagErrorsNameFlags(t *testing.T) {
 		{[]string{"-replicas", "0"}, "-replicas"},
 		{[]string{"-rate", "2", "-slo-e2e-p95", "5"}, "-rate"},
 		{[]string{"-min-rate", "1"}, "-slo-e2e-p95"},
+		{[]string{"-knee-probes", "3"}, "-slo-e2e-p95"},
+		{[]string{"-prefix", "64"}, "-prefix"},
+		{[]string{"-kv-host-gb", "4"}, "-kv-host-gb"},
+		{[]string{"-policy", "paged", "-swap-gbps", "32"}, "-kv-host-gb"},
+		{[]string{"-policy", "paged", "-no-preempt", "-prefix", "64"}, "-prefix"},
+		{[]string{"-policy", "paged", "-prefix", "64", "-mix", "a:1:100:50"}, "-prefix"},
 	} {
 		err := cmdCluster(tc.args)
 		if err == nil || !strings.Contains(err.Error(), tc.flag) {
@@ -95,6 +101,9 @@ func TestCmdClusterKnee(t *testing.T) {
 		if err := cmdCluster(append(args, "-format", format)); err != nil {
 			t.Fatalf("knee mode format %s: %v", format, err)
 		}
+	}
+	if err := cmdCluster(append(args, "-knee-probes", "3")); err != nil {
+		t.Fatalf("starved probe budget: %v", err)
 	}
 }
 
@@ -297,5 +306,43 @@ func TestWriteKneeGolden(t *testing.T) {
 	}
 	if !strings.Contains(txt.String(), "saturation knee") {
 		t.Errorf("text knee output missing header:\n%s", txt.String())
+	}
+	if !knee.Converged {
+		t.Fatalf("the default probe budget must converge: %+v", knee)
+	}
+	if strings.Contains(txt.String(), "LOOSE") {
+		t.Errorf("converged knee text warns LOOSE:\n%s", txt.String())
+	}
+	if doc.Converged != knee.Converged || doc.BracketWidth != knee.BracketWidth {
+		t.Errorf("convergence fields did not round-trip: %+v vs %+v", doc, knee)
+	}
+}
+
+// TestWriteKneeLoose: a starved probe budget must be visible in the text
+// output — the satellite bugfix's CLI surface (-knee-probes).
+func TestWriteKneeLoose(t *testing.T) {
+	spec, _ := clusterResult(t)
+	spec.Replicas[0].Spec.MaxBatch = 4
+	spec.Rate = 0
+	spec.Requests = 64
+	knee, err := optimus.FindClusterKnee(optimus.ClusterKneeSpec{
+		Cluster: spec, SLOE2EP95: 8, MinRate: 0.5, MaxRate: 16,
+		Tolerance: 0.01, MaxProbes: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !knee.Saturated {
+		t.Fatalf("the bracket must saturate: %+v", knee)
+	}
+	if knee.Converged {
+		t.Fatalf("3 probes cannot reach a 1%% bracket on [0.5, 16]: %+v", knee)
+	}
+	var txt strings.Builder
+	if err := writeKnee(&txt, spec, knee, "text"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(txt.String(), "LOOSE") {
+		t.Errorf("starved knee text must warn LOOSE:\n%s", txt.String())
 	}
 }

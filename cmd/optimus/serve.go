@@ -32,8 +32,9 @@ func cmdServe(args []string) error {
 	gpus := fs.Int("gpus", 1, "GPU count (= tensor-parallel degree)")
 	prompt := fs.Int("prompt", 200, "prompt tokens per request (single-tenant; see -mix/-trace)")
 	gen := fs.Int("gen", 200, "generated tokens per request (single-tenant; see -mix/-trace)")
-	mix := fs.String("mix", "", "multi-tenant workload mix as tenant:share:prompt:gen[,...] (replaces -prompt/-gen)")
-	trace := fs.String("trace", "", "CSV trace file to replay (arrival,tenant,prompt,gen; replaces the arrival flags)")
+	mix := fs.String("mix", "", "multi-tenant workload mix as tenant:share:prompt:gen[:prefix[:prefix-id]][,...] (replaces -prompt/-gen)")
+	trace := fs.String("trace", "", "CSV trace file to replay (arrival,tenant,prompt,gen[,prefix_id,prefix_tokens]; replaces the arrival flags)")
+	prefix := fs.Int("prefix", 0, "shared prompt-prefix tokens cached across requests (single-tenant; paged with preemption only)")
 	prec := fs.String("precision", "fp16", "precision")
 	arrival := fs.String("arrival", "poisson", "arrival process (poisson|closed)")
 	rate := fs.Float64("rate", 1, "Poisson arrival rate in requests/sec")
@@ -47,6 +48,8 @@ func cmdServe(args []string) error {
 	prefillDevices := fs.Int("prefill-devices", 0, "devices backing the disagg prefill pool (0 = all; disagg only)")
 	decodeDevices := fs.Int("decode-devices", 0, "devices backing the disagg decode pool (0 = all; disagg only)")
 	transferGBps := fs.Float64("transfer-gbps", 0, "disagg KV-transfer interconnect bandwidth in GB/s (0 = default 50, Inf = free; disagg only)")
+	hostKVGB := fs.Float64("kv-host-gb", 0, "host-memory KV swap tier capacity in GB (0 = recompute-only preemption; paged with preemption only)")
+	swapGBps := fs.Float64("swap-gbps", 0, "GPU-host KV swap-link bandwidth in GB/s (0 = default 32; needs -kv-host-gb)")
 	format := fs.String("format", "text", "output format (text|csv|json)")
 	prof := addProfileFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -85,14 +88,18 @@ func cmdServe(args []string) error {
 	if pol == optimus.DisaggregatedPolicy && *transferGBps == 0 {
 		*transferGBps = optimus.DefaultServeTransferGBps
 	}
+	if pol == optimus.PagedPolicy && *hostKVGB > 0 && *swapGBps == 0 {
+		*swapGBps = optimus.DefaultServeSwapGBps
+	}
 	spec := optimus.ServeSpec{
 		Model: cfg, System: sys, TP: *gpus, Precision: p,
-		PromptTokens: *prompt, GenTokens: *gen,
+		PromptTokens: *prompt, GenTokens: *gen, PrefixTokens: *prefix,
 		Rate: *rate, Clients: *clients,
 		Requests: *requests, Seed: *seed, MaxBatch: *maxBatch,
 		Policy: pol, PageTokens: *pageTokens, NoPreempt: *noPreempt,
 		PrefillDevices: *prefillDevices, DecodeDevices: *decodeDevices,
 		TransferGBps: *transferGBps,
+		HostKVBytes:  *hostKVGB * 1e9, SwapGBps: *swapGBps,
 	}
 	// Reject flags the chosen workload or arrival process would silently
 	// ignore — a user who sets them believes they shaped the simulated
@@ -109,7 +116,10 @@ func cmdServe(args []string) error {
 		if set["prompt"] || set["gen"] {
 			return fmt.Errorf("-prompt and -gen describe the single-tenant workload (use the per-tenant lengths in -mix, or the trace's)")
 		}
-		spec.PromptTokens, spec.GenTokens = 0, 0
+		if set["prefix"] {
+			return fmt.Errorf("-prefix describes the single-tenant workload (use the per-tenant prefix field in -mix, or the trace's prefix columns)")
+		}
+		spec.PromptTokens, spec.GenTokens, spec.PrefixTokens = 0, 0, 0
 	}
 	if *mix != "" {
 		if spec.Mix, err = optimus.ParseServeMix(*mix); err != nil {
@@ -207,6 +217,15 @@ func writeServe(w io.Writer, spec optimus.ServeSpec, res optimus.ServeResult, fo
 			fmt.Fprintf(w, "  paging             %d-token pages, peak %d of %d, %d preemptions (%d tokens recomputed)\n",
 				res.PageTokens, res.PeakKVPages, res.KVPagesTotal,
 				res.Preemptions, res.RecomputedTokens)
+		}
+		if res.PrefixHits > 0 || res.PrefixSavedTokens > 0 {
+			fmt.Fprintf(w, "  prefix-cache       %d hits, %d prefill tokens saved\n",
+				res.PrefixHits, res.PrefixSavedTokens)
+		}
+		if res.HostPagesTotal > 0 {
+			fmt.Fprintf(w, "  kv-host-tier       %d pages (peak %d), %d swap-outs, %d swap-ins, %s swapping over %g GB/s\n",
+				res.HostPagesTotal, res.PeakHostPages, res.KVSwapOuts, res.KVSwapIns,
+				units.FormatSeconds(res.SwapTimeTotal), spec.SwapGBps)
 		}
 		if res.Policy == optimus.DisaggregatedPolicy {
 			fmt.Fprintf(w, "  pools              prefill %d dev (peak %d of %d pages), decode %d dev (peak %d of %d pages)\n",

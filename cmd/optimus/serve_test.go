@@ -405,6 +405,15 @@ func TestCmdServeFlagErrorsNameFlags(t *testing.T) {
 		{[]string{"-prefill-devices", "1"}, "-prefill-devices"},
 		{[]string{"-policy", "paged", "-decode-devices", "1"}, "-decode-devices"},
 		{[]string{"-policy", "paged", "-transfer-gbps", "50"}, "-transfer-gbps"},
+		{[]string{"-prefix", "64"}, "-prefix"},
+		{[]string{"-policy", "disagg", "-prefix", "64"}, "-prefix"},
+		{[]string{"-kv-host-gb", "4"}, "-kv-host-gb"},
+		{[]string{"-policy", "disagg", "-kv-host-gb", "4"}, "-kv-host-gb"},
+		{[]string{"-swap-gbps", "32"}, "-swap-gbps"},
+		{[]string{"-policy", "paged", "-swap-gbps", "32"}, "-kv-host-gb"},
+		{[]string{"-policy", "paged", "-no-preempt", "-prefix", "64"}, "-prefix"},
+		{[]string{"-policy", "paged", "-no-preempt", "-kv-host-gb", "4"}, "-kv-host-gb"},
+		{[]string{"-policy", "paged", "-prefix", "64", "-mix", "a:1:100:50"}, "-prefix"},
 	} {
 		err := cmdServe(tc.args)
 		if err == nil || !strings.Contains(err.Error(), tc.flag) {

@@ -41,6 +41,9 @@ func cmdSweep(args []string) error {
 	prefillDevices := fs.String("prefill-devices", "", "comma-separated disagg prefill-pool device counts, zipped with -decode-devices into pool-split axis values (serve -policies disagg only)")
 	decodeDevices := fs.String("decode-devices", "", "comma-separated disagg decode-pool device counts, zipped with -prefill-devices (serve -policies disagg only)")
 	transferGBps := fs.Float64("transfer-gbps", 0, "disagg KV-transfer interconnect bandwidth in GB/s (serve only, 0 = default 50, Inf = free)")
+	prefixesFlag := fs.String("prefix", "", "comma-separated shared prompt-prefix token counts to compare (serve -policies paged only; replaces per-request prefixes)")
+	hostKVGBs := fs.String("kv-host-gb", "", "comma-separated host KV tier capacities in GB to compare (serve -policies paged only; 0 = recompute-only)")
+	swapGBps := fs.Float64("swap-gbps", 0, "GPU-host KV swap-link bandwidth in GB/s (serve only, 0 = default 32; needs -kv-host-gb)")
 	replicasFlag := fs.String("replicas", "", "comma-separated fleet sizes to compare (serve only; 0 = plain single instance)")
 	routings := fs.String("routings", "", "comma-separated cluster routing policies to compare (round-robin|least-queue|least-kv|tenant-affinity; serve only, needs a positive -replicas entry)")
 	precs := fs.String("precisions", "", "comma-separated GEMM precisions (default bf16; infer fp16)")
@@ -104,6 +107,9 @@ func cmdSweep(args []string) error {
 		if *prefillDevices != "" || *decodeDevices != "" || *transferGBps != 0 {
 			return fmt.Errorf("-prefill-devices, -decode-devices and -transfer-gbps apply to serving sweeps only")
 		}
+		if *prefixesFlag != "" || *hostKVGBs != "" || *swapGBps != 0 {
+			return fmt.Errorf("-prefix, -kv-host-gb and -swap-gbps apply to serving sweeps only")
+		}
 		if *mixes != "" || *trace != "" {
 			return fmt.Errorf("-mix and -trace apply to serving sweeps only")
 		}
@@ -122,7 +128,7 @@ func cmdSweep(args []string) error {
 		return fmt.Errorf("-mix and -trace are mutually exclusive")
 	}
 	if *trace != "" {
-		for _, f := range []string{"rates", "seqs", "gen", "serve-requests", "serve-seed"} {
+		for _, f := range []string{"rates", "seqs", "gen", "prefix", "serve-requests", "serve-seed"} {
 			if set[f] {
 				return fmt.Errorf("-%s does not apply when replaying a trace (-trace fixes arrivals and request shapes)", f)
 			}
@@ -130,6 +136,9 @@ func cmdSweep(args []string) error {
 	}
 	if *mixes != "" && (set["seqs"] || set["gen"]) {
 		return fmt.Errorf("-seqs and -gen describe the single-tenant workload (use the per-tenant lengths in -mix)")
+	}
+	if *mixes != "" && set["prefix"] {
+		return fmt.Errorf("-prefix describes the single-tenant workload (use the per-tenant prefix field in -mix)")
 	}
 	for _, m := range strings.Split(*mixes, ";") {
 		if m = strings.TrimSpace(m); m == "" {
@@ -157,9 +166,10 @@ func cmdSweep(args []string) error {
 	}
 	// Policy knobs only some -policies entries read: reject the combos
 	// where every listed policy would silently ignore the knob.
-	hasPaged, hasDisagg := false, false
+	hasPaged, hasStrictPaged, hasDisagg := false, false, false
 	for _, pol := range spec.Policies {
 		hasPaged = hasPaged || pol == optimus.PagedPolicy || pol == optimus.DisaggregatedPolicy
+		hasStrictPaged = hasStrictPaged || pol == optimus.PagedPolicy
 		hasDisagg = hasDisagg || pol == optimus.DisaggregatedPolicy
 	}
 	if set["page-tokens"] && !hasPaged {
@@ -171,6 +181,19 @@ func cmdSweep(args []string) error {
 				return fmt.Errorf("-%s needs a disagg entry in -policies (every listed policy ignores it)", f)
 			}
 		}
+	}
+	// The prefix cache and host KV tier live on the paged policy's
+	// preemption machinery — disagg preempts against its decode pool but
+	// carries neither.
+	if !hasStrictPaged {
+		for _, f := range []string{"prefix", "kv-host-gb", "swap-gbps"} {
+			if set[f] {
+				return fmt.Errorf("-%s needs a paged entry in -policies (every listed policy ignores it)", f)
+			}
+		}
+	}
+	if set["swap-gbps"] && !set["kv-host-gb"] {
+		return fmt.Errorf("-swap-gbps prices the host KV tier's swap link (set -kv-host-gb)")
 	}
 	spec.ServePageTokens = *pageTokens
 	// The pool-split axis zips -prefill-devices with -decode-devices:
@@ -191,6 +214,17 @@ func cmdSweep(args []string) error {
 		spec.PoolSplits = append(spec.PoolSplits, optimus.SweepPoolSplit{Prefill: prefills[i], Decode: decodes[i]})
 	}
 	spec.TransferGBps = *transferGBps
+	if spec.PrefixTokens, err = splitInts(*prefixesFlag); err != nil {
+		return fmt.Errorf("-prefix: %w", err)
+	}
+	hostGBs, err := splitFloats(*hostKVGBs)
+	if err != nil {
+		return fmt.Errorf("-kv-host-gb: %w", err)
+	}
+	for _, gb := range hostGBs {
+		spec.HostKVBytes = append(spec.HostKVBytes, gb*1e9)
+	}
+	spec.SwapGBps = *swapGBps
 	if spec.Replicas, err = splitInts(*replicasFlag); err != nil {
 		return fmt.Errorf("-replicas: %w", err)
 	}
@@ -360,6 +394,18 @@ type sweepRecord struct {
 	DecodeDevices  int     `json:"decode_devices,omitempty"`
 	KVTransfers    int     `json:"kv_transfers,omitempty"`
 	TransferTime   float64 `json:"transfer_time_s,omitempty"`
+	// Serving-only prefix-cache and host-KV-tier columns (zero elsewhere):
+	// the candidate's shared prefix length and host tier capacity, and the
+	// cache hits, saved prefill tokens and swap traffic they produced. The
+	// swap bandwidth rides in the policy token (it may be +Inf, which JSON
+	// cannot carry).
+	PrefixTokens      int     `json:"prefix_tokens,omitempty"`
+	PrefixHits        int     `json:"prefix_hits,omitempty"`
+	PrefixSavedTokens int     `json:"prefix_saved_tokens,omitempty"`
+	HostKVGB          float64 `json:"host_kv_gb,omitempty"`
+	KVSwapOuts        int     `json:"kv_swap_outs,omitempty"`
+	KVSwapIns         int     `json:"kv_swap_ins,omitempty"`
+	SwapTime          float64 `json:"swap_time_s,omitempty"`
 	// Serving-only fleet columns (zero for single-instance candidates):
 	// the replica count and routing policy of a cluster candidate.
 	Replicas int    `json:"replicas,omitempty"`
@@ -408,6 +454,13 @@ func sweepRecords(res optimus.SweepResult) []sweepRecord {
 			rec.DecodeDevices = row.Point.DecodeDevices
 			rec.KVTransfers = row.Metrics.KVTransfers
 			rec.TransferTime = row.Metrics.TransferTime
+			rec.PrefixTokens = row.Point.PrefixTokens
+			rec.PrefixHits = row.Metrics.PrefixHits
+			rec.PrefixSavedTokens = row.Metrics.PrefixSavedTokens
+			rec.HostKVGB = row.Point.HostKVBytes / 1e9
+			rec.KVSwapOuts = row.Metrics.KVSwapOuts
+			rec.KVSwapIns = row.Metrics.KVSwapIns
+			rec.SwapTime = row.Metrics.SwapTime
 			if row.Point.Replicas > 0 {
 				rec.Replicas = row.Point.Replicas
 				rec.Routing = row.Point.Routing.String()
@@ -433,6 +486,12 @@ func servingMappingToken(p optimus.SweepPoint) string {
 	switch p.Policy {
 	case optimus.PagedPolicy:
 		pol = fmt.Sprintf("paged/%d", p.PageTokens)
+		if p.PrefixTokens > 0 {
+			pol += fmt.Sprintf(",pfx=%d", p.PrefixTokens)
+		}
+		if p.HostKVBytes > 0 {
+			pol += fmt.Sprintf(",host=%gGB,swap=%gGB/s", p.HostKVBytes/1e9, p.SwapGBps)
+		}
 	case optimus.DisaggregatedPolicy:
 		pol = fmt.Sprintf("disagg/%d,split=%d+%d,xfer=%gGB/s",
 			p.PageTokens, p.PrefillDevices, p.DecodeDevices, p.TransferGBps)
@@ -554,6 +613,8 @@ func writeSweep(w io.Writer, res optimus.SweepResult, workload optimus.SweepWork
 			"rate_per_sec", "ttft_p95_s", "tpot_p95_s", "tokens_per_sec",
 			"preemptions", "recomputed_tokens", "kv_util",
 			"prefill_devices", "decode_devices", "kv_transfers", "transfer_s",
+			"prefix_tokens", "prefix_hits", "prefix_saved_tokens",
+			"host_kv_gb", "kv_swap_outs", "kv_swap_ins", "swap_time_s",
 			"replicas", "routing", "mix", "tenant_slos"}); err != nil {
 			return err
 		}
@@ -568,6 +629,10 @@ func writeSweep(w io.Writer, res optimus.SweepResult, workload optimus.SweepWork
 				strconv.Itoa(r.Preemptions), strconv.Itoa(r.RecomputedTokens), g(r.KVUtil),
 				strconv.Itoa(r.PrefillDevices), strconv.Itoa(r.DecodeDevices),
 				strconv.Itoa(r.KVTransfers), g(r.TransferTime),
+				strconv.Itoa(r.PrefixTokens), strconv.Itoa(r.PrefixHits),
+				strconv.Itoa(r.PrefixSavedTokens),
+				g(r.HostKVGB), strconv.Itoa(r.KVSwapOuts),
+				strconv.Itoa(r.KVSwapIns), g(r.SwapTime),
 				strconv.Itoa(r.Replicas), r.Routing,
 				r.Mix, tenantSLOToken(r.PerTenant),
 			}); err != nil {

@@ -534,6 +534,14 @@ func TestCmdSweepFlagErrorsNameFlags(t *testing.T) {
 		{[]string{"-mix", "chat:1:200:200", "-seqs", "100"}, "-seqs"},
 		{[]string{"-mix", "chat:1:200:200", "-gen", "100"}, "-gen"},
 		{[]string{"-mix", "chat:1:200:200", "-trace", "x.csv"}, "-trace"},
+		{[]string{"-prefix", "64"}, "-prefix"},
+		{[]string{"-policies", "reserve,disagg", "-prefix", "64"}, "-prefix"},
+		{[]string{"-kv-host-gb", "4"}, "-kv-host-gb"},
+		{[]string{"-policies", "disagg", "-kv-host-gb", "4"}, "-kv-host-gb"},
+		{[]string{"-policies", "paged", "-swap-gbps", "32"}, "-kv-host-gb"},
+		{[]string{"-policies", "reserve", "-swap-gbps", "32"}, "-swap-gbps"},
+		{[]string{"-policies", "paged", "-mix", "chat:1:200:200", "-prefix", "64"}, "-prefix"},
+		{[]string{"-policies", "paged", "-trace", "x.csv", "-prefix", "64"}, "-prefix"},
 	} {
 		err := cmdSweep(append(append([]string{}, base...), tc.args...))
 		if err == nil || !strings.Contains(err.Error(), tc.flag) {

@@ -53,8 +53,13 @@ type Spec struct {
 
 	// PromptTokens/GenTokens, Mix and Trace select the workload exactly
 	// as in serve.Spec: spec-wide shape, generated mix, or replay trace.
+	// PrefixTokens gives the degenerate fleet-wide shape a shared prompt
+	// prefix, exactly as serve.Spec.PrefixTokens does for one replica
+	// (paged replicas only; explicit mixes and traces carry their own
+	// per-entry prefixes instead).
 	PromptTokens int
 	GenTokens    int
+	PrefixTokens int
 	Mix          []serve.TenantLoad
 	Trace        []serve.TraceEvent
 
@@ -85,9 +90,14 @@ func (s Spec) withDefaults() Spec {
 		return s
 	}
 	if len(s.Mix) == 0 && s.Trace == nil {
+		pid := ""
+		if s.PrefixTokens > 0 {
+			pid = serve.DefaultTenant
+		}
 		s.Mix = []serve.TenantLoad{{
 			Tenant: serve.DefaultTenant, Share: 1,
 			PromptTokens: s.PromptTokens, GenTokens: s.GenTokens,
+			PrefixID: pid, PrefixTokens: s.PrefixTokens,
 		}}
 	}
 	if s.Requests == 0 {
@@ -102,6 +112,7 @@ func (s Spec) withDefaults() Spec {
 // is exactly as strict as R copies of serve.Spec.Validate.
 func (s Spec) serveWorkload(cap serve.Spec) serve.Spec {
 	cap.PromptTokens, cap.GenTokens = s.PromptTokens, s.GenTokens
+	cap.PrefixTokens = s.PrefixTokens
 	cap.Mix, cap.Trace = s.Mix, s.Trace
 	cap.Arrival, cap.Clients = serve.Poisson, 0
 	cap.Rate, cap.Requests, cap.Seed = s.Rate, s.Requests, s.Seed
@@ -124,7 +135,7 @@ func (s Spec) Validate() error {
 			return fmt.Errorf("cluster: replica %d: negative count %d", i, r.Count)
 		}
 		c := r.Spec
-		if c.PromptTokens != 0 || c.GenTokens != 0 || len(c.Mix) > 0 || c.Trace != nil {
+		if c.PromptTokens != 0 || c.GenTokens != 0 || c.PrefixTokens != 0 || len(c.Mix) > 0 || c.Trace != nil {
 			return fmt.Errorf("cluster: replica %d carries workload fields — the fleet spec owns the workload", i)
 		}
 		if c.Arrival != serve.Poisson || c.Rate != 0 || c.Clients != 0 || c.Requests != 0 || c.Seed != 0 {
@@ -183,11 +194,17 @@ type Result struct {
 	Queue serve.Percentiles
 
 	// Preemptions, RecomputedTokens, KVTransfers and TransferTimeTotal
-	// sum the per-replica counters.
+	// sum the per-replica counters, as do the prefix-cache and host-tier
+	// counters below (all zero on fleets without those mechanisms).
 	Preemptions       int
 	RecomputedTokens  int
 	KVTransfers       int
 	TransferTimeTotal float64
+	PrefixHits        int
+	PrefixSavedTokens int
+	KVSwapOuts        int
+	KVSwapIns         int
+	SwapTimeTotal     float64
 
 	// PerTenant is the fleet-wide tenant breakdown (the multi-tenant SLO
 	// surface, now spanning replicas).
@@ -470,6 +487,11 @@ func merge(s Spec, instances []*serve.Instance, routed [][]int, descriptor []int
 		res.RecomputedTokens += rr.RecomputedTokens
 		res.KVTransfers += rr.KVTransfers
 		res.TransferTimeTotal += rr.TransferTimeTotal
+		res.PrefixHits += rr.PrefixHits
+		res.PrefixSavedTokens += rr.PrefixSavedTokens
+		res.KVSwapOuts += rr.KVSwapOuts
+		res.KVSwapIns += rr.KVSwapIns
+		res.SwapTimeTotal += rr.SwapTimeTotal
 	}
 
 	flat := make([]serve.RequestMetrics, 0, total)

@@ -61,6 +61,14 @@ type Knee struct {
 	Saturated bool
 	LimitRate float64
 	LimitP95  float64
+	// Converged reports whether the bisection actually reached Tolerance.
+	// MaxProbes can exhaust first, and the resulting knee — identical in
+	// every other field — is looser than asked for; BracketWidth is the
+	// achieved relative bracket width (hi-lo)/hi so the caller can see how
+	// loose. An unsaturated knee (the whole bracket met the SLO) is
+	// trivially converged at width zero: there is no bracket to narrow.
+	Converged    bool
+	BracketWidth float64
 	// SLOE2EP95 echoes the target; Probes lists every evaluation in
 	// probe order (the deterministic bisection transcript).
 	SLOE2EP95 float64
@@ -137,6 +145,7 @@ func FindKnee(ks KneeSpec) (Knee, error) {
 	if hi.OK {
 		// The whole bracket meets the SLO: the knee lies beyond MaxRate.
 		knee.Rate, knee.P95E2E = hi.Rate, hi.P95E2E
+		knee.Converged = true
 		return knee, nil
 	}
 
@@ -154,5 +163,10 @@ func FindKnee(ks KneeSpec) (Knee, error) {
 	knee.Rate, knee.P95E2E = lo.Rate, lo.P95E2E
 	knee.Saturated = true
 	knee.LimitRate, knee.LimitP95 = hi.Rate, hi.P95E2E
+	// The loop exits either by narrowing the bracket under tolerance or by
+	// exhausting MaxProbes; record which, so a probe-starved loose knee is
+	// distinguishable from a converged one.
+	knee.BracketWidth = (hi.Rate - lo.Rate) / hi.Rate
+	knee.Converged = knee.BracketWidth <= tol
 	return knee, nil
 }

@@ -130,6 +130,65 @@ func TestKneeUnsaturated(t *testing.T) {
 	if len(knee.Probes) != 2 {
 		t.Errorf("unsaturated bracket should cost exactly 2 probes, got %d", len(knee.Probes))
 	}
+	if !knee.Converged || knee.BracketWidth != 0 {
+		t.Errorf("an unsaturated knee has no bracket to narrow — trivially converged at width 0, got %+v", knee)
+	}
+}
+
+// TestKneeProbeExhaustionReportsLoose is the satellite bugfix regression:
+// a MaxProbes budget too small to narrow the bracket under the tolerance
+// used to return a knee indistinguishable from a converged one. The
+// starved analysis must now report Converged=false with the achieved
+// bracket width, agree on the knee's bracketing invariants, and a
+// generous budget on the identical analysis must report Converged=true
+// within tolerance.
+func TestKneeProbeExhaustionReportsLoose(t *testing.T) {
+	base := KneeSpec{
+		Cluster: kneeFleet(t), SLOE2EP95: 12,
+		MinRate: 0.25, MaxRate: 8, Tolerance: 0.01,
+	}
+	starved := base
+	// 2 bracketing probes + 1 bisection step: the bracket halves once,
+	// nowhere near a 1% width.
+	starved.MaxProbes = 3
+	loose, err := FindKnee(starved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loose.Saturated {
+		t.Fatalf("the bracket must saturate: %+v", loose)
+	}
+	if loose.Converged {
+		t.Fatalf("3 probes cannot reach a 1%% bracket on [%g, %g], yet Converged is set: %+v",
+			base.MinRate, base.MaxRate, loose)
+	}
+	if len(loose.Probes) != 3 {
+		t.Errorf("starved analysis ran %d probes of a 3-probe budget", len(loose.Probes))
+	}
+	wantWidth := (loose.LimitRate - loose.Rate) / loose.LimitRate
+	if loose.BracketWidth != wantWidth {
+		t.Errorf("BracketWidth %g does not match the bracket [%g, %g]", loose.BracketWidth, loose.Rate, loose.LimitRate)
+	}
+	if loose.BracketWidth <= base.Tolerance {
+		t.Errorf("a starved bracket this wide should exceed the %g tolerance, got %g", base.Tolerance, loose.BracketWidth)
+	}
+
+	converged, err := FindKnee(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !converged.Converged {
+		t.Fatalf("the default probe budget must converge at 1%%: %+v", converged)
+	}
+	if converged.BracketWidth > base.Tolerance {
+		t.Errorf("converged width %g exceeds the %g tolerance", converged.BracketWidth, base.Tolerance)
+	}
+	// The loose knee must still be a valid (coarser) bracketing of the
+	// converged one.
+	if loose.Rate > converged.Rate || loose.LimitRate < converged.LimitRate {
+		t.Errorf("starved bracket [%g, %g] does not contain the converged [%g, %g]",
+			loose.Rate, loose.LimitRate, converged.Rate, converged.LimitRate)
+	}
 }
 
 // TestKneeValidation pins the analyzer's rejection surface, including the

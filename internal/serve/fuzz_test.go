@@ -3,6 +3,7 @@ package serve
 import (
 	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"optimus/internal/arch"
@@ -132,6 +133,44 @@ func FuzzMixRoundTrip(f *testing.F) {
 		}
 		if !reflect.DeepEqual(back, mix) {
 			t.Fatalf("rendering %q is ambiguous: %+v parsed back as %+v", rendered, mix, back)
+		}
+	})
+}
+
+// FuzzTraceRoundTrip is the trace-v2 gate: ParseTrace must never panic on
+// arbitrary bytes — malformed prefix columns included — and any trace it
+// accepts must survive FormatTrace → ParseTrace unchanged in whichever
+// schema FormatTrace picked. The corpus seeds both schemas, the BOM and
+// CRLF byte-order variants, and the malformed-prefix rows that must fail
+// cleanly.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add("arrival,tenant,prompt,gen\n0.0,chat,100,40\n0.5,,900,80\n")
+	f.Add("0.0,chat,100,40\n1.5,chat,120,30\n")
+	f.Add("arrival,tenant,prompt,gen,prefix_id,prefix_tokens\n0,chat,100,40,sys,30\n1,code,200,50,sys,30\n")
+	f.Add("0,chat,100,40,sys,30\n0.5,raw,200,50,,0\n")
+	f.Add("\xef\xbb\xbfarrival,tenant,prompt,gen\r\n0.0,chat,100,40\r\n")
+	f.Add("\xef\xbb\xbf0,chat,100,40,sys,30\r\n")
+	f.Add("0.0,chat,100,40,sys,x\n")                      // malformed prefix length
+	f.Add("0.0,chat,100,40,sys,100\n")                    // prefix swallows the prompt
+	f.Add("0.0,chat,100,40,sys,-3\n")                     // negative prefix
+	f.Add("0,chat,100,40,sys,20\n1,chat,100,40,sys,30\n") // inconsistent prefix length
+	f.Add("0,chat,100,40,sys,20\n1,chat,100,40\n")        // column drift
+	f.Add("\xef\xbb")                                     // truncated BOM
+	f.Fuzz(func(t *testing.T, raw string) {
+		trace, err := ParseTrace(strings.NewReader(raw)) // must not panic
+		if err != nil {
+			return
+		}
+		var b strings.Builder
+		if err := FormatTrace(&b, trace); err != nil {
+			t.Fatalf("accepted trace failed to render: %v (%+v)", err, trace)
+		}
+		back, err := ParseTrace(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("accepted trace failed to round-trip %q: %v", b.String(), err)
+		}
+		if !reflect.DeepEqual(back, trace) {
+			t.Fatalf("rendering %q is ambiguous: %+v parsed back as %+v", b.String(), trace, back)
 		}
 	})
 }

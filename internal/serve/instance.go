@@ -64,8 +64,8 @@ func NewInstance(s Spec, envelope []Request) (*Instance, error) {
 // single-live-simulation contract applies: building a new Instance (or
 // calling Run) invalidates the previous one.
 func (rn *Runner) Instance(s Spec, envelope []Request) (*Instance, error) {
-	if len(s.Mix) > 0 || s.Trace != nil || s.PromptTokens != 0 || s.GenTokens != 0 {
-		return nil, fmt.Errorf("serve: an instance spec carries capacity only — leave PromptTokens/GenTokens/Mix/Trace zero, the router pushes requests")
+	if len(s.Mix) > 0 || s.Trace != nil || s.PromptTokens != 0 || s.GenTokens != 0 || s.PrefixTokens != 0 {
+		return nil, fmt.Errorf("serve: an instance spec carries capacity only — leave PromptTokens/GenTokens/PrefixTokens/Mix/Trace zero, the router pushes requests")
 	}
 	if s.Arrival != Poisson || s.Rate != 0 || s.Clients != 0 || s.Requests != 0 || s.Seed != 0 {
 		return nil, fmt.Errorf("serve: an instance spec carries no arrival process — leave Arrival/Rate/Clients/Requests/Seed zero")
@@ -119,6 +119,17 @@ func (in *Instance) Push(r Request, t float64) error {
 	}
 	if c := r.context(); c > in.sim.kv1 {
 		return fmt.Errorf("serve: pushed request spans %d tokens, beyond the instance envelope's largest context %d", c, in.sim.kv1)
+	}
+	if err := validatePrefix(r.PrefixID, r.PrefixTokens, r.PromptTokens); err != nil {
+		return fmt.Errorf("serve: push: %w", err)
+	}
+	if r.PrefixTokens > 0 {
+		if in.sim.pp == nil || in.sim.pp.noPreempt {
+			return fmt.Errorf("serve: a prefixed push needs the paged policy with preemption enabled (Policy: Paged, NoPreempt unset)")
+		}
+		if prev, ok := in.sim.pp.internedPrefixTokens(r.PrefixID); ok && prev != r.PrefixTokens {
+			return fmt.Errorf("serve: push: prefix %q spans %d tokens here and %d in an earlier push — a shared prefix has one length", r.PrefixID, r.PrefixTokens, prev)
+		}
 	}
 	in.lastT = t
 	in.AdvanceTo(t)

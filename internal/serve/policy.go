@@ -151,6 +151,26 @@ func CanonicalTransferGBps(pol Policy, gbps float64) float64 {
 	return gbps
 }
 
+// DefaultSwapGBps is the host KV tier's link bandwidth when Spec.SwapGBps
+// is zero — a PCIe Gen4 x16-class host link in GB/s, deliberately slower
+// than the GPU-to-GPU DefaultTransferGBps.
+const DefaultSwapGBps = 32.0
+
+// CanonicalSwapGBps resolves the effective host-tier swap bandwidth: zero
+// unless the paged policy runs a host tier (HostKVBytes set), the default
+// when unset. math.Inf(1) is a legal value — a free swap. Shared by the
+// simulator's policy construction and the sweep's memo-key
+// canonicalization, the same single-source rule as CanonicalTransferGBps.
+func CanonicalSwapGBps(pol Policy, hostBytes, gbps float64) float64 {
+	if pol != Paged || !(hostBytes > 0) {
+		return 0
+	}
+	if gbps == 0 {
+		return DefaultSwapGBps
+	}
+	return gbps
+}
+
 // AdmissionPolicy manages the KV-cache budget of one simulation: it
 // decides how many sequences may run concurrently, reserves capacity as
 // requests are admitted and decode, and selects preemption victims under
@@ -338,21 +358,76 @@ func pagedGeometry(pageTokens, context int, budget, perRequest float64) (pageByt
 // full-context page count up front (reservation at page granularity),
 // which guarantees growth never fails — the degenerate configuration the
 // equivalence tests pin against ReserveFull.
+//
+// Two optional mechanisms extend the block accounting, both degenerating
+// byte-for-byte to the plain policy when unused:
+//
+//   - Prefix caching: requests carrying a PrefixID share their leading
+//     PrefixTokens prompt tokens. The first admission of a prefix charges
+//     its pages into a refcounted resident registry; later admissions
+//     charge their private suffix only and skip the prefix's share of the
+//     prefill pass. Refcounts survive LIFO preemption (an evicted victim
+//     releases its reference, never the shared pages), and idle resident
+//     prefixes are reclaimed — lowest slot first — before any running
+//     victim is preempted.
+//   - Tiered KV: with a host tier configured (Spec.HostKVBytes), eviction
+//     swaps the victim's private pages out to the tier — priced as a
+//     point-to-point transfer over the Spec.SwapGBps link — instead of
+//     discarding them, while the tier has room. Readmission compares the
+//     swap-in transfer against the recompute prefill and takes the
+//     cheaper path.
 type pagedPolicy struct {
 	budget     float64
 	pageBytes  float64
 	pageTokens int
 	totalPages int
-	admitPages int // pages covering the smallest prompt+1 — the derived-cap unit
+	admitPages int // pages covering the smallest admission need — the derived-cap unit
 	fullPages  int // pages covering the largest full context — the feasibility unit
 	minFull    int // pages covering the smallest full context — NoPreempt's cap unit
 	userCap    int
 	noPreempt  bool
 
-	used       int // pages currently held across the running set
+	used       int // pages currently held across the running set (and resident prefixes)
 	reserved   int // NoPreempt: full-context pages reserved by admissions
 	preempts   int
 	recomputed int
+
+	// Prefix registry: interned shared prefixes, indexed by the slot ids
+	// the request slab carries. Empty for prefix-free workloads, whose
+	// admission arithmetic is untouched.
+	prefixes    []prefixEntry
+	prefixIdx   map[string]int32
+	prefixHits  int
+	prefixSaved int
+
+	// Host tier state: page capacity and occupancy, swap counters, and the
+	// link pricing inputs (perToken KV bytes over swapLink, the PR-5
+	// transfer-pricing pattern). hostTotal == 0 disables the tier.
+	hostTotal   int
+	hostUsed    int
+	peakHost    int
+	swapOuts    int
+	swapIns     int
+	pendingSwap float64
+	swapTotal   float64
+	perToken    float64
+	swapLink    arch.Link
+	// sim prices the readmission recompute path the swap-in competes
+	// against (set by the simulator after construction; nil in validation-
+	// only uses, which never admit).
+	sim *simulator
+}
+
+// prefixEntry is one interned shared prefix: its id, token and page span,
+// how many running sequences currently reference it, and whether its pages
+// are resident in the KV cache. Residency outlives the last reference —
+// that is the cache — until pressure reclaims the idle entry.
+type prefixEntry struct {
+	id       string
+	tokens   int
+	pages    int
+	refs     int
+	resident bool
 }
 
 func newPagedPolicy(s Spec, budget, perRequest float64) *pagedPolicy {
@@ -372,7 +447,94 @@ func newPagedPolicy(s Spec, budget, perRequest float64) *pagedPolicy {
 	p.admitPages = p.pagesFor(b.minPrompt + 1)
 	p.fullPages = p.pagesFor(context)
 	p.minFull = p.pagesFor(b.minContext)
+	if s.prefixed() {
+		// Prefixed shapes split their pages into shared + private spans,
+		// each rounded up separately: the feasibility unit is the largest
+		// such split (≥ the unsplit page count), the cap unit the smallest
+		// resident-prefix admission (private prompt suffix only).
+		p.fullPages, p.admitPages = prefixPageUnits(s, p)
+	}
+	if s.HostKVBytes > 0 {
+		if f := s.HostKVBytes / p.pageBytes; f > maxTotalPages {
+			p.hostTotal = maxTotalPages
+		} else {
+			p.hostTotal = int(f)
+		}
+		p.perToken = perRequest / float64(context)
+		p.swapLink = arch.Link{BW: CanonicalSwapGBps(Paged, s.HostKVBytes, s.SwapGBps) * 1e9, Util: 1}
+	}
 	return p
+}
+
+// prefixPageUnits derives the paged feasibility and cap units of a
+// prefixed workload by folding every shape: the largest
+// prefix-pages + private-full-context-pages sum (what the oldest sequence
+// can need to finish after everything else is evicted and every other
+// prefix reclaimed), and the smallest admission need (a resident-prefix
+// hit charging its private prompt's pages alone).
+func prefixPageUnits(s Spec, p *pagedPolicy) (fullPages, admitPages int) {
+	fold := func(first bool, prompt, gen, prefix int) {
+		full := p.pagesFor(prefix) + p.pagesFor(prompt-prefix+gen)
+		admit := p.pagesFor(prompt - prefix + 1)
+		if first || full > fullPages {
+			fullPages = full
+		}
+		if first || admit < admitPages {
+			admitPages = admit
+		}
+	}
+	if len(s.Trace) > 0 {
+		for i, ev := range s.Trace {
+			fold(i == 0, ev.PromptTokens, ev.GenTokens, ev.PrefixTokens)
+		}
+		return fullPages, admitPages
+	}
+	for i, t := range s.Mix {
+		fold(i == 0, t.PromptTokens, t.GenTokens, t.PrefixTokens)
+	}
+	return fullPages, admitPages
+}
+
+// intern resolves a prefix id to its registry slot, creating it cold
+// (non-resident, unreferenced) on first sight. Workload validation
+// guarantees one consistent token length per id.
+func (p *pagedPolicy) intern(id string, tokens int) int32 {
+	if i, ok := p.prefixIdx[id]; ok {
+		return i
+	}
+	if p.prefixIdx == nil {
+		p.prefixIdx = make(map[string]int32, 4)
+	}
+	i := int32(len(p.prefixes))
+	p.prefixes = append(p.prefixes, prefixEntry{id: id, tokens: tokens, pages: p.pagesFor(tokens)})
+	p.prefixIdx[id] = i
+	return i
+}
+
+// internedPrefixTokens reports the token length a prefix id was interned
+// with — the Instance.Push consistency check.
+func (p *pagedPolicy) internedPrefixTokens(id string) (int, bool) {
+	i, ok := p.prefixIdx[id]
+	if !ok {
+		return 0, false
+	}
+	return p.prefixes[i].tokens, true
+}
+
+// reclaimIdle frees one resident idle (refs == 0) prefix — lowest slot
+// first, a deterministic order — reporting whether it freed anything. The
+// eviction loops try it before preempting any running victim: a cached
+// prefix nobody references is the cheapest capacity to reclaim.
+func (p *pagedPolicy) reclaimIdle() bool {
+	for i := range p.prefixes {
+		e := &p.prefixes[i]
+		if e.resident && e.refs == 0 {
+			e.resident = false
+			p.used -= e.pages
+			return true
+		}
+	}
+	return false
 }
 
 // pagesFor returns the page count covering tokens KV entries.
@@ -419,14 +581,19 @@ func (p *pagedPolicy) beginStep(pool []request, running, victims []int32) (kept,
 		// past its held pages' capacity: need = ceil(tokens/pageTokens)
 		// exceeds r.pages exactly when tokens > r.pages*pageTokens. The
 		// multiply-and-compare keeps the per-sequence steady state free of
-		// the ceil's integer division.
-		if r.prompt+r.produced+1 <= r.pages*p.pageTokens {
+		// the ceil's integer division. Page math spans the request's
+		// private tokens only — its shared prefix (zero without one) lives
+		// in the registry's pages.
+		if r.prompt-r.prefix+r.produced+1 <= r.pages*p.pageTokens {
 			continue
 		}
-		need := p.pagesFor(r.prompt + r.produced + 1)
+		need := p.pagesFor(r.prompt - r.prefix + r.produced + 1)
 		extra := need - r.pages
 		self := false
 		for p.used+extra > p.totalPages {
+			if p.reclaimIdle() {
+				continue
+			}
 			vi := kept[len(kept)-1]
 			kept = kept[:len(kept)-1]
 			p.evict(&pool[vi])
@@ -445,29 +612,99 @@ func (p *pagedPolicy) beginStep(pool []request, running, victims []int32) (kept,
 	return kept, outVictims
 }
 
-// evict frees a victim's pages and accounts the generated tokens whose
-// KV entries its readmission prefill will have to rebuild.
+// evict frees a victim's private pages and releases its prefix reference
+// (the shared pages stay resident — refcounting survives preemption).
+// With a host tier holding room, the pages swap out to it instead of
+// vanishing — the victim remembers its stored span and readmission
+// decides swap-in vs recompute; otherwise the generated tokens are
+// accounted for the recompute prefill that must rebuild them.
 func (p *pagedPolicy) evict(v *request) {
+	if p.hostTotal > 0 && p.hostUsed+v.pages <= p.hostTotal {
+		v.hostPages = v.pages
+		v.hostTokens = v.prompt - v.prefix + v.produced
+		p.hostUsed += v.pages
+		if p.hostUsed > p.peakHost {
+			p.peakHost = p.hostUsed
+		}
+		t := p.swapTime(v.hostTokens)
+		p.pendingSwap += t
+		p.swapOuts++
+		v.transfers++
+		v.transferTime += t
+	} else {
+		p.recomputed += v.produced
+	}
 	p.used -= v.pages
 	v.pages = 0
 	p.preempts++
-	p.recomputed += v.produced
+	if v.prefixSlot >= 0 {
+		p.prefixes[v.prefixSlot].refs--
+	}
 }
 
-// admit reserves the pages a request's next step touches: its own
+// admit reserves the pages a request's next step touches: its private
 // prompt's for a fresh sequence, the prompt's plus the already-generated
 // tokens' for a preemption victim resuming after its recompute prefill.
+// A shared prefix charges its own pages only when not already resident —
+// a hit charges the private suffix alone and skips the prefix's share of
+// the prefill pass. A victim whose pages sit in the host tier swaps them
+// back in when the transfer undercuts the recompute prefill.
 func (p *pagedPolicy) admit(r *request) bool {
-	need := p.pagesFor(r.prompt + r.produced + 1)
+	need := p.pagesFor(r.prompt - r.prefix + r.produced + 1)
 	if p.noPreempt {
 		full := p.pagesFor(r.prompt + r.gen)
 		if p.reserved+full > p.totalPages {
 			return false
 		}
 		p.reserved += full
-	} else if p.used+need > p.totalPages {
-		return false
+		r.pages = need
+		p.used += need
+		return true
 	}
+	var pfx *prefixEntry
+	shared := 0
+	if r.prefixSlot >= 0 {
+		pfx = &p.prefixes[r.prefixSlot]
+		if !pfx.resident {
+			shared = pfx.pages
+		}
+	}
+	for p.used+need+shared > p.totalPages {
+		if !p.reclaimIdle() {
+			return false
+		}
+	}
+	free := 0
+	if pfx != nil {
+		if pfx.resident {
+			pfx.refs++
+			free = pfx.tokens
+			p.prefixHits++
+			p.prefixSaved += pfx.tokens
+		} else {
+			pfx.resident = true
+			pfx.refs = 1
+			p.used += pfx.pages
+		}
+	}
+	if r.hostPages > 0 {
+		// The tier holds this victim's pre-eviction KV. Price both
+		// readmission paths — swap the stored bytes back over the link, or
+		// rebuild them with a recompute prefill — and take the cheaper.
+		p.hostUsed -= r.hostPages
+		swapIn := p.swapTime(r.hostTokens)
+		if swapIn <= p.sim.recomputeCost(r.hostTokens) {
+			p.pendingSwap += swapIn
+			p.swapIns++
+			r.transfers++
+			r.transferTime += swapIn
+			free += r.hostTokens
+		} else {
+			p.recomputed += r.produced
+		}
+		r.hostPages, r.hostTokens = 0, 0
+	}
+	r.prefillFree = free
 	r.pages = need
 	p.used += need
 	return true
@@ -479,6 +716,39 @@ func (p *pagedPolicy) release(r *request) {
 	if p.noPreempt {
 		p.reserved -= p.pagesFor(r.prompt + r.gen)
 	}
+	if r.prefixSlot >= 0 {
+		p.prefixes[r.prefixSlot].refs--
+	}
+}
+
+// swapTime prices one host-tier page movement: the stored tokens' KV
+// bytes point-to-point over the swap link. An infinite-bandwidth link
+// prices to exactly zero.
+func (p *pagedPolicy) swapTime(tokens int) float64 {
+	return comm.P2PTime(float64(tokens)*p.perToken, p.swapLink)
+}
+
+// drainSwap hands the event loop the swap time accrued by this
+// iteration's evictions and readmissions, accumulating the total. Zero —
+// contributing nothing to the iteration — without a host tier.
+func (p *pagedPolicy) drainSwap() float64 {
+	t := p.pendingSwap
+	p.pendingSwap = 0
+	p.swapTotal += t
+	return t
+}
+
+// residentPrefixPages sums the resident registry entries' pages — the
+// probe's conservation hook (used == running private pages + resident
+// prefix pages).
+func (p *pagedPolicy) residentPrefixPages() int {
+	pages := 0
+	for i := range p.prefixes {
+		if p.prefixes[i].resident {
+			pages += p.prefixes[i].pages
+		}
+	}
+	return pages
 }
 
 // usedPages reports the pages *committed* — what admission sees as

@@ -61,6 +61,29 @@ func TestRunnerReuseMatchesFresh(t *testing.T) {
 		{Tenant: "batch", Share: 0.3, PromptTokens: 400, GenTokens: 50},
 	}
 	cases = append(cases, tcase{"mix", mx})
+	// Prefix cache: the interned-registry state (slots, refcounts,
+	// residency) must rebuild identically on a recycled Runner.
+	pf := base
+	pf.Policy, pf.Rate, pf.PrefixTokens = Paged, 4, 64
+	pf.KVCapacity = 8 * perRequest
+	cases = append(cases, tcase{"prefix", pf})
+	// Tiered KV: host-tier occupancy and pending swap time are per-run
+	// state the pool must fully reset.
+	tk := pf
+	tk.HostKVBytes, tk.SwapGBps = 4*perRequest, 8
+	cases = append(cases, tcase{"prefix+tiered", tk})
+	// Prefixed multi-tenant mix: two tenants sharing one prefix id plus a
+	// private one, through the pooled slabs.
+	pm := base
+	pm.Policy, pm.Rate = Paged, 2
+	pm.KVCapacity = 8 * perRequest
+	pm.PromptTokens, pm.GenTokens = 0, 0
+	pm.Mix = []TenantLoad{
+		{Tenant: "chat", Share: 0.6, PromptTokens: 150, GenTokens: 100, PrefixID: "sys", PrefixTokens: 48},
+		{Tenant: "code", Share: 0.3, PromptTokens: 400, GenTokens: 50, PrefixID: "sys", PrefixTokens: 48},
+		{Tenant: "raw", Share: 0.1, PromptTokens: 200, GenTokens: 50},
+	}
+	cases = append(cases, tcase{"prefix-mix", pm})
 
 	rn := NewRunner()
 	for _, tc := range cases {

@@ -95,6 +95,13 @@ type Spec struct {
 	PromptTokens int
 	GenTokens    int
 
+	// PrefixTokens marks the leading PrefixTokens prompt tokens of the
+	// degenerate single-tenant workload as a shared prefix, cached by the
+	// paged policy under a DefaultTenant-named prefix id (see
+	// Request.PrefixID). Explicit Mix/Trace workloads carry per-entry
+	// prefixes instead — leave this zero with them. Paged policy only.
+	PrefixTokens int
+
 	// Mix generates a multi-tenant workload: each tenant contributes a
 	// share of the arrival process and shapes its requests with its own
 	// prompt/generation lengths. Tenant assignment is drawn from a second
@@ -137,6 +144,19 @@ type Spec struct {
 	// reserves the full-context page count up front, so growth can never
 	// fail. Paged only.
 	NoPreempt bool
+
+	// HostKVBytes sizes a host-memory KV tier, in bytes: preemption
+	// victims swap their pages out to it (instead of discarding them) over
+	// a PCIe-class link, and readmission swaps them back in when that is
+	// cheaper than the recompute prefill. Zero disables the tier — the
+	// recompute-only path, byte-identical to the tierless policy. Paged
+	// policy only, and preemption must stay enabled (NoPreempt unset).
+	HostKVBytes float64
+	// SwapGBps is the host tier's link bandwidth in GB/s (internal/comm's
+	// point-to-point link model, small-message derating included). Zero
+	// means DefaultSwapGBps; math.Inf(1) prices swaps at exactly zero.
+	// Requires HostKVBytes.
+	SwapGBps float64
 
 	// PrefillDevices and DecodeDevices size the disaggregated policy's two
 	// page pools: each pool owns its count of the TP devices' aggregate KV
@@ -182,6 +202,12 @@ type probeState struct {
 	// about to decode, so the count must be zero: beginStep migrates every
 	// survivor before its next token.
 	decidersInPrefill int
+	// Prefix/tier accounting (zero without them): resident shared-prefix
+	// pages (conservation closes as usedPages == runningPages +
+	// prefixPages under the paged policy) and the host tier's committed
+	// pages against its capacity.
+	prefixPages          int
+	hostPages, hostTotal int
 }
 
 func (s Spec) withDefaults() Spec {
@@ -192,9 +218,14 @@ func (s Spec) withDefaults() Spec {
 		return s
 	}
 	if len(s.Mix) == 0 {
+		pid := ""
+		if s.PrefixTokens > 0 {
+			pid = DefaultTenant
+		}
 		s.Mix = []TenantLoad{{
 			Tenant: DefaultTenant, Share: 1,
 			PromptTokens: s.PromptTokens, GenTokens: s.GenTokens,
+			PrefixID: pid, PrefixTokens: s.PrefixTokens,
 		}}
 	}
 	if s.Requests == 0 {
@@ -265,7 +296,27 @@ func (s Spec) validateExclusive() error {
 	if (len(s.Mix) > 0 || len(s.Trace) > 0) && (s.PromptTokens != 0 || s.GenTokens != 0) {
 		return fmt.Errorf("serve: PromptTokens/GenTokens describe the degenerate single-tenant workload — leave them zero with an explicit Mix or Trace")
 	}
+	if (len(s.Mix) > 0 || len(s.Trace) > 0) && s.PrefixTokens != 0 {
+		return fmt.Errorf("serve: PrefixTokens shapes the degenerate single-tenant workload — set per-entry prefixes in an explicit Mix or Trace")
+	}
 	return nil
+}
+
+// prefixed reports whether any workload shape carries a non-empty shared
+// prefix. Run on the defaulted spec (the spec-wide PrefixTokens has been
+// folded into the degenerate mix by then).
+func (s Spec) prefixed() bool {
+	for _, t := range s.Mix {
+		if t.PrefixTokens > 0 {
+			return true
+		}
+	}
+	for _, ev := range s.Trace {
+		if ev.PrefixTokens > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // validateShape checks everything that does not need the KV geometry —
@@ -333,6 +384,29 @@ func (s Spec) validateShape() error {
 		(s.PrefillDevices != 0 || s.DecodeDevices != 0 || s.TransferGBps != 0) {
 		// NaN bandwidths land here too: NaN != 0.
 		return fmt.Errorf("serve: PrefillDevices/DecodeDevices/TransferGBps apply to the disaggregated policy only")
+	}
+	// Prefix caching lives in the paged policy's block registry, and a
+	// NoPreempt reservation has no block registry growth to share into.
+	if s.prefixed() && (s.Policy != Paged || s.NoPreempt) {
+		return fmt.Errorf("serve: prefix caching needs the paged policy with preemption enabled (Policy: Paged, NoPreempt unset)")
+	}
+	if s.HostKVBytes != 0 || s.SwapGBps != 0 {
+		if s.Policy != Paged {
+			return fmt.Errorf("serve: HostKVBytes/SwapGBps apply to the paged policy only")
+		}
+		if s.NoPreempt {
+			return fmt.Errorf("serve: the host KV tier holds preemption victims — NoPreempt never evicts any (unset one)")
+		}
+		if s.HostKVBytes < 0 || math.IsNaN(s.HostKVBytes) || math.IsInf(s.HostKVBytes, 0) {
+			return fmt.Errorf("serve: host KV capacity %g bytes not finite and non-negative", s.HostKVBytes)
+		}
+		if s.SwapGBps != 0 && s.HostKVBytes == 0 {
+			return fmt.Errorf("serve: SwapGBps prices the host KV tier's link — set HostKVBytes too")
+		}
+		if s.SwapGBps < 0 || math.IsNaN(s.SwapGBps) {
+			return fmt.Errorf("serve: swap bandwidth %g GB/s not non-negative (0 derives %g; +Inf is a free swap)",
+				s.SwapGBps, DefaultSwapGBps)
+		}
 	}
 	switch s.Policy {
 	case ReserveFull:
@@ -415,9 +489,10 @@ type RequestMetrics struct {
 	// preemptions, so TTFT reflects when the stream first started; Done
 	// (and hence TPOT and E2E) absorb the recompute stalls.
 	Preemptions int
-	// KVTransfers counts this request's prefill→decode pool migrations
-	// (one per admission that reaches its first token) and KVTransferTime
-	// the interconnect seconds they cost. Disaggregated policy only.
+	// KVTransfers counts this request's KV movements over a modeled link —
+	// prefill→decode pool migrations under the disaggregated policy, host
+	// tier swap-outs and swap-ins under the paged policy's tiered KV — and
+	// KVTransferTime the link seconds they cost.
 	KVTransfers    int
 	KVTransferTime float64
 }
@@ -509,6 +584,22 @@ type Result struct {
 	Preemptions      int
 	RecomputedTokens int
 
+	// Prefix-caching fields (paged policy with a prefixed workload; zero
+	// elsewhere): admissions that found their shared prefix resident in
+	// the KV cache, and the prefill tokens those hits skipped.
+	PrefixHits        int
+	PrefixSavedTokens int
+
+	// Host-KV-tier fields (paged policy with HostKVBytes set; zero
+	// elsewhere): the tier's page capacity and high-water mark, the
+	// eviction swap-outs and readmission swap-ins it absorbed, and the
+	// total link seconds they cost.
+	HostPagesTotal int
+	PeakHostPages  int
+	KVSwapOuts     int
+	KVSwapIns      int
+	SwapTimeTotal  float64
+
 	// Disaggregated-policy fields (zero elsewhere): the resolved pool
 	// split, per-pool page capacities and high-water marks, and the KV
 	// migrations between them — count and total interconnect seconds.
@@ -595,6 +686,19 @@ type request struct {
 	// policies); inDecode marks which disaggregated pool holds them.
 	pages    int
 	inDecode bool
+	// prefix is the request's shared-prefix token count and prefixSlot its
+	// interned registry slot in the paged policy (-1 without a prefix);
+	// the request's private page math spans prompt-prefix+produced tokens.
+	prefix     int
+	prefixSlot int32
+	// prefillFree counts the prompt+produced tokens the next admission's
+	// prefill pass skips: a resident prefix hit contributes the prefix, a
+	// host-tier swap-in the restored suffix.
+	prefillFree int
+	// hostPages/hostTokens are the KV held in the host tier while the
+	// request waits preempted (tiered paged policy only).
+	hostPages  int
+	hostTokens int
 	// admissions and preempts count lifecycle events; transfers and
 	// transferTime the disaggregated pool migrations and their cost.
 	admissions   int

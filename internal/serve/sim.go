@@ -89,6 +89,10 @@ type simulator struct {
 	// only policy with pool-migration state the event loop must drain
 	// (transfer time) and report (per-pool counters).
 	dp *disaggPolicy
+	// pp is the paged policy's widened handle (nil elsewhere): the prefix
+	// registry and host KV tier live on it, and the event loop drains its
+	// accrued swap time each iteration (exactly zero without a tier).
+	pp *pagedPolicy
 
 	coster *infer.StepCoster
 	// costerSpec is the pricing key: the exact infer.Spec the coster was
@@ -168,6 +172,12 @@ func (sim *simulator) reset(s Spec) error {
 		return err
 	}
 	dp, _ := pol.(*disaggPolicy)
+	pp, _ := pol.(*pagedPolicy)
+	if pp != nil {
+		// The readmission swap-in-vs-recompute decision prices the
+		// recompute path through the simulator's prefill table.
+		pp.sim = sim
+	}
 	// The step cost is linear in the KV length at fixed batch and the
 	// prefill cost is fixed per batch, so each batch size needs at most
 	// three kernel-enumeration passes; every further iteration prices in
@@ -200,6 +210,7 @@ func (sim *simulator) reset(s Spec) error {
 	sim.spec = s
 	sim.pol = pol
 	sim.dp = dp
+	sim.pp = pp
 	sim.kv0 = kv0
 	sim.kv1 = kv1
 	sim.refPrompt = bounds.maxPrompt
@@ -270,13 +281,31 @@ func (sim *simulator) enqueue(id int, t float64) {
 
 // pushShape appends one request to the FIFO queue; it joins the batch at
 // the next iteration boundary (iteration-level batching). Ids are issued
-// densely in order, so the request lands at slab position id.
+// densely in order, so the request lands at slab position id. A shared
+// prefix is interned into the paged policy's registry here, once per id —
+// admission then works with a slot index, never the string.
 func (sim *simulator) pushShape(id int, sh Request, t float64) {
 	sim.reqs = append(sim.reqs, request{
 		id: id, arrival: t,
 		tenant: sh.Tenant, prompt: sh.PromptTokens, gen: sh.GenTokens,
+		prefix: sh.PrefixTokens, prefixSlot: -1,
 	})
+	if sh.PrefixTokens > 0 {
+		sim.reqs[len(sim.reqs)-1].prefixSlot = sim.pp.intern(sh.PrefixID, sh.PrefixTokens)
+	}
 	sim.queue.pushBack(int32(id))
+}
+
+// recomputeCost prices a recompute-readmission prefill over tokens: the
+// single-sequence prefill sample scaled to the true token count — the
+// same linear scaling step applies when billing a mixed batch's prefill.
+// The swap-in-vs-recompute decision compares against this.
+func (sim *simulator) recomputeCost(tokens int) float64 {
+	t := sim.prefill(1)
+	if tokens != sim.refPrompt {
+		t *= float64(tokens) / float64(sim.refPrompt)
+	}
+	return t
 }
 
 // admitArrived moves every pre-generated arrival with time <= now into
@@ -335,8 +364,11 @@ func (sim *simulator) step() {
 			newbies++
 			// The pass prefills this request's own prompt; a resumed
 			// victim's recompute prefill spans its generated tokens
-			// too — bill the true token count below.
-			prefillTokens += r.prompt + r.produced
+			// too — bill the true token count below. Tokens the policy
+			// restored for free (a resident prefix's span, a host-tier
+			// swap-in's) drop out of the bill; the swap itself is priced
+			// separately on the link via drainSwap.
+			prefillTokens += r.prompt + r.produced - r.prefillFree
 		}
 	}
 	kv := sim.pol.usedBytes()
@@ -362,6 +394,10 @@ func (sim *simulator) step() {
 			iteration: sim.iterations, running: len(sim.running), queued: sim.queue.len(),
 			usedPages: sim.pol.usedPages(), totalPages: totalPages, runningPages: held,
 			usedBytes: kv, budget: sim.budget,
+		}
+		if sim.pp != nil {
+			ps.prefixPages = sim.pp.residentPrefixPages()
+			ps.hostPages, ps.hostTotal = sim.pp.hostUsed, sim.pp.hostTotal
 		}
 		if sim.dp != nil {
 			ps.prefillPages, ps.prefillTotal = sim.dp.prefillUsed, sim.dp.prefillTotal
@@ -420,6 +456,13 @@ func (sim *simulator) step() {
 		// serialize on the interconnect and stall the step; an
 		// infinite-bandwidth link contributes exactly zero.
 		iterTime += sim.dp.drainTransfer()
+	}
+	if sim.pp != nil {
+		// Host-tier swaps accrued by this iteration's evictions and
+		// readmissions serialize on the PCIe-class link the same way;
+		// without a tier the drain is exactly zero, preserving the
+		// degenerate paged timing bit for bit.
+		iterTime += sim.pp.drainSwap()
 	}
 	sim.iterations++
 	sim.batchSum += float64(len(sim.running))
@@ -510,6 +553,12 @@ func (sim *simulator) finish() Result {
 		res.PrefillPagesTotal, res.DecodePagesTotal = sim.dp.prefillTotal, sim.dp.decodeTotal
 		res.PeakPrefillPages, res.PeakDecodePages = sim.dp.peakPrefill, sim.dp.peakDecode
 		res.KVTransfers, res.TransferTimeTotal = sim.dp.transfers, sim.dp.transferTotal
+	}
+	if sim.pp != nil {
+		res.PrefixHits, res.PrefixSavedTokens = sim.pp.prefixHits, sim.pp.prefixSaved
+		res.HostPagesTotal, res.PeakHostPages = sim.pp.hostTotal, sim.pp.peakHost
+		res.KVSwapOuts, res.KVSwapIns = sim.pp.swapOuts, sim.pp.swapIns
+		res.SwapTimeTotal = sim.pp.swapTotal
 	}
 	if sim.now > 0 {
 		genSum := 0

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"bufio"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -25,6 +26,16 @@ type Request struct {
 	Tenant       string
 	PromptTokens int
 	GenTokens    int
+
+	// PrefixID names a shared prompt prefix: requests carrying the same id
+	// share their leading PrefixTokens prompt tokens (a common system
+	// prompt), and the paged admission policy caches that prefix's KV so a
+	// hit charges pages and prefill for the non-shared suffix only.
+	// PrefixTokens must leave at least one non-shared prompt token; zero
+	// PrefixTokens (with or without an id) is the degenerate no-prefix
+	// request, byte-identical to the pre-prefix behavior.
+	PrefixID     string
+	PrefixTokens int
 }
 
 // context is the request's full KV span.
@@ -38,11 +49,22 @@ type TenantLoad struct {
 	Share        float64
 	PromptTokens int
 	GenTokens    int
+
+	// PrefixID/PrefixTokens mark the leading PrefixTokens prompt tokens of
+	// every request this entry generates as a shared prefix (see
+	// Request.PrefixID). Distinct entries may share one PrefixID — with one
+	// consistent PrefixTokens — to model tenants issuing the same system
+	// prompt.
+	PrefixID     string
+	PrefixTokens int
 }
 
 // request converts the load entry to the shape its requests carry.
 func (t TenantLoad) request() Request {
-	return Request{Tenant: t.Tenant, PromptTokens: t.PromptTokens, GenTokens: t.GenTokens}
+	return Request{
+		Tenant: t.Tenant, PromptTokens: t.PromptTokens, GenTokens: t.GenTokens,
+		PrefixID: t.PrefixID, PrefixTokens: t.PrefixTokens,
+	}
 }
 
 // TraceEvent is one replayed request: an absolute arrival time plus its
@@ -76,6 +98,49 @@ func validateTenantName(name string) error {
 	return nil
 }
 
+// validatePrefix checks one request shape's shared-prefix fields: a
+// non-negative prefix that leaves at least one non-shared prompt token (the
+// prefill pass must always have a suffix to price), a PrefixID whenever the
+// prefix is non-empty, and an id that survives the mix/trace renderings
+// (validateTenantName's separator rules). A zero-token prefix with an id is
+// legal — it is the degenerate no-prefix request the equivalence tests pin.
+func validatePrefix(prefixID string, prefixTokens, promptTokens int) error {
+	if prefixTokens < 0 {
+		return fmt.Errorf("negative prefix length %d", prefixTokens)
+	}
+	if prefixTokens > 0 && prefixTokens >= promptTokens {
+		return fmt.Errorf("prefix of %d tokens must leave at least one non-shared prompt token (prompt is %d)",
+			prefixTokens, promptTokens)
+	}
+	if prefixTokens > 0 && prefixID == "" {
+		return fmt.Errorf("a %d-token prefix needs a PrefixID", prefixTokens)
+	}
+	if prefixID != "" {
+		if err := validateTenantName(prefixID); err != nil {
+			return fmt.Errorf("prefix id: %w", err)
+		}
+	}
+	return nil
+}
+
+// prefixConsistency folds one shape's prefix into the id→length map shared
+// by ValidateMix and ValidateTrace: a PrefixID names one concrete token
+// sequence, so every shape carrying it must agree on its length.
+func prefixConsistency(seen map[string]int, prefixID string, prefixTokens int) (map[string]int, error) {
+	if prefixID == "" {
+		return seen, nil
+	}
+	if seen == nil {
+		seen = make(map[string]int, 4)
+	}
+	if prev, ok := seen[prefixID]; ok && prev != prefixTokens {
+		return seen, fmt.Errorf("prefix %q spans %d tokens in one shape and %d in another — a shared prefix has one length",
+			prefixID, prev, prefixTokens)
+	}
+	seen[prefixID] = prefixTokens
+	return seen, nil
+}
+
 // ValidateMix checks a workload mix: non-empty, unique separator-free
 // tenant names, positive finite shares, and at least one prompt and one
 // generated token per tenant. Shared by serve.Spec and the sweep grid
@@ -85,6 +150,7 @@ func ValidateMix(mix []TenantLoad) error {
 		return fmt.Errorf("serve: empty workload mix")
 	}
 	seen := make(map[string]bool, len(mix))
+	var prefixes map[string]int
 	for _, t := range mix {
 		if err := validateTenantName(t.Tenant); err != nil {
 			return fmt.Errorf("serve: mix entry: %w", err)
@@ -102,6 +168,13 @@ func ValidateMix(mix []TenantLoad) error {
 		if t.GenTokens < 1 {
 			return fmt.Errorf("serve: tenant %q needs at least one generated token, got %d", t.Tenant, t.GenTokens)
 		}
+		if err := validatePrefix(t.PrefixID, t.PrefixTokens, t.PromptTokens); err != nil {
+			return fmt.Errorf("serve: tenant %q: %w", t.Tenant, err)
+		}
+		var err error
+		if prefixes, err = prefixConsistency(prefixes, t.PrefixID, t.PrefixTokens); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
 	}
 	return nil
 }
@@ -114,6 +187,7 @@ func ValidateTrace(trace []TraceEvent) error {
 		return fmt.Errorf("serve: empty trace")
 	}
 	prev := 0.0
+	var prefixes map[string]int
 	for i, ev := range trace {
 		if !(ev.Arrival >= prev) || math.IsInf(ev.Arrival, 0) {
 			return fmt.Errorf("serve: trace event %d: arrival %g not finite and non-decreasing (previous %g)",
@@ -128,6 +202,13 @@ func ValidateTrace(trace []TraceEvent) error {
 		}
 		if ev.GenTokens < 1 {
 			return fmt.Errorf("serve: trace event %d needs at least one generated token, got %d", i, ev.GenTokens)
+		}
+		if err := validatePrefix(ev.PrefixID, ev.PrefixTokens, ev.PromptTokens); err != nil {
+			return fmt.Errorf("serve: trace event %d: %w", i, err)
+		}
+		var err error
+		if prefixes, err = prefixConsistency(prefixes, ev.PrefixID, ev.PrefixTokens); err != nil {
+			return fmt.Errorf("serve: trace event %d: %w", i, err)
 		}
 	}
 	return nil
@@ -158,7 +239,11 @@ func TraceContext(trace []TraceEvent) int {
 
 // ParseMix parses the CLI mix syntax: comma-separated
 // "tenant:share:prompt:gen" entries, e.g.
-// "chat:0.7:200:200,batch:0.3:2000:100".
+// "chat:0.7:200:200,batch:0.3:2000:100". A fifth field marks the entry's
+// leading prompt tokens as a shared prefix ("chat:0.7:200:200:120" — the
+// prefix id defaults to the tenant name), and a sixth names the prefix id
+// explicitly so distinct tenants can share one prefix
+// ("a:1:200:200:120:sys,b:1:300:100:120:sys").
 func ParseMix(s string) ([]TenantLoad, error) {
 	var out []TenantLoad
 	for _, tok := range strings.Split(s, ",") {
@@ -167,8 +252,8 @@ func ParseMix(s string) ([]TenantLoad, error) {
 			continue
 		}
 		parts := strings.Split(tok, ":")
-		if len(parts) != 4 {
-			return nil, fmt.Errorf("serve: mix entry %q: want tenant:share:prompt:gen", tok)
+		if len(parts) < 4 || len(parts) > 6 {
+			return nil, fmt.Errorf("serve: mix entry %q: want tenant:share:prompt:gen[:prefix[:prefix-id]]", tok)
 		}
 		share, err := strconv.ParseFloat(parts[1], 64)
 		if err != nil {
@@ -182,7 +267,20 @@ func ParseMix(s string) ([]TenantLoad, error) {
 		if err != nil {
 			return nil, fmt.Errorf("serve: mix entry %q: bad generation length: %w", tok, err)
 		}
-		out = append(out, TenantLoad{Tenant: parts[0], Share: share, PromptTokens: prompt, GenTokens: gen})
+		t := TenantLoad{Tenant: parts[0], Share: share, PromptTokens: prompt, GenTokens: gen}
+		if len(parts) >= 5 {
+			t.PrefixTokens, err = strconv.Atoi(parts[4])
+			if err != nil {
+				return nil, fmt.Errorf("serve: mix entry %q: bad prefix length: %w", tok, err)
+			}
+			if t.PrefixTokens > 0 {
+				t.PrefixID = t.Tenant
+			}
+			if len(parts) == 6 {
+				t.PrefixID = parts[5]
+			}
+		}
+		out = append(out, t)
 	}
 	if err := ValidateMix(out); err != nil {
 		return nil, err
@@ -191,22 +289,45 @@ func ParseMix(s string) ([]TenantLoad, error) {
 }
 
 // FormatMix renders a mix back into the ParseMix syntax — the canonical
-// one-token rendering the sweep writers use.
+// one-token rendering the sweep writers use. Prefix-free entries keep the
+// four-field form, so every pre-prefix rendering (and the fingerprints
+// derived from it) is unchanged.
 func FormatMix(mix []TenantLoad) string {
 	parts := make([]string, len(mix))
 	for i, t := range mix {
-		parts[i] = fmt.Sprintf("%s:%g:%d:%d", t.Tenant, t.Share, t.PromptTokens, t.GenTokens)
+		switch {
+		case t.PrefixID == "" && t.PrefixTokens == 0:
+			parts[i] = fmt.Sprintf("%s:%g:%d:%d", t.Tenant, t.Share, t.PromptTokens, t.GenTokens)
+		case t.PrefixID == t.Tenant && t.PrefixTokens > 0:
+			parts[i] = fmt.Sprintf("%s:%g:%d:%d:%d", t.Tenant, t.Share, t.PromptTokens, t.GenTokens, t.PrefixTokens)
+		default:
+			parts[i] = fmt.Sprintf("%s:%g:%d:%d:%d:%s", t.Tenant, t.Share, t.PromptTokens, t.GenTokens, t.PrefixTokens, t.PrefixID)
+		}
 	}
 	return strings.Join(parts, ",")
 }
 
 // ParseTrace reads a serving trace in CSV form: one request per row as
-// "arrival,tenant,prompt,gen", with an optional header row (detected by a
-// non-numeric first field). An empty tenant column maps to DefaultTenant.
-// The parsed trace is validated (finite sorted arrivals, positive shapes).
+// "arrival,tenant,prompt,gen" (v1) or
+// "arrival,tenant,prompt,gen,prefix_id,prefix_tokens" (v2), with an
+// optional header row (detected by a non-numeric first field). Every row
+// carries the column count of the first, so the schema version is fixed
+// per file. An empty tenant column maps to DefaultTenant; an empty
+// prefix_id with a non-zero prefix_tokens defaults to the row's tenant
+// (the ParseMix rule). A leading UTF-8 byte-order mark is stripped —
+// spreadsheet exports routinely prepend one, and it would otherwise glue
+// onto the first header field (a U+FEFF-prefixed "arrival") and defeat the header
+// detection. The parsed trace is validated (finite sorted arrivals,
+// positive shapes, consistent prefixes).
 func ParseTrace(r io.Reader) ([]TraceEvent, error) {
-	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = 4
+	br := bufio.NewReader(r)
+	if b, err := br.Peek(3); err == nil && b[0] == 0xEF && b[1] == 0xBB && b[2] == 0xBF {
+		br.Discard(3)
+	}
+	cr := csv.NewReader(br)
+	// 0: the first row fixes the column count (4 or 6, checked below) and
+	// every later row must match it.
+	cr.FieldsPerRecord = 0
 	cr.TrimLeadingSpace = true
 	var out []TraceEvent
 	for row := 0; ; row++ {
@@ -221,6 +342,9 @@ func ParseTrace(r io.Reader) ([]TraceEvent, error) {
 			rec[i] = strings.TrimSpace(rec[i])
 		}
 		if row == 0 {
+			if len(rec) != 4 && len(rec) != 6 {
+				return nil, fmt.Errorf("serve: trace row 0 has %d columns, want 4 (arrival,tenant,prompt,gen) or 6 (…,prefix_id,prefix_tokens)", len(rec))
+			}
 			_, arrErr := strconv.ParseFloat(rec[0], 64)
 			_, promptErr := strconv.Atoi(rec[2])
 			// A header is non-numeric across the board; a data row whose
@@ -246,15 +370,72 @@ func ParseTrace(r io.Reader) ([]TraceEvent, error) {
 		if tenant == "" {
 			tenant = DefaultTenant
 		}
-		out = append(out, TraceEvent{
+		ev := TraceEvent{
 			Arrival: arrival,
 			Request: Request{Tenant: tenant, PromptTokens: prompt, GenTokens: gen},
-		})
+		}
+		if len(rec) == 6 {
+			ev.PrefixID = rec[4]
+			if rec[5] != "" {
+				ev.PrefixTokens, err = strconv.Atoi(rec[5])
+				if err != nil {
+					return nil, fmt.Errorf("serve: trace row %d: bad prefix length: %w", row, err)
+				}
+			}
+			if ev.PrefixID == "" && ev.PrefixTokens > 0 {
+				ev.PrefixID = tenant
+			}
+		}
+		out = append(out, ev)
 	}
 	if err := ValidateTrace(out); err != nil {
 		return nil, err
 	}
 	return out, nil
+}
+
+// FormatTrace renders a trace back into ParseTrace's CSV form with a
+// header row: the six-column v2 schema when any event carries a prefix
+// field, the four-column v1 schema otherwise (so pre-prefix traces render
+// exactly as before). For a valid trace,
+// ParseTrace(FormatTrace(t)) == t — the round-trip the trace-v2 fuzz
+// harness pins.
+func FormatTrace(w io.Writer, trace []TraceEvent) error {
+	v2 := false
+	for _, ev := range trace {
+		if ev.PrefixID != "" || ev.PrefixTokens != 0 {
+			v2 = true
+			break
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"arrival", "tenant", "prompt", "gen"}
+	if v2 {
+		header = append(header, "prefix_id", "prefix_tokens")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("serve: format trace: %w", err)
+	}
+	rec := make([]string, 0, 6)
+	for _, ev := range trace {
+		rec = append(rec[:0],
+			strconv.FormatFloat(ev.Arrival, 'g', -1, 64),
+			ev.Tenant,
+			strconv.Itoa(ev.PromptTokens),
+			strconv.Itoa(ev.GenTokens),
+		)
+		if v2 {
+			rec = append(rec, ev.PrefixID, strconv.Itoa(ev.PrefixTokens))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("serve: format trace: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("serve: format trace: %w", err)
+	}
+	return nil
 }
 
 // shapeSeedSalt decorrelates the tenant-assignment stream from the arrival

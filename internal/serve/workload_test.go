@@ -468,14 +468,43 @@ func TestParseFormatMix(t *testing.T) {
 		t.Fatalf("FormatMix %q does not round-trip: %+v, %v", formatted, back, err)
 	}
 	for _, bad := range []string{
-		"", "chat", "chat:1:200", "chat:1:200:200:9", "chat:x:200:200",
+		"", "chat", "chat:1:200", "chat:1:200:200:9:sys:extra", "chat:x:200:200",
 		"chat:1:x:200", "chat:1:200:x", "chat:0:200:200", ":1:200:200",
 		"chat:1:200:200,chat:1:100:100", "chat:1:0:200", "chat:1:200:0",
 		"chat :1:200:200", // internal trailing whitespace cannot round-trip
+		"chat:1:200:200:x",   // non-numeric prefix length
+		"chat:1:200:200:200", // prefix swallows the whole prompt
+		"chat:1:200:200:-1",  // negative prefix length
+		"chat:1:200:200:9:s,m", // separator-bearing prefix id
 	} {
 		if _, err := ParseMix(bad); err == nil {
 			t.Errorf("ParseMix(%q) should fail", bad)
 		}
+	}
+	// The prefix forms round-trip: 5-field (id defaults to the tenant),
+	// 6-field (explicit shared id), and the degenerate id-with-zero-tokens
+	// case FormatMix must keep explicit to survive reparsing.
+	for _, src := range []string{
+		"chat:1:200:200:9",
+		"chat:0.5:200:200:9:sys,batch:0.5:2000:100:9:sys",
+	} {
+		mix, err := ParseMix(src)
+		if err != nil {
+			t.Fatalf("ParseMix(%q): %v", src, err)
+		}
+		back, err := ParseMix(FormatMix(mix))
+		if err != nil || !reflect.DeepEqual(back, mix) {
+			t.Fatalf("prefix mix %q does not round-trip via %q: %+v, %v", src, FormatMix(mix), back, err)
+		}
+	}
+	mix5, _ := ParseMix("chat:1:200:200:9")
+	if mix5[0].PrefixID != "chat" || mix5[0].PrefixTokens != 9 {
+		t.Fatalf("5-field form must default PrefixID to the tenant: %+v", mix5[0])
+	}
+	zeroID := []TenantLoad{{Tenant: "chat", Share: 1, PromptTokens: 200, GenTokens: 200, PrefixID: "sys"}}
+	backZero, err := ParseMix(FormatMix(zeroID))
+	if err != nil || !reflect.DeepEqual(backZero, zeroID) {
+		t.Fatalf("zero-token explicit-id mix does not round-trip via %q: %+v, %v", FormatMix(zeroID), backZero, err)
 	}
 }
 
@@ -551,9 +580,93 @@ func TestParseTrace(t *testing.T) {
 		"0.0,chat,100,x\n",                   // bad gen
 		"1.0,chat,100,40\n0.5,chat,100,40\n", // unsorted
 		"arrival,tenant,prompt\n",            // short header
+		"0.0,chat,100,40,sys,x\n",            // bad prefix length
+		"0.0,chat,100,40,sys,100\n",          // prefix swallows the prompt
+		"0.0,chat,100,40,sys,-3\n",           // negative prefix
+		"0.0,chat,100,40,sys,20\n0.5,chat,100,40,sys,30\n", // one id, two lengths
+		"0.0,chat,100,40,sys,20\n0.5,chat,100,40\n",        // column count drifts mid-trace
 	} {
 		if _, err := ParseTrace(strings.NewReader(bad)); err == nil {
 			t.Errorf("ParseTrace(%q) should fail", bad)
+		}
+	}
+}
+
+// TestParseTraceBOMAndCRLF is the satellite bugfix regression: a trace
+// exported from a Windows-side spreadsheet opens with a UTF-8 BOM and ends
+// its rows with CRLF. The BOM used to glue itself onto the "arrival"
+// header cell, failing the header detection and the first row's arrival
+// parse; both byte sequences must now parse identically to the clean file.
+func TestParseTraceBOMAndCRLF(t *testing.T) {
+	want, err := ParseTrace(strings.NewReader("arrival,tenant,prompt,gen\n0.0,chat,100,40\n0.5,,900,80\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, in := range map[string]string{
+		"bom":            "\xef\xbb\xbfarrival,tenant,prompt,gen\n0.0,chat,100,40\n0.5,,900,80\n",
+		"crlf":           "arrival,tenant,prompt,gen\r\n0.0,chat,100,40\r\n0.5,,900,80\r\n",
+		"bom+crlf":       "\xef\xbb\xbfarrival,tenant,prompt,gen\r\n0.0,chat,100,40\r\n0.5,,900,80\r\n",
+		"bom+headerless": "\xef\xbb\xbf0.0,chat,100,40\n0.5,,900,80\n",
+	} {
+		got, err := ParseTrace(strings.NewReader(in))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: parsed %+v, want %+v", name, got, want)
+		}
+	}
+	// A BOM'd v2 trace exercises both new paths at once.
+	v2, err := ParseTrace(strings.NewReader(
+		"\xef\xbb\xbfarrival,tenant,prompt,gen,prefix_id,prefix_tokens\r\n0,chat,100,40,sys,30\r\n1,code,200,50,sys,30\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v2) != 2 || v2[0].PrefixID != "sys" || v2[0].PrefixTokens != 30 || v2[1].PrefixID != "sys" {
+		t.Fatalf("BOM'd v2 trace parsed as %+v", v2)
+	}
+}
+
+// TestParseFormatTrace pins the trace round-trip in both schemas: a
+// prefix-free trace renders in the four-column v1 form (byte-compatible
+// with pre-prefix consumers), a prefixed one in the six-column v2 form,
+// and ParseTrace(FormatTrace(t)) == t for both — including a v2 trace
+// whose events only partially carry prefixes, and one defaulting the
+// prefix id to the tenant.
+func TestParseFormatTrace(t *testing.T) {
+	for name, trace := range map[string][]TraceEvent{
+		"v1": {
+			{Arrival: 0, Request: Request{Tenant: "chat", PromptTokens: 100, GenTokens: 40}},
+			{Arrival: 0.625, Request: Request{Tenant: DefaultTenant, PromptTokens: 900, GenTokens: 80}},
+		},
+		"v2": {
+			{Arrival: 0, Request: Request{Tenant: "chat", PromptTokens: 100, GenTokens: 40, PrefixID: "sys", PrefixTokens: 30}},
+			{Arrival: 0.5, Request: Request{Tenant: "code", PromptTokens: 200, GenTokens: 50, PrefixID: "sys", PrefixTokens: 30}},
+		},
+		"v2-partial": {
+			{Arrival: 0, Request: Request{Tenant: "chat", PromptTokens: 100, GenTokens: 40, PrefixID: "chat", PrefixTokens: 30}},
+			{Arrival: 0.5, Request: Request{Tenant: "raw", PromptTokens: 200, GenTokens: 50}},
+		},
+	} {
+		var b strings.Builder
+		if err := FormatTrace(&b, trace); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		wantCols := 4
+		if name != "v1" {
+			wantCols = 6
+		}
+		header := b.String()[:strings.Index(b.String(), "\n")]
+		if got := strings.Count(header, ",") + 1; got != wantCols {
+			t.Errorf("%s: rendered a %d-column header, want %d (%q)", name, got, wantCols, header)
+		}
+		back, err := ParseTrace(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("%s: round-trip parse of %q: %v", name, b.String(), err)
+		}
+		if !reflect.DeepEqual(back, trace) {
+			t.Errorf("%s: rendering %q is ambiguous: %+v parsed back as %+v", name, b.String(), trace, back)
 		}
 	}
 }

@@ -83,7 +83,7 @@ func FuzzServingPointKey(f *testing.F) {
 		mk := func(rate float64, batchCap int, pol int8, page int, seed int64, reqs, pre, dec int, gbps float64) *Point {
 			pts := EnumerateServing(cfg, sys, canonRate(rate), batchCap, 200, 200, tech.FP16,
 				reqs, seed, serve.Policy(((int(pol)%3)+3)%3), page,
-				PoolSplit{Prefill: canonSplit(pre), Decode: canonSplit(dec)}, canonGBps(gbps))
+				PoolSplit{Prefill: canonSplit(pre), Decode: canonSplit(dec)}, canonGBps(gbps), 0, 0, 0)
 			if len(pts) != 1 {
 				t.Fatalf("expected one candidate, got %d", len(pts))
 			}

@@ -16,11 +16,11 @@ const cacheFileVersion = 1
 // snapshot written by a binary with different kernel/roofline/simulator
 // math would silently serve stale metrics (and break the engine==serial
 // guarantee) if it were accepted. Bump on ANY change that can alter a
-// predictor's output for an unchanged Point — the pr6 bump covers the
-// multi-replica cluster serving path (every Point.Key grew fleet-size and
-// routing-policy segments, and fleet candidates are costed by a different
-// simulator composition).
-const costModelVersion = "pr6-cluster-serving"
+// predictor's output for an unchanged Point — the pr8 bump covers the
+// prefix-cache and host-KV-tier serving path (every Point.Key grew
+// prefix-length, host-capacity and swap-bandwidth segments, and paged
+// candidates are costed through a prefix/tier-aware admission policy).
+const costModelVersion = "pr8-prefix-tiered-kv"
 
 // cacheFile is the on-disk memoization snapshot: successful evaluations
 // keyed by the canonical Point.Key. Keys already fingerprint the full

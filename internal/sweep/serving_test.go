@@ -169,6 +169,23 @@ func TestServingKeyCoversServingAxes(t *testing.T) {
 			q.PrefillDevices, q.DecodeDevices = 1, 1
 			q.TransferGBps = 200
 		},
+		"prefix length": func(q *Point) {
+			q.Policy = serve.Paged
+			q.PageTokens = serve.DefaultPageTokens
+			q.PrefixTokens = 64
+		},
+		"host tier capacity": func(q *Point) {
+			q.Policy = serve.Paged
+			q.PageTokens = serve.DefaultPageTokens
+			q.HostKVBytes = 4e9
+			q.SwapGBps = serve.DefaultSwapGBps
+		},
+		"swap bandwidth": func(q *Point) {
+			q.Policy = serve.Paged
+			q.PageTokens = serve.DefaultPageTokens
+			q.HostKVBytes = 4e9
+			q.SwapGBps = 128
+		},
 	} {
 		q := p
 		mutate(&q)
@@ -235,6 +252,39 @@ func TestServingValidation(t *testing.T) {
 		s.ServeSeed = 7
 	})
 	check("global batches on serving sweep", func(s *Spec) { s.GlobalBatches = []int{4} })
+	check("negative prefix length", func(s *Spec) {
+		s.Policies = []serve.Policy{serve.Paged}
+		s.PrefixTokens = []int{-1}
+	})
+	check("prefix without a paged policy", func(s *Spec) { s.PrefixTokens = []int{64} })
+	check("prefix with mixes", func(s *Spec) {
+		s.Policies = []serve.Policy{serve.Paged}
+		s.PrefixTokens = []int{64}
+		s.Mixes = [][]serve.TenantLoad{{{Tenant: "a", Share: 1, PromptTokens: 100, GenTokens: 50}}}
+	})
+	check("host tier without a paged policy", func(s *Spec) { s.HostKVBytes = []float64{4e9} })
+	check("negative host tier capacity", func(s *Spec) {
+		s.Policies = []serve.Policy{serve.Paged}
+		s.HostKVBytes = []float64{-1}
+	})
+	check("infinite host tier capacity", func(s *Spec) {
+		s.Policies = []serve.Policy{serve.Paged}
+		s.HostKVBytes = []float64{math.Inf(1)}
+	})
+	check("negative swap bandwidth", func(s *Spec) {
+		s.Policies = []serve.Policy{serve.Paged}
+		s.HostKVBytes = []float64{4e9}
+		s.SwapGBps = -1
+	})
+	check("swap bandwidth without a host tier", func(s *Spec) {
+		s.Policies = []serve.Policy{serve.Paged}
+		s.SwapGBps = 32
+	})
+	check("prefix on inference sweep", func(s *Spec) {
+		s.Workload = Inference
+		s.Rates, s.BatchCaps, s.ServeRequests = nil, nil, 0
+		s.PrefixTokens = []int{64}
+	})
 	check("non-positive rate", func(s *Spec) { s.Rates = []float64{0} })
 	check("NaN rate", func(s *Spec) { s.Rates = []float64{math.NaN()} })
 	check("infinite rate", func(s *Spec) { s.Rates = []float64{math.Inf(1)} })
@@ -386,5 +436,79 @@ func TestServingMemoizedAcrossRuns(t *testing.T) {
 	}
 	if !reflect.DeepEqual(first.Rows, second.Rows) {
 		t.Error("warm run must reproduce the ranking")
+	}
+}
+
+// TestServingPrefixTieredAxis: with PrefixTokens and HostKVBytes as grid
+// axes, one sweep ranks the prefix-cache and host-tier variants against
+// the reservation baseline — non-paged candidates collapse both axes to
+// their zero entries (one candidate, not four), prefix-cache rows carry
+// hit counters, and the concurrent engine reproduces the serial ranking
+// byte for byte.
+func TestServingPrefixTieredAxis(t *testing.T) {
+	spec := servingSpec0(t)
+	spec.Policies = []serve.Policy{serve.ReserveFull, serve.Paged}
+	spec.PrefixTokens = []int{0, 64}
+	spec.HostKVBytes = []float64{0, 4e9}
+	spec.Constraints.TopK = 64
+
+	pts := Enumerate(spec)
+	// Per model×system×rate×cap cell: 1 reserve candidate (both axes
+	// canonicalize to zero) + 2×2 paged ones.
+	if want := 8 * 5; len(pts) != want {
+		t.Fatalf("expected %d candidates, got %d", want, len(pts))
+	}
+	for _, p := range pts {
+		if p.Policy == serve.ReserveFull && (p.PrefixTokens != 0 || p.HostKVBytes != 0 || p.SwapGBps != 0) {
+			t.Fatalf("reserve candidate carries paged-only knobs: %+v", p)
+		}
+		if p.Policy == serve.Paged && p.HostKVBytes > 0 && p.SwapGBps != serve.DefaultSwapGBps {
+			t.Fatalf("host-tier candidate should canonicalize the default swap bandwidth: %+v", p)
+		}
+	}
+
+	serial, err := Serial(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Rows) != len(pts) {
+		t.Fatalf("all %d candidates should rank, got %d rows", len(pts), len(serial.Rows))
+	}
+	hits := 0
+	for _, row := range serial.Rows {
+		if row.Point.PrefixTokens > 0 && row.Metrics.PrefixHits > 0 {
+			hits++
+			if row.Metrics.PrefixSavedTokens != row.Metrics.PrefixHits*row.Point.PrefixTokens {
+				t.Errorf("saved tokens %d inconsistent with %d hits of a %d-token prefix",
+					row.Metrics.PrefixSavedTokens, row.Metrics.PrefixHits, row.Point.PrefixTokens)
+			}
+		}
+	}
+	if hits == 0 {
+		t.Error("no prefix-cache candidate reported a hit")
+	}
+
+	eng, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(eng.Rows, serial.Rows) {
+		t.Error("engine ranking with the prefix/tier axes must match serial byte for byte")
+	}
+
+	// A prefix longer than a cell's prompt skips that cell rather than
+	// simulating an impossible workload.
+	skip := servingSpec0(t)
+	skip.Policies = []serve.Policy{serve.Paged}
+	skip.Seqs = []int{200, 400}
+	skip.PrefixTokens = []int{250}
+	kept := Enumerate(skip)
+	for _, p := range kept {
+		if p.Seq != 400 {
+			t.Fatalf("a 250-token prefix cannot shape a %d-token prompt, yet the cell enumerated", p.Seq)
+		}
+	}
+	if len(kept) != 8 {
+		t.Fatalf("expected 8 surviving candidates (the 400-token cells), got %d", len(kept))
 	}
 }

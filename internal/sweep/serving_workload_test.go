@@ -106,7 +106,7 @@ func TestServingMixKeyCoverage(t *testing.T) {
 	cfg, sys := cell(t)
 	mix := mixes0()[1]
 	mk := func(mix []serve.TenantLoad) Point {
-		pts := EnumerateServingMix(cfg, sys, mix, 1, 0, tech.FP16, 32, 1, serve.ReserveFull, 0, PoolSplit{}, 0)
+		pts := EnumerateServingMix(cfg, sys, mix, 1, 0, tech.FP16, 32, 1, serve.ReserveFull, 0, PoolSplit{}, 0, 0, 0)
 		if len(pts) != 1 {
 			t.Fatalf("expected one candidate, got %d", len(pts))
 		}
@@ -145,11 +145,11 @@ func TestServingMixKeyCoverage(t *testing.T) {
 	}
 	// A mix candidate must not collide with the spec-wide candidate of the
 	// same cell, nor with a trace candidate.
-	specWide := EnumerateServing(cfg, sys, 1, 0, 200, 200, tech.FP16, 32, 1, serve.ReserveFull, 0, PoolSplit{}, 0)[0]
+	specWide := EnumerateServing(cfg, sys, 1, 0, 200, 200, tech.FP16, 32, 1, serve.ReserveFull, 0, PoolSplit{}, 0, 0, 0, 0)[0]
 	if specWide.Key() == base.Key() {
 		t.Error("mix and spec-wide candidates collide")
 	}
-	traced := EnumerateServingTrace(cfg, sys, trace0(), 0, tech.FP16, serve.ReserveFull, 0, PoolSplit{}, 0)[0]
+	traced := EnumerateServingTrace(cfg, sys, trace0(), 0, tech.FP16, serve.ReserveFull, 0, PoolSplit{}, 0, 0, 0)[0]
 	if traced.Key() == base.Key() || traced.Key() == specWide.Key() {
 		t.Error("trace candidate collides with mix or spec-wide candidate")
 	}
@@ -197,10 +197,10 @@ func TestServingTraceSweep(t *testing.T) {
 	}
 
 	cfg, sys := cell(t)
-	a := EnumerateServingTrace(cfg, sys, trace0(), 0, tech.FP16, serve.ReserveFull, 0, PoolSplit{}, 0)[0]
+	a := EnumerateServingTrace(cfg, sys, trace0(), 0, tech.FP16, serve.ReserveFull, 0, PoolSplit{}, 0, 0, 0)[0]
 	shifted := append([]serve.TraceEvent(nil), trace0()...)
 	shifted[1].PromptTokens += 64
-	b := EnumerateServingTrace(cfg, sys, shifted, 0, tech.FP16, serve.ReserveFull, 0, PoolSplit{}, 0)[0]
+	b := EnumerateServingTrace(cfg, sys, shifted, 0, tech.FP16, serve.ReserveFull, 0, PoolSplit{}, 0, 0, 0)[0]
 	if a.Key() == b.Key() {
 		t.Error("candidates replaying different traces collide on key")
 	}

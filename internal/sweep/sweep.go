@@ -165,6 +165,27 @@ type Spec struct {
 	// bandwidth in GB/s, serving only; zero means
 	// serve.DefaultTransferGBps, math.Inf(1) a free transfer.
 	TransferGBps float64
+	// PrefixTokens are the shared-prompt-prefix lengths to compare per
+	// grid cell, serving only: each entry gives the spec-wide request
+	// shape that many shared prefix tokens (serve.Spec.PrefixTokens), so
+	// one sweep can rank prefix-cache savings across hit fractions. A
+	// zero entry is the plain unprefixed shape; nil means {0}. Requires a
+	// Paged entry in Policies when non-zero (other policies ignore the
+	// axis and canonicalize to zero); Mixes and Trace carry per-entry
+	// prefixes instead, so the axis is rejected alongside them. Entries
+	// at or beyond a cell's prompt length skip that cell.
+	PrefixTokens []int
+	// HostKVBytes are the host KV tier capacities (bytes) to compare per
+	// grid cell, serving only: each entry lets the paged policy's
+	// preemption victims swap pages to a host tier that large
+	// (serve.Spec.HostKVBytes). A zero entry is the recompute-only
+	// baseline; nil means {0}. Requires a Paged entry in Policies when
+	// non-zero.
+	HostKVBytes []float64
+	// SwapGBps is the host tier's swap-link bandwidth in GB/s, serving
+	// only; zero means serve.DefaultSwapGBps, math.Inf(1) a free swap.
+	// Requires a non-zero HostKVBytes entry.
+	SwapGBps float64
 	// Replicas are the fleet sizes to compare per grid cell, serving only:
 	// each entry runs the candidate's serve configuration as a homogeneous
 	// R-replica cluster (internal/cluster) instead of a single instance,
@@ -267,6 +288,12 @@ func (s Spec) withDefaults() Spec {
 	if len(s.Routings) == 0 {
 		s.Routings = []cluster.Routing{cluster.RoundRobin}
 	}
+	if len(s.PrefixTokens) == 0 {
+		s.PrefixTokens = []int{0}
+	}
+	if len(s.HostKVBytes) == 0 {
+		s.HostKVBytes = []float64{0}
+	}
 	return s
 }
 
@@ -288,6 +315,10 @@ func (s Spec) Validate() error {
 		}
 		if len(s.Replicas) > 0 || len(s.Routings) > 0 {
 			return fmt.Errorf("sweep: Replicas/Routings apply to serving sweeps only")
+		}
+		if len(s.PrefixTokens) > 0 || len(s.HostKVBytes) > 0 || s.SwapGBps != 0 {
+			// NaN bandwidths land here too: NaN != 0.
+			return fmt.Errorf("sweep: PrefixTokens/HostKVBytes/SwapGBps apply to serving sweeps only")
 		}
 	}
 	switch s.Workload {
@@ -363,6 +394,38 @@ func (s Spec) Validate() error {
 			}
 			if s.TransferGBps != 0 && !hasDisagg {
 				return fmt.Errorf("sweep: TransferGBps needs a Disaggregated entry in Policies")
+			}
+			hasPrefix, hasHost := false, false
+			for _, pre := range s.PrefixTokens {
+				if pre < 0 {
+					return fmt.Errorf("sweep: negative prefix length %d tokens", pre)
+				}
+				if pre > 0 {
+					hasPrefix = true
+				}
+			}
+			if hasPrefix && !hasPaged {
+				return fmt.Errorf("sweep: PrefixTokens needs a Paged entry in Policies")
+			}
+			if hasPrefix && (len(s.Mixes) > 0 || len(s.Trace) > 0) {
+				return fmt.Errorf("sweep: PrefixTokens shapes the spec-wide workload — give Mixes/Trace entries their own per-entry prefixes")
+			}
+			for _, hb := range s.HostKVBytes {
+				if hb < 0 || math.IsNaN(hb) || math.IsInf(hb, 0) {
+					return fmt.Errorf("sweep: host KV capacity %g bytes not finite and non-negative", hb)
+				}
+				if hb > 0 {
+					hasHost = true
+				}
+			}
+			if hasHost && !hasPaged {
+				return fmt.Errorf("sweep: HostKVBytes needs a Paged entry in Policies")
+			}
+			if s.SwapGBps < 0 || math.IsNaN(s.SwapGBps) {
+				return fmt.Errorf("sweep: swap bandwidth %g GB/s not non-negative", s.SwapGBps)
+			}
+			if s.SwapGBps != 0 && !hasHost {
+				return fmt.Errorf("sweep: SwapGBps needs a non-zero host tier capacity in HostKVBytes")
 			}
 			for _, g := range s.GenTokens {
 				if g < 1 {
@@ -492,6 +555,14 @@ type Point struct {
 	PrefillDevices int
 	DecodeDevices  int
 	TransferGBps   float64
+	// PrefixTokens is the spec-wide shape's shared prefix length and
+	// HostKVBytes/SwapGBps the paged policy's host KV tier capacity and
+	// swap-link bandwidth (all zero under other policies); serving only.
+	// They shape the simulated admission behavior, so they are part of
+	// the candidate's identity.
+	PrefixTokens int
+	HostKVBytes  float64
+	SwapGBps     float64
 	// Mix is the candidate's multi-tenant workload (nil for spec-wide
 	// shapes); Trace its replayed request timeline. Both shape the
 	// simulated distribution, so they are part of the candidate's
@@ -574,6 +645,7 @@ func (p Point) buildKey(modelStr, sysStr, workloadStr string) string {
 		int(p.Recompute), int(p.Precision), p.GlobalBatch, p.Seq, p.GenTokens,
 		p.BatchCap, p.ServeRequests, int(p.Policy), p.PageTokens,
 		p.PrefillDevices, p.DecodeDevices, p.Replicas, int(p.Routing),
+		p.PrefixTokens,
 	} {
 		buf = append(buf, '|')
 		buf = strconv.AppendInt(buf, int64(v), 10)
@@ -584,6 +656,10 @@ func (p Point) buildKey(modelStr, sysStr, workloadStr string) string {
 	buf = strconv.AppendFloat(buf, p.Rate, 'g', -1, 64)
 	buf = append(buf, '|')
 	buf = strconv.AppendFloat(buf, p.TransferGBps, 'g', -1, 64)
+	buf = append(buf, '|')
+	buf = strconv.AppendFloat(buf, p.HostKVBytes, 'g', -1, 64)
+	buf = append(buf, '|')
+	buf = strconv.AppendFloat(buf, p.SwapGBps, 'g', -1, 64)
 	buf = append(buf, '|')
 	buf = append(buf, workloadStr...)
 	return string(buf)
@@ -638,6 +714,16 @@ type Metrics struct {
 	// they cost. Serving only, disaggregated candidates only.
 	KVTransfers  int
 	TransferTime float64
+	// PrefixHits/PrefixSavedTokens count the paged policy's prefix-cache
+	// admissions that found their shared prefix resident and the prefill
+	// tokens those hits skipped; KVSwapOuts/KVSwapIns/SwapTime count the
+	// host KV tier's page movements and the total link seconds they cost.
+	// Serving only, paged candidates with those mechanisms only.
+	PrefixHits        int
+	PrefixSavedTokens int
+	KVSwapOuts        int
+	KVSwapIns         int
+	SwapTime          float64
 	// PerTenant breaks the SLO percentiles down per workload tenant,
 	// sorted by tenant name. Serving only.
 	PerTenant []TenantSLO
@@ -788,14 +874,21 @@ func EnumerateInference(cfg model.Config, sys *arch.System, batch, prompt, gen i
 // applies. ok is false when the split asks for more devices than the
 // system has: that (system, split) cell is skipped, like an indivisible
 // head count.
-func servingPolicyAxes(pol serve.Policy, pageTokens, context int, split PoolSplit, transferGBps float64, tp int) (pt, prefill, decode int, gbps float64, ok bool) {
+func servingPolicyAxes(pol serve.Policy, pageTokens, context int, split PoolSplit, transferGBps float64, tp int, hostBytes, swapGBps float64) (pt, prefill, decode int, gbps, host, swap float64, ok bool) {
 	pt = serve.CanonicalPageTokens(pol, pageTokens, context)
 	prefill, decode = serve.CanonicalPoolSplit(pol, split.Prefill, split.Decode, tp)
 	gbps = serve.CanonicalTransferGBps(pol, transferGBps)
-	if pol == serve.Disaggregated && (prefill > tp || decode > tp) {
-		return 0, 0, 0, 0, false
+	if pol != serve.Paged {
+		// Only the paged policy holds a host tier; the axis canonicalizes
+		// away for the others so they keep one memo key per cell.
+		hostBytes = 0
 	}
-	return pt, prefill, decode, gbps, true
+	host = hostBytes
+	swap = serve.CanonicalSwapGBps(pol, hostBytes, swapGBps)
+	if pol == serve.Disaggregated && (prefill > tp || decode > tp) {
+		return 0, 0, 0, 0, 0, 0, false
+	}
+	return pt, prefill, decode, gbps, host, swap, true
 }
 
 // EnumerateServing lists the candidate serving points of one grid cell:
@@ -806,12 +899,23 @@ func servingPolicyAxes(pol serve.Policy, pageTokens, context int, split PoolSpli
 // serve defaults for the policies that use them, zeroed for the others —
 // so equal-behavior candidates always share one memo key, under exactly
 // the rules the simulator applies.
-func EnumerateServing(cfg model.Config, sys *arch.System, rate float64, batchCap, prompt, gen int, prec tech.Precision, requests int, seed int64, pol serve.Policy, pageTokens int, split PoolSplit, transferGBps float64) []Point {
+func EnumerateServing(cfg model.Config, sys *arch.System, rate float64, batchCap, prompt, gen int, prec tech.Precision, requests int, seed int64, pol serve.Policy, pageTokens int, split PoolSplit, transferGBps float64, prefix int, hostBytes, swapGBps float64) []Point {
 	tp := sys.NumDevices()
 	if cfg.Heads%tp != 0 {
 		return nil
 	}
-	pt, prefill, decode, gbps, ok := servingPolicyAxes(pol, pageTokens, prompt+gen, split, transferGBps, tp)
+	if pol != serve.Paged {
+		// Only the paged policy caches prefixes; the axis canonicalizes
+		// away for the others so they keep one memo key per cell.
+		prefix = 0
+	}
+	if prefix > 0 && prefix >= prompt {
+		// A prefix must leave at least one non-shared prompt token; this
+		// (prompt, prefix) cell cannot be simulated, like an indivisible
+		// head count.
+		return nil
+	}
+	pt, prefill, decode, gbps, host, swap, ok := servingPolicyAxes(pol, pageTokens, prompt+gen, split, transferGBps, tp, hostBytes, swapGBps)
 	if !ok {
 		return nil
 	}
@@ -822,6 +926,7 @@ func EnumerateServing(cfg model.Config, sys *arch.System, rate float64, batchCap
 		Rate: rate, BatchCap: batchCap, ServeRequests: requests, ServeSeed: seed,
 		Policy: pol, PageTokens: pt,
 		PrefillDevices: prefill, DecodeDevices: decode, TransferGBps: gbps,
+		PrefixTokens: prefix, HostKVBytes: host, SwapGBps: swap,
 	}
 	p.key = p.buildKey(modelToken(cfg), systemToken(sys), "")
 	return []Point{p}
@@ -831,19 +936,19 @@ func EnumerateServing(cfg model.Config, sys *arch.System, rate float64, batchCap
 // whose requests are shaped by a multi-tenant mix: one continuous-batching
 // simulation per (rate, batch cap, policy, pool split, mix), with the page
 // size canonicalized against the mix's largest context.
-func EnumerateServingMix(cfg model.Config, sys *arch.System, mix []serve.TenantLoad, rate float64, batchCap int, prec tech.Precision, requests int, seed int64, pol serve.Policy, pageTokens int, split PoolSplit, transferGBps float64) []Point {
-	return enumerateServingMix(cfg, sys, mix, rate, batchCap, prec, requests, seed, pol, pageTokens, split, transferGBps, workloadToken(mix, nil))
+func EnumerateServingMix(cfg model.Config, sys *arch.System, mix []serve.TenantLoad, rate float64, batchCap int, prec tech.Precision, requests int, seed int64, pol serve.Policy, pageTokens int, split PoolSplit, transferGBps float64, hostBytes, swapGBps float64) []Point {
+	return enumerateServingMix(cfg, sys, mix, rate, batchCap, prec, requests, seed, pol, pageTokens, split, transferGBps, hostBytes, swapGBps, workloadToken(mix, nil))
 }
 
 // enumerateServingMix is EnumerateServingMix with the mix's workload token
 // precomputed, so Enumerate fingerprints each mix once per grid rather
 // than once per candidate.
-func enumerateServingMix(cfg model.Config, sys *arch.System, mix []serve.TenantLoad, rate float64, batchCap int, prec tech.Precision, requests int, seed int64, pol serve.Policy, pageTokens int, split PoolSplit, transferGBps float64, workloadStr string) []Point {
+func enumerateServingMix(cfg model.Config, sys *arch.System, mix []serve.TenantLoad, rate float64, batchCap int, prec tech.Precision, requests int, seed int64, pol serve.Policy, pageTokens int, split PoolSplit, transferGBps, hostBytes, swapGBps float64, workloadStr string) []Point {
 	tp := sys.NumDevices()
 	if cfg.Heads%tp != 0 {
 		return nil
 	}
-	pt, prefill, decode, gbps, ok := servingPolicyAxes(pol, pageTokens, serve.MixContext(mix), split, transferGBps, tp)
+	pt, prefill, decode, gbps, host, swap, ok := servingPolicyAxes(pol, pageTokens, serve.MixContext(mix), split, transferGBps, tp, hostBytes, swapGBps)
 	if !ok {
 		return nil
 	}
@@ -854,6 +959,7 @@ func enumerateServingMix(cfg model.Config, sys *arch.System, mix []serve.TenantL
 		Rate: rate, BatchCap: batchCap, ServeRequests: requests, ServeSeed: seed,
 		Policy: pol, PageTokens: pt,
 		PrefillDevices: prefill, DecodeDevices: decode, TransferGBps: gbps,
+		HostKVBytes: host, SwapGBps: swap,
 	}
 	p.key = p.buildKey(modelToken(cfg), systemToken(sys), workloadStr)
 	return []Point{p}
@@ -864,19 +970,19 @@ func enumerateServingMix(cfg model.Config, sys *arch.System, mix []serve.TenantL
 // pool split). The trace fixes arrivals and request count, so Rate and
 // ServeSeed are canonicalized to zero — two candidates differing only in
 // them would simulate identically.
-func EnumerateServingTrace(cfg model.Config, sys *arch.System, trace []serve.TraceEvent, batchCap int, prec tech.Precision, pol serve.Policy, pageTokens int, split PoolSplit, transferGBps float64) []Point {
-	return enumerateServingTrace(cfg, sys, trace, batchCap, prec, pol, pageTokens, split, transferGBps, workloadToken(nil, trace))
+func EnumerateServingTrace(cfg model.Config, sys *arch.System, trace []serve.TraceEvent, batchCap int, prec tech.Precision, pol serve.Policy, pageTokens int, split PoolSplit, transferGBps float64, hostBytes, swapGBps float64) []Point {
+	return enumerateServingTrace(cfg, sys, trace, batchCap, prec, pol, pageTokens, split, transferGBps, hostBytes, swapGBps, workloadToken(nil, trace))
 }
 
 // enumerateServingTrace is EnumerateServingTrace with the trace's workload
 // token precomputed — a trace can be large, and hashing it per candidate
 // would put reflection back on the enumeration path.
-func enumerateServingTrace(cfg model.Config, sys *arch.System, trace []serve.TraceEvent, batchCap int, prec tech.Precision, pol serve.Policy, pageTokens int, split PoolSplit, transferGBps float64, workloadStr string) []Point {
+func enumerateServingTrace(cfg model.Config, sys *arch.System, trace []serve.TraceEvent, batchCap int, prec tech.Precision, pol serve.Policy, pageTokens int, split PoolSplit, transferGBps, hostBytes, swapGBps float64, workloadStr string) []Point {
 	tp := sys.NumDevices()
 	if cfg.Heads%tp != 0 {
 		return nil
 	}
-	pt, prefill, decode, gbps, ok := servingPolicyAxes(pol, pageTokens, serve.TraceContext(trace), split, transferGBps, tp)
+	pt, prefill, decode, gbps, host, swap, ok := servingPolicyAxes(pol, pageTokens, serve.TraceContext(trace), split, transferGBps, tp, hostBytes, swapGBps)
 	if !ok {
 		return nil
 	}
@@ -887,6 +993,7 @@ func enumerateServingTrace(cfg model.Config, sys *arch.System, trace []serve.Tra
 		BatchCap: batchCap, ServeRequests: len(trace),
 		Policy: pol, PageTokens: pt,
 		PrefillDevices: prefill, DecodeDevices: decode, TransferGBps: gbps,
+		HostKVBytes: host, SwapGBps: swap,
 	}
 	p.key = p.buildKey(modelToken(cfg), systemToken(sys), workloadStr)
 	return []Point{p}
@@ -964,7 +1071,9 @@ func Enumerate(s Spec) []Point {
 						for _, batchCap := range s.BatchCaps {
 							for _, pol := range s.Policies {
 								for _, split := range polSplits(pol) {
-									addFleet(enumerateServingTrace(cfg, sys, s.Trace, batchCap, prec, pol, s.ServePageTokens, split, s.TransferGBps, traceTok), traceTok)
+									for _, host := range s.HostKVBytes {
+										addFleet(enumerateServingTrace(cfg, sys, s.Trace, batchCap, prec, pol, s.ServePageTokens, split, s.TransferGBps, host, s.SwapGBps, traceTok), traceTok)
+									}
 								}
 							}
 						}
@@ -973,8 +1082,10 @@ func Enumerate(s Spec) []Point {
 							for _, batchCap := range s.BatchCaps {
 								for _, pol := range s.Policies {
 									for _, split := range polSplits(pol) {
-										for i, mix := range s.Mixes {
-											addFleet(enumerateServingMix(cfg, sys, mix, rate, batchCap, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens, split, s.TransferGBps, mixToks[i]), mixToks[i])
+										for _, host := range s.HostKVBytes {
+											for i, mix := range s.Mixes {
+												addFleet(enumerateServingMix(cfg, sys, mix, rate, batchCap, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens, split, s.TransferGBps, host, s.SwapGBps, mixToks[i]), mixToks[i])
+											}
 										}
 									}
 								}
@@ -985,9 +1096,13 @@ func Enumerate(s Spec) []Point {
 							for _, batchCap := range s.BatchCaps {
 								for _, pol := range s.Policies {
 									for _, split := range polSplits(pol) {
-										for _, seq := range s.Seqs {
-											for _, gen := range s.GenTokens {
-												addFleet(EnumerateServing(cfg, sys, rate, batchCap, seq, gen, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens, split, s.TransferGBps), "")
+										for _, host := range s.HostKVBytes {
+											for _, prefix := range s.PrefixTokens {
+												for _, seq := range s.Seqs {
+													for _, gen := range s.GenTokens {
+														addFleet(EnumerateServing(cfg, sys, rate, batchCap, seq, gen, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens, split, s.TransferGBps, prefix, host, s.SwapGBps), "")
+													}
+												}
 											}
 										}
 									}
@@ -1101,6 +1216,7 @@ func servingSpec(p Point) serve.Spec {
 		MaxBatch: p.BatchCap, Policy: p.Policy, PageTokens: p.PageTokens,
 		PrefillDevices: p.PrefillDevices, DecodeDevices: p.DecodeDevices,
 		TransferGBps: p.TransferGBps,
+		HostKVBytes:  p.HostKVBytes, SwapGBps: p.SwapGBps,
 	}
 	switch {
 	case len(p.Trace) > 0:
@@ -1112,6 +1228,7 @@ func servingSpec(p Point) serve.Spec {
 		sp.Requests, sp.Seed = p.ServeRequests, p.ServeSeed
 	default:
 		sp.PromptTokens, sp.GenTokens = p.Seq, p.GenTokens
+		sp.PrefixTokens = p.PrefixTokens
 		sp.Arrival, sp.Rate = serve.Poisson, p.Rate
 		sp.Requests, sp.Seed = p.ServeRequests, p.ServeSeed
 	}
@@ -1140,10 +1257,11 @@ func clusterSpec(p Point) cluster.Spec {
 	cs := cluster.Spec{
 		Routing:      p.Routing,
 		PromptTokens: cap.PromptTokens, GenTokens: cap.GenTokens,
-		Mix: cap.Mix, Trace: cap.Trace,
+		PrefixTokens: cap.PrefixTokens,
+		Mix:          cap.Mix, Trace: cap.Trace,
 		Rate: cap.Rate, Requests: cap.Requests, Seed: cap.Seed,
 	}
-	cap.PromptTokens, cap.GenTokens = 0, 0
+	cap.PromptTokens, cap.GenTokens, cap.PrefixTokens = 0, 0, 0
 	cap.Mix, cap.Trace = nil, nil
 	cap.Arrival, cap.Rate, cap.Requests, cap.Seed = serve.Poisson, 0, 0, 0
 	cs.Replicas = []cluster.Replica{{Spec: cap, Count: p.Replicas}}
@@ -1173,15 +1291,20 @@ func (ev *evaluator) evaluateServingFleet(p Point) (Metrics, error) {
 			Weights: memfoot.Inference(p.Model, p.Map.TP, 1, servingContext(p), p.Precision.Bytes()).Weights,
 			KVCache: peakKV,
 		},
-		Fits:             true,
-		TTFTP95:          res.TTFT.P95,
-		TPOTP95:          res.TPOT.P95,
-		TokensPerSec:     res.TokensPerSec,
-		Preemptions:      res.Preemptions,
-		RecomputedTokens: res.RecomputedTokens,
-		KVUtil:           kvUtil,
-		KVTransfers:      res.KVTransfers,
-		TransferTime:     res.TransferTimeTotal,
+		Fits:              true,
+		TTFTP95:           res.TTFT.P95,
+		TPOTP95:           res.TPOT.P95,
+		TokensPerSec:      res.TokensPerSec,
+		Preemptions:       res.Preemptions,
+		RecomputedTokens:  res.RecomputedTokens,
+		KVUtil:            kvUtil,
+		KVTransfers:       res.KVTransfers,
+		TransferTime:      res.TransferTimeTotal,
+		PrefixHits:        res.PrefixHits,
+		PrefixSavedTokens: res.PrefixSavedTokens,
+		KVSwapOuts:        res.KVSwapOuts,
+		KVSwapIns:         res.KVSwapIns,
+		SwapTime:          res.SwapTimeTotal,
 	}
 	for _, tm := range res.PerTenant {
 		m.PerTenant = append(m.PerTenant, TenantSLO{
@@ -1208,15 +1331,20 @@ func (ev *evaluator) evaluateServing(p Point) (Metrics, error) {
 		},
 		// Admission never over-commits the device, so a completed
 		// simulation fits by construction.
-		Fits:             true,
-		TTFTP95:          res.TTFT.P95,
-		TPOTP95:          res.TPOT.P95,
-		TokensPerSec:     res.TokensPerSec,
-		Preemptions:      res.Preemptions,
-		RecomputedTokens: res.RecomputedTokens,
-		KVUtil:           res.MeanKVUtil,
-		KVTransfers:      res.KVTransfers,
-		TransferTime:     res.TransferTimeTotal,
+		Fits:              true,
+		TTFTP95:           res.TTFT.P95,
+		TPOTP95:           res.TPOT.P95,
+		TokensPerSec:      res.TokensPerSec,
+		Preemptions:       res.Preemptions,
+		RecomputedTokens:  res.RecomputedTokens,
+		KVUtil:            res.MeanKVUtil,
+		KVTransfers:       res.KVTransfers,
+		TransferTime:      res.TransferTimeTotal,
+		PrefixHits:        res.PrefixHits,
+		PrefixSavedTokens: res.PrefixSavedTokens,
+		KVSwapOuts:        res.KVSwapOuts,
+		KVSwapIns:         res.KVSwapIns,
+		SwapTime:          res.SwapTimeTotal,
 	}
 	for _, tm := range res.PerTenant {
 		m.PerTenant = append(m.PerTenant, TenantSLO{

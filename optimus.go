@@ -335,6 +335,10 @@ const (
 	// DefaultServeTransferGBps is DisaggregatedPolicy's KV-transfer
 	// bandwidth when ServeSpec.TransferGBps is zero, in GB/s.
 	DefaultServeTransferGBps = serve.DefaultTransferGBps
+	// DefaultServeSwapGBps is the GPU↔host KV swap-link bandwidth when a
+	// host tier is configured (ServeSpec.HostKVBytes > 0) but
+	// ServeSpec.SwapGBps is zero, in GB/s (a PCIe-class link).
+	DefaultServeSwapGBps = serve.DefaultSwapGBps
 )
 
 // Cluster routing policies.
@@ -448,15 +452,24 @@ func ParseServePolicy(s string) (ServePolicy, error) { return serve.ParsePolicy(
 const DefaultServeTenant = serve.DefaultTenant
 
 // ParseServeMix parses the CLI multi-tenant mix syntax: comma-separated
-// "tenant:share:prompt:gen" entries.
+// "tenant:share:prompt:gen" entries, each optionally extended to
+// "tenant:share:prompt:gen:prefix[:prefix-id]" for shared-prefix loads.
 func ParseServeMix(s string) ([]ServeTenantLoad, error) { return serve.ParseMix(s) }
 
 // FormatServeMix renders a mix back into the ParseServeMix syntax.
 func FormatServeMix(mix []ServeTenantLoad) string { return serve.FormatMix(mix) }
 
 // ParseServeTrace reads a serving trace in CSV form — one request per row
-// as "arrival,tenant,prompt,gen", optional header — and validates it.
+// as "arrival,tenant,prompt,gen" (v1) or
+// "arrival,tenant,prompt,gen,prefix_id,prefix_tokens" (v2), optional
+// header — and validates it.
 func ParseServeTrace(r io.Reader) ([]ServeTraceEvent, error) { return serve.ParseTrace(r) }
+
+// FormatServeTrace renders a trace back into the ParseServeTrace CSV
+// syntax, emitting the v2 six-column form iff any event carries a prefix.
+func FormatServeTrace(w io.Writer, events []ServeTraceEvent) error {
+	return serve.FormatTrace(w, events)
+}
 
 // NewServeInstance builds a steppable single-replica simulator from a
 // capacity-only ServeSpec (no workload or arrival fields) and the envelope
