@@ -3,12 +3,19 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-json sweep-bench serve-bench cluster-bench cover cover-race fuzz-smoke build-386
+.PHONY: check vet lint build test race bench bench-json sweep-bench serve-bench cluster-bench cover cover-race fuzz-smoke build-386
 
-check: vet build cover-race
+check: vet lint build cover-race
 
 vet:
 	$(GO) vet ./...
+
+# The simulator-invariant analyzer suite (cmd/optimuslint): determinism,
+# keycomplete, hotpath, floateq plus the extra vet passes. Exit contract
+# matches go vet — any finding fails the gate; deliberate sites carry an
+# annotation with a justification (see README "Invariant lints").
+lint:
+	$(GO) run ./cmd/optimuslint ./...
 
 build:
 	$(GO) build ./...

@@ -115,8 +115,8 @@ func cmdCluster(args []string) error {
 		HostKVBytes:  *hostKVGB * 1e9, SwapGBps: *swapGBps,
 	}
 	spec := optimus.ClusterSpec{
-		Replicas: []optimus.ClusterReplica{{Spec: capacity, Count: *replicas}},
-		Routing:  rt,
+		Replicas:     []optimus.ClusterReplica{{Spec: capacity, Count: *replicas}},
+		Routing:      rt,
 		PromptTokens: *prompt, GenTokens: *gen, PrefixTokens: *prefix,
 		Rate: *rate, Requests: *requests, Seed: *seed,
 	}
@@ -164,9 +164,9 @@ func cmdCluster(args []string) error {
 			MinRate: *minRate, MaxRate: *maxRate,
 			MaxProbes: *kneeProbes,
 		}
-		knee, err := optimus.FindClusterKnee(ks)
-		if err != nil {
-			return err
+		knee, kerr := optimus.FindClusterKnee(ks)
+		if kerr != nil {
+			return kerr
 		}
 		return writeKnee(os.Stdout, spec, knee, *format)
 	}

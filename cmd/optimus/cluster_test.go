@@ -34,10 +34,10 @@ func TestCmdCluster(t *testing.T) {
 		{"-replicas", "-2"},
 		{"-routing", "random"},
 		{"-policy", "lru"},
-		{"-page-tokens", "16"},       // paging knob under reserve
-		{"-no-preempt"},              // paged-only knob under reserve
-		{"-prefill-devices", "1"},    // disagg-only knob under reserve
-		{"-transfer-gbps", "50"},     // disagg-only knob under reserve
+		{"-page-tokens", "16"},    // paging knob under reserve
+		{"-no-preempt"},           // paged-only knob under reserve
+		{"-prefill-devices", "1"}, // disagg-only knob under reserve
+		{"-transfer-gbps", "50"},  // disagg-only knob under reserve
 		{"-policy", "disagg", "-no-preempt"},
 		{"-model", "no-such-model"},
 		{"-device", "warp-core"},
@@ -48,14 +48,14 @@ func TestCmdCluster(t *testing.T) {
 		{"-mix", "chat:1:200:200", "-prompt", "100"},  // mix excludes -prompt
 		{"-mix", "chat:1:200:200", "-trace", "x.csv"}, // mutually exclusive
 		{"-trace", "/does/not/exist.csv"},
-		{"-trace", "x.csv", "-rate", "2"},  // trace fixes arrivals
-		{"-trace", "x.csv", "-seed", "2"},  // trace has no seed
-		{"-rate", "2", "-slo-e2e-p95", "5"},         // knee mode owns the rate
-		{"-trace", "x.csv", "-slo-e2e-p95", "5"},    // knee mode needs Poisson
-		{"-min-rate", "1"},                          // bracket without -slo-e2e-p95
-		{"-max-rate", "4"},                          // bracket without -slo-e2e-p95
+		{"-trace", "x.csv", "-rate", "2"},                         // trace fixes arrivals
+		{"-trace", "x.csv", "-seed", "2"},                         // trace has no seed
+		{"-rate", "2", "-slo-e2e-p95", "5"},                       // knee mode owns the rate
+		{"-trace", "x.csv", "-slo-e2e-p95", "5"},                  // knee mode needs Poisson
+		{"-min-rate", "1"},                                        // bracket without -slo-e2e-p95
+		{"-max-rate", "4"},                                        // bracket without -slo-e2e-p95
 		{"-slo-e2e-p95", "5", "-min-rate", "4", "-max-rate", "2"}, // inverted bracket
-		{"-slo-e2e-p95", "-1"}, // non-positive SLO
+		{"-slo-e2e-p95", "-1"},                                    // non-positive SLO
 	} {
 		if err := cmdCluster(bad); err == nil {
 			t.Errorf("args %v should fail", bad)

@@ -354,17 +354,17 @@ func cmdDSE(args []string) error {
 		Alloc:  uarch.DefaultAllocation(),
 	}
 	objective := func(des optimus.Design) (float64, error) {
-		sys, err := optimus.DeriveSystem(des, *gpus, 4)
-		if err != nil {
-			return 0, err
+		sys, derr := optimus.DeriveSystem(des, *gpus, 4)
+		if derr != nil {
+			return 0, derr
 		}
-		res, err := optimus.PredictTraining(optimus.TrainSpec{
+		res, derr := optimus.PredictTraining(optimus.TrainSpec{
 			Model: cfg, System: sys,
 			Map:         optimus.Mapping{DP: *gpus / 16, TP: 4, PP: 4, SP: true, Microbatch: 1, Schedule: optimus.OneFOneB},
 			GlobalBatch: *gpus / 2, Seq: 2048, Precision: optimus.BF16,
 		})
-		if err != nil {
-			return 0, err
+		if derr != nil {
+			return 0, derr
 		}
 		return res.Total, nil
 	}
@@ -431,13 +431,13 @@ func cmdValidate(args []string) error {
 	fmt.Println(tb)
 	var errs []float64
 	for i, c := range valdata.Table1() {
-		spec, err := reproTrainSpec(c)
-		if err != nil {
-			return err
+		spec, perr := reproTrainSpec(c)
+		if perr != nil {
+			return perr
 		}
-		res, err := optimus.PredictTraining(spec)
-		if err != nil {
-			return err
+		res, perr := optimus.PredictTraining(spec)
+		if perr != nil {
+			return perr
 		}
 		e := units.RelErr(res.Total, c.RefSeconds)
 		errs = append(errs, e)

@@ -144,23 +144,23 @@ func cmdSweep(args []string) error {
 		if m = strings.TrimSpace(m); m == "" {
 			continue
 		}
-		mix, err := optimus.ParseServeMix(m)
-		if err != nil {
-			return err
+		mix, merr := optimus.ParseServeMix(m)
+		if merr != nil {
+			return merr
 		}
 		spec.Mixes = append(spec.Mixes, mix)
 	}
 	if *trace != "" {
-		tr, err := loadTrace(*trace)
-		if err != nil {
-			return err
+		tr, terr := loadTrace(*trace)
+		if terr != nil {
+			return terr
 		}
 		spec.Trace = tr
 	}
 	for _, name := range splitList(*policies) {
-		pol, err := optimus.ParseServePolicy(name)
-		if err != nil {
-			return err
+		pol, polErr := optimus.ParseServePolicy(name)
+		if polErr != nil {
+			return polErr
 		}
 		spec.Policies = append(spec.Policies, pol)
 	}
@@ -229,9 +229,9 @@ func cmdSweep(args []string) error {
 		return fmt.Errorf("-replicas: %w", err)
 	}
 	for _, name := range splitList(*routings) {
-		rt, err := optimus.ParseClusterRouting(name)
-		if err != nil {
-			return err
+		rt, rtErr := optimus.ParseClusterRouting(name)
+		if rtErr != nil {
+			return rtErr
 		}
 		spec.Routings = append(spec.Routings, rt)
 	}
@@ -246,9 +246,9 @@ func cmdSweep(args []string) error {
 	}
 
 	for _, name := range splitList(*models) {
-		cfg, err := optimus.ModelByName(name)
-		if err != nil {
-			return err
+		cfg, cfgErr := optimus.ModelByName(name)
+		if cfgErr != nil {
+			return cfgErr
 		}
 		spec.Models = append(spec.Models, cfg)
 	}
@@ -258,9 +258,9 @@ func cmdSweep(args []string) error {
 	}
 	for _, dev := range splitList(*devices) {
 		for _, n := range counts {
-			sys, err := optimus.NewSystem(dev, n, *intra, *inter)
-			if err != nil {
-				return err
+			sys, sysErr := optimus.NewSystem(dev, n, *intra, *inter)
+			if sysErr != nil {
+				return sysErr
 			}
 			spec.Systems = append(spec.Systems, sys)
 		}
@@ -286,16 +286,16 @@ func cmdSweep(args []string) error {
 		return fmt.Errorf("-microbatches: %w", err)
 	}
 	for _, p := range splitList(*precs) {
-		prec, err := tech.ParsePrecision(p)
-		if err != nil {
-			return err
+		prec, precErr := tech.ParsePrecision(p)
+		if precErr != nil {
+			return precErr
 		}
 		spec.Precisions = append(spec.Precisions, prec)
 	}
 	for _, r := range splitList(*recs) {
-		rec, err := parseRecompute(r)
-		if err != nil {
-			return err
+		rec, recErr := parseRecompute(r)
+		if recErr != nil {
+			return recErr
 		}
 		spec.Constraints.Recomputes = append(spec.Constraints.Recomputes, rec)
 	}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"optimus/internal/lint/loader"
+)
+
+// TestSuiteCleanOnTree pins the standing gate: the full analyzer suite
+// over the repository reports zero findings. Any new violation either
+// gets fixed or gets an annotated justification — this test is what makes
+// that a build break instead of a review comment.
+func TestSuiteCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	root, _, err := loader.ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := run(&buf, root, []string{"./..."}, suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 0 {
+		t.Fatalf("optimuslint reported %d findings on a tree expected clean:\n%s", n, buf.String())
+	}
+}
+
+func TestFilterSuite(t *testing.T) {
+	all, err := filterSuite("")
+	if err != nil || len(all) != len(suite) {
+		t.Fatalf("empty filter: got %d analyzers, err %v; want the full suite", len(all), err)
+	}
+	two, err := filterSuite("floateq, determinism")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 || two[0].Name != "floateq" || two[1].Name != "determinism" {
+		got := make([]string, len(two))
+		for i, a := range two {
+			got[i] = a.Name
+		}
+		t.Fatalf("filter order not preserved: %v", got)
+	}
+	if _, err := filterSuite("nosuch"); err == nil || !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("unknown analyzer: got err %v, want it named", err)
+	}
+}

@@ -93,14 +93,14 @@ func main() {
 		optimus.RoundRobinRouting, optimus.LeastQueueRouting,
 		optimus.LeastKVRouting, optimus.TenantAffinityRouting,
 	} {
-		res, err := optimus.ServeCluster(optimus.ClusterSpec{
+		res, cerr := optimus.ServeCluster(optimus.ClusterSpec{
 			Replicas:     []optimus.ClusterReplica{{Spec: capped, Count: 3}},
 			Routing:      rt,
 			PromptTokens: 200, GenTokens: 200,
 			Rate: 6, Requests: 192, Seed: 1,
 		})
-		if err != nil {
-			log.Fatal(err)
+		if cerr != nil {
+			log.Fatal(cerr)
 		}
 		fmt.Printf("  %-18v %9.3fs %9.3fs %9.3fs %10.0f\n",
 			rt, res.E2E.P95, res.Queue.P95, res.SimTime, res.TokensPerSec)
@@ -115,7 +115,7 @@ func main() {
 	fmt.Println("\nstep 3: heterogeneous capacity (1 big + 2 small replicas) at 6 req/s")
 	fmt.Printf("  %-18s %10s %10s   per-replica assignments\n", "routing", "e2e-p95", "queue-p95")
 	for _, rt := range []optimus.ClusterRouting{optimus.RoundRobinRouting, optimus.LeastQueueRouting} {
-		res, err := optimus.ServeCluster(optimus.ClusterSpec{
+		res, cerr := optimus.ServeCluster(optimus.ClusterSpec{
 			Replicas: []optimus.ClusterReplica{
 				{Spec: big, Count: 1}, {Spec: small, Count: 2},
 			},
@@ -123,8 +123,8 @@ func main() {
 			PromptTokens: 200, GenTokens: 200,
 			Rate: 6, Requests: 192, Seed: 1,
 		})
-		if err != nil {
-			log.Fatal(err)
+		if cerr != nil {
+			log.Fatal(cerr)
 		}
 		caps := []int{big.MaxBatch, small.MaxBatch}
 		fmt.Printf("  %-18v %9.3fs %9.3fs   ", rt, res.E2E.P95, res.Queue.P95)
@@ -172,10 +172,10 @@ func main() {
 	// one memo key).
 	fmt.Println("\nstep 5: fleet size and routing as grid axes (ranked by p95 E2E)")
 	res, err := optimus.Sweep(context.Background(), optimus.SweepSpec{
-		Workload: optimus.ServingSweep,
-		Models:   []optimus.Model{cfg},
-		Systems:  []*optimus.System{sys},
-		Rates:    []float64{6},
+		Workload:  optimus.ServingSweep,
+		Models:    []optimus.Model{cfg},
+		Systems:   []*optimus.System{sys},
+		Rates:     []float64{6},
 		BatchCaps: []int{4},
 		Replicas:  []int{0, 2, 3},
 		Routings: []optimus.ClusterRouting{

@@ -94,9 +94,9 @@ func main() {
 		s.Policy = optimus.DisaggregatedPolicy
 		s.PrefillDevices, s.DecodeDevices = 4, 4
 		s.TransferGBps = gbps
-		res, err := optimus.Serve(s)
-		if err != nil {
-			log.Fatal(err)
+		res, serr := optimus.Serve(s)
+		if serr != nil {
+			log.Fatal(serr)
 		}
 		label := fmt.Sprintf("%g GB/s", gbps)
 		if math.IsInf(gbps, 1) {
@@ -131,9 +131,9 @@ func main() {
 		s.PrefillDevices, s.DecodeDevices = split.Prefill, split.Decode
 		s.TransferGBps = 50
 		s.KVCapacity = 16 * perContext
-		res, err := optimus.Serve(s)
-		if err != nil {
-			log.Fatal(err)
+		res, serr := optimus.Serve(s)
+		if serr != nil {
+			log.Fatal(serr)
 		}
 		fmt.Printf("  %d+%d devices %8d %9d %9.3fs %9.3fs %8.0f\n",
 			split.Prefill, split.Decode, res.Preemptions, res.RecomputedTokens,

@@ -82,9 +82,9 @@ func main() {
 			return s
 		}},
 	} {
-		res, err := optimus.Serve(c.spec(base))
-		if err != nil {
-			log.Fatal(err)
+		res, serr := optimus.Serve(c.spec(base))
+		if serr != nil {
+			log.Fatal(serr)
 		}
 		fmt.Printf("%-14s %6d %7.0f%% %8d %9d %9.2fs %9.2fs %8.0f\n",
 			c.name, res.PeakBatch, 100*res.MeanKVUtil, res.Preemptions,
@@ -104,9 +104,9 @@ func main() {
 		s := base
 		s.Policy = optimus.PagedPolicy
 		s.PageTokens = pt
-		res, err := optimus.Serve(s)
-		if err != nil {
-			log.Fatal(err)
+		res, serr := optimus.Serve(s)
+		if serr != nil {
+			log.Fatal(serr)
 		}
 		fmt.Printf("%-12d %8d %7.0f%% %8d %9.2fs\n",
 			res.PageTokens, res.KVPagesTotal, 100*res.MeanKVUtil,

@@ -59,9 +59,9 @@ func main() {
 	}
 	var servers []*optimus.System
 	for _, gpus := range []int{2, 4, 8} {
-		sys, err := optimus.NewSystem("h100", gpus, "nvlink4", "ndr")
-		if err != nil {
-			log.Fatal(err)
+		sys, serr := optimus.NewSystem("h100", gpus, "nvlink4", "ndr")
+		if serr != nil {
+			log.Fatal(serr)
 		}
 		servers = append(servers, sys)
 	}

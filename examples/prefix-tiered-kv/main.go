@@ -63,9 +63,9 @@ func main() {
 	for _, pfx := range []int{0, 64, 256, 448} {
 		s := base
 		s.PrefixTokens = pfx
-		res, err := optimus.Serve(s)
-		if err != nil {
-			log.Fatal(err)
+		res, serr := optimus.Serve(s)
+		if serr != nil {
+			log.Fatal(serr)
 		}
 		fmt.Printf("  %-8d %6d %12d %9.3fs %9.3fs %8.0f\n",
 			pfx, res.PrefixHits, res.PrefixSavedTokens,
@@ -105,9 +105,9 @@ func main() {
 		case math.IsInf(gbps, 1):
 			label = "free"
 		}
-		res, err := optimus.Serve(s)
-		if err != nil {
-			log.Fatal(err)
+		res, serr := optimus.Serve(s)
+		if serr != nil {
+			log.Fatal(serr)
 		}
 		fmt.Printf("  %-10s %8d %9d %9d %9d %9.3fs %9.3fs\n",
 			label, res.Preemptions, res.KVSwapOuts, res.KVSwapIns,

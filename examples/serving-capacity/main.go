@@ -43,14 +43,14 @@ func main() {
 	fmt.Printf("%8s %10s %10s %12s %12s %10s %8s\n",
 		"rate", "ttft-p50", "ttft-p99", "tpot-p99", "e2e-p95", "tok/s", "batch")
 	for _, rate := range []float64{0.25, 0.5, 1, 2, 4} {
-		res, err := optimus.Serve(optimus.ServeSpec{
+		res, serr := optimus.Serve(optimus.ServeSpec{
 			Model: cfg, System: sys, TP: 2, Precision: optimus.FP16,
 			PromptTokens: 200, GenTokens: 200,
 			Arrival: optimus.PoissonArrivals, Rate: rate,
 			Requests: 256, Seed: 1,
 		})
-		if err != nil {
-			log.Fatal(err)
+		if serr != nil {
+			log.Fatal(serr)
 		}
 		fmt.Printf("%6.2f/s %8.1fms %8.1fms %10.2fms %10.2fs %10.0f %8.1f\n",
 			rate, res.TTFT.P50*1e3, res.TTFT.P99*1e3, res.TPOT.P99*1e3,
@@ -63,9 +63,9 @@ func main() {
 	// --- Step 2: capacity planning via the sweep engine -----------------
 	var systems []*optimus.System
 	for _, n := range []int{1, 2, 4} {
-		s, err := optimus.NewSystem("h100", n, "nvlink4", "ndr")
-		if err != nil {
-			log.Fatal(err)
+		s, serr := optimus.NewSystem("h100", n, "nvlink4", "ndr")
+		if serr != nil {
+			log.Fatal(serr)
 		}
 		systems = append(systems, s)
 	}

@@ -1,3 +1,8 @@
 module optimus
 
 go 1.24
+
+// No external requirements by design. cmd/optimuslint would normally pin
+// golang.org/x/tools for go/analysis + analysistest, but this build
+// environment has no module proxy; internal/lint/analysis mirrors that
+// API offline so the analyzers port back with an import swap.

@@ -452,6 +452,7 @@ func (rn *Runner) Run(s Spec) (Result, error) {
 // incumbent).
 func lessLoaded(r Routing, a, b serve.Load) bool {
 	if r == LeastKV {
+		//lint:floateq exact compare guarding a strict-< tiebreak: equal bit patterns must fall through to in-flight count
 		if a.KVBytes != b.KVBytes {
 			return a.KVBytes < b.KVBytes
 		}

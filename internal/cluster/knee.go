@@ -49,6 +49,8 @@ type KneeProbe struct {
 }
 
 // Knee is the saturation analysis outcome.
+//
+//lint:fieldalign public result struct: fields are grouped by meaning for godoc, and one Knee exists per analysis
 type Knee struct {
 	// Rate is the knee: the highest probed arrival rate whose fleet p95
 	// E2E still met the SLO; P95E2E is the fleet p95 at that rate.

@@ -1,0 +1,29 @@
+package cluster
+
+import (
+	"testing"
+
+	"optimus/internal/serve"
+)
+
+// TestLessLoadedExactTie pins the justification on lessLoaded's
+// //lint:floateq comparison: equal KVBytes bit patterns must fall
+// through to the in-flight count, and a full tie must keep the earlier
+// incumbent (lessLoaded reports false), so routing never depends on
+// float noise between byte-identical replicas.
+func TestLessLoadedExactTie(t *testing.T) {
+	a := serve.Load{Queued: 1, KVBytes: 1024}
+	b := serve.Load{Queued: 2, KVBytes: 1024}
+	if !lessLoaded(LeastKV, a, b) {
+		t.Error("equal KVBytes must fall through to the smaller in-flight count")
+	}
+	if lessLoaded(LeastKV, b, a) {
+		t.Error("larger in-flight count must not win on a KV tie")
+	}
+	if lessLoaded(LeastKV, a, a) {
+		t.Error("a full tie must keep the incumbent")
+	}
+	if !lessLoaded(LeastKV, serve.Load{KVBytes: 512}, serve.Load{KVBytes: 1024}) {
+		t.Error("strictly smaller KVBytes must win under LeastKV")
+	}
+}

@@ -1,0 +1,64 @@
+// Package analysis is an offline, API-compatible subset of
+// golang.org/x/tools/go/analysis — the seam the optimuslint suite is
+// written against.
+//
+// The build environment has no module proxy access, so the real x/tools
+// dependency cannot be pinned; this package mirrors the fields and
+// semantics of analysis.Analyzer/Pass/Diagnostic that the suite uses, and
+// switching to upstream is a find-and-replace of the import path plus
+// deleting this directory. Keep it minimal: no Requires graph, no Facts,
+// no SuggestedFixes — the four invariant analyzers need none of them.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check: a name, a doc string, and a Run
+// function invoked once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters. It
+	// must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph description shown by `optimuslint help`.
+	Doc string
+	// Run executes the check over one package and reports diagnostics
+	// through pass.Report. The interface{} result exists for upstream
+	// compatibility; the suite's analyzers return nil.
+	Run func(*Pass) (interface{}, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// Pass is the single-package unit of work handed to an Analyzer's Run:
+// the type-checked syntax trees plus a sink for diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	TypesSizes types.Sizes
+
+	// Report delivers one diagnostic. The driver and analysistest install
+	// their own sinks; analyzers must not assume ordering of delivery.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position and a message. Category mirrors
+// upstream and tags the finding with the analyzer name for the driver's
+// output.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}

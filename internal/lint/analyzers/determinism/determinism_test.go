@@ -1,0 +1,12 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"optimus/internal/lint/analysistest"
+	"optimus/internal/lint/analyzers/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "serve", "other")
+}

@@ -1,0 +1,24 @@
+package extravet_test
+
+import (
+	"testing"
+
+	"optimus/internal/lint/analysistest"
+	"optimus/internal/lint/analyzers/extravet"
+)
+
+func TestFieldAlignment(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), extravet.FieldAlignment, "falign")
+}
+
+func TestNilness(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), extravet.Nilness, "nilcheck")
+}
+
+func TestShadow(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), extravet.Shadow, "shadowed")
+}
+
+func TestUnusedWrite(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), extravet.UnusedWrite, "uwrite")
+}

@@ -1,0 +1,109 @@
+// Package extravet carries offline reimplementations of the non-default
+// vet analyzers the suite wires in (fieldalignment, shadow, nilness,
+// unusedwrite). Upstream lives in golang.org/x/tools, which this build
+// environment cannot fetch; these cover the same bug classes with
+// deliberately conservative heuristics — every finding is meant to be
+// actionable, at the cost of catching fewer cases than the SSA-based
+// originals.
+package extravet
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+
+	"optimus/internal/lint/analysis"
+	"optimus/internal/lint/directive"
+)
+
+// FieldAlignment reports named struct types whose field order wastes
+// padding bytes versus the best ordering under the gc size model.
+// Structs whose field order is semantic — positional literals, cache-line
+// grouping — carry //lint:fieldalign with the reason.
+var FieldAlignment = &analysis.Analyzer{
+	Name: "fieldalignment",
+	Doc:  "report struct field orderings that waste padding versus the optimal layout",
+	Run:  runFieldAlignment,
+}
+
+func runFieldAlignment(pass *analysis.Pass) (interface{}, error) {
+	sizes := pass.TypesSizes
+	if sizes == nil {
+		return nil, nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			if _, ok := ts.Type.(*ast.StructType); !ok {
+				return true
+			}
+			tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok || st.NumFields() < 2 {
+				return true
+			}
+			cur := structSize(sizes, fieldTypes(st))
+			best := structSize(sizes, optimalOrder(sizes, fieldTypes(st)))
+			if best >= cur {
+				return true
+			}
+			if directive.Suppressed(pass, ts.Pos(), "fieldalign") {
+				return true
+			}
+			pass.Reportf(ts.Pos(), "struct %s is %d bytes; reordering fields would make it %d (annotate //lint:fieldalign if the order is semantic)",
+				ts.Name.Name, cur, best)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func fieldTypes(st *types.Struct) []types.Type {
+	out := make([]types.Type, st.NumFields())
+	for i := range out {
+		out[i] = st.Field(i).Type()
+	}
+	return out
+}
+
+// structSize lays fields out in order under the gc model: each field at
+// its alignment, the whole struct padded to its max alignment.
+func structSize(sizes types.Sizes, fields []types.Type) int64 {
+	var off, maxAlign int64 = 0, 1
+	for _, t := range fields {
+		a, s := sizes.Alignof(t), sizes.Sizeof(t)
+		if a > maxAlign {
+			maxAlign = a
+		}
+		off = align(off, a) + s
+	}
+	return align(off, maxAlign)
+}
+
+// optimalOrder is the classic padding-minimizing order: descending
+// alignment, then descending size (stable, so equivalent fields keep
+// their relative order and the suggestion is deterministic).
+func optimalOrder(sizes types.Sizes, fields []types.Type) []types.Type {
+	out := append([]types.Type(nil), fields...)
+	sort.SliceStable(out, func(i, j int) bool {
+		ai, aj := sizes.Alignof(out[i]), sizes.Alignof(out[j])
+		if ai != aj {
+			return ai > aj
+		}
+		return sizes.Sizeof(out[i]) > sizes.Sizeof(out[j])
+	})
+	return out
+}
+
+func align(x, a int64) int64 {
+	if a <= 0 {
+		return x
+	}
+	return (x + a - 1) / a * a
+}

@@ -1,0 +1,138 @@
+package extravet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"optimus/internal/lint/analysis"
+)
+
+// Nilness reports uses that would panic on nil inside the body of an
+// `if x == nil` test: method calls and field accesses through x, *x,
+// slice indexing, and map writes. (Reads of a nil map are legal and stay
+// silent.) This is the branch-local core of the SSA-based upstream
+// nilness pass: no dataflow, so a reassignment of x anywhere in the body
+// mutes the whole branch.
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "report dereferences of a variable inside the branch that just proved it nil",
+	Run:  runNilness,
+}
+
+func runNilness(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			id := nilTest(pass, ifs.Cond)
+			if id == nil {
+				return true
+			}
+			obj := pass.TypesInfo.Uses[id]
+			if obj == nil || assignedIn(pass, ifs.Body, obj) {
+				return true
+			}
+			checkNilUses(pass, ifs.Body, obj)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// nilTest matches `x == nil` (either operand order) over an identifier of
+// nilable type and returns x.
+func nilTest(pass *analysis.Pass, cond ast.Expr) *ast.Ident {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || be.Op != token.EQL {
+		return nil
+	}
+	x, y := be.X, be.Y
+	if isNilIdent(pass, y) {
+		// fallthrough with x
+	} else if isNilIdent(pass, x) {
+		x = y
+	} else {
+		return nil
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	switch pass.TypesInfo.TypeOf(id).Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Map, *types.Slice, *types.Signature, *types.Chan:
+		return id
+	}
+	return nil
+}
+
+func isNilIdent(pass *analysis.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNil
+}
+
+func assignedIn(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func checkNilUses(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) {
+	isObj := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && pass.TypesInfo.Uses[id] == obj
+	}
+	t := obj.Type().Underlying()
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.StarExpr:
+			if isObj(n.X) {
+				pass.Reportf(n.Pos(), "nil dereference: %s was just proven nil by the enclosing if", obj.Name())
+			}
+		case *ast.SelectorExpr:
+			if isObj(n.X) {
+				switch t.(type) {
+				case *types.Pointer, *types.Interface:
+					pass.Reportf(n.Pos(), "nil dereference: %s.%s on a variable just proven nil", obj.Name(), n.Sel.Name)
+				}
+			}
+		case *ast.IndexExpr:
+			if isObj(n.X) {
+				if _, isSlice := t.(*types.Slice); isSlice {
+					pass.Reportf(n.Pos(), "index of nil slice %s panics", obj.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if isObj(n.Fun) {
+				pass.Reportf(n.Pos(), "call of nil function %s panics", obj.Name())
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				ix, ok := lhs.(*ast.IndexExpr)
+				if ok && isObj(ix.X) {
+					if _, isMap := t.(*types.Map); isMap {
+						pass.Reportf(ix.Pos(), "write to nil map %s panics", obj.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}

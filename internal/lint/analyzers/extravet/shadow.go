@@ -1,0 +1,121 @@
+package extravet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"optimus/internal/lint/analysis"
+)
+
+// Shadow reports inner := and var declarations that shadow an outer
+// variable of the same name and identical type while the outer variable
+// is still used after the inner scope closes — the shape where a write
+// to the wrong variable survives review.
+//
+// Like upstream vet's non-default shadow check, only declarations are
+// considered (function parameters — the deliberate goroutine-capture
+// idiom — and range variables never fire). Beyond upstream, declarations
+// in if/switch init clauses (`if err := f(); err != nil`) are also
+// skipped: the variable cannot outlive the statement that both declares
+// and consumes it, and flagging Go's standard error-guard idiom would
+// bury the real findings.
+var Shadow = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "report declarations that shadow an outer variable which is used again after the inner scope ends",
+	Run:  runShadow,
+}
+
+func runShadow(pass *analysis.Pass) (interface{}, error) {
+	info := pass.TypesInfo
+
+	// Every use position per object, so "outer var used after the inner
+	// scope ends" is one scan.
+	uses := make(map[types.Object][]token.Pos)
+	for id, obj := range info.Uses {
+		uses[obj] = append(uses[obj], id.Pos())
+	}
+	usedAfter := func(obj types.Object, end token.Pos) bool {
+		for _, p := range uses[obj] {
+			if p >= end {
+				return true
+			}
+		}
+		return false
+	}
+
+	check := func(id *ast.Ident) {
+		if id.Name == "_" {
+			return
+		}
+		v, ok := info.Defs[id].(*types.Var)
+		if !ok || v.IsField() {
+			return
+		}
+		inner := v.Parent()
+		if inner == nil || inner == pass.Pkg.Scope() {
+			return
+		}
+		outerScope, outerObj := inner.Parent().LookupParent(id.Name, v.Pos())
+		if outerObj == nil || outerScope == types.Universe || outerScope == pass.Pkg.Scope() {
+			return // package globals are API surface, not accidents
+		}
+		ov, ok := outerObj.(*types.Var)
+		if !ok || ov.IsField() || !types.Identical(v.Type(), ov.Type()) {
+			return
+		}
+		if usedAfter(outerObj, inner.End()) {
+			pass.Reportf(id.Pos(), "declaration of %q shadows declaration at %s, which is used after this scope ends",
+				id.Name, pass.Fset.Position(outerObj.Pos()))
+		}
+	}
+
+	for _, f := range pass.Files {
+		// Init-clause statements of if/switch: declared-and-consumed in
+		// one statement, skipped by design.
+		initStmts := make(map[ast.Stmt]bool)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IfStmt:
+				if n.Init != nil {
+					initStmts[n.Init] = true
+				}
+			case *ast.SwitchStmt:
+				if n.Init != nil {
+					initStmts[n.Init] = true
+				}
+			case *ast.TypeSwitchStmt:
+				if n.Init != nil {
+					initStmts[n.Init] = true
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok != token.DEFINE || initStmts[n] {
+					return true
+				}
+				for _, lhs := range n.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						check(id)
+					}
+				}
+			case *ast.GenDecl:
+				if n.Tok != token.VAR {
+					return true
+				}
+				for _, spec := range n.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, id := range vs.Names {
+							check(id)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

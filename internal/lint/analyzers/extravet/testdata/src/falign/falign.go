@@ -1,0 +1,30 @@
+// Package falign is a fieldalignment fixture (sizes assume a 64-bit
+// word, which every test platform here has).
+package falign
+
+type Bad struct { // want `struct Bad is 24 bytes; reordering fields would make it 16`
+	a bool
+	b float64
+	c bool
+}
+
+type Good struct {
+	b float64
+	a bool
+	c bool
+}
+
+//lint:fieldalign grouped for readability
+type Excused struct {
+	a bool
+	b float64
+	c bool
+}
+
+type Single struct {
+	only bool
+}
+
+func Use(x Bad, y Good, z Excused, s Single) (bool, bool, bool, bool) {
+	return x.a, y.a, z.a, s.only
+}

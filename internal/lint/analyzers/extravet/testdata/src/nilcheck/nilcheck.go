@@ -1,0 +1,54 @@
+// Package nilcheck is a nilness fixture: uses that panic inside the
+// branch that just proved the variable nil, plus the muting reassignment.
+package nilcheck
+
+type T struct{ N int }
+
+func Deref(p *T) int {
+	if p == nil {
+		return p.N // want `nil dereference: p\.N on a variable just proven nil`
+	}
+	return p.N
+}
+
+func Star(p *int) int {
+	if p == nil {
+		return *p // want `nil dereference: p was just proven nil`
+	}
+	return *p
+}
+
+func SliceIndex(s []int) int {
+	if s == nil {
+		return s[0] // want `index of nil slice s panics`
+	}
+	return s[0]
+}
+
+func CallNil(f func()) {
+	if f == nil {
+		f() // want `call of nil function f panics`
+	}
+	f()
+}
+
+func MapWrite(m map[string]int) {
+	if m == nil {
+		m["x"] = 1 // want `write to nil map m panics`
+	}
+}
+
+func MapRead(m map[string]int) int {
+	if m == nil {
+		return m["x"] // reading a nil map is legal
+	}
+	return 0
+}
+
+func Reassigned(p *T) int {
+	if p == nil {
+		p = &T{}
+		return p.N
+	}
+	return p.N
+}

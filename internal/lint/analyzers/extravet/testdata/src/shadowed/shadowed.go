@@ -1,0 +1,43 @@
+// Package shadowed is a shadow fixture: block-level redeclarations of a
+// still-live outer variable fire; the if-init error-guard idiom and
+// shadows whose outer variable is never used again stay silent.
+package shadowed
+
+func Shadow(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		if x > 0 {
+			total := x * 2 // want `declaration of "total" shadows declaration at`
+			_ = total
+		}
+	}
+	return total
+}
+
+func VarShadow() int {
+	n := 1
+	{
+		var n int = 2 // want `declaration of "n" shadows declaration at`
+		_ = n
+	}
+	return n
+}
+
+func do() error { return nil }
+
+func Guard() error {
+	err := do()
+	if err := do(); err != nil {
+		return err
+	}
+	return err
+}
+
+func NotUsedAfter() {
+	v := 1
+	_ = v
+	{
+		v := 2
+		_ = v
+	}
+}

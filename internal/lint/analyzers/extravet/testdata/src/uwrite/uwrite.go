@@ -1,0 +1,36 @@
+// Package uwrite is an unusedwrite fixture: writes to the per-iteration
+// range copy that nothing observes fire; initialize-then-use stays legal.
+package uwrite
+
+type Item struct {
+	Done  bool
+	Count int
+}
+
+func MarkAll(items []Item) {
+	for _, it := range items {
+		it.Done = true // want `write to field Done of the range-value copy it is lost`
+	}
+}
+
+func TwoWrites(items []Item) {
+	for _, it := range items {
+		it.Done = true // want `write to field Done of the range-value copy it is lost`
+		it.Count = 1   // want `write to field Count of the range-value copy it is lost`
+	}
+}
+
+func InitThenUse(items []Item) int {
+	total := 0
+	for _, it := range items {
+		it.Count = it.Count * 2
+		total += it.Count
+	}
+	return total
+}
+
+func ByIndex(items []Item) {
+	for i := range items {
+		items[i].Done = true
+	}
+}

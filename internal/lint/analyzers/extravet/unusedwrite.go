@@ -1,0 +1,97 @@
+package extravet
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"optimus/internal/lint/analysis"
+)
+
+// UnusedWrite reports field writes through a range-statement value
+// variable — a per-iteration copy — when the copy is never read after
+// the write in the loop body. The mutation is discarded at the next
+// iteration: the classic "ranged over values, meant to mutate the slice"
+// bug. This is the highest-signal subset of upstream's SSA-based
+// unusedwrite; writes that are read back in the same iteration
+// (initialize-then-use) stay legal.
+var UnusedWrite = &analysis.Analyzer{
+	Name: "unusedwrite",
+	Doc:  "report writes to range-value copies that no later read in the iteration can observe",
+	Run:  runUnusedWrite,
+}
+
+func runUnusedWrite(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			id, ok := rng.Value.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				return true
+			}
+			obj := pass.TypesInfo.Defs[id]
+			if obj == nil {
+				return true
+			}
+			if _, isStruct := obj.Type().Underlying().(*types.Struct); !isStruct {
+				return true
+			}
+			checkCopyWrites(pass, rng.Body, obj)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func checkCopyWrites(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) {
+	type write struct {
+		pos   token.Pos
+		field string
+	}
+	var writes []write
+	var reads []token.Pos
+	// Base identifiers of write selectors are not reads of the copy.
+	writeBase := make(map[*ast.Ident]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				writes = append(writes, write{sel.Pos(), sel.Sel.Name})
+				writeBase[id] = true
+			}
+		}
+		return true
+	})
+	if len(writes) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj && !writeBase[id] {
+			reads = append(reads, id.Pos())
+		}
+		return true
+	})
+	for _, w := range writes {
+		observed := false
+		for _, r := range reads {
+			if r > w.pos {
+				observed = true
+				break
+			}
+		}
+		if !observed {
+			pass.Reportf(w.pos, "write to field %s of the range-value copy %s is lost: nothing reads the copy afterwards (range over indices or take a pointer)",
+				w.field, obj.Name())
+		}
+	}
+}

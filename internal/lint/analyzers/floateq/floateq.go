@@ -1,0 +1,68 @@
+// Package floateq reports exact equality comparisons between
+// floating-point values.
+//
+// The cost model's reproducibility guarantee is *byte-identical results
+// given pinned operation order*; comparing two independently computed
+// floats with == silently depends on that pinning holding across both
+// operands' entire histories, which is only valid where it was engineered
+// deliberately (the degenerate-equivalence tests do exactly that — in
+// test files, which this analyzer does not see). In shipped code a float
+// equality is either a latent bug or a deliberate, documentable decision.
+//
+// Comparisons against compile-time constants (x == 0, the "is it unset /
+// sentinel" idiom) are exact by construction and stay legal. Everything
+// else needs an epsilon, an integer representation, or a //lint:floateq
+// justification.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"optimus/internal/lint/analysis"
+	"optimus/internal/lint/directive"
+)
+
+// Analyzer is the float-equality check.
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc:  "reject == / != between non-constant floating-point expressions outside test files",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			x, y := pass.TypesInfo.Types[be.X], pass.TypesInfo.Types[be.Y]
+			if !isFloat(x.Type) && !isFloat(y.Type) {
+				return true
+			}
+			// A constant operand makes the comparison exact by
+			// construction: the other side either equals the stored
+			// representation or it doesn't, with no op-order dependence.
+			if x.Value != nil || y.Value != nil {
+				return true
+			}
+			if directive.Suppressed(pass, be.OpPos, "floateq") {
+				return true
+			}
+			pass.Reportf(be.OpPos, "exact float comparison %s %s %s: op order must be pinned for this to be meaningful — use an epsilon or annotate //lint:floateq",
+				types.ExprString(be.X), be.Op, types.ExprString(be.Y))
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,12 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"optimus/internal/lint/analysistest"
+	"optimus/internal/lint/analyzers/floateq"
+)
+
+func TestFloatEq(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), floateq.Analyzer, "fl")
+}

@@ -1,0 +1,39 @@
+// Package fl is a floateq fixture: variable-vs-variable float equality
+// fires, constant sentinels and integers stay legal, and the suppression
+// path is exercised.
+package fl
+
+func Eq(a, b float64) bool {
+	return a == b // want `exact float comparison a == b`
+}
+
+func Neq(a, b float32) bool {
+	return a != b // want `exact float comparison a != b`
+}
+
+func Sentinel(a float64) bool {
+	return a == 0 // constant operand: exact by construction
+}
+
+const Epsilon = 1e-9
+
+func NamedConst(a float64) bool {
+	return a == Epsilon // still a constant operand
+}
+
+func Ints(a, b int) bool {
+	return a == b
+}
+
+func Tiebreak(a, b float64) bool {
+	//lint:floateq exact compare guarding a strict-< tiebreak
+	if a != b {
+		return a < b
+	}
+	return false
+}
+
+func Bare(a, b float64) bool {
+	//lint:floateq
+	return a == b // want `bare //lint:floateq directive`
+}

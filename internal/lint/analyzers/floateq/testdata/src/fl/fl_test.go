@@ -1,0 +1,7 @@
+// Test files are outside the lint boundary by construction: the loader
+// never parses them, so this exact comparison must produce no finding.
+package fl
+
+func eqInTest(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,199 @@
+// Package hotpath enforces the allocation-free hot-path invariant on
+// functions annotated //optimus:hotpath.
+//
+// The zero-allocation simulator core (the request slab, index deques and
+// pricing tables of internal/serve) is guarded at runtime by
+// TestServeSimulatorAllocBudget, which counts allocations per run but
+// cannot say where a regression came from. The pragma moves the contract
+// onto the functions themselves: inside an annotated function the
+// analyzer reports the construct classes that allocate (or force an
+// escape) on every execution —
+//
+//   - fmt.* calls (boxing + formatting)
+//   - string concatenation (+ / += on strings)
+//   - make / new builtins
+//   - map and slice composite literals
+//   - value-to-interface conversions at call arguments and returns
+//   - closures that capture enclosing locals
+//
+// Amortized growth (append) stays legal — the slab design relies on it.
+// A deliberate allocation inside an annotated function (say, a cold
+// error branch) carries //lint:alloc with a justification.
+package hotpath
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"optimus/internal/lint/analysis"
+	"optimus/internal/lint/directive"
+)
+
+// Analyzer is the hot-path allocation check.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "report alloc-inducing constructs inside functions annotated //optimus:hotpath",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !directive.HasPragma(fd.Doc, "hotpath") {
+				continue
+			}
+			check(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+func report(pass *analysis.Pass, pos token.Pos, format string, args ...interface{}) {
+	if directive.Suppressed(pass, pos, "alloc") {
+		return
+	}
+	pass.Reportf(pos, format, args...)
+}
+
+func check(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	// sig of the annotated function, for return-statement conversions.
+	sig, _ := info.Defs[fd.Name].Type().(*types.Signature)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info.TypeOf(n)) {
+				report(pass, n.OpPos, "hotpath: string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.ADD_ASSIGN && len(n.Lhs) == 1 && isString(info.TypeOf(n.Lhs[0])) {
+				report(pass, n.TokPos, "hotpath: string += allocates")
+			}
+		case *ast.CompositeLit:
+			switch info.TypeOf(n).Underlying().(type) {
+			case *types.Map:
+				report(pass, n.Pos(), "hotpath: map literal allocates")
+			case *types.Slice:
+				report(pass, n.Pos(), "hotpath: slice literal allocates")
+			}
+		case *ast.FuncLit:
+			if capt := captures(info, fd, n); capt != "" {
+				report(pass, n.Pos(), "hotpath: closure captures %s and escapes it to the heap", capt)
+			}
+		case *ast.ReturnStmt:
+			if sig != nil {
+				checkReturn(pass, sig, n)
+			}
+		}
+		return true
+	})
+}
+
+// checkCall reports make/new, fmt calls, and concrete arguments passed to
+// interface parameters (each such pass boxes the value).
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	info := pass.TypesInfo
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make", "new":
+				report(pass, call.Pos(), "hotpath: %s allocates; reuse a pooled buffer instead", b.Name())
+			}
+			return
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if pn, ok := info.Uses[id].(*types.PkgName); ok && pn.Imported().Path() == "fmt" {
+				report(pass, call.Pos(), "hotpath: fmt.%s allocates (formatting + interface boxing)", sel.Sel.Name)
+				return // don't double-report its ...any arguments
+			}
+		}
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return // conversion or builtin, not a call
+	}
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= sig.Params().Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			param = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		case i < sig.Params().Len():
+			param = sig.Params().At(i).Type()
+		}
+		if boxes(info, param, arg) {
+			report(pass, arg.Pos(), "hotpath: passing %s as %s boxes the value into an interface", types.ExprString(arg), param)
+		}
+	}
+}
+
+func checkReturn(pass *analysis.Pass, sig *types.Signature, ret *ast.ReturnStmt) {
+	res := sig.Results()
+	if res.Len() != len(ret.Results) {
+		return // naked return or multi-value call passthrough
+	}
+	for i, r := range ret.Results {
+		if boxes(pass.TypesInfo, res.At(i).Type(), r) {
+			report(pass, r.Pos(), "hotpath: returning %s as %s boxes the value into an interface", types.ExprString(r), res.At(i).Type())
+		}
+	}
+}
+
+// boxes reports whether assigning expr to a destination of type dst
+// converts a concrete value to an interface.
+func boxes(info *types.Info, dst types.Type, expr ast.Expr) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() || types.IsInterface(tv.Type) {
+		return false
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// captures returns the name of one enclosing local the func literal
+// closes over, or "" when it captures nothing (a non-capturing literal
+// compiles to a static function and does not allocate).
+func captures(info *types.Info, enclosing *ast.FuncDecl, lit *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured: declared inside the enclosing function but outside
+		// the literal itself.
+		if v.Pos() > enclosing.Pos() && v.Pos() < enclosing.End() &&
+			!(v.Pos() > lit.Pos() && v.Pos() < lit.End()) {
+			name = v.Name()
+			return false
+		}
+		return true
+	})
+	return name
+}

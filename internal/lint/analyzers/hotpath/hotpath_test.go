@@ -1,0 +1,12 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"optimus/internal/lint/analysistest"
+	"optimus/internal/lint/analyzers/hotpath"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), hotpath.Analyzer, "hot")
+}

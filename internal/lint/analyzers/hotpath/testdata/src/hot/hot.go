@@ -1,0 +1,78 @@
+// Package hot is a hotpath fixture: annotated functions exercising every
+// flagged construct class, the allowed idioms, and the suppression path.
+package hot
+
+import "fmt"
+
+type state struct {
+	buf  []int
+	name string
+}
+
+//optimus:hotpath
+func Flagged(s *state, x int) string {
+	fmt.Println(x)      // want `fmt\.Println allocates`
+	m := make([]int, 4) // want `make allocates`
+	_ = m
+	_ = map[string]int{} // want `map literal allocates`
+	_ = []int{1, 2}      // want `slice literal allocates`
+	return s.name + "x"  // want `string concatenation allocates`
+}
+
+//optimus:hotpath
+func Concat(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += p // want `string \+= allocates`
+	}
+	return out
+}
+
+//optimus:hotpath
+func Capture() func() int {
+	x := 1
+	return func() int { return x } // want `closure captures x`
+}
+
+//optimus:hotpath
+func NoCapture() func() int {
+	return func() int { return 2 }
+}
+
+func sink(v interface{}) {
+	_ = v
+}
+
+//optimus:hotpath
+func BoxesArg(x int) {
+	sink(x) // want `boxes the value into an interface`
+}
+
+//optimus:hotpath
+func BoxesReturn(x int) interface{} {
+	return x // want `boxes the value into an interface`
+}
+
+//optimus:hotpath
+func PassThrough(v interface{}) {
+	sink(v) // an interface stays an interface: no boxing
+}
+
+//optimus:hotpath
+func Grow(s *state, v int) {
+	s.buf = append(s.buf, v) // amortized growth is the slab design
+}
+
+//optimus:hotpath
+func Cold(n int) []int {
+	if n > 1<<20 {
+		return make([]int, n) //lint:alloc cold guard branch, never taken in steady state
+	}
+	return nil
+}
+
+// Unannotated carries every violation and must stay silent: the pragma is
+// opt-in.
+func Unannotated() string {
+	return fmt.Sprintf("%d", len(map[string]int{}))
+}

@@ -1,0 +1,11 @@
+// Package nopoint has no Point type: the analyzer must not fire at all.
+package nopoint
+
+type Config struct {
+	Name string
+	Size int
+}
+
+func Key(c Config) string {
+	return c.Name
+}

@@ -1,0 +1,27 @@
+// Package sweep is a keycomplete fixture: a Point whose key builders
+// cover some fields directly, one through a token helper, and miss one —
+// the seeded violation the analyzer must catch.
+package sweep
+
+import "strconv"
+
+type Point struct {
+	Model string
+	Batch int
+	Rate  float64 // want `Point\.Rate is not folded into`
+	key   string  //lint:nokey cached key storage, not an axis
+	//lint:nokey
+	Hidden int // want `bare //lint:nokey directive`
+}
+
+func (p Point) Key() string {
+	return buildKey(p)
+}
+
+func buildKey(p Point) string {
+	return p.Model + "|" + batchToken(p)
+}
+
+func batchToken(p Point) string {
+	return strconv.Itoa(p.Batch)
+}

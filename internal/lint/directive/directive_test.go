@@ -1,0 +1,93 @@
+package directive
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const src = `package p
+
+//lint:deterministic justified above
+var A = 1
+
+var B = 2 //lint:deterministic same line reason
+
+//lint:floateq
+var C = 3
+
+var D = 4
+
+// doc comment
+//
+//optimus:hotpath
+func F() {}
+
+// plain doc
+func G() {}
+`
+
+func parseSrc(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func declPos(t *testing.T, f *ast.File, name string) token.Pos {
+	t.Helper()
+	for _, d := range f.Decls {
+		switch d := d.(type) {
+		case *ast.GenDecl:
+			for _, s := range d.Specs {
+				if vs, ok := s.(*ast.ValueSpec); ok && vs.Names[0].Name == name {
+					return vs.Pos()
+				}
+			}
+		case *ast.FuncDecl:
+			if d.Name.Name == name {
+				return d.Pos()
+			}
+		}
+	}
+	t.Fatalf("decl %s not found", name)
+	return token.NoPos
+}
+
+func TestAt(t *testing.T) {
+	fset, f := parseSrc(t)
+	if reason, ok := At(fset, f, declPos(t, f, "A"), "deterministic"); !ok || reason != "justified above" {
+		t.Errorf("A: got (%q, %v), want line-above directive with reason", reason, ok)
+	}
+	if reason, ok := At(fset, f, declPos(t, f, "B"), "deterministic"); !ok || reason != "same line reason" {
+		t.Errorf("B: got (%q, %v), want same-line directive with reason", reason, ok)
+	}
+	if reason, ok := At(fset, f, declPos(t, f, "C"), "floateq"); !ok || reason != "" {
+		t.Errorf("C: got (%q, %v), want bare directive", reason, ok)
+	}
+	if _, ok := At(fset, f, declPos(t, f, "C"), "deterministic"); ok {
+		t.Error("C: a floateq directive must not satisfy a deterministic lookup")
+	}
+	if _, ok := At(fset, f, declPos(t, f, "D"), "deterministic"); ok {
+		t.Error("D: no directive present, none must be found")
+	}
+}
+
+func TestHasPragma(t *testing.T) {
+	_, f := parseSrc(t)
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		got := HasPragma(fd.Doc, "hotpath")
+		want := fd.Name.Name == "F"
+		if got != want {
+			t.Errorf("%s: HasPragma = %v, want %v", fd.Name.Name, got, want)
+		}
+	}
+}

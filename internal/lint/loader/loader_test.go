@@ -1,0 +1,81 @@
+package loader
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestModuleRoot(t *testing.T) {
+	root, modPath, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modPath != "optimus" {
+		t.Errorf("module path = %q, want optimus", modPath)
+	}
+	if !strings.HasSuffix(root, "repo") && root == "" {
+		t.Errorf("unexpected module root %q", root)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	root, _, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Expand(root, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[string]bool, len(pkgs))
+	for _, p := range pkgs {
+		if seen[p.Path] {
+			t.Errorf("duplicate package %s", p.Path)
+		}
+		seen[p.Path] = true
+		if strings.Contains(p.Path, "testdata") {
+			t.Errorf("testdata package leaked into expansion: %s", p.Path)
+		}
+	}
+	for _, want := range []string{"optimus", "optimus/internal/serve", "optimus/internal/lint/loader"} {
+		if !seen[want] {
+			t.Errorf("expansion of ./... missed %s", want)
+		}
+	}
+	for i := 1; i < len(pkgs); i++ {
+		if pkgs[i-1].Path >= pkgs[i].Path {
+			t.Fatalf("expansion not sorted: %s before %s", pkgs[i-1].Path, pkgs[i].Path)
+		}
+	}
+
+	one, err := Expand(root, []string{"./internal/serve"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(one) != 1 || one[0].Path != "optimus/internal/serve" {
+		t.Fatalf("single-dir pattern: got %v", one)
+	}
+}
+
+func TestLoadDirTypeChecks(t *testing.T) {
+	root, _, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := New()
+	p, err := l.LoadDir(root+"/internal/units", "optimus/internal/units")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pkg.Name() != "units" {
+		t.Errorf("package name = %q, want units", p.Pkg.Name())
+	}
+	if p.Pkg.Scope().Lookup("AlmostEqual") == nil {
+		t.Error("AlmostEqual not found in type-checked scope")
+	}
+	for _, f := range p.Files {
+		if strings.HasSuffix(l.Fset.Position(f.FileStart).Filename, "_test.go") {
+			t.Errorf("test file loaded: %s", l.Fset.Position(f.FileStart).Filename)
+		}
+	}
+}

@@ -147,6 +147,7 @@ func Simulate(c Config) (Result, error) {
 	}
 
 	sort.Slice(spans, func(i, j int) bool {
+		//lint:floateq exact compare guarding a strict-< tiebreak: equal bit patterns must fall through to the stage index
 		if spans[i].Start != spans[j].Start {
 			return spans[i].Start < spans[j].Start
 		}

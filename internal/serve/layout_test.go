@@ -1,0 +1,19 @@
+package serve
+
+import (
+	"testing"
+	"unsafe"
+)
+
+// TestRequestSlabEntrySize pins the fieldalignment fix on the request
+// slab entry: inDecode packs into prefixSlot's alignment padding, so the
+// struct carries no avoidable holes. 152 bytes assumes 8-byte words,
+// which every tested platform here has.
+func TestRequestSlabEntrySize(t *testing.T) {
+	if unsafe.Sizeof(int(0)) != 8 {
+		t.Skip("layout pinned for 64-bit words only")
+	}
+	if got := unsafe.Sizeof(request{}); got != 152 {
+		t.Errorf("request slab entry is %d bytes, want 152 (field reorder regressed)", got)
+	}
+}

@@ -78,6 +78,8 @@ func (a Arrival) String() string {
 }
 
 // Spec fixes one serving-simulation experiment.
+//
+//lint:fieldalign public API struct: fields are grouped by meaning for godoc, and Spec is built once per run, never in bulk
 type Spec struct {
 	// Model, System, TP, Precision, Algorithm and Flash configure the
 	// step-cost engine exactly as in infer.Spec.
@@ -683,14 +685,17 @@ type request struct {
 	// discarded KV and decoding resumes from here.
 	produced int
 	// pages is the KV page count currently held (paged and disaggregated
-	// policies); inDecode marks which disaggregated pool holds them.
-	pages    int
-	inDecode bool
+	// policies).
+	pages int
 	// prefix is the request's shared-prefix token count and prefixSlot its
 	// interned registry slot in the paged policy (-1 without a prefix);
 	// the request's private page math spans prompt-prefix+produced tokens.
+	// inDecode marks which disaggregated pool holds the pages; it packs
+	// into prefixSlot's alignment padding, keeping the slab entry at 152
+	// bytes.
 	prefix     int
 	prefixSlot int32
+	inDecode   bool
 	// prefillFree counts the prompt+produced tokens the next admission's
 	// prefill pass skips: a resident prefix hit contributes the prefix, a
 	// host-tier swap-in the restored suffix.

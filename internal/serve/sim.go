@@ -25,8 +25,10 @@ type indexDeque struct {
 	n    int
 }
 
+//optimus:hotpath
 func (d *indexDeque) len() int { return d.n }
 
+//optimus:hotpath
 func (d *indexDeque) reset() { d.head, d.n = 0, 0 }
 
 // grow doubles the buffer (minimum 64) and re-packs the live window at
@@ -44,6 +46,9 @@ func (d *indexDeque) grow() {
 	d.buf, d.head = nb, 0
 }
 
+// pushBack enqueues at the tail; amortized alloc-free (grow doubles).
+//
+//optimus:hotpath
 func (d *indexDeque) pushBack(v int32) {
 	if d.n == len(d.buf) {
 		d.grow()
@@ -52,6 +57,9 @@ func (d *indexDeque) pushBack(v int32) {
 	d.n++
 }
 
+// pushFront re-enqueues a preemption victim at the head.
+//
+//optimus:hotpath
 func (d *indexDeque) pushFront(v int32) {
 	if d.n == len(d.buf) {
 		d.grow()
@@ -61,6 +69,7 @@ func (d *indexDeque) pushFront(v int32) {
 	d.n++
 }
 
+//optimus:hotpath
 func (d *indexDeque) popFront() int32 {
 	v := d.buf[d.head]
 	d.head = (d.head + 1) & (len(d.buf) - 1)
@@ -68,6 +77,7 @@ func (d *indexDeque) popFront() int32 {
 	return v
 }
 
+//optimus:hotpath
 func (d *indexDeque) front() int32 { return d.buf[d.head] }
 
 // simulator is the steppable core behind Run and Instance: the full
@@ -244,6 +254,8 @@ func (sim *simulator) reset(s Spec) error {
 
 // prefill prices one prefill pass over batch newly admitted sequences at
 // the reference prompt length, caching per batch size.
+//
+//optimus:hotpath
 func (sim *simulator) prefill(batch int) float64 {
 	for batch >= len(sim.prefillTab) {
 		sim.prefillTab = append(sim.prefillTab, math.NaN())
@@ -258,6 +270,8 @@ func (sim *simulator) prefill(batch int) float64 {
 
 // decode prices one step at a possibly fractional mean KV length — the
 // linear model makes mean-of-batch pricing exact without rounding.
+//
+//optimus:hotpath
 func (sim *simulator) decode(kvMean float64, batch int) float64 {
 	for batch >= len(sim.decodeTab) {
 		sim.decodeTab = append(sim.decodeTab, decodeLine{base: math.NaN()})
@@ -275,6 +289,8 @@ func (sim *simulator) decode(kvMean float64, batch int) float64 {
 }
 
 // enqueue issues request id at time t with its pre-assigned shape.
+//
+//optimus:hotpath
 func (sim *simulator) enqueue(id int, t float64) {
 	sim.pushShape(id, sim.shapes[id], t)
 }
@@ -284,6 +300,8 @@ func (sim *simulator) enqueue(id int, t float64) {
 // densely in order, so the request lands at slab position id. A shared
 // prefix is interned into the paged policy's registry here, once per id —
 // admission then works with a slot index, never the string.
+//
+//optimus:hotpath
 func (sim *simulator) pushShape(id int, sh Request, t float64) {
 	sim.reqs = append(sim.reqs, request{
 		id: id, arrival: t,
@@ -300,6 +318,8 @@ func (sim *simulator) pushShape(id int, sh Request, t float64) {
 // single-sequence prefill sample scaled to the true token count — the
 // same linear scaling step applies when billing a mixed batch's prefill.
 // The swap-in-vs-recompute decision compares against this.
+//
+//optimus:hotpath
 func (sim *simulator) recomputeCost(tokens int) float64 {
 	t := sim.prefill(1)
 	if tokens != sim.refPrompt {
@@ -310,6 +330,8 @@ func (sim *simulator) recomputeCost(tokens int) float64 {
 
 // admitArrived moves every pre-generated arrival with time <= now into
 // the queue (requests landing mid-iteration wait for the next boundary).
+//
+//optimus:hotpath
 func (sim *simulator) admitArrived() {
 	for sim.nextArr < len(sim.arrivals) && sim.arrivals[sim.nextArr] <= sim.now {
 		sim.enqueue(sim.nextArr, sim.arrivals[sim.nextArr])
@@ -320,6 +342,8 @@ func (sim *simulator) admitArrived() {
 // idle reports whether the simulator holds no admissible work: stepping an
 // idle simulator would make no progress, so drivers jump the clock (Run,
 // Instance.Push) instead.
+//
+//optimus:hotpath
 func (sim *simulator) idle() bool {
 	return len(sim.running) == 0 && sim.queue.len() == 0
 }
@@ -327,6 +351,8 @@ func (sim *simulator) idle() bool {
 // step executes one batching iteration: policy bookkeeping and preemption,
 // admission, pricing, and sequence advancement. It requires pending work
 // (queue or running non-empty) and always advances the clock.
+//
+//optimus:hotpath
 func (sim *simulator) step() {
 	// Let the policy make room for every established sequence's next
 	// token; under the paged policy this is where victims are chosen

@@ -471,10 +471,10 @@ func TestParseFormatMix(t *testing.T) {
 		"", "chat", "chat:1:200", "chat:1:200:200:9:sys:extra", "chat:x:200:200",
 		"chat:1:x:200", "chat:1:200:x", "chat:0:200:200", ":1:200:200",
 		"chat:1:200:200,chat:1:100:100", "chat:1:0:200", "chat:1:200:0",
-		"chat :1:200:200", // internal trailing whitespace cannot round-trip
-		"chat:1:200:200:x",   // non-numeric prefix length
-		"chat:1:200:200:200", // prefix swallows the whole prompt
-		"chat:1:200:200:-1",  // negative prefix length
+		"chat :1:200:200",      // internal trailing whitespace cannot round-trip
+		"chat:1:200:200:x",     // non-numeric prefix length
+		"chat:1:200:200:200",   // prefix swallows the whole prompt
+		"chat:1:200:200:-1",    // negative prefix length
 		"chat:1:200:200:9:s,m", // separator-bearing prefix id
 	} {
 		if _, err := ParseMix(bad); err == nil {

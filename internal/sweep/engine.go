@@ -61,7 +61,7 @@ type slot struct {
 // would produce. On cancellation it returns ctx.Err() alongside the
 // statistics accumulated so far.
 func (e *Engine) Run(ctx context.Context, s Spec) (Result, error) {
-	start := time.Now()
+	start := time.Now() //lint:deterministic wall-clock feeds Stats.Elapsed instrumentation only, never rankings or metrics
 	if err := s.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -129,7 +129,7 @@ feed:
 		MemoHits:   int(ct.memoHits.Load()),
 		Errors:     int(ct.errors.Load()),
 		Workers:    workers,
-		Elapsed:    time.Since(start),
+		Elapsed:    time.Since(start), //lint:deterministic instrumentation-only elapsed time, not part of results
 	}
 	if err := ctx.Err(); err != nil {
 		return Result{Stats: stats}, err
@@ -140,7 +140,7 @@ feed:
 			rows = append(rows, Row{Point: points[i], Metrics: sl.m, order: i})
 		}
 	}
-	stats.Elapsed = time.Since(start)
+	stats.Elapsed = time.Since(start) //lint:deterministic instrumentation-only elapsed time, not part of results
 	return Result{Rows: rank(rows, c), Stats: stats}, nil
 }
 

@@ -62,19 +62,19 @@ func canonGBps(g float64) float64 {
 func FuzzServingPointKey(f *testing.F) {
 	cfg, sys := fuzzCell(f)
 
-	f.Add(1.0, 0, int8(0), 0, int64(1), 32, 0, 0, 0.0, 1.0, 0, int8(1), 0, int64(1), 32, 0, 0, 0.0)        // policy differs
-	f.Add(1.0, 0, int8(1), 16, int64(1), 32, 0, 0, 0.0, 1.0, 0, int8(1), 0, int64(1), 32, 0, 0, 0.0)       // page default canonicalizes
-	f.Add(1.0, 4, int8(1), 16, int64(1), 32, 0, 0, 0.0, 1.0, 8, int8(1), 16, int64(1), 32, 0, 0, 0.0)      // cap differs
-	f.Add(2.0, 4, int8(0), 0, int64(1), 32, 0, 0, 0.0, 2.0, 4, int8(0), 0, int64(2), 32, 0, 0, 0.0)        // seed differs
-	f.Add(2.0, 4, int8(0), 0, int64(1), 32, 0, 0, 0.0, 2.0, 4, int8(0), 0, int64(1), 64, 0, 0, 0.0)        // requests differ
-	f.Add(1.5, 4, int8(1), 32, int64(1), 32, 0, 0, 0.0, 1.5, 4, int8(1), 32, int64(1), 32, 0, 0, 0.0)      // identical
-	f.Add(1.0, 0, int8(1), 1<<30, int64(1), 8, 0, 0, 0.0, 1.0, 0, int8(1), 400, int64(1), 8, 0, 0, 0.0)    // page clamp collides
-	f.Add(1.0, 0, int8(1), 0, int64(1), 32, 0, 0, 0.0, 1.0, 0, int8(2), 0, int64(1), 32, 0, 0, 0.0)        // paged vs disagg
-	f.Add(1.0, 0, int8(2), 0, int64(1), 32, 1, 1, 50.0, 1.0, 0, int8(2), 0, int64(1), 32, 2, 2, 50.0)      // split differs
-	f.Add(1.0, 0, int8(2), 0, int64(1), 32, 1, 1, 0.0, 1.0, 0, int8(2), 0, int64(1), 32, 1, 1, 50.0)       // bandwidth default canonicalizes
-	f.Add(1.0, 0, int8(2), 0, int64(1), 32, 1, 1, 50.0, 1.0, 0, int8(2), 0, int64(1), 32, 1, 1, 100.0)     // bandwidth differs
-	f.Add(1.0, 0, int8(2), 0, int64(1), 32, 0, 0, 0.0, 1.0, 0, int8(2), 0, int64(1), 32, 2, 2, 50.0)       // zero split canonicalizes co-located
-	f.Add(1.0, 0, int8(0), 0, int64(1), 32, 1, 1, 50.0, 1.0, 0, int8(0), 0, int64(1), 32, 2, 2, 100.0)     // reserve zeroes disagg knobs
+	f.Add(1.0, 0, int8(0), 0, int64(1), 32, 0, 0, 0.0, 1.0, 0, int8(1), 0, int64(1), 32, 0, 0, 0.0)          // policy differs
+	f.Add(1.0, 0, int8(1), 16, int64(1), 32, 0, 0, 0.0, 1.0, 0, int8(1), 0, int64(1), 32, 0, 0, 0.0)         // page default canonicalizes
+	f.Add(1.0, 4, int8(1), 16, int64(1), 32, 0, 0, 0.0, 1.0, 8, int8(1), 16, int64(1), 32, 0, 0, 0.0)        // cap differs
+	f.Add(2.0, 4, int8(0), 0, int64(1), 32, 0, 0, 0.0, 2.0, 4, int8(0), 0, int64(2), 32, 0, 0, 0.0)          // seed differs
+	f.Add(2.0, 4, int8(0), 0, int64(1), 32, 0, 0, 0.0, 2.0, 4, int8(0), 0, int64(1), 64, 0, 0, 0.0)          // requests differ
+	f.Add(1.5, 4, int8(1), 32, int64(1), 32, 0, 0, 0.0, 1.5, 4, int8(1), 32, int64(1), 32, 0, 0, 0.0)        // identical
+	f.Add(1.0, 0, int8(1), 1<<30, int64(1), 8, 0, 0, 0.0, 1.0, 0, int8(1), 400, int64(1), 8, 0, 0, 0.0)      // page clamp collides
+	f.Add(1.0, 0, int8(1), 0, int64(1), 32, 0, 0, 0.0, 1.0, 0, int8(2), 0, int64(1), 32, 0, 0, 0.0)          // paged vs disagg
+	f.Add(1.0, 0, int8(2), 0, int64(1), 32, 1, 1, 50.0, 1.0, 0, int8(2), 0, int64(1), 32, 2, 2, 50.0)        // split differs
+	f.Add(1.0, 0, int8(2), 0, int64(1), 32, 1, 1, 0.0, 1.0, 0, int8(2), 0, int64(1), 32, 1, 1, 50.0)         // bandwidth default canonicalizes
+	f.Add(1.0, 0, int8(2), 0, int64(1), 32, 1, 1, 50.0, 1.0, 0, int8(2), 0, int64(1), 32, 1, 1, 100.0)       // bandwidth differs
+	f.Add(1.0, 0, int8(2), 0, int64(1), 32, 0, 0, 0.0, 1.0, 0, int8(2), 0, int64(1), 32, 2, 2, 50.0)         // zero split canonicalizes co-located
+	f.Add(1.0, 0, int8(0), 0, int64(1), 32, 1, 1, 50.0, 1.0, 0, int8(0), 0, int64(1), 32, 2, 2, 100.0)       // reserve zeroes disagg knobs
 	f.Add(1.0, 0, int8(2), 0, int64(1), 32, 1, 1, math.Inf(1), 1.0, 0, int8(2), 0, int64(1), 32, 1, 1, 50.0) // infinite vs finite link
 
 	f.Fuzz(func(t *testing.T,

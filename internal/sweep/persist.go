@@ -39,6 +39,7 @@ func (e *Engine) SaveCache(w io.Writer) error {
 	e.mu.Lock()
 	snapshot := make([]*memoEntry, 0, len(e.memo))
 	keys := make([]string, 0, len(e.memo))
+	//lint:deterministic order-insensitive fold into a JSON map; encoding/json marshals map keys sorted
 	for k, ent := range e.memo {
 		snapshot = append(snapshot, ent)
 		keys = append(keys, k)
@@ -89,6 +90,7 @@ func (e *Engine) LoadCache(r io.Reader) error {
 	close(closed)
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	//lint:deterministic order-insensitive merge: each key is written at most once regardless of visit order
 	for k, m := range in.Entries {
 		if _, ok := e.memo[k]; ok {
 			continue

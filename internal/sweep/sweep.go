@@ -583,7 +583,7 @@ type Point struct {
 
 	// key is the precomputed canonical identity; enumeration fills it so
 	// the engine's hot path never formats strings.
-	key string
+	key string //lint:nokey memo slot for the key itself, not an input to it
 }
 
 // Key canonically identifies everything the evaluation depends on — the
@@ -1399,6 +1399,7 @@ func rank(rows []Row, c Constraints) []Row {
 		if rows[i].Metrics.Fits != rows[j].Metrics.Fits {
 			return rows[i].Metrics.Fits
 		}
+		//lint:floateq exact compare guarding a strict-< tiebreak: equal bit patterns must fall through to the stable order index
 		if rows[i].Metrics.Time != rows[j].Metrics.Time {
 			return rows[i].Metrics.Time < rows[j].Metrics.Time
 		}
@@ -1414,7 +1415,7 @@ func rank(rows []Row, c Constraints) []Row {
 // with no pruning, memoization, or concurrency — the golden reference the
 // concurrent engine must reproduce byte for byte.
 func Serial(s Spec) (Result, error) {
-	start := time.Now()
+	start := time.Now() //lint:deterministic wall-clock feeds Stats.Elapsed instrumentation only, never rankings or metrics
 	if err := s.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -1432,7 +1433,7 @@ func Serial(s Spec) (Result, error) {
 		stats.Evaluated++
 		rows = append(rows, Row{Point: p, Metrics: m, order: i})
 	}
-	stats.Elapsed = time.Since(start)
+	stats.Elapsed = time.Since(start) //lint:deterministic instrumentation-only elapsed time, not part of results
 	return Result{Rows: rank(rows, c), Stats: stats}, nil
 }
 

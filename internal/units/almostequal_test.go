@@ -1,0 +1,32 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAlmostEqualExactFastPath pins the justification on AlmostEqual's
+// //lint:floateq comparison: the exact a == b fast path is what makes
+// equal infinities compare equal — beyond it, Inf-Inf is NaN and the
+// epsilon test would reject them.
+func TestAlmostEqualExactFastPath(t *testing.T) {
+	inf := math.Inf(1)
+	if !AlmostEqual(inf, inf, 1e-9) {
+		t.Error("equal +Inf values must be AlmostEqual")
+	}
+	if !AlmostEqual(math.Inf(-1), math.Inf(-1), 1e-9) {
+		t.Error("equal -Inf values must be AlmostEqual")
+	}
+	if AlmostEqual(inf, math.Inf(-1), 1e-9) {
+		t.Error("opposite infinities must not be AlmostEqual")
+	}
+	if AlmostEqual(1.0, inf, 1e-9) {
+		t.Error("a finite value must not be AlmostEqual to an infinity")
+	}
+	if AlmostEqual(math.NaN(), math.NaN(), 1e-9) {
+		t.Error("NaN must never be AlmostEqual to anything")
+	}
+	if !AlmostEqual(1.0, 1.0, 0) {
+		t.Error("identical finite values must pass at zero epsilon")
+	}
+}

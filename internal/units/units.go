@@ -130,8 +130,14 @@ func WithinRel(pred, ref, tol float64) bool {
 // AlmostEqual reports whether two floats agree to within an absolute epsilon
 // scaled by magnitude, suitable for unit-test comparisons of model outputs.
 func AlmostEqual(a, b, eps float64) bool {
+	//lint:floateq deliberate exact fast path: handles equal infinities, where a-b is NaN and the epsilon test fails
 	if a == b {
 		return true
+	}
+	// Any remaining infinity (opposite signs, or one finite operand) is a
+	// true mismatch: without this, eps*Inf swallows the difference.
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
 	}
 	scale := math.Max(math.Abs(a), math.Abs(b))
 	if scale < 1 {

@@ -265,7 +265,7 @@ func TestPublicClusterFlow(t *testing.T) {
 	// bracket saturates.
 	kneeCluster := spec
 	kneeCluster.Replicas = []ClusterReplica{{
-		Spec: ServeSpec{Model: cfg, System: sys, TP: 1, Precision: FP16, MaxBatch: 4},
+		Spec:  ServeSpec{Model: cfg, System: sys, TP: 1, Precision: FP16, MaxBatch: 4},
 		Count: 2,
 	}}
 	kneeCluster.Rate = 0
