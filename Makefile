@@ -34,7 +34,7 @@ bench:
 # cmd/benchjson (name, iterations, and every metric incl. sim-req/s).
 # CI runs it with BENCHTIME=1x as a smoke test so the bench path cannot
 # rot; locally the default 1s benchtime gives comparable numbers.
-BENCH_JSON ?= BENCH_PR8.json
+BENCH_JSON ?= BENCH_PR10.json
 BENCHTIME ?= 1s
 bench-json:
 	@set -e; \
@@ -66,7 +66,7 @@ build-386:
 # -fuzz target per invocation, so iterate; the harnesses double as
 # regression suites under plain `go test`, this actually fuzzes them.
 FUZZTIME ?= 10s
-FUZZ_PKGS := ./internal/serve ./internal/sweep ./internal/cluster ./cmd/optimus
+FUZZ_PKGS := ./internal/workload ./internal/serve ./internal/sweep ./internal/cluster ./cmd/optimus
 fuzz-smoke:
 	@set -e; \
 	for pkg in $(FUZZ_PKGS); do \
@@ -83,6 +83,7 @@ fuzz-smoke:
 SERVE_COVER_FLOOR := 85
 SWEEP_COVER_FLOOR := 80
 CLUSTER_COVER_FLOOR := 80
+WORKLOAD_COVER_FLOOR := 85
 
 # Tier-1 test pass: -race and -cover in one run, with the `cover` floors
 # enforced from the same output — the heavy simulation suites execute
@@ -98,6 +99,7 @@ cover-race:
 		awk -v p="$$pct" -v f="$$2" 'BEGIN { exit !(p+0 >= f+0) }' \
 			|| { echo "cover: FAIL — $$1 fell below the $$2% floor"; exit 1; }; \
 	}; \
+	floor optimus/internal/workload $(WORKLOAD_COVER_FLOOR); \
 	floor optimus/internal/serve $(SERVE_COVER_FLOOR); \
 	floor optimus/internal/sweep $(SWEEP_COVER_FLOOR); \
 	floor optimus/internal/cluster $(CLUSTER_COVER_FLOOR)
@@ -118,6 +120,7 @@ cover:
 		awk -v p="$$pct" -v f="$$2" 'BEGIN { exit !(p+0 >= f+0) }' \
 			|| { echo "cover: FAIL — $$1 fell below the $$2% floor"; exit 1; }; \
 	}; \
+	check ./internal/workload $(WORKLOAD_COVER_FLOOR); \
 	check ./internal/serve $(SERVE_COVER_FLOOR); \
 	check ./internal/sweep $(SWEEP_COVER_FLOOR); \
 	check ./internal/cluster $(CLUSTER_COVER_FLOOR)

@@ -121,6 +121,69 @@ func BenchmarkServeSimulatorPrefixTiered(b *testing.B) {
 	b.ReportMetric(float64(last.KVSwapOuts), "swap-outs/run")
 }
 
+// BenchmarkServeBursty drives the piecewise arrival-rate schedule path:
+// a quiet-burst-quiet timeline whose burst segment packs arrivals far
+// above the sustainable rate, so the queue swells and drains every run —
+// the inhomogeneous-Poisson generation and the backlogged event loop are
+// both on the clock.
+func BenchmarkServeBursty(b *testing.B) {
+	const requests = 256
+	spec := serveBenchSpec(b, requests)
+	spec.Rate = 0
+	spec.Schedule = serve.Schedule{
+		{Start: 0, End: 30, Rate: 1},
+		{Start: 30, End: 45, Rate: 16},
+		{Start: 45, End: 90, Rate: 2},
+	}
+	rn := serve.NewRunner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last serve.Result
+	for i := 0; i < b.N; i++ {
+		res, err := rn.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(requests*b.N)/b.Elapsed().Seconds(), "sim-req/s")
+	b.ReportMetric(last.Queue.P95*1e3, "p95-queue-ms")
+}
+
+// BenchmarkServeSessionCohorts tracks the multi-turn session path: every
+// client session issues four turns whose prompts carry the session's
+// accumulated context as a growing shared prefix, so session expansion,
+// prefix-block growth and hit accounting all run each simulation.
+func BenchmarkServeSessionCohorts(b *testing.B) {
+	const requests = 256
+	spec := serveBenchSpec(b, requests)
+	spec.Policy = serve.Paged
+	spec.Rate = 2
+	spec.Turns = 4
+	spec.Think = 5
+	perRequest := memfoot.Inference(spec.Model, spec.TP, 1,
+		spec.PromptTokens+spec.GenTokens, spec.Precision.Bytes()).KVCache
+	spec.KVCapacity = 48 * perRequest
+	rn := serve.NewRunner()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var last serve.Result
+	for i := 0; i < b.N; i++ {
+		res, err := rn.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.StopTimer()
+	if last.PrefixHits == 0 {
+		b.Fatal("session-cohort bench must hit the session prefix cache")
+	}
+	b.ReportMetric(float64(requests*b.N)/b.Elapsed().Seconds(), "sim-req/s")
+	b.ReportMetric(float64(last.PrefixHits), "pfx-hits/run")
+}
+
 // TestServeSimulatorAllocBudget pins the zero-allocation-core refactor
 // with a machine-independent proxy: allocations per 256-request
 // simulation, per admission policy and arrival process. The event loop
@@ -160,6 +223,14 @@ func TestServeSimulatorAllocBudget(t *testing.T) {
 			s.KVCapacity = 8 * per
 			s.HostKVBytes = 16 * per
 			s.SwapGBps = serve.DefaultSwapGBps
+		}},
+		{"bursty", 300, 16, func(s *serve.Spec) {
+			s.Rate = 0
+			s.Schedule = serve.Schedule{
+				{Start: 0, End: 30, Rate: 1},
+				{Start: 30, End: 45, Rate: 16},
+				{Start: 45, End: 90, Rate: 2},
+			}
 		}},
 		{"closed-loop", 150, 16, func(s *serve.Spec) {
 			s.Arrival = serve.ClosedLoop

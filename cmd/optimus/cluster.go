@@ -30,11 +30,14 @@ func cmdCluster(args []string) error {
 	routing := fs.String("routing", "round-robin", "routing policy (round-robin|least-queue|least-kv|tenant-affinity)")
 	prompt := fs.Int("prompt", 200, "prompt tokens per request (single-tenant; see -mix/-trace)")
 	gen := fs.Int("gen", 200, "generated tokens per request (single-tenant; see -mix/-trace)")
-	mix := fs.String("mix", "", "multi-tenant workload mix as tenant:share:prompt:gen[:prefix[:prefix-id]][,...] (replaces -prompt/-gen)")
-	trace := fs.String("trace", "", "CSV trace file to replay (arrival,tenant,prompt,gen[,prefix_id,prefix_tokens]; replaces the arrival flags)")
+	mix := fs.String("mix", "", "multi-tenant workload mix as tenant:share:prompt[~sigma]:gen[~sigma][:prefix[:prefix-id]][,...] (replaces -prompt/-gen; ~sigma draws heavy-tailed lognormal lengths)")
+	trace := fs.String("trace", "", "CSV trace file to replay (arrival,tenant,prompt,gen[,prefix_id,prefix_tokens[,session,turn]]; replaces the arrival flags)")
 	prefix := fs.Int("prefix", 0, "shared prompt-prefix tokens cached across requests (single-tenant; paged with preemption only)")
 	prec := fs.String("precision", "fp16", "precision")
 	rate := fs.Float64("rate", 2, "fleet-wide Poisson arrival rate in requests/sec")
+	schedule := fs.String("schedule", "", "piecewise fleet arrival-rate schedule as start-end:rate[,...] in seconds and req/s (replaces -rate)")
+	turns := fs.Int("turns", 0, "session-cohort turns per client session, each carrying the session's prior context as a growing shared prefix (paged replicas with preemption only)")
+	think := fs.Float64("think", 0, "think time between a session's turns in seconds (needs -turns > 1)")
 	requests := fs.Int("requests", 256, "requests to simulate")
 	seed := fs.Int64("seed", 1, "arrival-process seed")
 	maxBatch := fs.Int("max-batch", 0, "per-replica iteration batch cap (0 = derive from KV budget)")
@@ -119,6 +122,16 @@ func cmdCluster(args []string) error {
 		Routing:      rt,
 		PromptTokens: *prompt, GenTokens: *gen, PrefixTokens: *prefix,
 		Rate: *rate, Requests: *requests, Seed: *seed,
+		Turns: *turns, Think: *think,
+	}
+	if *schedule != "" {
+		if set["rate"] {
+			return fmt.Errorf("-schedule fixes the arrival-rate timeline (-rate sets the constant Poisson rate; set one)")
+		}
+		if spec.Schedule, err = optimus.ParseServeSchedule(*schedule); err != nil {
+			return err
+		}
+		spec.Rate = 0
 	}
 
 	if *mix != "" && *trace != "" {
@@ -139,7 +152,7 @@ func cmdCluster(args []string) error {
 		}
 	}
 	if *trace != "" {
-		for _, f := range []string{"rate", "requests", "seed"} {
+		for _, f := range []string{"rate", "requests", "seed", "schedule", "turns", "think"} {
 			if set[f] {
 				return fmt.Errorf("-%s does not apply when replaying a trace (-trace fixes the arrival process)", f)
 			}
@@ -157,6 +170,9 @@ func cmdCluster(args []string) error {
 		}
 		if *trace != "" {
 			return fmt.Errorf("-trace does not apply to the saturation analysis (a trace fixes its own arrival times)")
+		}
+		if set["schedule"] {
+			return fmt.Errorf("-schedule does not apply to the saturation analysis (-slo-e2e-p95 bisects a constant rate)")
 		}
 		spec.Rate = 0
 		ks := optimus.ClusterKneeSpec{

@@ -84,6 +84,11 @@ func TestCmdClusterFlagErrorsNameFlags(t *testing.T) {
 		{[]string{"-policy", "paged", "-swap-gbps", "32"}, "-kv-host-gb"},
 		{[]string{"-policy", "paged", "-no-preempt", "-prefix", "64"}, "-prefix"},
 		{[]string{"-policy", "paged", "-prefix", "64", "-mix", "a:1:100:50"}, "-prefix"},
+		{[]string{"-schedule", "0-10:2", "-rate", "3"}, "-schedule"},
+		{[]string{"-trace", "x.csv", "-schedule", "0-10:2"}, "-schedule"},
+		{[]string{"-trace", "x.csv", "-turns", "3"}, "-turns"},
+		{[]string{"-trace", "x.csv", "-think", "1"}, "-think"},
+		{[]string{"-schedule", "0-10:2", "-slo-e2e-p95", "5"}, "-schedule"},
 	} {
 		err := cmdCluster(tc.args)
 		if err == nil || !strings.Contains(err.Error(), tc.flag) {

@@ -32,12 +32,15 @@ func cmdServe(args []string) error {
 	gpus := fs.Int("gpus", 1, "GPU count (= tensor-parallel degree)")
 	prompt := fs.Int("prompt", 200, "prompt tokens per request (single-tenant; see -mix/-trace)")
 	gen := fs.Int("gen", 200, "generated tokens per request (single-tenant; see -mix/-trace)")
-	mix := fs.String("mix", "", "multi-tenant workload mix as tenant:share:prompt:gen[:prefix[:prefix-id]][,...] (replaces -prompt/-gen)")
-	trace := fs.String("trace", "", "CSV trace file to replay (arrival,tenant,prompt,gen[,prefix_id,prefix_tokens]; replaces the arrival flags)")
+	mix := fs.String("mix", "", "multi-tenant workload mix as tenant:share:prompt[~sigma]:gen[~sigma][:prefix[:prefix-id]][,...] (replaces -prompt/-gen; ~sigma draws heavy-tailed lognormal lengths)")
+	trace := fs.String("trace", "", "CSV trace file to replay (arrival,tenant,prompt,gen[,prefix_id,prefix_tokens[,session,turn]]; replaces the arrival flags)")
 	prefix := fs.Int("prefix", 0, "shared prompt-prefix tokens cached across requests (single-tenant; paged with preemption only)")
 	prec := fs.String("precision", "fp16", "precision")
 	arrival := fs.String("arrival", "poisson", "arrival process (poisson|closed)")
 	rate := fs.Float64("rate", 1, "Poisson arrival rate in requests/sec")
+	schedule := fs.String("schedule", "", "piecewise arrival-rate schedule as start-end:rate[,...] in seconds and req/s (replaces -rate; poisson only)")
+	turns := fs.Int("turns", 0, "session-cohort turns per client session, each carrying the session's prior context as a growing shared prefix (poisson + paged with preemption only)")
+	think := fs.Float64("think", 0, "think time between a session's turns in seconds (needs -turns > 1)")
 	clients := fs.Int("clients", 0, "closed-loop concurrency (closed arrivals only; default 8)")
 	requests := fs.Int("requests", 256, "requests to simulate")
 	seed := fs.Int64("seed", 1, "arrival-process seed")
@@ -100,6 +103,7 @@ func cmdServe(args []string) error {
 		PrefillDevices: *prefillDevices, DecodeDevices: *decodeDevices,
 		TransferGBps: *transferGBps,
 		HostKVBytes:  *hostKVGB * 1e9, SwapGBps: *swapGBps,
+		Turns: *turns, Think: *think,
 	}
 	// Reject flags the chosen workload or arrival process would silently
 	// ignore — a user who sets them believes they shaped the simulated
@@ -127,7 +131,7 @@ func cmdServe(args []string) error {
 		}
 	}
 	if *trace != "" {
-		for _, f := range []string{"arrival", "rate", "clients", "requests", "seed"} {
+		for _, f := range []string{"arrival", "rate", "clients", "requests", "seed", "schedule", "turns", "think"} {
 			if set[f] {
 				return fmt.Errorf("-%s does not apply when replaying a trace (-trace fixes the arrival process)", f)
 			}
@@ -143,10 +147,24 @@ func cmdServe(args []string) error {
 			if set["clients"] {
 				return fmt.Errorf("-clients applies to closed-loop arrivals only (-arrival closed)")
 			}
+			if *schedule != "" {
+				if set["rate"] {
+					return fmt.Errorf("-schedule fixes the arrival-rate timeline (-rate sets the constant Poisson rate; set one)")
+				}
+				if spec.Schedule, err = optimus.ParseServeSchedule(*schedule); err != nil {
+					return err
+				}
+				spec.Rate = 0
+			}
 		case "closed", "closed-loop":
 			spec.Arrival = optimus.ClosedLoopArrivals
 			if set["rate"] {
 				return fmt.Errorf("-rate applies to Poisson arrivals only (-arrival poisson)")
+			}
+			for _, f := range []string{"schedule", "turns", "think"} {
+				if set[f] {
+					return fmt.Errorf("-%s applies to open-loop Poisson arrivals only (-arrival poisson)", f)
+				}
 			}
 			spec.Rate = 0
 			if !set["clients"] {

@@ -414,6 +414,13 @@ func TestCmdServeFlagErrorsNameFlags(t *testing.T) {
 		{[]string{"-policy", "paged", "-no-preempt", "-prefix", "64"}, "-prefix"},
 		{[]string{"-policy", "paged", "-no-preempt", "-kv-host-gb", "4"}, "-kv-host-gb"},
 		{[]string{"-policy", "paged", "-prefix", "64", "-mix", "a:1:100:50"}, "-prefix"},
+		{[]string{"-schedule", "0-10:2", "-rate", "3"}, "-schedule"},
+		{[]string{"-trace", "x.csv", "-schedule", "0-10:2"}, "-schedule"},
+		{[]string{"-trace", "x.csv", "-turns", "3"}, "-turns"},
+		{[]string{"-trace", "x.csv", "-think", "1"}, "-think"},
+		{[]string{"-arrival", "closed", "-schedule", "0-10:2"}, "-schedule"},
+		{[]string{"-arrival", "closed", "-turns", "3"}, "-turns"},
+		{[]string{"-arrival", "closed", "-think", "1"}, "-think"},
 	} {
 		err := cmdServe(tc.args)
 		if err == nil || !strings.Contains(err.Error(), tc.flag) {

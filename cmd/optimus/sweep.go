@@ -31,8 +31,11 @@ func cmdSweep(args []string) error {
 	seqs := fs.String("seqs", "", "comma-separated sequence lengths (default 2048; infer: prompt 200)")
 	gens := fs.String("gen", "", "comma-separated generated-token counts (infer/serve, default 200)")
 	rates := fs.String("rates", "", "comma-separated Poisson arrival rates in req/s (serve only, default 1)")
+	schedules := fs.String("schedules", "", "semicolon-separated piecewise arrival-rate schedules, each start-end:rate[,...] in seconds and req/s (serve only; replaces -rates)")
+	turnsFlag := fs.String("turns", "", "comma-separated session-cohort turn counts to compare (serve only; entries above 1 need a paged entry in -policies)")
+	think := fs.Float64("think", 0, "think time between a session's turns in seconds (serve only; needs a -turns entry above 1)")
 	caps := fs.String("batch-caps", "", "comma-separated iteration batch caps (serve only, default 0 = derive)")
-	mixes := fs.String("mix", "", "semicolon-separated multi-tenant mixes, each tenant:share:prompt:gen[,...] (serve only; replaces -seqs/-gen)")
+	mixes := fs.String("mix", "", "semicolon-separated multi-tenant mixes, each tenant:share:prompt[~sigma]:gen[~sigma][,...] (serve only; replaces -seqs/-gen)")
 	trace := fs.String("trace", "", "CSV trace file to replay per candidate (serve only; replaces -rates/-seqs/-gen)")
 	serveReqs := fs.Int("serve-requests", 0, "simulated requests per serving candidate (serve only, default 128)")
 	serveSeed := fs.Int64("serve-seed", 0, "arrival seed per serving candidate (serve only, default 1)")
@@ -101,6 +104,9 @@ func cmdSweep(args []string) error {
 		if *rates != "" || *caps != "" || *serveReqs != 0 || *serveSeed != 0 {
 			return fmt.Errorf("-rates, -batch-caps, -serve-requests and -serve-seed apply to serving sweeps only")
 		}
+		if *schedules != "" || *turnsFlag != "" || *think != 0 {
+			return fmt.Errorf("-schedules, -turns and -think apply to serving sweeps only")
+		}
 		if *policies != "" || *pageTokens != 0 {
 			return fmt.Errorf("-policies and -page-tokens apply to serving sweeps only")
 		}
@@ -128,11 +134,14 @@ func cmdSweep(args []string) error {
 		return fmt.Errorf("-mix and -trace are mutually exclusive")
 	}
 	if *trace != "" {
-		for _, f := range []string{"rates", "seqs", "gen", "prefix", "serve-requests", "serve-seed"} {
+		for _, f := range []string{"rates", "seqs", "gen", "prefix", "serve-requests", "serve-seed", "schedules", "turns", "think"} {
 			if set[f] {
 				return fmt.Errorf("-%s does not apply when replaying a trace (-trace fixes arrivals and request shapes)", f)
 			}
 		}
+	}
+	if set["schedules"] && set["rates"] {
+		return fmt.Errorf("-schedules and -rates both fix the arrival rate (set exactly one axis)")
 	}
 	if *mixes != "" && (set["seqs"] || set["gen"]) {
 		return fmt.Errorf("-seqs and -gen describe the single-tenant workload (use the per-tenant lengths in -mix)")
@@ -277,6 +286,22 @@ func cmdSweep(args []string) error {
 	if spec.Rates, err = splitFloats(*rates); err != nil {
 		return fmt.Errorf("-rates: %w", err)
 	}
+	// Schedules are semicolon-separated at the flag level because each
+	// schedule's segments are themselves comma-separated.
+	for _, sch := range strings.Split(*schedules, ";") {
+		if sch = strings.TrimSpace(sch); sch == "" {
+			continue
+		}
+		parsed, schErr := optimus.ParseServeSchedule(sch)
+		if schErr != nil {
+			return schErr
+		}
+		spec.Schedules = append(spec.Schedules, parsed)
+	}
+	if spec.Turns, err = splitInts(*turnsFlag); err != nil {
+		return fmt.Errorf("-turns: %w", err)
+	}
+	spec.Think = *think
 	if spec.BatchCaps, err = splitInts(*caps); err != nil {
 		return fmt.Errorf("-batch-caps: %w", err)
 	}
@@ -496,7 +521,17 @@ func servingMappingToken(p optimus.SweepPoint) string {
 		pol = fmt.Sprintf("disagg/%d,split=%d+%d,xfer=%gGB/s",
 			p.PageTokens, p.PrefillDevices, p.DecodeDevices, p.TransferGBps)
 	}
-	tok := fmt.Sprintf("tp=%d,%s,rate=%g/s,cap=%s", p.Map.TP, pol, p.Rate, cap)
+	arr := fmt.Sprintf("rate=%g/s", p.Rate)
+	if len(p.Schedule) > 0 {
+		arr = "sched=" + optimus.FormatServeSchedule(p.Schedule)
+	}
+	tok := fmt.Sprintf("tp=%d,%s,%s,cap=%s", p.Map.TP, pol, arr, cap)
+	if p.Turns > 1 {
+		tok += fmt.Sprintf(",turns=%d", p.Turns)
+		if p.Think > 0 {
+			tok += fmt.Sprintf(",think=%gs", p.Think)
+		}
+	}
 	if p.Replicas > 0 {
 		tok += fmt.Sprintf(",fleet=%dx%v", p.Replicas, p.Routing)
 	}

@@ -542,6 +542,10 @@ func TestCmdSweepFlagErrorsNameFlags(t *testing.T) {
 		{[]string{"-policies", "reserve", "-swap-gbps", "32"}, "-swap-gbps"},
 		{[]string{"-policies", "paged", "-mix", "chat:1:200:200", "-prefix", "64"}, "-prefix"},
 		{[]string{"-policies", "paged", "-trace", "x.csv", "-prefix", "64"}, "-prefix"},
+		{[]string{"-schedules", "0-10:2", "-rates", "3"}, "-schedules"},
+		{[]string{"-trace", "x.csv", "-schedules", "0-10:2"}, "-schedules"},
+		{[]string{"-trace", "x.csv", "-turns", "3"}, "-turns"},
+		{[]string{"-trace", "x.csv", "-think", "1"}, "-think"},
 	} {
 		err := cmdSweep(append(append([]string{}, base...), tc.args...))
 		if err == nil || !strings.Contains(err.Error(), tc.flag) {

@@ -26,6 +26,7 @@ import (
 	"sync"
 
 	"optimus/internal/serve"
+	"optimus/internal/workload"
 )
 
 // Replica is one fleet capacity descriptor: a serve.Spec carrying capacity
@@ -69,6 +70,17 @@ type Spec struct {
 	Rate     float64
 	Requests int
 	Seed     int64
+
+	// Schedule shapes the fleet arrival stream as a piecewise-constant
+	// rate timeline instead of the constant Rate, exactly as
+	// serve.Spec.Schedule does for one replica. Turns and Think expand the
+	// stream into multi-turn session cohorts (serve.Spec.Turns/Think); the
+	// router may split a session's turns across replicas — each replica's
+	// prefix cache warms independently, which is itself a routing-policy
+	// effect worth measuring.
+	Schedule workload.Schedule
+	Turns    int
+	Think    float64
 }
 
 // withDefaults fills the derivable fields: singleton Counts, the
@@ -116,6 +128,7 @@ func (s Spec) serveWorkload(cap serve.Spec) serve.Spec {
 	cap.Mix, cap.Trace = s.Mix, s.Trace
 	cap.Arrival, cap.Clients = serve.Poisson, 0
 	cap.Rate, cap.Requests, cap.Seed = s.Rate, s.Requests, s.Seed
+	cap.Schedule, cap.Turns, cap.Think = s.Schedule, s.Turns, s.Think
 	return cap
 }
 
@@ -138,7 +151,8 @@ func (s Spec) Validate() error {
 		if c.PromptTokens != 0 || c.GenTokens != 0 || c.PrefixTokens != 0 || len(c.Mix) > 0 || c.Trace != nil {
 			return fmt.Errorf("cluster: replica %d carries workload fields — the fleet spec owns the workload", i)
 		}
-		if c.Arrival != serve.Poisson || c.Rate != 0 || c.Clients != 0 || c.Requests != 0 || c.Seed != 0 {
+		if c.Arrival != serve.Poisson || c.Rate != 0 || c.Clients != 0 || c.Requests != 0 || c.Seed != 0 ||
+			len(c.Schedule) > 0 || c.Turns != 0 || c.Think != 0 {
 			return fmt.Errorf("cluster: replica %d carries arrival fields — the fleet spec owns the arrival process", i)
 		}
 		// Compose the raw (un-defaulted) workload: serve.Validate applies
@@ -337,8 +351,9 @@ func (rn *Runner) Run(s Spec) (Result, error) {
 	}
 	s = s.withDefaults()
 
-	// The fleet arrival stream, through the same exported helpers Run's
-	// single-instance path draws from.
+	// The fleet arrival stream, through the same generation seam serve.Run
+	// draws from — byte-identical timestamps and shapes for the same
+	// workload and seed.
 	var times []float64
 	var shapes []serve.Request
 	if len(s.Trace) > 0 {
@@ -349,12 +364,11 @@ func (rn *Runner) Run(s Spec) (Result, error) {
 			shapes[i] = ev.Request
 		}
 	} else {
-		var err error
-		shapes, err = serve.MixShapes(s.Mix, s.Requests, s.Seed)
-		if err != nil {
-			return Result{}, err
+		proc := workload.ArrivalProcess{
+			Rate: s.Rate, Schedule: s.Schedule,
+			Turns: s.Turns, Think: s.Think, Seed: s.Seed,
 		}
-		times = serve.PoissonArrivalTimes(s.Rate, s.Requests, s.Seed)
+		times, shapes = proc.Generate(s.Mix, s.Requests, nil, nil)
 	}
 
 	specs, descriptor, err := expandReplicas(s.Replicas)

@@ -88,6 +88,9 @@ func FindKnee(ks KneeSpec) (Knee, error) {
 	if ks.Cluster.Rate != 0 {
 		return Knee{}, fmt.Errorf("cluster: knee analysis owns the rate axis — leave Cluster.Rate zero, got %g", ks.Cluster.Rate)
 	}
+	if len(ks.Cluster.Schedule) > 0 {
+		return Knee{}, fmt.Errorf("cluster: knee analysis owns the rate axis — a Schedule fixes the rate timeline, leave it empty")
+	}
 	if !(ks.SLOE2EP95 > 0) || math.IsInf(ks.SLOE2EP95, 0) {
 		return Knee{}, fmt.Errorf("cluster: need a positive finite p95 E2E SLO, got %g", ks.SLOE2EP95)
 	}

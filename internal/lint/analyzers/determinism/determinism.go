@@ -33,6 +33,7 @@ import (
 // analysistest fixtures (import path "serve") exercise the same code
 // path as the real tree.
 var Packages = []string{
+	"optimus/internal/workload",
 	"optimus/internal/serve",
 	"optimus/internal/cluster",
 	"optimus/internal/sweep",

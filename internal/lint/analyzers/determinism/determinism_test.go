@@ -8,5 +8,5 @@ import (
 )
 
 func TestDeterminism(t *testing.T) {
-	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "serve", "other")
+	analysistest.Run(t, analysistest.TestData(), determinism.Analyzer, "serve", "workload", "other")
 }

@@ -137,12 +137,12 @@ func FuzzMixRoundTrip(f *testing.F) {
 	})
 }
 
-// FuzzTraceRoundTrip is the trace-v2 gate: ParseTrace must never panic on
-// arbitrary bytes — malformed prefix columns included — and any trace it
-// accepts must survive FormatTrace → ParseTrace unchanged in whichever
-// schema FormatTrace picked. The corpus seeds both schemas, the BOM and
-// CRLF byte-order variants, and the malformed-prefix rows that must fail
-// cleanly.
+// FuzzTraceRoundTrip is the trace gate: ParseTrace must never panic on
+// arbitrary bytes — malformed prefix or session columns included — and
+// any trace it accepts must survive FormatTrace → ParseTrace unchanged in
+// whichever schema FormatTrace picked. The corpus seeds all three schemas
+// (v1 four-column, v2 prefix, v3 session-cohort), the BOM and CRLF
+// byte-order variants, and the malformed rows that must fail cleanly.
 func FuzzTraceRoundTrip(f *testing.F) {
 	f.Add("arrival,tenant,prompt,gen\n0.0,chat,100,40\n0.5,,900,80\n")
 	f.Add("0.0,chat,100,40\n1.5,chat,120,30\n")
@@ -156,6 +156,16 @@ func FuzzTraceRoundTrip(f *testing.F) {
 	f.Add("0,chat,100,40,sys,20\n1,chat,100,40,sys,30\n") // inconsistent prefix length
 	f.Add("0,chat,100,40,sys,20\n1,chat,100,40\n")        // column drift
 	f.Add("\xef\xbb")                                     // truncated BOM
+	f.Add("arrival,tenant,prompt,gen,prefix_id,prefix_tokens,session,turn\n" +
+		"0,chat,100,10,,0,1,1\n1,chat,210,10,~s1,110,1,2\n2,chat,320,10,~s1,220,1,3\n")
+	f.Add("0,chat,100,10,,0,1,1\n1,chat,210,10,~s1,110,1,2\n")
+	f.Add("0,chat,100,10,,0,,\n")                                   // empty session columns
+	f.Add("0,chat,100,10,,0,x,1\n")                                 // malformed session
+	f.Add("0,chat,100,10,,0,1,y\n")                                 // malformed turn
+	f.Add("0,chat,100,10,,0,1,0\n")                                 // turn without session pair
+	f.Add("0,chat,100,10,,0,-1,1\n")                                // negative session
+	f.Add("0,chat,300,10,~s1,200,1,2\n1,chat,300,10,~s1,100,1,3\n") // shrinking session prefix
+	f.Add("\xef\xbb\xbf0,chat,100,10,,0,1,1\r\n1,chat,210,10,~s1,110,1,2\r\n")
 	f.Fuzz(func(t *testing.T, raw string) {
 		trace, err := ParseTrace(strings.NewReader(raw)) // must not panic
 		if err != nil {

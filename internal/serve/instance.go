@@ -67,8 +67,9 @@ func (rn *Runner) Instance(s Spec, envelope []Request) (*Instance, error) {
 	if len(s.Mix) > 0 || s.Trace != nil || s.PromptTokens != 0 || s.GenTokens != 0 || s.PrefixTokens != 0 {
 		return nil, fmt.Errorf("serve: an instance spec carries capacity only — leave PromptTokens/GenTokens/PrefixTokens/Mix/Trace zero, the router pushes requests")
 	}
-	if s.Arrival != Poisson || s.Rate != 0 || s.Clients != 0 || s.Requests != 0 || s.Seed != 0 {
-		return nil, fmt.Errorf("serve: an instance spec carries no arrival process — leave Arrival/Rate/Clients/Requests/Seed zero")
+	if s.Arrival != Poisson || s.Rate != 0 || s.Clients != 0 || s.Requests != 0 || s.Seed != 0 ||
+		len(s.Schedule) > 0 || s.Turns != 0 || s.Think != 0 {
+		return nil, fmt.Errorf("serve: an instance spec carries no arrival process — leave Arrival/Rate/Clients/Requests/Seed/Schedule/Turns/Think zero")
 	}
 	if len(envelope) == 0 {
 		return nil, fmt.Errorf("serve: an instance needs a non-empty shape envelope")
@@ -117,7 +118,7 @@ func (in *Instance) Push(r Request, t float64) error {
 	if r.PromptTokens < 1 || r.GenTokens < 1 {
 		return fmt.Errorf("serve: push needs a positive prompt and at least one generated token, got %d/%d", r.PromptTokens, r.GenTokens)
 	}
-	if c := r.context(); c > in.sim.kv1 {
+	if c := r.Context(); c > in.sim.kv1 {
 		return fmt.Errorf("serve: pushed request spans %d tokens, beyond the instance envelope's largest context %d", c, in.sim.kv1)
 	}
 	if err := validatePrefix(r.PrefixID, r.PrefixTokens, r.PromptTokens); err != nil {
@@ -127,8 +128,17 @@ func (in *Instance) Push(r Request, t float64) error {
 		if in.sim.pp == nil || in.sim.pp.noPreempt {
 			return fmt.Errorf("serve: a prefixed push needs the paged policy with preemption enabled (Policy: Paged, NoPreempt unset)")
 		}
-		if prev, ok := in.sim.pp.internedPrefixTokens(r.PrefixID); ok && prev != r.PrefixTokens {
-			return fmt.Errorf("serve: push: prefix %q spans %d tokens here and %d in an earlier push — a shared prefix has one length", r.PrefixID, r.PrefixTokens, prev)
+		// Session rows grow their prefix turn over turn (the session's
+		// accumulated context), so only their shrinking is an error;
+		// independent shapes must agree exactly.
+		if prev, ok := in.sim.pp.internedPrefixTokens(r.PrefixID); ok {
+			if r.Session > 0 {
+				if r.PrefixTokens < prev {
+					return fmt.Errorf("serve: push: session prefix %q shrank from %d to %d tokens — a session's context only grows", r.PrefixID, prev, r.PrefixTokens)
+				}
+			} else if prev != r.PrefixTokens {
+				return fmt.Errorf("serve: push: prefix %q spans %d tokens here and %d in an earlier push — a shared prefix has one length", r.PrefixID, r.PrefixTokens, prev)
+			}
 		}
 	}
 	in.lastT = t

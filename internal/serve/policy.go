@@ -471,7 +471,10 @@ func newPagedPolicy(s Spec, budget, perRequest float64) *pagedPolicy {
 // prefix-pages + private-full-context-pages sum (what the oldest sequence
 // can need to finish after everything else is evicted and every other
 // prefix reclaimed), and the smallest admission need (a resident-prefix
-// hit charging its private prompt's pages alone).
+// hit charging its private prompt's pages alone). Session cohorts fold
+// their extreme turns — the prefix-free first turn and the largest
+// context-grown last turn — and heavy-tailed mixes fold both clamp
+// corners, so the units bound every shape the generator can emit.
 func prefixPageUnits(s Spec, p *pagedPolicy) (fullPages, admitPages int) {
 	fold := func(first bool, prompt, gen, prefix int) {
 		full := p.pagesFor(prefix) + p.pagesFor(prompt-prefix+gen)
@@ -489,8 +492,25 @@ func prefixPageUnits(s Spec, p *pagedPolicy) (fullPages, admitPages int) {
 		}
 		return fullPages, admitPages
 	}
+	turns := s.Turns
+	if turns < 1 {
+		turns = 1
+	}
 	for i, t := range s.Mix {
-		fold(i == 0, t.PromptTokens, t.GenTokens, t.PrefixTokens)
+		pmin, pmax := t.PromptBounds()
+		gmin, gmax := t.GenBounds()
+		if turns > 1 {
+			// Turn 1 carries no prefix; turn k's context grows linearly, so
+			// the last turn of the largest draw is the full-pages extreme.
+			fold(i == 0, pmin, gmin, 0)
+			ctx := (turns - 1) * (pmax + gmax)
+			fold(false, ctx+pmax, gmax, ctx)
+			continue
+		}
+		fold(i == 0, pmin, gmin, t.PrefixTokens)
+		if pmax != pmin || gmax != gmin {
+			fold(false, pmax, gmax, t.PrefixTokens)
+		}
 	}
 	return fullPages, admitPages
 }
@@ -647,8 +667,11 @@ func (p *pagedPolicy) evict(v *request) {
 // tokens' for a preemption victim resuming after its recompute prefill.
 // A shared prefix charges its own pages only when not already resident —
 // a hit charges the private suffix alone and skips the prefix's share of
-// the prefill pass. A victim whose pages sit in the host tier swaps them
-// back in when the transfer undercuts the recompute prefill.
+// the prefill pass. A session turn carrying more context than the
+// resident entry extends it in place: the hit covers the cached span and
+// the growth delta is charged to (and prefilled by) the extending turn.
+// A victim whose pages sit in the host tier swaps them back in when the
+// transfer undercuts the recompute prefill.
 func (p *pagedPolicy) admit(r *request) bool {
 	need := p.pagesFor(r.prompt - r.prefix + r.produced + 1)
 	if p.noPreempt {
@@ -666,7 +689,9 @@ func (p *pagedPolicy) admit(r *request) bool {
 	if r.prefixSlot >= 0 {
 		pfx = &p.prefixes[r.prefixSlot]
 		if !pfx.resident {
-			shared = pfx.pages
+			shared = p.pagesFor(r.prefix)
+		} else if r.prefix > pfx.tokens {
+			shared = p.pagesFor(r.prefix) - pfx.pages
 		}
 	}
 	for p.used+need+shared > p.totalPages {
@@ -676,15 +701,36 @@ func (p *pagedPolicy) admit(r *request) bool {
 	}
 	free := 0
 	if pfx != nil {
-		if pfx.resident {
+		// Re-test residency: the reclaim loop above may have dropped this
+		// very entry (resident, unreferenced) to make room.
+		switch {
+		case !pfx.resident:
+			// (Re)materialize the cache at this request's span: a session's
+			// later turn carries more context than the entry was interned
+			// with, and a victim readmitting after its cache was reclaimed
+			// may carry less — the registry tracks what is resident now.
+			pfx.resident = true
+			pfx.refs = 1
+			pfx.tokens = r.prefix
+			pfx.pages = p.pagesFor(r.prefix)
+			p.used += pfx.pages
+		case r.prefix > pfx.tokens:
+			// A session turn extending the resident entry: the hit covers
+			// the cached span, this request's prefill computes the growth
+			// delta, and the grown entry serves the session's next turn.
 			pfx.refs++
 			free = pfx.tokens
 			p.prefixHits++
 			p.prefixSaved += pfx.tokens
-		} else {
-			pfx.resident = true
-			pfx.refs = 1
-			p.used += pfx.pages
+			delta := p.pagesFor(r.prefix) - pfx.pages
+			pfx.tokens = r.prefix
+			pfx.pages += delta
+			p.used += delta
+		default:
+			pfx.refs++
+			free = r.prefix
+			p.prefixHits++
+			p.prefixSaved += r.prefix
 		}
 	}
 	if r.hostPages > 0 {

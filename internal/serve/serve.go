@@ -51,6 +51,7 @@ import (
 	"optimus/internal/memfoot"
 	"optimus/internal/model"
 	"optimus/internal/tech"
+	"optimus/internal/workload"
 )
 
 // Arrival selects the request arrival process.
@@ -119,8 +120,26 @@ type Spec struct {
 	Arrival Arrival
 	// Rate is the Poisson arrival rate in requests/sec.
 	Rate float64
+	// Schedule shapes the Poisson process with a piecewise arrival-rate
+	// timeline (diurnal/burst segments, workload.ParseSchedule's
+	// "0-60:5,60-120:25" syntax). It fixes the rate, so Rate stays zero
+	// with it; a schedule that canonicalizes to a constant reproduces the
+	// plain Rate run byte-identically. Poisson arrivals only.
+	Schedule Schedule
 	// Clients is the closed-loop concurrency.
 	Clients int
+	// Turns expands the generated workload into multi-turn session
+	// cohorts: each session issues Turns requests, and turn n+1's prompt
+	// carries the session's whole prior context as a growing shared prefix
+	// (exercising the paged policy's prefix cache the way production
+	// sessions do). 0 or 1 is the ordinary single-turn workload,
+	// byte-identical to the pre-session behavior. Sessions own their
+	// prefixes, so the mix must be prefix-free; Poisson arrivals and the
+	// paged policy with preemption only.
+	Turns int
+	// Think is the pause between a session's consecutive turns in
+	// simulated seconds; zero means back-to-back turns. Requires Turns > 1.
+	Think float64
 	// Requests is the number of requests to simulate; zero means 256.
 	Requests int
 	// Seed drives the arrival process; runs with equal seeds are
@@ -306,8 +325,13 @@ func (s Spec) validateExclusive() error {
 
 // prefixed reports whether any workload shape carries a non-empty shared
 // prefix. Run on the defaulted spec (the spec-wide PrefixTokens has been
-// folded into the degenerate mix by then).
+// folded into the degenerate mix by then). Session cohorts count: their
+// mix entries are prefix-free, but every generated turn past the first
+// carries the session's accumulated context as a shared prefix.
 func (s Spec) prefixed() bool {
+	if s.Turns > 1 {
+		return true
+	}
 	for _, t := range s.Mix {
 		if t.PrefixTokens > 0 {
 			return true
@@ -335,8 +359,9 @@ func (s Spec) validateShape() error {
 		// A trace fixes the arrival process and the request count; fields
 		// that would shape a generated workload are rejected rather than
 		// silently ignored.
-		if s.Arrival != Poisson || s.Rate != 0 || s.Clients != 0 || s.Seed != 0 {
-			return fmt.Errorf("serve: a trace fixes the arrival process — leave Arrival/Rate/Clients/Seed unset")
+		if s.Arrival != Poisson || s.Rate != 0 || s.Clients != 0 || s.Seed != 0 ||
+			len(s.Schedule) > 0 || s.Turns != 0 || s.Think != 0 {
+			return fmt.Errorf("serve: a trace fixes the arrival process — leave Arrival/Rate/Clients/Seed/Schedule/Turns/Think unset")
 		}
 		if s.Requests != len(s.Trace) {
 			return fmt.Errorf("serve: Requests is derived from the trace (leave it zero, got %d for a %d-event trace)",
@@ -348,6 +373,17 @@ func (s Spec) validateShape() error {
 		}
 		switch s.Arrival {
 		case Poisson:
+			if len(s.Schedule) > 0 {
+				if err := s.Schedule.Validate(); err != nil {
+					return err
+				}
+				// A schedule fixes the whole rate timeline; a spec setting
+				// both believes two different arrival processes shaped the
+				// run.
+				if s.Rate != 0 {
+					return fmt.Errorf("serve: Schedule fixes the arrival rate — leave Rate zero with it, got %g", s.Rate)
+				}
+			} else
 			// Negated-positive form so NaN (which fails every comparison,
 			// and would stall the event loop with NaN arrival times) is
 			// rejected.
@@ -366,8 +402,37 @@ func (s Spec) validateShape() error {
 			if s.Rate != 0 {
 				return fmt.Errorf("serve: Rate applies to Poisson arrivals only — leave it zero closed-loop, got %g", s.Rate)
 			}
+			if len(s.Schedule) > 0 {
+				return fmt.Errorf("serve: Schedule shapes open-loop Poisson arrivals only — closed-loop clients issue on completion")
+			}
+			if s.Turns != 0 {
+				return fmt.Errorf("serve: session cohorts are open-loop — Turns applies to Poisson arrivals only, got %d", s.Turns)
+			}
 		default:
 			return fmt.Errorf("serve: unknown arrival process %v", s.Arrival)
+		}
+		if s.Turns < 0 {
+			return fmt.Errorf("serve: negative session turns %d", s.Turns)
+		}
+		if s.Turns > 1 {
+			// Sessions grow a shared prefix turn over turn; only the paged
+			// policy's refcounted block registry can cache and grow it.
+			if s.Policy != Paged || s.NoPreempt {
+				return fmt.Errorf("serve: session cohorts grow a shared prefix — they need the paged policy with preemption enabled (Policy: Paged, NoPreempt unset)")
+			}
+			for _, t := range s.Mix {
+				if t.PrefixID != "" || t.PrefixTokens != 0 {
+					return fmt.Errorf("serve: session cohorts own the shared prefix — drop per-entry prefixes from the mix (tenant %q carries one)", t.Tenant)
+				}
+			}
+		}
+		if s.Think != 0 {
+			if s.Turns <= 1 {
+				return fmt.Errorf("serve: Think is the pause between session turns — set Turns > 1 with it, got Think %g", s.Think)
+			}
+			if !(s.Think >= 0) || math.IsInf(s.Think, 0) {
+				return fmt.Errorf("serve: think time %g not finite and non-negative", s.Think)
+			}
 		}
 	}
 	switch {
@@ -775,8 +840,11 @@ func (rn *Runner) Run(s Spec) (Result, error) {
 		sim.arrivals, sim.shapes = arrivals, shapes
 		sim.issued = s.Requests
 	case s.Arrival == Poisson:
-		rn.shapesBuf = appendMixShapes(rn.shapesBuf[:0], s.Mix, s.Requests, s.Seed)
-		rn.arrivalsBuf = appendPoissonArrivals(rn.arrivalsBuf[:0], s.Rate, s.Requests, s.Seed)
+		proc := workload.ArrivalProcess{
+			Rate: s.Rate, Schedule: s.Schedule,
+			Turns: s.Turns, Think: s.Think, Seed: s.Seed,
+		}
+		rn.arrivalsBuf, rn.shapesBuf = proc.Generate(s.Mix, s.Requests, rn.arrivalsBuf[:0], rn.shapesBuf[:0])
 		sim.arrivals, sim.shapes = rn.arrivalsBuf, rn.shapesBuf
 		sim.issued = s.Requests
 	default:

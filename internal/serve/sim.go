@@ -3,10 +3,10 @@ package serve
 import (
 	"fmt"
 	"math"
-	"math/rand"
 	"sort"
 
 	"optimus/internal/infer"
+	"optimus/internal/workload"
 )
 
 // decodeLine is one batch size's cached decode-step pricing: the step cost
@@ -642,21 +642,10 @@ func PoissonArrivalTimes(rate float64, n int, seed int64) []float64 {
 }
 
 // appendPoissonArrivals is PoissonArrivalTimes into a reusable buffer —
-// the Runner pooling seam.
+// the Runner pooling seam; the generation itself lives in
+// internal/workload.
 func appendPoissonArrivals(dst []float64, rate float64, n int, seed int64) []float64 {
-	if !(rate > 0) || math.IsInf(rate, 0) {
-		panic(fmt.Sprintf("serve: PoissonArrivalTimes needs a positive finite rate, got %g", rate))
-	}
-	if n < 0 {
-		panic(fmt.Sprintf("serve: PoissonArrivalTimes needs a non-negative count, got %d", n))
-	}
-	rng := rand.New(rand.NewSource(seed))
-	t := 0.0
-	for i := 0; i < n; i++ {
-		t += rng.ExpFloat64() / rate
-		dst = append(dst, t)
-	}
-	return dst
+	return workload.AppendPoissonArrivals(dst, rate, n, seed)
 }
 
 // MixShapes deterministically assigns each of n arrival indices its request

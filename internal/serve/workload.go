@@ -1,453 +1,78 @@
 package serve
 
 import (
-	"bufio"
-	"encoding/csv"
-	"fmt"
 	"io"
-	"math"
-	"math/rand"
-	"strconv"
-	"strings"
+
+	"optimus/internal/workload"
 )
 
+// The workload vocabulary — request shapes, mixes, traces, schedules —
+// lives in internal/workload so the simulator, the fleet router and the
+// sweep engine consume one seeded, deterministic generation seam. The
+// serve-level names are aliases and thin wrappers: every existing caller
+// (and the public optimus re-exports) keeps compiling and behaving
+// byte-identically.
+
 // DefaultTenant names the tenant of the degenerate single-tenant workload
-// the spec-wide PromptTokens/GenTokens fields describe. Trace rows with an
-// empty tenant column parse to it too, so a length-only trace and the
-// spec-wide fields land in the same per-tenant bucket.
-const DefaultTenant = "default"
+// the spec-wide PromptTokens/GenTokens fields describe (see
+// workload.DefaultTenant).
+const DefaultTenant = workload.DefaultTenant
 
-// Request is one serving request's shape: who issued it and how many
-// prompt and generation tokens it carries. The simulator prices every
-// admission, decode step and KV allocation off these per-request fields —
-// the spec-wide Spec.PromptTokens/GenTokens are just the degenerate
-// single-tenant case.
-type Request struct {
-	Tenant       string
-	PromptTokens int
-	GenTokens    int
+// Request is one serving request's shape; see workload.Request.
+type Request = workload.Request
 
-	// PrefixID names a shared prompt prefix: requests carrying the same id
-	// share their leading PrefixTokens prompt tokens (a common system
-	// prompt), and the paged admission policy caches that prefix's KV so a
-	// hit charges pages and prefill for the non-shared suffix only.
-	// PrefixTokens must leave at least one non-shared prompt token; zero
-	// PrefixTokens (with or without an id) is the degenerate no-prefix
-	// request, byte-identical to the pre-prefix behavior.
-	PrefixID     string
-	PrefixTokens int
-}
+// TenantLoad is one tenant's contribution to a generated workload mix;
+// see workload.TenantLoad.
+type TenantLoad = workload.TenantLoad
 
-// context is the request's full KV span.
-func (r Request) context() int { return r.PromptTokens + r.GenTokens }
+// TraceEvent is one replayed request; see workload.TraceEvent.
+type TraceEvent = workload.TraceEvent
 
-// TenantLoad is one tenant's contribution to a generated workload mix: a
-// relative share of the arrival rate (shares are weights — they need not
-// sum to 1) and the prompt/generation shape of its requests.
-type TenantLoad struct {
-	Tenant       string
-	Share        float64
-	PromptTokens int
-	GenTokens    int
-
-	// PrefixID/PrefixTokens mark the leading PrefixTokens prompt tokens of
-	// every request this entry generates as a shared prefix (see
-	// Request.PrefixID). Distinct entries may share one PrefixID — with one
-	// consistent PrefixTokens — to model tenants issuing the same system
-	// prompt.
-	PrefixID     string
-	PrefixTokens int
-}
-
-// request converts the load entry to the shape its requests carry.
-func (t TenantLoad) request() Request {
-	return Request{
-		Tenant: t.Tenant, PromptTokens: t.PromptTokens, GenTokens: t.GenTokens,
-		PrefixID: t.PrefixID, PrefixTokens: t.PrefixTokens,
-	}
-}
-
-// TraceEvent is one replayed request: an absolute arrival time plus its
-// shape. A trace fixes the whole arrival process, so specs carrying one
-// leave Arrival/Rate/Clients unset.
-type TraceEvent struct {
-	Arrival float64
-	Request
-}
+// Schedule is a piecewise-constant arrival-rate timeline; see
+// workload.Schedule.
+type Schedule = workload.Schedule
 
 // validateTenantName rejects names that would corrupt rendered workload
-// artifacts: FormatMix joins entries with ',' and fields with ':'
-// unescaped, so a tenant name carrying either separator lets two distinct
-// workloads render to one identical token — the sweep's CSV mix column
-// and memoized workload fingerprints would then silently alias the wrong
-// cached result. Leading/trailing whitespace is rejected too: ParseMix
-// trims it, so such a name can never round-trip through its own
-// rendering.
-func validateTenantName(name string) error {
-	if name == "" {
-		return fmt.Errorf("empty tenant name")
-	}
-	// Two IndexByte scans, not ContainsAny: this runs on every
-	// Instance.Push, and ContainsAny's rune machinery is measurable there.
-	if strings.IndexByte(name, ':') >= 0 || strings.IndexByte(name, ',') >= 0 {
-		return fmt.Errorf("tenant name %q contains a mix separator (':' and ',' are reserved)", name)
-	}
-	if name != strings.TrimSpace(name) {
-		return fmt.Errorf("tenant name %q carries leading or trailing whitespace", name)
-	}
-	return nil
-}
+// artifacts; see workload.ValidateTenantName.
+func validateTenantName(name string) error { return workload.ValidateTenantName(name) }
 
-// validatePrefix checks one request shape's shared-prefix fields: a
-// non-negative prefix that leaves at least one non-shared prompt token (the
-// prefill pass must always have a suffix to price), a PrefixID whenever the
-// prefix is non-empty, and an id that survives the mix/trace renderings
-// (validateTenantName's separator rules). A zero-token prefix with an id is
-// legal — it is the degenerate no-prefix request the equivalence tests pin.
+// validatePrefix checks one request shape's shared-prefix fields; see
+// workload.ValidatePrefix.
 func validatePrefix(prefixID string, prefixTokens, promptTokens int) error {
-	if prefixTokens < 0 {
-		return fmt.Errorf("negative prefix length %d", prefixTokens)
-	}
-	if prefixTokens > 0 && prefixTokens >= promptTokens {
-		return fmt.Errorf("prefix of %d tokens must leave at least one non-shared prompt token (prompt is %d)",
-			prefixTokens, promptTokens)
-	}
-	if prefixTokens > 0 && prefixID == "" {
-		return fmt.Errorf("a %d-token prefix needs a PrefixID", prefixTokens)
-	}
-	if prefixID != "" {
-		if err := validateTenantName(prefixID); err != nil {
-			return fmt.Errorf("prefix id: %w", err)
-		}
-	}
-	return nil
+	return workload.ValidatePrefix(prefixID, prefixTokens, promptTokens)
 }
 
-// prefixConsistency folds one shape's prefix into the id→length map shared
-// by ValidateMix and ValidateTrace: a PrefixID names one concrete token
-// sequence, so every shape carrying it must agree on its length.
-func prefixConsistency(seen map[string]int, prefixID string, prefixTokens int) (map[string]int, error) {
-	if prefixID == "" {
-		return seen, nil
-	}
-	if seen == nil {
-		seen = make(map[string]int, 4)
-	}
-	if prev, ok := seen[prefixID]; ok && prev != prefixTokens {
-		return seen, fmt.Errorf("prefix %q spans %d tokens in one shape and %d in another — a shared prefix has one length",
-			prefixID, prev, prefixTokens)
-	}
-	seen[prefixID] = prefixTokens
-	return seen, nil
-}
+// ValidateMix checks a workload mix; see workload.ValidateMix.
+func ValidateMix(mix []TenantLoad) error { return workload.ValidateMix(mix) }
 
-// ValidateMix checks a workload mix: non-empty, unique separator-free
-// tenant names, positive finite shares, and at least one prompt and one
-// generated token per tenant. Shared by serve.Spec and the sweep grid
-// validation.
-func ValidateMix(mix []TenantLoad) error {
-	if len(mix) == 0 {
-		return fmt.Errorf("serve: empty workload mix")
-	}
-	seen := make(map[string]bool, len(mix))
-	var prefixes map[string]int
-	for _, t := range mix {
-		if err := validateTenantName(t.Tenant); err != nil {
-			return fmt.Errorf("serve: mix entry: %w", err)
-		}
-		if seen[t.Tenant] {
-			return fmt.Errorf("serve: duplicate mix tenant %q", t.Tenant)
-		}
-		seen[t.Tenant] = true
-		if !(t.Share > 0) || math.IsInf(t.Share, 0) {
-			return fmt.Errorf("serve: tenant %q needs a positive finite share, got %g", t.Tenant, t.Share)
-		}
-		if t.PromptTokens < 1 {
-			return fmt.Errorf("serve: tenant %q needs a positive prompt length, got %d", t.Tenant, t.PromptTokens)
-		}
-		if t.GenTokens < 1 {
-			return fmt.Errorf("serve: tenant %q needs at least one generated token, got %d", t.Tenant, t.GenTokens)
-		}
-		if err := validatePrefix(t.PrefixID, t.PrefixTokens, t.PromptTokens); err != nil {
-			return fmt.Errorf("serve: tenant %q: %w", t.Tenant, err)
-		}
-		var err error
-		if prefixes, err = prefixConsistency(prefixes, t.PrefixID, t.PrefixTokens); err != nil {
-			return fmt.Errorf("serve: %w", err)
-		}
-	}
-	return nil
-}
-
-// ValidateTrace checks a replay trace: non-empty, finite non-negative
-// arrival times in non-decreasing order, and a well-formed shape per
-// event. Shared by serve.Spec and the sweep grid validation.
-func ValidateTrace(trace []TraceEvent) error {
-	if len(trace) == 0 {
-		return fmt.Errorf("serve: empty trace")
-	}
-	prev := 0.0
-	var prefixes map[string]int
-	for i, ev := range trace {
-		if !(ev.Arrival >= prev) || math.IsInf(ev.Arrival, 0) {
-			return fmt.Errorf("serve: trace event %d: arrival %g not finite and non-decreasing (previous %g)",
-				i, ev.Arrival, prev)
-		}
-		prev = ev.Arrival
-		if err := validateTenantName(ev.Tenant); err != nil {
-			return fmt.Errorf("serve: trace event %d: %w", i, err)
-		}
-		if ev.PromptTokens < 1 {
-			return fmt.Errorf("serve: trace event %d needs a positive prompt length, got %d", i, ev.PromptTokens)
-		}
-		if ev.GenTokens < 1 {
-			return fmt.Errorf("serve: trace event %d needs at least one generated token, got %d", i, ev.GenTokens)
-		}
-		if err := validatePrefix(ev.PrefixID, ev.PrefixTokens, ev.PromptTokens); err != nil {
-			return fmt.Errorf("serve: trace event %d: %w", i, err)
-		}
-		var err error
-		if prefixes, err = prefixConsistency(prefixes, ev.PrefixID, ev.PrefixTokens); err != nil {
-			return fmt.Errorf("serve: trace event %d: %w", i, err)
-		}
-	}
-	return nil
-}
+// ValidateTrace checks a replay trace; see workload.ValidateTrace.
+func ValidateTrace(trace []TraceEvent) error { return workload.ValidateTrace(trace) }
 
 // MixContext returns the largest prompt+generation context any mix tenant
-// can reach — the bound KV geometry and page-size canonicalization use.
-func MixContext(mix []TenantLoad) int {
-	max := 0
-	for _, t := range mix {
-		if c := t.PromptTokens + t.GenTokens; c > max {
-			max = c
-		}
-	}
-	return max
-}
+// can reach; see workload.MixContext.
+func MixContext(mix []TenantLoad) int { return workload.MixContext(mix) }
 
-// TraceContext returns the largest prompt+generation context of a trace.
-func TraceContext(trace []TraceEvent) int {
-	max := 0
-	for _, ev := range trace {
-		if c := ev.context(); c > max {
-			max = c
-		}
-	}
-	return max
-}
+// TraceContext returns the largest prompt+generation context of a trace;
+// see workload.TraceContext.
+func TraceContext(trace []TraceEvent) int { return workload.TraceContext(trace) }
 
-// ParseMix parses the CLI mix syntax: comma-separated
-// "tenant:share:prompt:gen" entries, e.g.
-// "chat:0.7:200:200,batch:0.3:2000:100". A fifth field marks the entry's
-// leading prompt tokens as a shared prefix ("chat:0.7:200:200:120" — the
-// prefix id defaults to the tenant name), and a sixth names the prefix id
-// explicitly so distinct tenants can share one prefix
-// ("a:1:200:200:120:sys,b:1:300:100:120:sys").
-func ParseMix(s string) ([]TenantLoad, error) {
-	var out []TenantLoad
-	for _, tok := range strings.Split(s, ",") {
-		tok = strings.TrimSpace(tok)
-		if tok == "" {
-			continue
-		}
-		parts := strings.Split(tok, ":")
-		if len(parts) < 4 || len(parts) > 6 {
-			return nil, fmt.Errorf("serve: mix entry %q: want tenant:share:prompt:gen[:prefix[:prefix-id]]", tok)
-		}
-		share, err := strconv.ParseFloat(parts[1], 64)
-		if err != nil {
-			return nil, fmt.Errorf("serve: mix entry %q: bad share: %w", tok, err)
-		}
-		prompt, err := strconv.Atoi(parts[2])
-		if err != nil {
-			return nil, fmt.Errorf("serve: mix entry %q: bad prompt length: %w", tok, err)
-		}
-		gen, err := strconv.Atoi(parts[3])
-		if err != nil {
-			return nil, fmt.Errorf("serve: mix entry %q: bad generation length: %w", tok, err)
-		}
-		t := TenantLoad{Tenant: parts[0], Share: share, PromptTokens: prompt, GenTokens: gen}
-		if len(parts) >= 5 {
-			t.PrefixTokens, err = strconv.Atoi(parts[4])
-			if err != nil {
-				return nil, fmt.Errorf("serve: mix entry %q: bad prefix length: %w", tok, err)
-			}
-			if t.PrefixTokens > 0 {
-				t.PrefixID = t.Tenant
-			}
-			if len(parts) == 6 {
-				t.PrefixID = parts[5]
-			}
-		}
-		out = append(out, t)
-	}
-	if err := ValidateMix(out); err != nil {
-		return nil, err
-	}
-	return out, nil
-}
+// ParseMix parses the CLI mix syntax; see workload.ParseMix.
+func ParseMix(s string) ([]TenantLoad, error) { return workload.ParseMix(s) }
 
-// FormatMix renders a mix back into the ParseMix syntax — the canonical
-// one-token rendering the sweep writers use. Prefix-free entries keep the
-// four-field form, so every pre-prefix rendering (and the fingerprints
-// derived from it) is unchanged.
-func FormatMix(mix []TenantLoad) string {
-	parts := make([]string, len(mix))
-	for i, t := range mix {
-		switch {
-		case t.PrefixID == "" && t.PrefixTokens == 0:
-			parts[i] = fmt.Sprintf("%s:%g:%d:%d", t.Tenant, t.Share, t.PromptTokens, t.GenTokens)
-		case t.PrefixID == t.Tenant && t.PrefixTokens > 0:
-			parts[i] = fmt.Sprintf("%s:%g:%d:%d:%d", t.Tenant, t.Share, t.PromptTokens, t.GenTokens, t.PrefixTokens)
-		default:
-			parts[i] = fmt.Sprintf("%s:%g:%d:%d:%d:%s", t.Tenant, t.Share, t.PromptTokens, t.GenTokens, t.PrefixTokens, t.PrefixID)
-		}
-	}
-	return strings.Join(parts, ",")
-}
+// FormatMix renders a mix back into the ParseMix syntax; see
+// workload.FormatMix.
+func FormatMix(mix []TenantLoad) string { return workload.FormatMix(mix) }
 
-// ParseTrace reads a serving trace in CSV form: one request per row as
-// "arrival,tenant,prompt,gen" (v1) or
-// "arrival,tenant,prompt,gen,prefix_id,prefix_tokens" (v2), with an
-// optional header row (detected by a non-numeric first field). Every row
-// carries the column count of the first, so the schema version is fixed
-// per file. An empty tenant column maps to DefaultTenant; an empty
-// prefix_id with a non-zero prefix_tokens defaults to the row's tenant
-// (the ParseMix rule). A leading UTF-8 byte-order mark is stripped —
-// spreadsheet exports routinely prepend one, and it would otherwise glue
-// onto the first header field (a U+FEFF-prefixed "arrival") and defeat the header
-// detection. The parsed trace is validated (finite sorted arrivals,
-// positive shapes, consistent prefixes).
-func ParseTrace(r io.Reader) ([]TraceEvent, error) {
-	br := bufio.NewReader(r)
-	if b, err := br.Peek(3); err == nil && b[0] == 0xEF && b[1] == 0xBB && b[2] == 0xBF {
-		br.Discard(3)
-	}
-	cr := csv.NewReader(br)
-	// 0: the first row fixes the column count (4 or 6, checked below) and
-	// every later row must match it.
-	cr.FieldsPerRecord = 0
-	cr.TrimLeadingSpace = true
-	var out []TraceEvent
-	for row := 0; ; row++ {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			return nil, fmt.Errorf("serve: trace row %d: %w", row, err)
-		}
-		for i := range rec {
-			rec[i] = strings.TrimSpace(rec[i])
-		}
-		if row == 0 {
-			if len(rec) != 4 && len(rec) != 6 {
-				return nil, fmt.Errorf("serve: trace row 0 has %d columns, want 4 (arrival,tenant,prompt,gen) or 6 (…,prefix_id,prefix_tokens)", len(rec))
-			}
-			_, arrErr := strconv.ParseFloat(rec[0], 64)
-			_, promptErr := strconv.Atoi(rec[2])
-			// A header is non-numeric across the board; a data row whose
-			// arrival alone is malformed must fail loudly below rather
-			// than vanish as a misdetected header.
-			if arrErr != nil && promptErr != nil {
-				continue // header row
-			}
-		}
-		arrival, err := strconv.ParseFloat(rec[0], 64)
-		if err != nil {
-			return nil, fmt.Errorf("serve: trace row %d: bad arrival time: %w", row, err)
-		}
-		prompt, err := strconv.Atoi(rec[2])
-		if err != nil {
-			return nil, fmt.Errorf("serve: trace row %d: bad prompt length: %w", row, err)
-		}
-		gen, err := strconv.Atoi(rec[3])
-		if err != nil {
-			return nil, fmt.Errorf("serve: trace row %d: bad generation length: %w", row, err)
-		}
-		tenant := rec[1]
-		if tenant == "" {
-			tenant = DefaultTenant
-		}
-		ev := TraceEvent{
-			Arrival: arrival,
-			Request: Request{Tenant: tenant, PromptTokens: prompt, GenTokens: gen},
-		}
-		if len(rec) == 6 {
-			ev.PrefixID = rec[4]
-			if rec[5] != "" {
-				ev.PrefixTokens, err = strconv.Atoi(rec[5])
-				if err != nil {
-					return nil, fmt.Errorf("serve: trace row %d: bad prefix length: %w", row, err)
-				}
-			}
-			if ev.PrefixID == "" && ev.PrefixTokens > 0 {
-				ev.PrefixID = tenant
-			}
-		}
-		out = append(out, ev)
-	}
-	if err := ValidateTrace(out); err != nil {
-		return nil, err
-	}
-	return out, nil
-}
+// ParseTrace reads a serving trace in CSV form (v1/v2/v3 schemas); see
+// workload.ParseTrace.
+func ParseTrace(r io.Reader) ([]TraceEvent, error) { return workload.ParseTrace(r) }
 
-// FormatTrace renders a trace back into ParseTrace's CSV form with a
-// header row: the six-column v2 schema when any event carries a prefix
-// field, the four-column v1 schema otherwise (so pre-prefix traces render
-// exactly as before). For a valid trace,
-// ParseTrace(FormatTrace(t)) == t — the round-trip the trace-v2 fuzz
-// harness pins.
-func FormatTrace(w io.Writer, trace []TraceEvent) error {
-	v2 := false
-	for _, ev := range trace {
-		if ev.PrefixID != "" || ev.PrefixTokens != 0 {
-			v2 = true
-			break
-		}
-	}
-	cw := csv.NewWriter(w)
-	header := []string{"arrival", "tenant", "prompt", "gen"}
-	if v2 {
-		header = append(header, "prefix_id", "prefix_tokens")
-	}
-	if err := cw.Write(header); err != nil {
-		return fmt.Errorf("serve: format trace: %w", err)
-	}
-	rec := make([]string, 0, 6)
-	for _, ev := range trace {
-		rec = append(rec[:0],
-			strconv.FormatFloat(ev.Arrival, 'g', -1, 64),
-			ev.Tenant,
-			strconv.Itoa(ev.PromptTokens),
-			strconv.Itoa(ev.GenTokens),
-		)
-		if v2 {
-			rec = append(rec, ev.PrefixID, strconv.Itoa(ev.PrefixTokens))
-		}
-		if err := cw.Write(rec); err != nil {
-			return fmt.Errorf("serve: format trace: %w", err)
-		}
-	}
-	cw.Flush()
-	if err := cw.Error(); err != nil {
-		return fmt.Errorf("serve: format trace: %w", err)
-	}
-	return nil
-}
-
-// shapeSeedSalt decorrelates the tenant-assignment stream from the arrival
-// stream, which is seeded with the raw Spec.Seed. Without it the two
-// rand.Sources would start in identical states.
-const shapeSeedSalt = 0x2545F4914F6CDD1D
+// FormatTrace renders a trace back into ParseTrace's CSV form; see
+// workload.FormatTrace.
+func FormatTrace(w io.Writer, trace []TraceEvent) error { return workload.FormatTrace(w, trace) }
 
 // mixShapes deterministically assigns each arrival index its request
-// shape. A single-tenant mix takes the draw-free fast path, so the
-// degenerate spec-wide workload leaves the arrival process's random stream
-// untouched — the PR-3 byte-identity guarantee. Multi-tenant mixes draw
-// tenants, weighted by share, from a second independently seeded stream.
+// shape; see workload.AppendMixShapes.
 func mixShapes(mix []TenantLoad, n int, seed int64) []Request {
 	return appendMixShapes(nil, mix, n, seed)
 }
@@ -455,31 +80,7 @@ func mixShapes(mix []TenantLoad, n int, seed int64) []Request {
 // appendMixShapes is mixShapes into a reusable buffer — the Runner
 // pooling seam.
 func appendMixShapes(dst []Request, mix []TenantLoad, n int, seed int64) []Request {
-	if len(mix) == 1 {
-		sh := mix[0].request()
-		for i := 0; i < n; i++ {
-			dst = append(dst, sh)
-		}
-		return dst
-	}
-	total := 0.0
-	for _, t := range mix {
-		total += t.Share
-	}
-	rng := rand.New(rand.NewSource(seed ^ shapeSeedSalt))
-	for i := 0; i < n; i++ {
-		x := rng.Float64() * total
-		k := 0
-		for k < len(mix)-1 {
-			x -= mix[k].Share
-			if x < 0 {
-				break
-			}
-			k++
-		}
-		dst = append(dst, mix[k].request())
-	}
-	return dst
+	return workload.AppendMixShapes(dst, mix, n, seed)
 }
 
 // shapeBounds are the extreme request shapes of one workload, derived once
@@ -520,6 +121,11 @@ func (b *shapeBounds) fold(first bool, prompt, gen int) {
 // bounds resolves the workload's shape bounds: the trace's when replaying,
 // the mix's when generating, and the spec-wide fields when neither is set
 // (validation paths that run before withDefaults fills the degenerate mix).
+// Heavy-tailed mix entries fold both clamp corners, and session cohorts
+// fold the largest turn's context-grown prompt — the extremes are knowable
+// from the spec alone (workload.HeavyTailCap bounds every draw), so the
+// step-cost engine and KV geometry never see a shape they were not
+// configured for.
 func (s Spec) bounds() shapeBounds {
 	var b shapeBounds
 	switch {
@@ -528,8 +134,20 @@ func (s Spec) bounds() shapeBounds {
 			b.fold(i == 0, ev.PromptTokens, ev.GenTokens)
 		}
 	case len(s.Mix) > 0:
+		turns := s.Turns
+		if turns < 1 {
+			turns = 1
+		}
 		for i, t := range s.Mix {
-			b.fold(i == 0, t.PromptTokens, t.GenTokens)
+			pmin, pmax := t.PromptBounds()
+			gmin, gmax := t.GenBounds()
+			// Session turn k's prompt carries (k-1)·(P+G) prior context;
+			// the largest turn of the largest draw bounds the workload.
+			pmaxTurn := (turns-1)*(pmax+gmax) + pmax
+			b.fold(i == 0, pmin, gmin)
+			if pmaxTurn != pmin || gmax != gmin {
+				b.fold(false, pmaxTurn, gmax)
+			}
 		}
 	default:
 		b.fold(true, s.PromptTokens, s.GenTokens)

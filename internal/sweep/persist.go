@@ -20,7 +20,10 @@ const cacheFileVersion = 1
 // prefix-cache and host-KV-tier serving path (every Point.Key grew
 // prefix-length, host-capacity and swap-bandwidth segments, and paged
 // candidates are costed through a prefix/tier-aware admission policy).
-const costModelVersion = "pr8-prefix-tiered-kv"
+// The pr10 bump covers the temporal-workload generation seam (every
+// Point.Key grew schedule, session-turn and think-time segments, and the
+// paged policy's prefix entries grow in place for session cohorts).
+const costModelVersion = "pr10-temporal-workload"
 
 // cacheFile is the on-disk memoization snapshot: successful evaluations
 // keyed by the canonical Point.Key. Keys already fingerprint the full

@@ -141,6 +141,13 @@ func TestLoadCacheMissingAndMalformed(t *testing.T) {
 	if err := eng.LoadCache(strings.NewReader(pr5)); err == nil {
 		t.Error("pre-cluster cache should be rejected by the cost-model bump")
 	}
+	// The temporal-workload refactor grew every Point.Key (schedule, session
+	// turns, think time) and changed the paged policy's session prefix
+	// growth, so a PR-8 snapshot must be refused, not silently served.
+	pr8 := `{"version":1,"cost_model":"pr8-prefix-tiered-kv","entries":{}}`
+	if err := eng.LoadCache(strings.NewReader(pr8)); err == nil {
+		t.Error("pre-temporal-workload cache should be rejected by the cost-model bump")
+	}
 }
 
 // TestSaveCacheFileBareFilename: a separator-free -cache path must stage

@@ -10,6 +10,7 @@ import (
 	"optimus/internal/model"
 	"optimus/internal/serve"
 	"optimus/internal/tech"
+	"optimus/internal/workload"
 )
 
 // servingSpec0 is a small serving grid: one model, 1- and 2-GPU H100
@@ -185,6 +186,21 @@ func TestServingKeyCoversServingAxes(t *testing.T) {
 			q.PageTokens = serve.DefaultPageTokens
 			q.HostKVBytes = 4e9
 			q.SwapGBps = 128
+		},
+		"schedule": func(q *Point) {
+			q.Rate = 0
+			q.Schedule = workload.Schedule{{Start: 0, End: 10, Rate: 1}, {Start: 10, End: 20, Rate: 4}}
+		},
+		"turns": func(q *Point) {
+			q.Policy = serve.Paged
+			q.PageTokens = serve.DefaultPageTokens
+			q.Turns = 3
+		},
+		"think": func(q *Point) {
+			q.Policy = serve.Paged
+			q.PageTokens = serve.DefaultPageTokens
+			q.Turns = 3
+			q.Think = 5
 		},
 	} {
 		q := p

@@ -36,6 +36,7 @@ import (
 	"optimus/internal/serve"
 	"optimus/internal/tech"
 	"optimus/internal/train"
+	"optimus/internal/workload"
 )
 
 // Workload selects which predictor a sweep exercises.
@@ -128,8 +129,28 @@ type Spec struct {
 	// means {200}.
 	GenTokens []int
 	// Rates are Poisson arrival rates in requests/sec, serving only; nil
-	// means {1}.
+	// means {1} (unless Schedules or Trace supplies the arrival process).
 	Rates []float64
+	// Schedules are piecewise-constant arrival-rate timelines
+	// (workload.Schedule), serving only: each entry is one grid-axis value
+	// replacing the constant rate, so one sweep can rank a bursty diurnal
+	// profile against its flat average. Mutually exclusive with Rates and
+	// Trace (each fixes the arrival process). A schedule that canonicalizes
+	// to a constant rate enumerates as the equivalent plain-rate candidate
+	// — one memo key, like the policy-knob axes.
+	Schedules []workload.Schedule
+	// Turns are the session-cohort depths to compare per grid cell, serving
+	// only: each entry above 1 expands the candidate's arrival stream into
+	// multi-turn client sessions (serve.Spec.Turns), whose growing shared
+	// context exercises the paged prefix cache. 0 and 1 are the plain
+	// single-turn stream. Entries above 1 require a Paged entry in Policies
+	// (other policies canonicalize the axis to zero) and replace the
+	// spec-wide PrefixTokens axis (a session owns its shared prefix).
+	Turns []int
+	// Think is the pause between a session's consecutive turns in seconds,
+	// serving only; requires a Turns entry above 1 (zero with single-turn
+	// candidates).
+	Think float64
 	// BatchCaps are iteration batch caps, serving only; 0 derives the
 	// largest KV-fitting batch. Nil means {0}.
 	BatchCaps []int
@@ -262,8 +283,11 @@ func (s Spec) withDefaults() Spec {
 	if len(s.GenTokens) == 0 && !shaped {
 		s.GenTokens = []int{200}
 	}
-	if len(s.Rates) == 0 && len(s.Trace) == 0 {
+	if len(s.Rates) == 0 && len(s.Trace) == 0 && len(s.Schedules) == 0 {
 		s.Rates = []float64{1}
+	}
+	if len(s.Turns) == 0 {
+		s.Turns = []int{0}
 	}
 	if len(s.BatchCaps) == 0 {
 		s.BatchCaps = []int{0}
@@ -320,6 +344,10 @@ func (s Spec) Validate() error {
 			// NaN bandwidths land here too: NaN != 0.
 			return fmt.Errorf("sweep: PrefixTokens/HostKVBytes/SwapGBps apply to serving sweeps only")
 		}
+		if len(s.Schedules) > 0 || len(s.Turns) > 0 || s.Think != 0 {
+			// NaN think times land here too: NaN != 0.
+			return fmt.Errorf("sweep: Schedules/Turns/Think apply to serving sweeps only")
+		}
 	}
 	switch s.Workload {
 	case Training:
@@ -350,6 +378,14 @@ func (s Spec) Validate() error {
 				// the serving simulator's event loop.
 				if !(r > 0) || math.IsInf(r, 0) {
 					return fmt.Errorf("sweep: arrival rate %g not positive and finite", r)
+				}
+			}
+			if len(s.Schedules) > 0 && len(s.Rates) > 0 {
+				return fmt.Errorf("sweep: Schedules and Rates both fix the arrival rate — set exactly one axis")
+			}
+			for _, sch := range s.Schedules {
+				if err := sch.Validate(); err != nil {
+					return fmt.Errorf("sweep: %w", err)
 				}
 			}
 			for _, c := range s.BatchCaps {
@@ -409,6 +445,36 @@ func (s Spec) Validate() error {
 			}
 			if hasPrefix && (len(s.Mixes) > 0 || len(s.Trace) > 0) {
 				return fmt.Errorf("sweep: PrefixTokens shapes the spec-wide workload — give Mixes/Trace entries their own per-entry prefixes")
+			}
+			hasSessions := false
+			for _, t := range s.Turns {
+				if t < 0 {
+					return fmt.Errorf("sweep: negative session turns %d", t)
+				}
+				if t > 1 {
+					hasSessions = true
+				}
+			}
+			if hasSessions && !hasPaged {
+				return fmt.Errorf("sweep: Turns above 1 needs a Paged entry in Policies (session cohorts grow a shared prefix)")
+			}
+			if hasSessions && hasPrefix {
+				return fmt.Errorf("sweep: session cohorts own the shared prefix — drop the PrefixTokens axis with Turns above 1")
+			}
+			if hasSessions {
+				for _, mix := range s.Mixes {
+					for _, t := range mix {
+						if t.PrefixTokens > 0 {
+							return fmt.Errorf("sweep: session cohorts own the shared prefix — drop per-entry prefixes from the mixes (tenant %q carries one)", t.Tenant)
+						}
+					}
+				}
+			}
+			if s.Think != 0 && !hasSessions {
+				return fmt.Errorf("sweep: Think is the pause between session turns — set a Turns entry above 1 with it, got Think %g", s.Think)
+			}
+			if !(s.Think >= 0) || math.IsInf(s.Think, 0) {
+				return fmt.Errorf("sweep: think time %g not finite and non-negative", s.Think)
 			}
 			for _, hb := range s.HostKVBytes {
 				if hb < 0 || math.IsNaN(hb) || math.IsInf(hb, 0) {
@@ -472,6 +538,9 @@ func (s Spec) Validate() error {
 			if len(s.Trace) > 0 {
 				if len(s.Rates) > 0 || len(s.Seqs) > 0 || len(s.GenTokens) > 0 {
 					return fmt.Errorf("sweep: Trace replaces the Rates/Seqs/GenTokens axes (a trace fixes arrivals and request shapes)")
+				}
+				if len(s.Schedules) > 0 || len(s.Turns) > 0 {
+					return fmt.Errorf("sweep: Trace fixes the arrival process — leave the Schedules/Turns axes unset")
 				}
 				// The trace also fixes the request count and carries no
 				// arrival randomness — reject the knobs it would silently
@@ -580,6 +649,16 @@ type Point struct {
 	// serving only.
 	Replicas int
 	Routing  cluster.Routing
+	// Schedule is the candidate's piecewise arrival-rate timeline (nil for
+	// the constant Rate — enumeration canonicalizes constant schedules to
+	// it), Turns its session-cohort depth (0 for the single-turn stream;
+	// canonically 0 unless Policy is Paged) and Think the pause between a
+	// session's turns (canonically 0 without cohorts); serving only. All
+	// three shape the simulated arrival stream, so they are part of the
+	// candidate's identity.
+	Schedule workload.Schedule
+	Turns    int
+	Think    float64
 
 	// key is the precomputed canonical identity; enumeration fills it so
 	// the engine's hot path never formats strings.
@@ -645,7 +724,7 @@ func (p Point) buildKey(modelStr, sysStr, workloadStr string) string {
 		int(p.Recompute), int(p.Precision), p.GlobalBatch, p.Seq, p.GenTokens,
 		p.BatchCap, p.ServeRequests, int(p.Policy), p.PageTokens,
 		p.PrefillDevices, p.DecodeDevices, p.Replicas, int(p.Routing),
-		p.PrefixTokens,
+		p.PrefixTokens, p.Turns,
 	} {
 		buf = append(buf, '|')
 		buf = strconv.AppendInt(buf, int64(v), 10)
@@ -660,6 +739,12 @@ func (p Point) buildKey(modelStr, sysStr, workloadStr string) string {
 	buf = strconv.AppendFloat(buf, p.HostKVBytes, 'g', -1, 64)
 	buf = append(buf, '|')
 	buf = strconv.AppendFloat(buf, p.SwapGBps, 'g', -1, 64)
+	buf = append(buf, '|')
+	buf = strconv.AppendFloat(buf, p.Think, 'g', -1, 64)
+	// The schedule token is FormatSchedule's canonical rendering: digits
+	// and ,-:. only, so it cannot collide with the key's separators.
+	buf = append(buf, '|')
+	buf = append(buf, workload.FormatSchedule(p.Schedule)...)
 	buf = append(buf, '|')
 	buf = append(buf, workloadStr...)
 	return string(buf)
@@ -1045,6 +1130,23 @@ func Enumerate(s Spec) []Point {
 					// enumerators key their points with zero fleet fields,
 					// so only fleet copies need re-keying.
 					modelTok, sysTok := modelToken(cfg), systemToken(sys)
+					// The arrival axis: every constant rate, then every
+					// schedule — canonicalized first, so a schedule that is
+					// constant after merging enumerates as the equivalent
+					// plain-rate candidate (rate set, schedule nil) and
+					// deduplicates against it.
+					type arrivalAxis struct {
+						rate  float64
+						sched workload.Schedule
+					}
+					arrivals := make([]arrivalAxis, 0, len(s.Rates)+len(s.Schedules))
+					for _, r := range s.Rates {
+						arrivals = append(arrivals, arrivalAxis{rate: r})
+					}
+					for _, sch := range s.Schedules {
+						cs, cr := workload.CanonicalSchedule(sch, 0)
+						arrivals = append(arrivals, arrivalAxis{rate: cr, sched: cs})
+					}
 					addFleet := func(points []Point, wlTok string) {
 						for _, reps := range s.Replicas {
 							rts := s.Routings
@@ -1066,6 +1168,31 @@ func Enumerate(s Spec) []Point {
 							}
 						}
 					}
+					// addTemporal stamps the arrival-process axes onto the
+					// cell's base candidates before the fleet stamping:
+					// schedule, session depth and think time, with the
+					// degenerate values canonicalized away (constant
+					// schedule → nil, single-turn or non-paged → zero
+					// turns, turnless → zero think) so degenerate corners
+					// share the base candidate's memo key.
+					addTemporal := func(points []Point, wlTok string, sched workload.Schedule, turns int) {
+						for i := range points {
+							p := &points[i]
+							t := turns
+							if p.Policy != serve.Paged || t <= 1 {
+								t = 0
+							}
+							if len(sched) == 0 && t == 0 {
+								continue
+							}
+							p.Schedule, p.Turns = sched, t
+							if t > 1 {
+								p.Think = s.Think
+							}
+							p.key = p.buildKey(modelTok, sysTok, wlTok)
+						}
+						addFleet(points, wlTok)
+					}
 					switch {
 					case len(s.Trace) > 0:
 						for _, batchCap := range s.BatchCaps {
@@ -1078,13 +1205,15 @@ func Enumerate(s Spec) []Point {
 							}
 						}
 					case len(s.Mixes) > 0:
-						for _, rate := range s.Rates {
-							for _, batchCap := range s.BatchCaps {
-								for _, pol := range s.Policies {
-									for _, split := range polSplits(pol) {
-										for _, host := range s.HostKVBytes {
-											for i, mix := range s.Mixes {
-												addFleet(enumerateServingMix(cfg, sys, mix, rate, batchCap, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens, split, s.TransferGBps, host, s.SwapGBps, mixToks[i]), mixToks[i])
+						for _, ar := range arrivals {
+							for _, turns := range s.Turns {
+								for _, batchCap := range s.BatchCaps {
+									for _, pol := range s.Policies {
+										for _, split := range polSplits(pol) {
+											for _, host := range s.HostKVBytes {
+												for i, mix := range s.Mixes {
+													addTemporal(enumerateServingMix(cfg, sys, mix, ar.rate, batchCap, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens, split, s.TransferGBps, host, s.SwapGBps, mixToks[i]), mixToks[i], ar.sched, turns)
+												}
 											}
 										}
 									}
@@ -1092,15 +1221,23 @@ func Enumerate(s Spec) []Point {
 							}
 						}
 					default:
-						for _, rate := range s.Rates {
-							for _, batchCap := range s.BatchCaps {
-								for _, pol := range s.Policies {
-									for _, split := range polSplits(pol) {
-										for _, host := range s.HostKVBytes {
-											for _, prefix := range s.PrefixTokens {
-												for _, seq := range s.Seqs {
-													for _, gen := range s.GenTokens {
-														addFleet(EnumerateServing(cfg, sys, rate, batchCap, seq, gen, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens, split, s.TransferGBps, prefix, host, s.SwapGBps), "")
+						for _, ar := range arrivals {
+							for _, turns := range s.Turns {
+								for _, batchCap := range s.BatchCaps {
+									for _, pol := range s.Policies {
+										for _, split := range polSplits(pol) {
+											for _, host := range s.HostKVBytes {
+												for _, prefix := range s.PrefixTokens {
+													if turns > 1 && pol == serve.Paged && prefix > 0 {
+														// A session owns its shared prefix; the
+														// spec-wide prefixed shape cannot carry
+														// one too (serve rejects the combination).
+														continue
+													}
+													for _, seq := range s.Seqs {
+														for _, gen := range s.GenTokens {
+															addTemporal(EnumerateServing(cfg, sys, ar.rate, batchCap, seq, gen, prec, s.ServeRequests, s.ServeSeed, pol, s.ServePageTokens, split, s.TransferGBps, prefix, host, s.SwapGBps), "", ar.sched, turns)
+														}
 													}
 												}
 											}
@@ -1226,11 +1363,13 @@ func servingSpec(p Point) serve.Spec {
 		sp.Mix = p.Mix
 		sp.Arrival, sp.Rate = serve.Poisson, p.Rate
 		sp.Requests, sp.Seed = p.ServeRequests, p.ServeSeed
+		sp.Schedule, sp.Turns, sp.Think = p.Schedule, p.Turns, p.Think
 	default:
 		sp.PromptTokens, sp.GenTokens = p.Seq, p.GenTokens
 		sp.PrefixTokens = p.PrefixTokens
 		sp.Arrival, sp.Rate = serve.Poisson, p.Rate
 		sp.Requests, sp.Seed = p.ServeRequests, p.ServeSeed
+		sp.Schedule, sp.Turns, sp.Think = p.Schedule, p.Turns, p.Think
 	}
 	return sp
 }
@@ -1260,10 +1399,12 @@ func clusterSpec(p Point) cluster.Spec {
 		PrefixTokens: cap.PrefixTokens,
 		Mix:          cap.Mix, Trace: cap.Trace,
 		Rate: cap.Rate, Requests: cap.Requests, Seed: cap.Seed,
+		Schedule: cap.Schedule, Turns: cap.Turns, Think: cap.Think,
 	}
 	cap.PromptTokens, cap.GenTokens, cap.PrefixTokens = 0, 0, 0
 	cap.Mix, cap.Trace = nil, nil
 	cap.Arrival, cap.Rate, cap.Requests, cap.Seed = serve.Poisson, 0, 0, 0
+	cap.Schedule, cap.Turns, cap.Think = nil, 0, 0
 	cs.Replicas = []cluster.Replica{{Spec: cap, Count: p.Replicas}}
 	return cs
 }

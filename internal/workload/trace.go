@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseTrace reads a serving trace in CSV form: one request per row as
+// "arrival,tenant,prompt,gen" (v1),
+// "arrival,tenant,prompt,gen,prefix_id,prefix_tokens" (v2), or
+// "arrival,tenant,prompt,gen,prefix_id,prefix_tokens,session,turn" (v3,
+// the session-cohort schema), with an optional header row (detected by a
+// non-numeric first field). Every row carries the column count of the
+// first, so the schema version is fixed per file. An empty tenant column
+// maps to DefaultTenant; an empty prefix_id with a non-zero prefix_tokens
+// defaults to the row's tenant (the ParseMix rule); empty session/turn
+// columns mean zero (an ordinary single-turn row). A leading UTF-8
+// byte-order mark is stripped — spreadsheet exports routinely prepend
+// one, and it would otherwise glue onto the first header field (a
+// U+FEFF-prefixed "arrival") and defeat the header detection. The parsed
+// trace is validated (finite sorted arrivals, positive shapes, consistent
+// prefixes, coherent session columns).
+func ParseTrace(r io.Reader) ([]TraceEvent, error) {
+	br := bufio.NewReader(r)
+	if b, err := br.Peek(3); err == nil && b[0] == 0xEF && b[1] == 0xBB && b[2] == 0xBF {
+		br.Discard(3)
+	}
+	cr := csv.NewReader(br)
+	// 0: the first row fixes the column count (4, 6 or 8, checked below)
+	// and every later row must match it.
+	cr.FieldsPerRecord = 0
+	cr.TrimLeadingSpace = true
+	var out []TraceEvent
+	for row := 0; ; row++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d: %w", row, err)
+		}
+		for i := range rec {
+			rec[i] = strings.TrimSpace(rec[i])
+		}
+		if row == 0 {
+			if len(rec) != 4 && len(rec) != 6 && len(rec) != 8 {
+				return nil, fmt.Errorf("workload: trace row 0 has %d columns, want 4 (arrival,tenant,prompt,gen), 6 (…,prefix_id,prefix_tokens) or 8 (…,session,turn)", len(rec))
+			}
+			_, arrErr := strconv.ParseFloat(rec[0], 64)
+			_, promptErr := strconv.Atoi(rec[2])
+			// A header is non-numeric across the board; a data row whose
+			// arrival alone is malformed must fail loudly below rather
+			// than vanish as a misdetected header.
+			if arrErr != nil && promptErr != nil {
+				continue // header row
+			}
+		}
+		arrival, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d: bad arrival time: %w", row, err)
+		}
+		prompt, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d: bad prompt length: %w", row, err)
+		}
+		gen, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("workload: trace row %d: bad generation length: %w", row, err)
+		}
+		tenant := rec[1]
+		if tenant == "" {
+			tenant = DefaultTenant
+		}
+		ev := TraceEvent{
+			Arrival: arrival,
+			Request: Request{Tenant: tenant, PromptTokens: prompt, GenTokens: gen},
+		}
+		if len(rec) >= 6 {
+			ev.PrefixID = rec[4]
+			if rec[5] != "" {
+				ev.PrefixTokens, err = strconv.Atoi(rec[5])
+				if err != nil {
+					return nil, fmt.Errorf("workload: trace row %d: bad prefix length: %w", row, err)
+				}
+			}
+			if ev.PrefixID == "" && ev.PrefixTokens > 0 {
+				ev.PrefixID = tenant
+			}
+		}
+		if len(rec) == 8 {
+			if rec[6] != "" {
+				ev.Session, err = strconv.Atoi(rec[6])
+				if err != nil {
+					return nil, fmt.Errorf("workload: trace row %d: bad session number: %w", row, err)
+				}
+			}
+			if rec[7] != "" {
+				ev.Turn, err = strconv.Atoi(rec[7])
+				if err != nil {
+					return nil, fmt.Errorf("workload: trace row %d: bad turn number: %w", row, err)
+				}
+			}
+		}
+		out = append(out, ev)
+	}
+	if err := ValidateTrace(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// FormatTrace renders a trace back into ParseTrace's CSV form with a
+// header row: the eight-column v3 schema when any event carries a session
+// field, the six-column v2 schema when any carries only a prefix field,
+// and the four-column v1 schema otherwise (so pre-prefix and pre-session
+// traces render exactly as before). For a valid trace,
+// ParseTrace(FormatTrace(t)) == t — the round-trip the trace fuzz
+// harness pins.
+func FormatTrace(w io.Writer, trace []TraceEvent) error {
+	v2, v3 := false, false
+	for _, ev := range trace {
+		if ev.PrefixID != "" || ev.PrefixTokens != 0 {
+			v2 = true
+		}
+		if ev.Session != 0 || ev.Turn != 0 {
+			v3 = true
+		}
+	}
+	cw := csv.NewWriter(w)
+	header := []string{"arrival", "tenant", "prompt", "gen"}
+	if v2 || v3 {
+		header = append(header, "prefix_id", "prefix_tokens")
+	}
+	if v3 {
+		header = append(header, "session", "turn")
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("workload: format trace: %w", err)
+	}
+	rec := make([]string, 0, 8)
+	for _, ev := range trace {
+		rec = append(rec[:0],
+			strconv.FormatFloat(ev.Arrival, 'g', -1, 64),
+			ev.Tenant,
+			strconv.Itoa(ev.PromptTokens),
+			strconv.Itoa(ev.GenTokens),
+		)
+		if v2 || v3 {
+			rec = append(rec, ev.PrefixID, strconv.Itoa(ev.PrefixTokens))
+		}
+		if v3 {
+			rec = append(rec, strconv.Itoa(ev.Session), strconv.Itoa(ev.Turn))
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("workload: format trace: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("workload: format trace: %w", err)
+	}
+	return nil
+}

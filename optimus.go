@@ -167,6 +167,7 @@ import (
 	"optimus/internal/tech"
 	"optimus/internal/train"
 	"optimus/internal/uarch"
+	"optimus/internal/workload"
 )
 
 // Core configuration and result types.
@@ -214,6 +215,14 @@ type (
 	ServeTenantLoad = serve.TenantLoad
 	// ServeTraceEvent is one replayed request of a ServeSpec.Trace.
 	ServeTraceEvent = serve.TraceEvent
+	// ServeSchedule is a piecewise-constant arrival-rate timeline
+	// (ServeSpec.Schedule); contiguous segments from time zero, the last
+	// extending indefinitely. ("Schedule" alone names the pipeline
+	// schedule, an older export.)
+	ServeSchedule = workload.Schedule
+	// ServeScheduleSegment is one ServeSchedule piece: Rate requests/sec
+	// over [Start, End) seconds.
+	ServeScheduleSegment = workload.Segment
 	// ServeTenantMetrics is one tenant's SLO summary
 	// (ServeResult.PerTenant).
 	ServeTenantMetrics = serve.TenantMetrics
@@ -460,15 +469,33 @@ func ParseServeMix(s string) ([]ServeTenantLoad, error) { return serve.ParseMix(
 func FormatServeMix(mix []ServeTenantLoad) string { return serve.FormatMix(mix) }
 
 // ParseServeTrace reads a serving trace in CSV form — one request per row
-// as "arrival,tenant,prompt,gen" (v1) or
-// "arrival,tenant,prompt,gen,prefix_id,prefix_tokens" (v2), optional
-// header — and validates it.
+// as "arrival,tenant,prompt,gen" (v1),
+// "arrival,tenant,prompt,gen,prefix_id,prefix_tokens" (v2), or the
+// v3 eight-column form appending "session,turn" for multi-turn session
+// rows — optional header — and validates it.
 func ParseServeTrace(r io.Reader) ([]ServeTraceEvent, error) { return serve.ParseTrace(r) }
 
 // FormatServeTrace renders a trace back into the ParseServeTrace CSV
-// syntax, emitting the v2 six-column form iff any event carries a prefix.
+// syntax: the v3 eight-column form iff any event carries session fields,
+// the v2 six-column form iff any carries a prefix, v1 otherwise.
 func FormatServeTrace(w io.Writer, events []ServeTraceEvent) error {
 	return serve.FormatTrace(w, events)
+}
+
+// ParseServeSchedule parses the CLI piecewise arrival-rate schedule
+// syntax: comma-separated "start-end:rate" segments in seconds and
+// requests/sec, e.g. "0-60:5,60-120:25" (ServeSpec.Schedule).
+func ParseServeSchedule(s string) (ServeSchedule, error) { return workload.ParseSchedule(s) }
+
+// FormatServeSchedule renders a schedule back into the ParseServeSchedule
+// syntax.
+func FormatServeSchedule(s ServeSchedule) string { return workload.FormatSchedule(s) }
+
+// CanonicalServeSchedule reduces a (schedule, rate) pair to canonical
+// form: adjacent equal-rate segments merge, and a constant schedule
+// collapses to (nil, rate) — the byte-identical plain Poisson process.
+func CanonicalServeSchedule(s ServeSchedule, rate float64) (ServeSchedule, float64) {
+	return workload.CanonicalSchedule(s, rate)
 }
 
 // NewServeInstance builds a steppable single-replica simulator from a
